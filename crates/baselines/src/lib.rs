@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Baseline replica-selection schemes (§6.2 of the paper).
+//!
+//! The evaluation compares Mayflower's joint replica–path selection
+//! against four combinations of *replica* choice × *path* choice:
+//!
+//! | scheme              | replica            | path       |
+//! |---------------------|--------------------|------------|
+//! | `Nearest ECMP`      | closest (static)   | ECMP hash  |
+//! | `Nearest Mayflower` | closest (static)   | Flowserver |
+//! | `Sinbad-R ECMP`     | least-loaded uplink| ECMP hash  |
+//! | `Sinbad-R Mayflower`| least-loaded uplink| Flowserver |
+//!
+//! This crate implements the two replica-selection rules plus a
+//! Hedera-style reactive flow rescheduler ([`hedera`]) representing
+//! the independent-flow-scheduler class the paper positions against;
+//! ECMP lives in [`mayflower_net::ecmp`] and the Flowserver path
+//! scheduler in the `mayflower-flowserver` crate.
+
+pub mod hedera;
+pub mod nearest;
+pub mod sinbad;
+
+pub use hedera::{Hedera, HederaFlow};
+pub use nearest::nearest_replica;
+pub use sinbad::{LinkLoadView, SinbadR, StaticLoads};

@@ -1,0 +1,108 @@
+//! `Nearest`: static, topology-distance replica selection.
+//!
+//! This is HDFS's rack-aware read policy (§2.3): pick the replica with
+//! the smallest network distance to the client. Distance cannot see
+//! congestion, and — as the paper stresses in §1 — with only three
+//! replicas in a large cluster, remote clients are frequently
+//! equidistant from *all* replicas, at which point this degenerates to
+//! random selection (ties here break by a uniform draw).
+
+use mayflower_net::{HostId, Topology};
+use mayflower_simcore::SimRng;
+
+/// Selects the closest replica to `client` by hop distance, breaking
+/// ties uniformly at random.
+///
+/// # Panics
+///
+/// Panics if `replicas` is empty.
+///
+/// # Example
+///
+/// ```
+/// use mayflower_net::{HostId, Topology, TreeParams};
+/// use mayflower_simcore::SimRng;
+/// use mayflower_baselines::nearest_replica;
+///
+/// let topo = Topology::three_tier(&TreeParams::paper_testbed());
+/// let mut rng = SimRng::seed_from(1);
+/// // Replica 1 shares the client's rack; 20 is cross-pod.
+/// let pick = nearest_replica(&topo, HostId(0), &[HostId(20), HostId(1)], &mut rng);
+/// assert_eq!(pick, HostId(1));
+/// ```
+pub fn nearest_replica(
+    topo: &Topology,
+    client: HostId,
+    replicas: &[HostId],
+    rng: &mut SimRng,
+) -> HostId {
+    assert!(!replicas.is_empty(), "need at least one replica");
+    let mut best_dist = usize::MAX;
+    let mut best: Vec<HostId> = Vec::new();
+    for &r in replicas {
+        let d = topo
+            .distance(client, r)
+            .expect("replicas are reachable in a connected topology");
+        if d < best_dist {
+            best_dist = d;
+            best.clear();
+            best.push(r);
+        } else if d == best_dist {
+            best.push(r);
+        }
+    }
+    *rng.choose(&best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+
+    fn topo() -> Topology {
+        Topology::three_tier(&TreeParams::paper_testbed())
+    }
+
+    #[test]
+    fn colocated_replica_wins() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(1);
+        let pick = nearest_replica(&t, HostId(5), &[HostId(5), HostId(6)], &mut rng);
+        assert_eq!(pick, HostId(5));
+    }
+
+    #[test]
+    fn rack_beats_pod_beats_core() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(2);
+        // client 0: replica 2 same rack (d=2), 7 same pod (d=4), 40 cross (d=6).
+        let pick = nearest_replica(&t, HostId(0), &[HostId(40), HostId(7), HostId(2)], &mut rng);
+        assert_eq!(pick, HostId(2));
+        let pick = nearest_replica(&t, HostId(0), &[HostId(40), HostId(7)], &mut rng);
+        assert_eq!(pick, HostId(7));
+    }
+
+    #[test]
+    fn equidistant_replicas_chosen_uniformly() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(3);
+        // Both replicas cross-pod from client 0: a coin flip.
+        let replicas = [HostId(20), HostId(40)];
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            match nearest_replica(&t, HostId(0), &replicas, &mut rng) {
+                h if h == replicas[0] => counts[0] += 1,
+                _ => counts[1] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_replica_set_rejected() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(4);
+        let _ = nearest_replica(&t, HostId(0), &[], &mut rng);
+    }
+}

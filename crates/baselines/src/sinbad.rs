@@ -1,0 +1,261 @@
+//! `Sinbad-R`: the paper's read-variant of Sinbad (§6.2).
+//!
+//! Sinbad (Chowdhury et al., SIGCOMM '13) steers *writes* away from
+//! congested links using end-host bandwidth monitoring plus topology.
+//! The paper adapts it for reads with two modifications:
+//!
+//! 1. It estimates utilization of the links **facing the core layer**
+//!    (edge→aggregation uplinks) on the *replica* side, because read
+//!    data flows from the replica up toward the client — opposite to
+//!    the write direction Sinbad was designed for.
+//! 2. If the client's pod contains a replica, the search space is
+//!    **restricted to that pod** (writes consider every host; reads
+//!    can only go where replicas already exist, and a same-pod replica
+//!    keeps traffic off the heavily oversubscribed core tier).
+//!
+//! The replica whose bottleneck (host uplink or its rack's best
+//! core-facing uplink) has the most estimated headroom wins; ties
+//! break uniformly at random.
+
+use mayflower_net::{HostId, LinkId, Topology};
+use mayflower_simcore::SimRng;
+
+/// Sinbad's view of current link load: measured bandwidth (bits/sec)
+/// flowing on each directed link. In Sinbad this comes from end-host
+/// monitoring agents; the experiment harness feeds it from the same
+/// periodically-polled counters the SDN controller sees — neither
+/// system gets ground truth.
+pub trait LinkLoadView {
+    /// Measured load on a directed link, bits/sec.
+    fn load_bps(&self, link: LinkId) -> f64;
+}
+
+/// A fixed load map, for tests and offline what-if evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct StaticLoads(pub std::collections::HashMap<LinkId, f64>);
+
+impl LinkLoadView for StaticLoads {
+    fn load_bps(&self, link: LinkId) -> f64 {
+        self.0.get(&link).copied().unwrap_or(0.0)
+    }
+}
+
+/// The Sinbad-R replica selector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SinbadR;
+
+impl SinbadR {
+    /// Creates a selector.
+    #[must_use]
+    pub fn new() -> SinbadR {
+        SinbadR
+    }
+
+    /// Selects a replica for `client` to read from, given measured
+    /// link loads.
+    ///
+    /// Returns the co-located replica immediately if one exists (no
+    /// network transfer at all). Otherwise applies the pod restriction
+    /// and picks the replica with the largest estimated available
+    /// bandwidth; ties break uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn select<L: LinkLoadView>(
+        &self,
+        topo: &Topology,
+        client: HostId,
+        replicas: &[HostId],
+        loads: &L,
+        rng: &mut SimRng,
+    ) -> HostId {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        if let Some(local) = replicas.iter().find(|r| **r == client) {
+            return *local;
+        }
+
+        // Pod restriction: if the client's pod holds a replica, search
+        // only inside that pod.
+        let client_pod = topo.pod_of(client);
+        let in_pod: Vec<HostId> = replicas
+            .iter()
+            .copied()
+            .filter(|r| topo.pod_of(*r) == client_pod)
+            .collect();
+        let candidates: &[HostId] = if in_pod.is_empty() { replicas } else { &in_pod };
+
+        let mut best_avail = f64::NEG_INFINITY;
+        let mut best: Vec<HostId> = Vec::new();
+        for &r in candidates {
+            let avail = self.estimated_available(topo, client, r, loads);
+            if avail > best_avail + 1e-9 {
+                best_avail = avail;
+                best.clear();
+                best.push(r);
+            } else if (avail - best_avail).abs() <= 1e-9 {
+                best.push(r);
+            }
+        }
+        *rng.choose(&best)
+    }
+
+    /// Sinbad-R's bandwidth estimate for reading from `replica`: the
+    /// headroom of the replica's host uplink, further constrained — for
+    /// cross-rack clients — by the best of its rack's core-facing
+    /// uplinks. Uses only end-host-observable quantities (link
+    /// capacities and measured loads), **not** per-flow state: exactly
+    /// the coarseness the paper criticizes ("by not accounting for the
+    /// bandwidth of individual flows and the total number of flows in
+    /// each link, Sinbad cannot accurately estimate path bandwidths").
+    fn estimated_available<L: LinkLoadView>(
+        &self,
+        topo: &Topology,
+        client: HostId,
+        replica: HostId,
+        loads: &L,
+    ) -> f64 {
+        let uplink = topo.host_uplink(replica);
+        let headroom =
+            |l: LinkId| (topo.link(l).capacity() - loads.load_bps(l)).max(0.0);
+        let mut avail = headroom(uplink);
+        if topo.rack_of(client) != topo.rack_of(replica) {
+            let best_core_facing = topo
+                .edge_uplinks(topo.rack_of(replica))
+                .into_iter()
+                .map(headroom)
+                .fold(0.0f64, f64::max);
+            avail = avail.min(best_core_facing);
+        }
+        avail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::{TreeParams, GBPS};
+
+    fn topo() -> Topology {
+        Topology::three_tier(&TreeParams::paper_testbed())
+    }
+
+    #[test]
+    fn colocated_replica_short_circuits() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(1);
+        let pick = SinbadR::new().select(
+            &t,
+            HostId(3),
+            &[HostId(20), HostId(3)],
+            &StaticLoads::default(),
+            &mut rng,
+        );
+        assert_eq!(pick, HostId(3));
+    }
+
+    #[test]
+    fn pod_restriction_applies() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(2);
+        // Client in pod 0; replicas in pod 0 (host 5) and pod 1 (host 20).
+        // Even with the pod-0 replica loaded, the search space is pod 0.
+        let mut loads = StaticLoads::default();
+        loads.0.insert(t.host_uplink(HostId(5)), 0.9 * GBPS);
+        let pick = SinbadR::new().select(
+            &t,
+            HostId(0),
+            &[HostId(5), HostId(20)],
+            &loads,
+            &mut rng,
+        );
+        assert_eq!(pick, HostId(5), "pod restriction must exclude host 20");
+    }
+
+    #[test]
+    fn loaded_uplink_avoided_across_pods() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(3);
+        // Client pod 0, both replicas outside: free competition.
+        let mut loads = StaticLoads::default();
+        loads.0.insert(t.host_uplink(HostId(20)), 0.8 * GBPS);
+        for _ in 0..50 {
+            let pick = SinbadR::new().select(
+                &t,
+                HostId(0),
+                &[HostId(20), HostId(40)],
+                &loads,
+                &mut rng,
+            );
+            assert_eq!(pick, HostId(40));
+        }
+    }
+
+    #[test]
+    fn core_facing_congestion_matters_for_remote_reads() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(4);
+        // Replica 20's rack uplinks both saturated; replica 40's idle.
+        let mut loads = StaticLoads::default();
+        for l in t.edge_uplinks(t.rack_of(HostId(20))) {
+            loads.0.insert(l, GBPS);
+        }
+        for _ in 0..50 {
+            let pick = SinbadR::new().select(
+                &t,
+                HostId(0),
+                &[HostId(20), HostId(40)],
+                &loads,
+                &mut rng,
+            );
+            assert_eq!(pick, HostId(40));
+        }
+    }
+
+    #[test]
+    fn same_rack_replica_ignores_core_links() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(5);
+        // Replica 1 shares client 0's rack; saturate that rack's
+        // uplinks — irrelevant for an intra-rack read.
+        let mut loads = StaticLoads::default();
+        for l in t.edge_uplinks(t.rack_of(HostId(1))) {
+            loads.0.insert(l, GBPS);
+        }
+        // Replica 2 (same rack) vs replica 20 (cross pod, idle): the
+        // rack replica still shows full host-uplink headroom.
+        let pick = SinbadR::new().select(
+            &t,
+            HostId(0),
+            &[HostId(2), HostId(1)],
+            &loads,
+            &mut rng,
+        );
+        // Both in-rack with equal headroom: either is acceptable.
+        assert!(pick == HostId(1) || pick == HostId(2));
+    }
+
+    #[test]
+    fn ties_break_uniformly() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(6);
+        let replicas = [HostId(20), HostId(40)];
+        let mut first = 0usize;
+        for _ in 0..10_000 {
+            if SinbadR::new().select(&t, HostId(0), &replicas, &StaticLoads::default(), &mut rng)
+                == replicas[0]
+            {
+                first += 1;
+            }
+        }
+        assert!((first as f64 / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_replicas_rejected() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(7);
+        let _ = SinbadR::new().select(&t, HostId(0), &[], &StaticLoads::default(), &mut rng);
+    }
+}

@@ -1,0 +1,71 @@
+//! Consensus benchmarks: Paxos commit latency (in delivered messages)
+//! and replicated-log throughput for the fault-tolerant nameserver
+//! extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mayflower_consensus::cluster::{Cluster, FaultModel};
+use mayflower_consensus::ReplicaId;
+
+fn bench_single_decree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paxos_commit");
+    for n in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("group_size", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut cluster: Cluster<u64> = Cluster::new(n, seed);
+                cluster.propose(ReplicaId(0), black_box(seed));
+                cluster.run_to_quiescence();
+                assert!(cluster.chosen(0).is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_log_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replicated_log");
+    for ops in [10usize, 100] {
+        group.throughput(Throughput::Elements(ops as u64));
+        group.bench_with_input(BenchmarkId::new("sequential_ops", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let mut cluster: Cluster<u64> = Cluster::new(3, 1);
+                for v in 0..ops as u64 {
+                    cluster.propose(ReplicaId((v % 3) as u32), v);
+                    cluster.run_to_quiescence();
+                }
+                black_box(cluster.replica(ReplicaId(0)).log().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossy_commit(c: &mut Criterion) {
+    c.bench_function("paxos_commit_10pct_loss", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut cluster: Cluster<u64> = Cluster::with_faults(
+                3,
+                seed,
+                FaultModel {
+                    drop_probability: 0.1,
+                    duplicate_probability: 0.0,
+                },
+            );
+            // Propose at two nodes; at least one usually lands despite
+            // loss. Safety is asserted; progress is best-effort.
+            cluster.propose(ReplicaId(0), seed);
+            cluster.propose(ReplicaId(1), seed + 1);
+            cluster.run_to_quiescence();
+            cluster.assert_agreement();
+            black_box(cluster.message_stats())
+        });
+    });
+}
+
+criterion_group!(benches, bench_single_decree, bench_log_throughput, bench_lossy_commit);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Per-figure regeneration benchmarks: one Criterion target per table/
+//! figure of the paper's evaluation. Each iteration reruns the full
+//! experiment (workload synthesis → strategy replay → statistics) at
+//! reduced scale and reports its wall-clock cost; the `figures` binary
+//! (`cargo run --release -p mayflower-sim --bin figures`) produces the
+//! full-scale rows and series.
+//!
+//! The benches also sanity-assert the paper's qualitative shape on
+//! every run, so a regression that flips "who wins" fails the bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mayflower_sim::figures::{self, Effort};
+use mayflower_sim::{proto, Strategy};
+
+fn cfg(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = cfg(c).benchmark_group("figure4");
+    group.sample_size(10);
+    group.bench_function("normalized_bars", |b| {
+        b.iter(|| {
+            let fig = figures::figure4(Effort::Quick, black_box(42));
+            // Shape guard: Mayflower is the baseline and never loses.
+            let mf = fig
+                .bars
+                .iter()
+                .find(|b| b.strategy == Strategy::Mayflower)
+                .expect("bar");
+            assert!((mf.mean_ratio.ratio - 1.0).abs() < 1e-9);
+            fig.bars.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut group = cfg(c).benchmark_group("figure5");
+    group.sample_size(10);
+    group.bench_function("locality_sweep", |b| {
+        b.iter(|| figures::figure5(Effort::Quick, black_box(42)).groups.len());
+    });
+    group.finish();
+}
+
+fn bench_figure6(c: &mut Criterion) {
+    let mut group = cfg(c).benchmark_group("figure6");
+    group.sample_size(10);
+    group.bench_function("panel_a_rate_sweep", |b| {
+        b.iter(|| figures::figure6('a', Effort::Quick, black_box(42)).points.len());
+    });
+    group.bench_function("panel_b_rate_sweep", |b| {
+        b.iter(|| figures::figure6('b', Effort::Quick, black_box(42)).points.len());
+    });
+    group.finish();
+}
+
+fn bench_figure7(c: &mut Criterion) {
+    let mut group = cfg(c).benchmark_group("figure7");
+    group.sample_size(10);
+    group.bench_function("oversubscription_sweep", |b| {
+        b.iter(|| {
+            let fig = figures::figure7(Effort::Quick, black_box(42));
+            // Shape guard: higher oversubscription is never faster for
+            // Mayflower (8:1 vs 24:1).
+            let mf: Vec<_> = fig
+                .points
+                .iter()
+                .filter(|p| p.strategy == Strategy::Mayflower)
+                .collect();
+            assert!(mf[0].summary.mean <= mf[2].summary.mean * 1.05);
+            fig.points.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_figure8(c: &mut Criterion) {
+    let mut group = cfg(c).benchmark_group("figure8");
+    group.sample_size(10);
+    let scratch = std::env::temp_dir().join(format!(
+        "mayflower-bench-fig8-{}",
+        std::process::id()
+    ));
+    group.bench_function("prototype_real_fs", |b| {
+        b.iter(|| {
+            let fig = proto::figure8(&[0.07], 20, 40, black_box(42), &scratch);
+            assert_eq!(fig.points.len(), 3);
+            fig.points.len()
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+fn bench_multipath_ablation(c: &mut Criterion) {
+    let mut group = cfg(c).benchmark_group("multipath_ablation");
+    group.sample_size(10);
+    group.bench_function("section_4_3", |b| {
+        b.iter(|| {
+            let abl = figures::multipath_ablation(Effort::Quick, black_box(42));
+            // Shape guard: splitting never hurts on the core-heavy
+            // workload, and subflow skew stays below the paper's 1 s.
+            assert!(abl.split.mean <= abl.single.mean * 1.02);
+            assert!(abl.mean_subflow_skew_secs < 1.0);
+            abl.split_fraction
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figure4,
+    bench_figure5,
+    bench_figure6,
+    bench_figure7,
+    bench_figure8,
+    bench_multipath_ablation
+);
+criterion_main!(benches);

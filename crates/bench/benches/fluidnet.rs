@@ -1,0 +1,68 @@
+//! Fluid network simulator throughput: how fast the substrate can push
+//! flows through admission → fair-share transfer → completion. This
+//! bounds how large an experiment the harness can replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use mayflower_net::{Path, Topology, TreeParams};
+use mayflower_simcore::{SimRng, SimTime};
+use mayflower_simnet::FluidNet;
+
+fn random_paths(topo: &Topology, n: usize, seed: u64) -> Vec<Path> {
+    let mut rng = SimRng::seed_from(seed);
+    let hosts = topo.hosts();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let a = *rng.choose(&hosts);
+        let b = *rng.choose(&hosts);
+        if a == b {
+            continue;
+        }
+        out.push(topo.shortest_paths(a, b)[0].clone());
+    }
+    out
+}
+
+fn bench_flow_lifecycle(c: &mut Criterion) {
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    let mut group = c.benchmark_group("fluidnet_drain");
+    for n in [16usize, 128, 512] {
+        let paths = random_paths(&topo, n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &paths, |b, paths| {
+            b.iter(|| {
+                let mut net = FluidNet::new(topo.clone());
+                for p in paths {
+                    net.add_flow(p.clone(), 1e9, SimTime::ZERO);
+                }
+                let done = net.advance_to(SimTime::from_secs(1e6));
+                black_box(done.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_staggered_admission(c: &mut Criterion) {
+    // The experiment-shaped access pattern: admit, advance, repeat.
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    let paths = random_paths(&topo, 200, 9);
+    c.bench_function("fluidnet_staggered_200_flows", |b| {
+        b.iter(|| {
+            let mut net = FluidNet::new(topo.clone());
+            let mut completions = 0usize;
+            for (i, p) in paths.iter().enumerate() {
+                let t = SimTime::from_secs(i as f64 * 0.05);
+                completions += net.advance_to(t).len();
+                net.add_flow(p.clone(), 0.5e9, t);
+            }
+            completions += net.advance_to(SimTime::from_secs(1e5)).len();
+            black_box(completions)
+        });
+    });
+}
+
+criterion_group!(benches, bench_flow_lifecycle, bench_staggered_admission);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Filesystem operation benchmarks: the client-visible create /
+//! append / read paths of the real Mayflower stack (metadata through
+//! the kvstore-backed nameserver, data through dataserver chunk files).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mayflower_fs::nameserver::NameserverConfig;
+use mayflower_fs::{Cluster, ClusterConfig};
+use mayflower_net::{HostId, Topology, TreeParams};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "mayflower-bench-fs-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        TempDir(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn small_cluster(dir: &TempDir) -> Cluster {
+    let topo = Arc::new(Topology::three_tier(&TreeParams {
+        pods: 2,
+        racks_per_pod: 2,
+        hosts_per_rack: 2,
+        ..TreeParams::paper_testbed()
+    }));
+    Cluster::create(
+        &dir.0,
+        topo,
+        ClusterConfig {
+            nameserver: NameserverConfig {
+                chunk_size: 1 << 20,
+                ..NameserverConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_create(c: &mut Criterion) {
+    let dir = TempDir::new("create");
+    let cluster = small_cluster(&dir);
+    let mut client = cluster.client(HostId(0));
+    let mut i = 0u64;
+    c.bench_function("fs_create_file", |b| {
+        b.iter(|| {
+            i += 1;
+            client.create(&format!("bench/f{i}")).unwrap()
+        });
+    });
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_append");
+    for size in [4usize << 10, 256 << 10] {
+        let dir = TempDir::new(&format!("append{size}"));
+        let cluster = small_cluster(&dir);
+        let mut client = cluster.client(HostId(0));
+        client.create("log").unwrap();
+        let payload = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, payload| {
+            b.iter(|| client.append("log", black_box(payload)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_read");
+    for size in [64usize << 10, 1 << 20] {
+        let dir = TempDir::new(&format!("read{size}"));
+        let cluster = small_cluster(&dir);
+        let mut client = cluster.client(HostId(0));
+        client.create("data").unwrap();
+        client.append("data", &vec![0x5Au8; size]).unwrap();
+        let mut reader = cluster.client(HostId(5));
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(reader.read("data").unwrap().len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_metadata_lookup(c: &mut Criterion) {
+    let dir = TempDir::new("lookup");
+    let cluster = small_cluster(&dir);
+    let mut client = cluster.client(HostId(0));
+    for i in 0..500 {
+        client.create(&format!("f{i}")).unwrap();
+    }
+    c.bench_function("nameserver_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 500;
+            black_box(cluster.nameserver().lookup(&format!("f{i}")).unwrap())
+        });
+    });
+    c.bench_function("client_cached_meta", |b| {
+        b.iter(|| black_box(client.meta("f42").unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_create,
+    bench_append,
+    bench_read,
+    bench_metadata_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Nameserver metadata-store benchmarks: put/get/scan throughput and
+//! restart (WAL replay) latency — the operations behind file
+//! create/lookup/delete in §3.3.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use mayflower_kvstore::{KvStore, Options};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "mayflower-bench-kv-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// 67-byte values: the paper's per-file metadata footprint ("file
+/// metadata consists of filenames and block information, occupying at
+/// least 67 bytes per file", §5).
+const META_LEN: usize = 67;
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore_put");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("fsync_off", |b| {
+        let dir = TempDir::new("put");
+        let mut db = KvStore::open(&dir.0, Options::default()).unwrap();
+        let value = vec![7u8; META_LEN];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.put(&i.to_le_bytes(), black_box(&value)).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let dir = TempDir::new("get");
+    let mut db = KvStore::open(&dir.0, Options::default()).unwrap();
+    let value = vec![7u8; META_LEN];
+    for i in 0u64..10_000 {
+        db.put(&i.to_le_bytes(), &value).unwrap();
+    }
+    c.bench_function("kvstore_get_hot", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(db.get(&i.to_le_bytes()))
+        });
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore_scan_prefix");
+    for n in [100usize, 10_000] {
+        let dir = TempDir::new(&format!("scan{n}"));
+        let mut db = KvStore::open(&dir.0, Options::default()).unwrap();
+        for i in 0..n {
+            db.put(format!("n/file-{i:06}").as_bytes(), &[0u8; META_LEN])
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(db.scan_prefix(b"n/").len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_restart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kvstore_reopen");
+    // Graceful (flushed, segment load) vs crash (WAL replay).
+    for (label, flush) in [("after_flush", true), ("wal_replay", false)] {
+        let dir = TempDir::new(&format!("reopen-{label}"));
+        {
+            let mut db = KvStore::open(&dir.0, Options::default()).unwrap();
+            for i in 0u64..5_000 {
+                db.put(&i.to_le_bytes(), &[1u8; META_LEN]).unwrap();
+            }
+            if flush {
+                db.flush().unwrap();
+            }
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let db = KvStore::open(black_box(&dir.0), Options::default()).unwrap();
+                black_box(db.segment_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get, bench_scan, bench_restart);
+criterion_main!(benches);

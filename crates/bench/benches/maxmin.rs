@@ -1,0 +1,98 @@
+//! Max-min fair-share computation benchmarks: the progressive-filling
+//! allocation is the fluid simulator's inner loop (run on every flow
+//! admission/completion), and the per-link waterfill is the
+//! Flowserver's estimator primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use mayflower_net::fairshare::{new_flow_share, waterfill};
+use mayflower_net::{HostId, Path, Topology, TreeParams};
+use mayflower_simcore::SimRng;
+use mayflower_simnet::{compute_rates, RoutedFlow};
+
+fn random_paths(topo: &Topology, n: usize, seed: u64) -> Vec<Path> {
+    let mut rng = SimRng::seed_from(seed);
+    let hosts = topo.hosts();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let a = *rng.choose(&hosts);
+        let b = *rng.choose(&hosts);
+        if a == b {
+            continue;
+        }
+        let paths = topo.shortest_paths(a, b);
+        out.push(paths[rng.index(paths.len())].clone());
+    }
+    out
+}
+
+fn bench_progressive_filling(c: &mut Criterion) {
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    let mut group = c.benchmark_group("global_maxmin");
+    for n in [8usize, 64, 256, 1024] {
+        let paths = random_paths(&topo, n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &paths, |b, paths| {
+            let flows: Vec<RoutedFlow> = paths
+                .iter()
+                .map(|p| RoutedFlow { links: p.links() })
+                .collect();
+            b.iter(|| compute_rates(black_box(&topo), black_box(&flows)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_waterfill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_waterfill");
+    for n in [4usize, 32, 256] {
+        let demands: Vec<f64> = (0..n).map(|i| (i % 17) as f64 + 0.5).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &demands, |b, demands| {
+            b.iter(|| waterfill(black_box(100.0), black_box(demands)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("new_flow_share", n),
+            &demands,
+            |b, demands| {
+                b.iter(|| new_flow_share(black_box(100.0), black_box(demands)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    c.bench_function("build_paper_testbed", |b| {
+        let params = TreeParams::paper_testbed();
+        b.iter(|| Topology::three_tier(black_box(&params)));
+    });
+    c.bench_function("build_1024_host_tree", |b| {
+        let params = TreeParams {
+            pods: 8,
+            racks_per_pod: 8,
+            hosts_per_rack: 16,
+            ..TreeParams::paper_testbed()
+        };
+        b.iter(|| Topology::three_tier(black_box(&params)));
+    });
+    // Path enumeration on the big tree (what the Flowserver does per
+    // replica candidate at scale).
+    let big = Topology::three_tier(&TreeParams {
+        pods: 8,
+        racks_per_pod: 8,
+        hosts_per_rack: 16,
+        ..TreeParams::paper_testbed()
+    });
+    c.bench_function("shortest_paths_1024_hosts_cross_pod", |b| {
+        b.iter(|| big.shortest_paths(black_box(HostId(0)), black_box(HostId(1000))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_progressive_filling,
+    bench_waterfill,
+    bench_topology_build
+);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Replica/path selection micro-benchmarks: the per-request control
+//! plane cost of each scheme. The paper's Flowserver must answer one
+//! RPC per read; these benches quantify that decision's CPU cost as a
+//! function of network load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use mayflower_baselines::{nearest_replica, SinbadR, StaticLoads};
+use mayflower_flowserver::{Flowserver, FlowserverConfig};
+use mayflower_net::{ecmp_path, FlowKey, HostId, Topology, TreeParams};
+use mayflower_simcore::{SimRng, SimTime};
+
+const MB256: f64 = 256.0 * 8e6;
+
+fn topo() -> Arc<Topology> {
+    Arc::new(Topology::three_tier(&TreeParams::paper_testbed()))
+}
+
+/// A Flowserver pre-loaded with `n` tracked background flows.
+fn loaded_flowserver(topo: &Arc<Topology>, n: usize, multipath: bool) -> Flowserver {
+    let mut fs = Flowserver::new(
+        topo.clone(),
+        FlowserverConfig {
+            multipath,
+            ..FlowserverConfig::default()
+        },
+    );
+    let mut rng = SimRng::seed_from(7);
+    let hosts = topo.hosts();
+    let mut added = 0;
+    while added < n {
+        let a = *rng.choose(&hosts);
+        let b = *rng.choose(&hosts);
+        if a == b {
+            continue;
+        }
+        fs.select_path_for_replica(b, a, MB256, SimTime::ZERO);
+        added += 1;
+    }
+    fs
+}
+
+fn bench_flowserver_selection(c: &mut Criterion) {
+    let topo = topo();
+    let mut group = c.benchmark_group("flowserver_select_replica_path");
+    for load in [0usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(load), &load, |b, &load| {
+            let mut fs = loaded_flowserver(&topo, load, false);
+            let replicas = [HostId(1), HostId(5), HostId(20)];
+            b.iter(|| {
+                let sel = fs.select_replica_path(
+                    black_box(HostId(0)),
+                    black_box(&replicas),
+                    MB256,
+                    SimTime::ZERO,
+                );
+                // Keep the tracker size constant.
+                for a in sel.assignments() {
+                    fs.flow_completed(a.cookie);
+                }
+                sel.assignments().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_multipath_selection(c: &mut Criterion) {
+    let topo = topo();
+    let mut group = c.benchmark_group("flowserver_multipath");
+    for load in [0usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(load), &load, |b, &load| {
+            let mut fs = loaded_flowserver(&topo, load, true);
+            let replicas = [HostId(20), HostId(36), HostId(52)];
+            b.iter(|| {
+                let sel = fs.select_replica_path(
+                    black_box(HostId(0)),
+                    black_box(&replicas),
+                    MB256,
+                    SimTime::ZERO,
+                );
+                for a in sel.assignments() {
+                    fs.flow_completed(a.cookie);
+                }
+                sel.assignments().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let topo = topo();
+    let replicas = [HostId(1), HostId(5), HostId(20)];
+
+    c.bench_function("nearest_replica", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| nearest_replica(&topo, black_box(HostId(0)), black_box(&replicas), &mut rng));
+    });
+
+    c.bench_function("sinbad_r_select", |b| {
+        let mut rng = SimRng::seed_from(2);
+        let loads = StaticLoads::default();
+        let sinbad = SinbadR::new();
+        b.iter(|| {
+            sinbad.select(
+                &topo,
+                black_box(HostId(0)),
+                black_box(&replicas),
+                &loads,
+                &mut rng,
+            )
+        });
+    });
+
+    c.bench_function("ecmp_path", |b| {
+        let mut disc = 0u64;
+        b.iter(|| {
+            disc += 1;
+            ecmp_path(&topo, FlowKey::new(HostId(20), HostId(0), black_box(disc)))
+        });
+    });
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let topo = topo();
+    let mut group = c.benchmark_group("shortest_paths");
+    for (label, a, b_) in [("same_rack", 0u32, 1u32), ("same_pod", 0, 5), ("cross_pod", 0, 40)] {
+        group.bench_function(label, |b| {
+            b.iter(|| topo.shortest_paths(black_box(HostId(a)), black_box(HostId(b_))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flowserver_selection,
+    bench_multipath_selection,
+    bench_baselines,
+    bench_shortest_paths
+);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+#![warn(missing_docs)]
+
+//! Benchmark-only crate; see `benches/`. Run with `cargo bench`.

@@ -1,0 +1,153 @@
+//! The acceptor half of single-decree Paxos.
+
+use serde::{Deserialize, Serialize};
+
+use crate::messages::Ballot;
+
+/// Per-slot acceptor state: the promise and the highest accepted
+/// proposal. This is the state that must survive crashes for Paxos's
+/// safety argument; [`crate::replica::Replica`] keeps one per slot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Acceptor<V> {
+    promised: Option<Ballot>,
+    accepted: Option<(Ballot, V)>,
+}
+
+impl<V> Default for Acceptor<V> {
+    fn default() -> Acceptor<V> {
+        Acceptor {
+            promised: None,
+            accepted: None,
+        }
+    }
+}
+
+/// The acceptor's verdict on a phase-1 or phase-2 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict<V> {
+    /// Promise granted; carries the previously accepted proposal (the
+    /// value the proposer must adopt if present).
+    Promised(Option<(Ballot, V)>),
+    /// Value accepted at the given ballot.
+    Accepted,
+    /// Request rejected; carries the ballot the acceptor is bound to.
+    Rejected(Ballot),
+}
+
+impl<V: Clone> Acceptor<V> {
+    /// Creates a fresh acceptor.
+    #[must_use]
+    pub fn new() -> Acceptor<V> {
+        Acceptor {
+            promised: None,
+            accepted: None,
+        }
+    }
+
+    /// Phase 1a: handle `Prepare(ballot)`.
+    ///
+    /// Grants the promise iff `ballot` is at least as high as any
+    /// previous promise; a granted promise forbids accepting lower
+    /// ballots forever.
+    pub fn prepare(&mut self, ballot: Ballot) -> Verdict<V> {
+        if self.promised.is_some_and(|p| ballot < p) {
+            return Verdict::Rejected(self.promised.expect("checked above"));
+        }
+        self.promised = Some(ballot);
+        Verdict::Promised(self.accepted.clone())
+    }
+
+    /// Phase 2a: handle `Accept(ballot, value)`.
+    ///
+    /// Accepts iff the acceptor has not promised a strictly higher
+    /// ballot.
+    pub fn accept(&mut self, ballot: Ballot, value: V) -> Verdict<V> {
+        if self.promised.is_some_and(|p| ballot < p) {
+            return Verdict::Rejected(self.promised.expect("checked above"));
+        }
+        self.promised = Some(ballot);
+        self.accepted = Some((ballot, value));
+        Verdict::Accepted
+    }
+
+    /// The current promise, if any.
+    #[must_use]
+    pub fn promised(&self) -> Option<Ballot> {
+        self.promised
+    }
+
+    /// The highest accepted proposal, if any.
+    #[must_use]
+    pub fn accepted(&self) -> Option<&(Ballot, V)> {
+        self.accepted.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::ReplicaId;
+
+    fn b(round: u64) -> Ballot {
+        Ballot {
+            round,
+            node: ReplicaId(0),
+        }
+    }
+
+    #[test]
+    fn first_prepare_is_promised_empty() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        assert_eq!(a.prepare(b(1)), Verdict::Promised(None));
+        assert_eq!(a.promised(), Some(b(1)));
+    }
+
+    #[test]
+    fn lower_prepare_rejected_after_promise() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        a.prepare(b(5));
+        assert_eq!(a.prepare(b(3)), Verdict::Rejected(b(5)));
+        // Equal or higher re-promise is fine (idempotent prepare).
+        assert_eq!(a.prepare(b(5)), Verdict::Promised(None));
+        assert_eq!(a.prepare(b(9)), Verdict::Promised(None));
+    }
+
+    #[test]
+    fn accept_respects_promise() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        a.prepare(b(5));
+        assert_eq!(a.accept(b(4), 10), Verdict::Rejected(b(5)));
+        assert_eq!(a.accept(b(5), 10), Verdict::Accepted);
+        assert_eq!(a.accepted(), Some(&(b(5), 10)));
+    }
+
+    #[test]
+    fn promise_reports_prior_acceptance() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        a.prepare(b(1));
+        a.accept(b(1), 42);
+        // A later prepare must surface the accepted proposal so the
+        // new proposer adopts it — the heart of Paxos safety.
+        assert_eq!(a.prepare(b(2)), Verdict::Promised(Some((b(1), 42))));
+    }
+
+    #[test]
+    fn accept_without_prepare_is_allowed() {
+        // An acceptor that never promised can accept directly (the
+        // proposer prepared on a quorum that excluded it).
+        let mut a: Acceptor<u32> = Acceptor::new();
+        assert_eq!(a.accept(b(3), 7), Verdict::Accepted);
+        assert_eq!(a.promised(), Some(b(3)));
+    }
+
+    #[test]
+    fn higher_accept_overwrites_lower() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        a.accept(b(1), 1);
+        a.accept(b(2), 2);
+        assert_eq!(a.accepted(), Some(&(b(2), 2)));
+        // But a lower one cannot roll it back.
+        assert_eq!(a.accept(b(1), 3), Verdict::Rejected(b(2)));
+        assert_eq!(a.accepted(), Some(&(b(2), 2)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Protocol identifiers and messages.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a node in the replica group.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ReplicaId(pub u32);
+
+impl From<u32> for ReplicaId {
+    fn from(v: u32) -> ReplicaId {
+        ReplicaId(v)
+    }
+}
+
+impl std::fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A position in the replicated log.
+pub type Slot = u64;
+
+/// A Paxos ballot number: totally ordered, unique per proposer
+/// (ordered by round, ties broken by node id).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ballot {
+    /// Monotone round counter.
+    pub round: u64,
+    /// The proposing node (tie-breaker).
+    pub node: ReplicaId,
+}
+
+impl Ballot {
+    /// The smallest possible ballot, below every real proposal.
+    pub const ZERO: Ballot = Ballot {
+        round: 0,
+        node: ReplicaId(0),
+    };
+
+    /// The next ballot for `node` that beats `other`.
+    #[must_use]
+    pub fn above(other: Ballot, node: ReplicaId) -> Ballot {
+        Ballot {
+            round: other.round + 1,
+            node,
+        }
+    }
+}
+
+impl std::fmt::Display for Ballot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}.{}", self.round, self.node.0)
+    }
+}
+
+/// Protocol messages for one slot. `V` is the replicated value type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message<V> {
+    /// Phase 1a: a proposer asks acceptors to promise.
+    Prepare {
+        /// Log position.
+        slot: Slot,
+        /// The proposer's ballot.
+        ballot: Ballot,
+    },
+    /// Phase 1b: an acceptor promises, reporting any value it already
+    /// accepted.
+    Promise {
+        /// Log position.
+        slot: Slot,
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// The highest-ballot value this acceptor accepted, if any.
+        accepted: Option<(Ballot, V)>,
+    },
+    /// Phase 2a: the proposer asks acceptors to accept a value.
+    Accept {
+        /// Log position.
+        slot: Slot,
+        /// The proposer's ballot.
+        ballot: Ballot,
+        /// The proposed (possibly adopted) value.
+        value: V,
+    },
+    /// Phase 2b: an acceptor accepted.
+    Accepted {
+        /// Log position.
+        slot: Slot,
+        /// The accepted ballot.
+        ballot: Ballot,
+    },
+    /// Rejection of a stale ballot (phase 1 or 2), carrying the ballot
+    /// the acceptor is bound to so the proposer can jump past it.
+    Nack {
+        /// Log position.
+        slot: Slot,
+        /// The rejected ballot.
+        ballot: Ballot,
+        /// The acceptor's current promise.
+        promised: Ballot,
+    },
+    /// The proposer learned a value was chosen and broadcasts it.
+    Learn {
+        /// Log position.
+        slot: Slot,
+        /// The chosen value.
+        value: V,
+    },
+    /// A lagging learner asks a peer for the chosen value of a slot it
+    /// missed (crash-recovery catch-up).
+    LearnRequest {
+        /// The log position being asked about.
+        slot: Slot,
+    },
+}
+
+impl<V> Message<V> {
+    /// The slot this message belongs to.
+    #[must_use]
+    pub fn slot(&self) -> Slot {
+        match self {
+            Message::Prepare { slot, .. }
+            | Message::Promise { slot, .. }
+            | Message::Accept { slot, .. }
+            | Message::Accepted { slot, .. }
+            | Message::Nack { slot, .. }
+            | Message::Learn { slot, .. }
+            | Message::LearnRequest { slot } => *slot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ballots_order_by_round_then_node() {
+        let a = Ballot {
+            round: 1,
+            node: ReplicaId(2),
+        };
+        let b = Ballot {
+            round: 2,
+            node: ReplicaId(0),
+        };
+        let c = Ballot {
+            round: 2,
+            node: ReplicaId(1),
+        };
+        assert!(a < b);
+        assert!(b < c);
+        assert!(Ballot::ZERO < a);
+    }
+
+    #[test]
+    fn above_always_beats() {
+        let b = Ballot {
+            round: 9,
+            node: ReplicaId(5),
+        };
+        let higher = Ballot::above(b, ReplicaId(0));
+        assert!(higher > b);
+    }
+
+    #[test]
+    fn message_slot_accessor() {
+        let m: Message<u32> = Message::Prepare {
+            slot: 7,
+            ballot: Ballot::ZERO,
+        };
+        assert_eq!(m.slot(), 7);
+        let m: Message<u32> = Message::Learn { slot: 3, value: 1 };
+        assert_eq!(m.slot(), 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! The proposer half of single-decree Paxos.
+
+use crate::messages::{Ballot, ReplicaId};
+
+/// The phase a proposal is in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Preparing,
+    Accepting,
+    Done,
+}
+
+/// Drives one slot's proposal to consensus.
+///
+/// The proposer keeps the classic invariant: after a quorum of
+/// promises, it proposes the accepted value with the highest reported
+/// ballot if any promise carried one, and its own value otherwise.
+#[derive(Debug, Clone)]
+pub struct Proposer<V> {
+    me: ReplicaId,
+    quorum: usize,
+    ballot: Ballot,
+    /// The value this node wants; superseded by adopted values.
+    own_value: V,
+    /// The value actually proposed in phase 2.
+    proposal: Option<V>,
+    /// Highest accepted proposal seen among promises.
+    best_adopted: Option<(Ballot, V)>,
+    promises: Vec<ReplicaId>,
+    accepts: Vec<ReplicaId>,
+    phase: Phase,
+}
+
+/// What the caller should do after feeding the proposer an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<V> {
+    /// Nothing yet; keep collecting.
+    Wait,
+    /// Quorum of promises: broadcast `Accept(ballot, value)`.
+    SendAccepts {
+        /// The ballot to accept at.
+        ballot: Ballot,
+        /// The value to propose (own or adopted).
+        value: V,
+    },
+    /// Quorum of accepts: the value is chosen.
+    Chosen(V),
+    /// Preempted by a higher ballot; restart with one above `retry_above`.
+    Preempted {
+        /// The ballot that displaced us.
+        retry_above: Ballot,
+    },
+}
+
+impl<V: Clone> Proposer<V> {
+    /// Starts a proposal for `value` at `ballot` in a group where
+    /// `quorum` acknowledgements form a majority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum == 0`.
+    #[must_use]
+    pub fn new(me: ReplicaId, quorum: usize, ballot: Ballot, value: V) -> Proposer<V> {
+        assert!(quorum > 0, "quorum must be positive");
+        Proposer {
+            me,
+            quorum,
+            ballot,
+            own_value: value,
+            proposal: None,
+            best_adopted: None,
+            promises: Vec::new(),
+            accepts: Vec::new(),
+            phase: Phase::Preparing,
+        }
+    }
+
+    /// The proposer's node id.
+    #[must_use]
+    pub fn me(&self) -> ReplicaId {
+        self.me
+    }
+
+    /// The ballot being driven.
+    #[must_use]
+    pub fn ballot(&self) -> Ballot {
+        self.ballot
+    }
+
+    /// The value this proposer originally wanted.
+    #[must_use]
+    pub fn own_value(&self) -> &V {
+        &self.own_value
+    }
+
+    /// Handles a `Promise(ballot, accepted)` from `from`.
+    pub fn on_promise(
+        &mut self,
+        from: ReplicaId,
+        ballot: Ballot,
+        accepted: Option<(Ballot, V)>,
+    ) -> Action<V> {
+        if self.phase != Phase::Preparing || ballot != self.ballot {
+            return Action::Wait; // stale or duplicate
+        }
+        if !self.promises.contains(&from) {
+            self.promises.push(from);
+            if let Some((b, v)) = accepted {
+                if self.best_adopted.as_ref().is_none_or(|(bb, _)| b > *bb) {
+                    self.best_adopted = Some((b, v));
+                }
+            }
+        }
+        if self.promises.len() >= self.quorum {
+            self.phase = Phase::Accepting;
+            let value = self
+                .best_adopted
+                .clone()
+                .map_or_else(|| self.own_value.clone(), |(_, v)| v);
+            self.proposal = Some(value.clone());
+            Action::SendAccepts {
+                ballot: self.ballot,
+                value,
+            }
+        } else {
+            Action::Wait
+        }
+    }
+
+    /// Handles an `Accepted(ballot)` from `from`.
+    pub fn on_accepted(&mut self, from: ReplicaId, ballot: Ballot) -> Action<V> {
+        if self.phase != Phase::Accepting || ballot != self.ballot {
+            return Action::Wait;
+        }
+        if !self.accepts.contains(&from) {
+            self.accepts.push(from);
+        }
+        if self.accepts.len() >= self.quorum {
+            self.phase = Phase::Done;
+            Action::Chosen(self.proposal.clone().expect("proposal set in Accepting"))
+        } else {
+            Action::Wait
+        }
+    }
+
+    /// Handles a `Nack(ballot, promised)`.
+    pub fn on_nack(&mut self, ballot: Ballot, promised: Ballot) -> Action<V> {
+        if self.phase == Phase::Done || ballot != self.ballot {
+            return Action::Wait;
+        }
+        self.phase = Phase::Done; // this attempt is dead
+        Action::Preempted {
+            retry_above: promised,
+        }
+    }
+
+    /// Whether the proposal finished (chosen or preempted).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(round: u64, node: u32) -> Ballot {
+        Ballot {
+            round,
+            node: ReplicaId(node),
+        }
+    }
+
+    #[test]
+    fn happy_path_three_nodes() {
+        let mut p = Proposer::new(ReplicaId(0), 2, b(1, 0), "x");
+        assert_eq!(p.on_promise(ReplicaId(0), b(1, 0), None), Action::Wait);
+        let act = p.on_promise(ReplicaId(1), b(1, 0), None);
+        assert_eq!(
+            act,
+            Action::SendAccepts {
+                ballot: b(1, 0),
+                value: "x"
+            }
+        );
+        assert_eq!(p.on_accepted(ReplicaId(0), b(1, 0)), Action::Wait);
+        assert_eq!(p.on_accepted(ReplicaId(2), b(1, 0)), Action::Chosen("x"));
+        assert!(p.is_done());
+    }
+
+    #[test]
+    fn adopts_highest_prior_acceptance() {
+        let mut p = Proposer::new(ReplicaId(0), 2, b(5, 0), "mine");
+        p.on_promise(ReplicaId(1), b(5, 0), Some((b(2, 1), "old")));
+        let act = p.on_promise(ReplicaId(2), b(5, 0), Some((b(3, 2), "newer")));
+        assert_eq!(
+            act,
+            Action::SendAccepts {
+                ballot: b(5, 0),
+                value: "newer"
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_promises_do_not_fake_quorum() {
+        let mut p = Proposer::new(ReplicaId(0), 2, b(1, 0), 7u32);
+        assert_eq!(p.on_promise(ReplicaId(1), b(1, 0), None), Action::Wait);
+        assert_eq!(p.on_promise(ReplicaId(1), b(1, 0), None), Action::Wait);
+    }
+
+    #[test]
+    fn stale_ballot_messages_ignored() {
+        let mut p = Proposer::new(ReplicaId(0), 2, b(2, 0), 7u32);
+        assert_eq!(p.on_promise(ReplicaId(1), b(1, 0), None), Action::Wait);
+        assert_eq!(p.on_accepted(ReplicaId(1), b(1, 0)), Action::Wait);
+    }
+
+    #[test]
+    fn nack_preempts() {
+        let mut p = Proposer::new(ReplicaId(0), 2, b(1, 0), 7u32);
+        let act = p.on_nack(b(1, 0), b(4, 2));
+        assert_eq!(
+            act,
+            Action::Preempted {
+                retry_above: b(4, 2)
+            }
+        );
+        assert!(p.is_done());
+        // Late promises after preemption are ignored.
+        assert_eq!(p.on_promise(ReplicaId(1), b(1, 0), None), Action::Wait);
+    }
+}

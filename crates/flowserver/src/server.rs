@@ -1,0 +1,671 @@
+//! The Flowserver service: joint replica–path selection, flow
+//! lifecycle, stats ingestion, and multi-replica split reads.
+
+use std::sync::Arc;
+
+use mayflower_net::{HostId, Path, Topology};
+use mayflower_sdn::{CounterSource, Fabric, FlowCookie, StatsCollector, StatsReport};
+use mayflower_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{flow_cost_opts, PathCost};
+use crate::tracker::{FlowTracker, TrackedFlow};
+
+/// Flowserver tuning knobs.
+///
+/// The two `*_enabled` switches exist for the ablation study: the
+/// paper argues that charging the *impact on existing flows* (Eq. 2's
+/// second term) and the *update-freeze* protection of fresh estimates
+/// (Pseudocode 2) are both essential; turning either off quantifies
+/// its contribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowserverConfig {
+    /// How often edge-switch statistics are polled, seconds (§3.3.3).
+    pub poll_interval_secs: f64,
+    /// Whether reads may be split across multiple replicas (§4.3).
+    pub multipath: bool,
+    /// Maximum number of subflows for a split read. The paper
+    /// evaluates two.
+    pub max_subflows: usize,
+    /// Whether path cost includes the slowdown inflicted on existing
+    /// flows (Eq. 2's Σ term). When off, selection greedily maximizes
+    /// the new flow's own bandwidth — the strawman the paper argues
+    /// against ("the path with the most bandwidth share ... is not
+    /// always the best choice").
+    pub impact_aware: bool,
+    /// Whether freshly-set bandwidth estimates are shielded from the
+    /// next stats poll (Pseudocode 2's update-freeze state).
+    pub freeze_enabled: bool,
+}
+
+impl Default for FlowserverConfig {
+    fn default() -> FlowserverConfig {
+        FlowserverConfig {
+            poll_interval_secs: 1.0,
+            multipath: false,
+            max_subflows: 2,
+            impact_aware: true,
+            freeze_enabled: true,
+        }
+    }
+}
+
+/// One replica/path assignment returned to a client.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The fabric cookie identifying the flow.
+    pub cookie: FlowCookie,
+    /// Which replica host serves this (sub)flow.
+    pub replica: HostId,
+    /// The installed network path (replica → client).
+    pub path: Path,
+    /// How many bits to read over this path.
+    pub size_bits: f64,
+    /// The Flowserver's bandwidth estimate at selection time.
+    pub est_bw: f64,
+}
+
+/// The outcome of a replica selection request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Selection {
+    /// A replica lives on the client's own host: read locally, no
+    /// network flow (the paper excludes this case from experiments).
+    Local,
+    /// Read everything from one replica over one path.
+    Single(Assignment),
+    /// Split the read across multiple replicas (§4.3); sizes are
+    /// proportioned so all subflows finish together.
+    Split(Vec<Assignment>),
+}
+
+impl Selection {
+    /// The assignments, if any.
+    #[must_use]
+    pub fn assignments(&self) -> &[Assignment] {
+        match self {
+            Selection::Local => &[],
+            Selection::Single(a) => std::slice::from_ref(a),
+            Selection::Split(v) => v,
+        }
+    }
+}
+
+/// The Mayflower Flowserver (§3.3.3): runs inside the SDN controller,
+/// models every Mayflower flow's bandwidth, and serves
+/// `SELECTREPLICAANDPATH` requests.
+///
+/// Also usable as a **path-only** scheduler for a pre-selected replica
+/// ([`Flowserver::select_path_for_replica`]) — that is how the paper
+/// builds its `Nearest Mayflower` and `Sinbad-R Mayflower` baselines.
+#[derive(Debug, Clone)]
+pub struct Flowserver {
+    topo: Arc<Topology>,
+    fabric: Fabric,
+    collector: StatsCollector,
+    tracker: FlowTracker,
+    config: FlowserverConfig,
+    next_cookie: u64,
+}
+
+impl Flowserver {
+    /// Creates a Flowserver controlling the given topology.
+    #[must_use]
+    pub fn new(topo: Arc<Topology>, config: FlowserverConfig) -> Flowserver {
+        Flowserver {
+            fabric: Fabric::with_topology(topo.clone()),
+            collector: StatsCollector::new(&topo),
+            tracker: FlowTracker::new(),
+            topo,
+            config,
+            next_cookie: 0,
+        }
+    }
+
+    /// The controller's view of the data plane.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The topology under control.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Read access to the flow model, for cost evaluation by sibling
+    /// modules (write placement).
+    pub(crate) fn tracker(&self) -> &FlowTracker {
+        &self.tracker
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &FlowserverConfig {
+        &self.config
+    }
+
+    /// Number of flows currently tracked.
+    #[must_use]
+    pub fn tracked_flows(&self) -> usize {
+        self.tracker.len()
+    }
+
+    /// The model state for one flow.
+    #[must_use]
+    pub fn flow_model(&self, cookie: FlowCookie) -> Option<&TrackedFlow> {
+        self.tracker.get(cookie)
+    }
+
+    /// `SELECTREPLICAANDPATH` (Pseudocode 1): evaluates every shortest
+    /// path from every replica to the client and installs the cheapest,
+    /// optionally splitting across replicas when [`FlowserverConfig::
+    /// multipath`] is on and splitting increases aggregate bandwidth
+    /// (§4.3).
+    ///
+    /// Returns [`Selection::Local`] if a replica is co-located with the
+    /// client. Data flows replica → client, so paths are enumerated in
+    /// that direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty or `size_bits` is not positive.
+    pub fn select_replica_path(
+        &mut self,
+        client: HostId,
+        replicas: &[HostId],
+        size_bits: f64,
+        now: SimTime,
+    ) -> Selection {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        assert!(size_bits > 0.0, "request size must be positive");
+        if replicas.contains(&client) {
+            return Selection::Local;
+        }
+        if self.config.multipath && replicas.len() >= 2 {
+            self.select_multipath(client, replicas, size_bits, now)
+        } else {
+            match self.select_single(client, replicas, size_bits, now) {
+                Some(a) => Selection::Single(a),
+                None => unreachable!("connected topology always yields a path"),
+            }
+        }
+    }
+
+    /// Path-only scheduling for a pre-selected replica: the dynamic
+    /// network load balancing the paper grafts onto `Nearest` and
+    /// `Sinbad-R` ("the optimization space is limited to the
+    /// pre-selected source and destination pairs", §6.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bits` is not positive.
+    pub fn select_path_for_replica(
+        &mut self,
+        client: HostId,
+        replica: HostId,
+        size_bits: f64,
+        now: SimTime,
+    ) -> Selection {
+        assert!(size_bits > 0.0, "request size must be positive");
+        if replica == client {
+            return Selection::Local;
+        }
+        match self.select_single(client, &[replica], size_bits, now) {
+            Some(a) => Selection::Single(a),
+            None => unreachable!("connected topology always yields a path"),
+        }
+    }
+
+    /// Core of Pseudocode 1 over an arbitrary replica set. Applies the
+    /// selection (installs rules, freezes impacted flows, registers the
+    /// new flow) and returns the assignment.
+    fn select_single(
+        &mut self,
+        client: HostId,
+        replicas: &[HostId],
+        size_bits: f64,
+        now: SimTime,
+    ) -> Option<Assignment> {
+        let (replica, path, pc) = self.cheapest_path(client, replicas, size_bits, now)?;
+        Some(self.commit(replica, path, pc, size_bits, now))
+    }
+
+    /// Evaluates every candidate path of every replica and returns the
+    /// minimum-cost one, without mutating any state.
+    fn cheapest_path(
+        &self,
+        client: HostId,
+        replicas: &[HostId],
+        size_bits: f64,
+        now: SimTime,
+    ) -> Option<(HostId, Path, PathCost)> {
+        let mut best: Option<(HostId, Path, PathCost)> = None;
+        for &replica in replicas {
+            if replica == client {
+                continue;
+            }
+            for path in self.topo.shortest_paths(replica, client) {
+                let pc = flow_cost_opts(
+                    &self.topo,
+                    &self.tracker,
+                    path.links(),
+                    size_bits,
+                    now,
+                    self.config.impact_aware,
+                );
+                let better = match &best {
+                    None => pc.cost < f64::INFINITY || best.is_none(),
+                    Some((_, _, b)) => pc.cost < b.cost,
+                };
+                if better {
+                    best = Some((replica, path, pc));
+                }
+            }
+        }
+        best
+    }
+
+    /// Applies a chosen path: `SETBW` on impacted flows (Pseudocode 1
+    /// lines 9–11), rule installation, and registration of the new
+    /// flow (itself frozen at its estimate).
+    fn commit(
+        &mut self,
+        replica: HostId,
+        path: Path,
+        pc: PathCost,
+        size_bits: f64,
+        now: SimTime,
+    ) -> Assignment {
+        for (cookie, new_bw) in &pc.impacted {
+            if let Some(f) = self.tracker.get_mut(*cookie) {
+                f.set_bw(*new_bw, now);
+            }
+        }
+        let cookie = FlowCookie(self.next_cookie);
+        self.next_cookie += 1;
+        self.fabric.install_path(cookie, &path);
+        let mut flow = TrackedFlow {
+            cookie,
+            path: path.clone(),
+            size_bits,
+            remaining_bits: size_bits,
+            bw: pc.est_bw,
+            updated_at: now,
+            frozen: false,
+            freeze_until: SimTime::ZERO,
+        };
+        flow.set_bw(pc.est_bw, now);
+        self.tracker.insert(flow);
+        Assignment {
+            cookie,
+            replica,
+            path,
+            size_bits,
+            est_bw: pc.est_bw,
+        }
+    }
+
+    /// §4.3's multiple-replica selection: greedily pick `p1`;
+    /// tentatively admit it; pick `p2` from the remaining replicas; if
+    /// the combined share `b'_1 + b_2` beats `b_1` alone, keep the
+    /// split with sizes `S_i = d · b_i / b`; otherwise roll back to
+    /// the single flow.
+    fn select_multipath(
+        &mut self,
+        client: HostId,
+        replicas: &[HostId],
+        size_bits: f64,
+        now: SimTime,
+    ) -> Selection {
+        // First subflow, chosen over all replicas.
+        let Some((r1, path1, pc1)) = self.cheapest_path(client, replicas, size_bits, now) else {
+            unreachable!("connected topology always yields a path");
+        };
+        let b1 = pc1.est_bw;
+
+        // Tentatively admit subflow 1 so subflow 2 sees its impact.
+        let tracker_snapshot = self.tracker.snapshot();
+        let a1 = self.commit(r1, path1, pc1, size_bits, now);
+
+        let mut assignments = vec![a1];
+        let mut committed_b: Vec<f64> = vec![b1];
+        for _ in 1..self.config.max_subflows {
+            let remaining: Vec<HostId> = replicas
+                .iter()
+                .copied()
+                .filter(|r| assignments.iter().all(|a| a.replica != *r))
+                .collect();
+            if remaining.is_empty() {
+                break;
+            }
+            let Some((r_i, path_i, pc_i)) =
+                self.cheapest_path(client, &remaining, size_bits, now)
+            else {
+                break;
+            };
+            if pc_i.est_bw <= 0.0 {
+                break;
+            }
+            let b_i = pc_i.est_bw;
+            // Admitting subflow i may shrink the earlier subflows.
+            let snapshot_i = self.tracker.snapshot();
+            let a_i = self.commit(r_i, path_i, pc_i, size_bits, now);
+            let adjusted: Vec<f64> = assignments
+                .iter()
+                .map(|a| self.tracker.get(a.cookie).expect("tracked").bw)
+                .collect();
+            let combined: f64 = adjusted.iter().sum::<f64>() + b_i;
+            let solo_best = committed_b[0].max(b1);
+            if combined > solo_best + 1e-9 {
+                self.fabric
+                    .flow_path(a_i.cookie)
+                    .expect("just installed");
+                assignments.push(a_i);
+                committed_b = adjusted;
+                committed_b.push(b_i);
+            } else {
+                // Roll back subflow i.
+                self.fabric.remove_flow(a_i.cookie);
+                self.tracker.restore(snapshot_i);
+                // Restore requires re-adding the already-committed
+                // subflows' entries — snapshot_i already contains them.
+                break;
+            }
+        }
+
+        if assignments.len() == 1 {
+            // No beneficial split; nothing to undo (subflow 1 stays).
+            let _ = tracker_snapshot;
+            return Selection::Single(assignments.pop().expect("one assignment"));
+        }
+
+        // Proportion sizes so subflows finish together: S_i = d·b_i/b.
+        let total_b: f64 = committed_b.iter().sum();
+        for (a, b_i) in assignments.iter_mut().zip(&committed_b) {
+            a.size_bits = size_bits * b_i / total_b;
+            a.est_bw = *b_i;
+            if let Some(f) = self.tracker.get_mut(a.cookie) {
+                f.size_bits = a.size_bits;
+                f.remaining_bits = a.size_bits;
+                // Refresh the freeze window for the reduced size.
+                let bw = f.bw;
+                f.set_bw(bw, now);
+            }
+        }
+        Selection::Split(assignments)
+    }
+
+    /// Ingests a stats report: `UPDATEBW` per flow (respecting freeze
+    /// windows) plus remaining-size refresh from flow byte counters.
+    pub fn on_stats(&mut self, report: &StatsReport) {
+        let now = report.measured_at;
+        for stat in &report.flows {
+            if let Some(f) = self.tracker.get_mut(stat.cookie) {
+                if !self.config.freeze_enabled {
+                    // Ablation mode: estimates are never shielded.
+                    f.frozen = false;
+                }
+                f.update_from_stats(stat.rate_bps, stat.total_bits, now);
+            }
+        }
+    }
+
+    /// Runs one poll cycle against a counter source and ingests it.
+    /// The experiment driver calls this every
+    /// [`FlowserverConfig::poll_interval_secs`].
+    pub fn poll_stats<C: CounterSource>(&mut self, counters: &C, now: SimTime) -> StatsReport {
+        let report = self.collector.poll(&self.fabric, counters, now);
+        self.on_stats(&report);
+        report
+    }
+
+    /// Notification that a flow finished: drops its rules and model
+    /// state.
+    pub fn flow_completed(&mut self, cookie: FlowCookie) {
+        self.fabric.remove_flow(cookie);
+        self.tracker.remove(cookie);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::{TreeParams, GBPS};
+
+    fn server() -> Flowserver {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        Flowserver::new(topo, FlowserverConfig::default())
+    }
+
+    fn server_multipath() -> Flowserver {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        Flowserver::new(
+            topo,
+            FlowserverConfig {
+                multipath: true,
+                ..FlowserverConfig::default()
+            },
+        )
+    }
+
+    const MB256: f64 = 256.0 * 8e6;
+
+    #[test]
+    fn idle_network_prefers_near_replica() {
+        let mut fs = server();
+        let sel = fs.select_replica_path(
+            HostId(0),
+            &[HostId(1), HostId(5), HostId(20)],
+            MB256,
+            SimTime::ZERO,
+        );
+        let Selection::Single(a) = sel else {
+            panic!("expected single")
+        };
+        // All replicas reach 1 Gbps on an idle net; cost ties break to
+        // the first minimal candidate, the same-rack replica.
+        assert_eq!(a.replica, HostId(1));
+        assert!((a.est_bw - GBPS).abs() < 1.0);
+        assert_eq!(fs.tracked_flows(), 1);
+        assert_eq!(fs.fabric().flow_count(), 1);
+    }
+
+    #[test]
+    fn local_replica_short_circuits() {
+        let mut fs = server();
+        let sel =
+            fs.select_replica_path(HostId(3), &[HostId(3), HostId(9)], MB256, SimTime::ZERO);
+        assert!(matches!(sel, Selection::Local));
+        assert_eq!(fs.tracked_flows(), 0);
+    }
+
+    #[test]
+    fn congested_near_replica_is_avoided() {
+        let mut fs = server();
+        // Saturate host 1's rack: six big flows out of host 1.
+        for dst in [2u32, 3, 5, 6, 7, 9] {
+            fs.select_path_for_replica(HostId(dst), HostId(1), 10.0 * MB256, SimTime::ZERO);
+        }
+        // Now a read with replicas at host 1 (same rack, hot) and
+        // host 20 (cross pod, idle): Mayflower should go remote.
+        let sel = fs.select_replica_path(
+            HostId(0),
+            &[HostId(1), HostId(20)],
+            MB256,
+            SimTime::ZERO,
+        );
+        let Selection::Single(a) = sel else {
+            panic!("expected single")
+        };
+        assert_eq!(a.replica, HostId(20), "remote replica must win");
+    }
+
+    #[test]
+    fn impacted_flows_get_frozen_with_new_bw() {
+        let mut fs = server();
+        // One flow into host 0's rack neighbour.
+        let s1 = fs.select_path_for_replica(HostId(0), HostId(1), MB256, SimTime::ZERO);
+        let c1 = s1.assignments()[0].cookie;
+        assert!((fs.flow_model(c1).unwrap().bw - GBPS).abs() < 1.0);
+        // Second flow sharing host 0's downlink halves the first.
+        let s2 = fs.select_path_for_replica(HostId(0), HostId(2), MB256, SimTime::ZERO);
+        let c2 = s2.assignments()[0].cookie;
+        let f1 = fs.flow_model(c1).unwrap();
+        assert!((f1.bw - GBPS / 2.0).abs() < 1.0, "bw {}", f1.bw);
+        assert!(f1.frozen);
+        let f2 = fs.flow_model(c2).unwrap();
+        assert!((f2.bw - GBPS / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn completion_cleans_up() {
+        let mut fs = server();
+        let sel = fs.select_replica_path(HostId(0), &[HostId(1)], MB256, SimTime::ZERO);
+        let cookie = sel.assignments()[0].cookie;
+        fs.flow_completed(cookie);
+        assert_eq!(fs.tracked_flows(), 0);
+        assert_eq!(fs.fabric().flow_count(), 0);
+        assert!(fs.flow_model(cookie).is_none());
+    }
+
+    #[test]
+    fn multipath_splits_when_beneficial() {
+        let mut fs = server_multipath();
+        // Cross-pod read: core links are 0.5 Gbps (8:1 oversub), so a
+        // single path caps at 0.5 Gbps while the client downlink is
+        // 1 Gbps. Two replicas in two other pods can drive ~1 Gbps.
+        let sel = fs.select_replica_path(
+            HostId(0),
+            &[HostId(20), HostId(36)],
+            MB256,
+            SimTime::ZERO,
+        );
+        let Selection::Split(parts) = sel else {
+            panic!("expected split, got {sel:?}")
+        };
+        assert_eq!(parts.len(), 2);
+        let total: f64 = parts.iter().map(|a| a.size_bits).sum();
+        assert!((total - MB256).abs() < 1.0, "split conserves size");
+        // Different replicas per subflow (§4.3).
+        assert_ne!(parts[0].replica, parts[1].replica);
+        assert_eq!(fs.tracked_flows(), 2);
+    }
+
+    #[test]
+    fn multipath_declines_when_single_path_saturates_client() {
+        let mut fs = server_multipath();
+        // Same-rack replica already reaches the client's full 1 Gbps
+        // downlink; splitting cannot help.
+        let sel = fs.select_replica_path(
+            HostId(0),
+            &[HostId(1), HostId(2)],
+            MB256,
+            SimTime::ZERO,
+        );
+        assert!(
+            matches!(sel, Selection::Single(_)),
+            "split of a line-rate read must be declined: {sel:?}"
+        );
+        assert_eq!(fs.tracked_flows(), 1);
+        assert_eq!(fs.fabric().flow_count(), 1, "rollback removed rules");
+    }
+
+    #[test]
+    fn split_sizes_proportional_to_bandwidth() {
+        let mut fs = server_multipath();
+        let sel = fs.select_replica_path(
+            HostId(0),
+            &[HostId(20), HostId(36)],
+            MB256,
+            SimTime::ZERO,
+        );
+        let Selection::Split(parts) = sel else {
+            panic!("expected split")
+        };
+        let b: f64 = parts.iter().map(|a| a.est_bw).sum();
+        for a in &parts {
+            let expected = MB256 * a.est_bw / b;
+            assert!((a.size_bits - expected).abs() < 1.0);
+        }
+        // Equal bandwidths here → subflows finish simultaneously.
+        let t0 = parts[0].size_bits / parts[0].est_bw;
+        let t1 = parts[1].size_bits / parts[1].est_bw;
+        assert!((t0 - t1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn three_way_split_when_allowed_and_beneficial() {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        // 24:1 oversubscription: core paths are ~0.167 Gbps, so even
+        // three subflows stay under the 1 Gbps client downlink.
+        let topo24 = Arc::new(Topology::three_tier(
+            &TreeParams::paper_testbed().with_oversubscription(24.0),
+        ));
+        let _ = topo;
+        let mut fs = Flowserver::new(
+            topo24,
+            FlowserverConfig {
+                multipath: true,
+                max_subflows: 3,
+                ..FlowserverConfig::default()
+            },
+        );
+        let sel = fs.select_replica_path(
+            HostId(0),
+            &[HostId(20), HostId(36), HostId(52)],
+            MB256,
+            SimTime::ZERO,
+        );
+        let Selection::Split(parts) = sel else {
+            panic!("expected a split")
+        };
+        assert_eq!(parts.len(), 3, "three replicas in three pods split 3 ways");
+        let total: f64 = parts.iter().map(|a| a.size_bits).sum();
+        assert!((total - MB256).abs() < 1.0);
+        // All three subflows finish together.
+        let t0 = parts[0].size_bits / parts[0].est_bw;
+        for p in &parts {
+            assert!((p.size_bits / p.est_bw - t0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stats_poll_reanchors_unfrozen_flows() {
+        use mayflower_sdn::counters::StaticCounters;
+        let mut fs = server();
+        let sel = fs.select_replica_path(HostId(0), &[HostId(20)], MB256, SimTime::ZERO);
+        let cookie = sel.assignments()[0].cookie;
+        // Force the freeze window open.
+        let far_future = SimTime::from_secs(1e6);
+        let mut counters = StaticCounters::default();
+        counters.flows.insert(cookie, MB256 / 2.0);
+        let _ = fs.poll_stats(&counters, far_future);
+        let f = fs.flow_model(cookie).unwrap();
+        assert!((f.remaining_bits - MB256 / 2.0).abs() < 1.0);
+        assert!(!f.frozen);
+    }
+
+    #[test]
+    fn frozen_flow_ignores_stats_within_window() {
+        use mayflower_sdn::counters::StaticCounters;
+        let mut fs = server();
+        let sel = fs.select_replica_path(HostId(0), &[HostId(20)], MB256, SimTime::ZERO);
+        let cookie = sel.assignments()[0].cookie;
+        let bw_before = fs.flow_model(cookie).unwrap().bw;
+        let mut counters = StaticCounters::default();
+        counters.flows.insert(cookie, 1.0);
+        // Poll immediately: the flow was just frozen by selection.
+        let _ = fs.poll_stats(&counters, SimTime::from_millis(1.0));
+        let f = fs.flow_model(cookie).unwrap();
+        assert_eq!(f.bw, bw_before, "freeze must shield the estimate");
+        assert!(f.frozen);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_replicas_rejected() {
+        let mut fs = server();
+        fs.select_replica_path(HostId(0), &[], MB256, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,296 @@
+//! The Flowserver's model of in-flight flows.
+
+use std::collections::BTreeMap;
+
+use mayflower_net::{LinkId, Path};
+use mayflower_sdn::FlowCookie;
+use mayflower_simcore::SimTime;
+
+/// The Flowserver's bookkeeping for one in-flight flow.
+///
+/// `bw` and `remaining_bits` are *estimates*: they start from the
+/// selection-time max-min calculation, are refreshed by edge-switch
+/// stats polls, and are re-derived after every admission. The
+/// update-freeze state (Pseudocode 2) protects a freshly-computed
+/// estimate from being clobbered by the next (stale) stats poll.
+#[derive(Debug, Clone)]
+pub struct TrackedFlow {
+    /// The flow's fabric-wide identifier.
+    pub cookie: FlowCookie,
+    /// The installed path.
+    pub path: Path,
+    /// Total request size in bits.
+    pub size_bits: f64,
+    /// Estimated bits still to transfer **as of [`TrackedFlow::
+    /// updated_at`]** — read it through [`TrackedFlow::remaining_at`],
+    /// which extrapolates the transfer's progression at the modelled
+    /// bandwidth ("the Flowserver tracks flow add and drop requests,
+    /// and recomputes an estimate ... after each request. This ensures
+    /// that completion time estimates are accurate", §3.3.3).
+    pub remaining_bits: f64,
+    /// Estimated bandwidth share, bits/sec.
+    pub bw: f64,
+    /// When `remaining_bits` and `bw` were last anchored (selection or
+    /// stats poll).
+    pub updated_at: SimTime,
+    /// Whether the flow is in the update-freeze state.
+    pub frozen: bool,
+    /// When the freeze expires (`T + remaining / bw` at set time).
+    pub freeze_until: SimTime,
+}
+
+impl TrackedFlow {
+    /// The modelled bits still to transfer at `now`: the anchored
+    /// remaining size minus the progression at the modelled bandwidth
+    /// since the anchor.
+    #[must_use]
+    pub fn remaining_at(&self, now: SimTime) -> f64 {
+        if self.bw.is_finite() && self.bw > 0.0 {
+            (self.remaining_bits - self.bw * now.secs_since(self.updated_at)).max(0.0)
+        } else {
+            self.remaining_bits
+        }
+    }
+
+    /// `SETBW` from Pseudocode 2: re-anchors the progression at `now`,
+    /// records a new bandwidth estimate, and freezes the flow for its
+    /// expected completion time.
+    pub fn set_bw(&mut self, bw: f64, now: SimTime) {
+        self.remaining_bits = self.remaining_at(now);
+        self.updated_at = now;
+        self.bw = bw;
+        self.freeze_until = if bw > 0.0 {
+            now + SimTime::from_secs(self.remaining_bits / bw)
+        } else {
+            SimTime::MAX
+        };
+        self.frozen = true;
+    }
+
+    /// `UPDATEBW` from Pseudocode 2: applies a measured bandwidth and
+    /// remaining-size estimate from a stats poll, unless the flow is
+    /// still inside its freeze window.
+    ///
+    /// Returns whether the update was applied.
+    pub fn update_from_stats(&mut self, measured_bw: f64, total_bits: f64, now: SimTime) -> bool {
+        if self.frozen && now <= self.freeze_until {
+            return false;
+        }
+        self.bw = measured_bw;
+        self.remaining_bits = (self.size_bits - total_bits).max(0.0);
+        self.updated_at = now;
+        self.frozen = false;
+        true
+    }
+}
+
+/// An ordered collection of tracked flows with per-link indexing.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTracker {
+    flows: BTreeMap<FlowCookie, TrackedFlow>,
+}
+
+impl FlowTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> FlowTracker {
+        FlowTracker::default()
+    }
+
+    /// Registers a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cookie is already tracked.
+    pub fn insert(&mut self, flow: TrackedFlow) {
+        let prev = self.flows.insert(flow.cookie, flow);
+        assert!(prev.is_none(), "cookie already tracked");
+    }
+
+    /// Removes a flow, returning its final model state.
+    pub fn remove(&mut self, cookie: FlowCookie) -> Option<TrackedFlow> {
+        self.flows.remove(&cookie)
+    }
+
+    /// Looks up a flow.
+    #[must_use]
+    pub fn get(&self, cookie: FlowCookie) -> Option<&TrackedFlow> {
+        self.flows.get(&cookie)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, cookie: FlowCookie) -> Option<&mut TrackedFlow> {
+        self.flows.get_mut(&cookie)
+    }
+
+    /// All tracked flows in cookie order.
+    pub fn iter(&self) -> impl Iterator<Item = &TrackedFlow> {
+        self.flows.values()
+    }
+
+    /// Number of tracked flows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether no flows are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Cookies of flows that traverse `link`.
+    #[must_use]
+    pub fn flows_on_link(&self, link: LinkId) -> Vec<FlowCookie> {
+        self.flows
+            .values()
+            .filter(|f| f.path.links().contains(&link))
+            .map(|f| f.cookie)
+            .collect()
+    }
+
+    /// The modelled bandwidth of every flow crossing `link`, in cookie
+    /// order — the demand vector for a waterfill of that link.
+    #[must_use]
+    pub fn demands_on_link(&self, link: LinkId) -> Vec<f64> {
+        self.flows
+            .values()
+            .filter(|f| f.path.links().contains(&link))
+            .map(|f| f.bw)
+            .collect()
+    }
+
+    /// Snapshot of all flow model state, for tentative (§4.3 rollback)
+    /// operations.
+    #[must_use]
+    pub fn snapshot(&self) -> BTreeMap<FlowCookie, TrackedFlow> {
+        self.flows.clone()
+    }
+
+    /// Restores a snapshot taken with [`FlowTracker::snapshot`].
+    pub fn restore(&mut self, snapshot: BTreeMap<FlowCookie, TrackedFlow>) {
+        self.flows = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::HostId;
+
+    fn flow(cookie: u64, links: Vec<u32>, bw: f64) -> TrackedFlow {
+        TrackedFlow {
+            cookie: FlowCookie(cookie),
+            path: Path::new(
+                HostId(0),
+                HostId(1),
+                links.into_iter().map(LinkId).collect(),
+            ),
+            size_bits: 100.0,
+            remaining_bits: 50.0,
+            bw,
+            updated_at: SimTime::ZERO,
+            frozen: false,
+            freeze_until: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn set_bw_freezes_until_expected_completion() {
+        let mut f = flow(1, vec![0], 10.0);
+        f.set_bw(5.0, SimTime::from_secs(2.0));
+        assert!(f.frozen);
+        assert_eq!(f.bw, 5.0);
+        // 50 bits remaining anchored at t=0, minus 2 s of progression
+        // at the old 10 bps → 30 bits left, at 5 bps → freeze until
+        // t = 2 + 30/5 = 8.
+        assert_eq!(f.remaining_bits, 30.0);
+        assert_eq!(f.freeze_until, SimTime::from_secs(8.0));
+    }
+
+    #[test]
+    fn remaining_at_extrapolates_progression() {
+        let f = flow(1, vec![0], 10.0); // 50 bits left, anchored at 0
+        assert_eq!(f.remaining_at(SimTime::ZERO), 50.0);
+        assert_eq!(f.remaining_at(SimTime::from_secs(3.0)), 20.0);
+        // Saturates at zero once the modelled transfer finishes.
+        assert_eq!(f.remaining_at(SimTime::from_secs(100.0)), 0.0);
+    }
+
+    #[test]
+    fn remaining_at_with_zero_bw_is_static() {
+        let mut f = flow(1, vec![0], 0.0);
+        f.bw = 0.0;
+        assert_eq!(f.remaining_at(SimTime::from_secs(9.0)), 50.0);
+    }
+
+    #[test]
+    fn set_bw_zero_freezes_forever() {
+        let mut f = flow(1, vec![0], 10.0);
+        f.set_bw(0.0, SimTime::ZERO);
+        assert!(f.freeze_until.is_never());
+    }
+
+    #[test]
+    fn stats_update_respects_freeze_window() {
+        let mut f = flow(1, vec![0], 10.0);
+        f.set_bw(5.0, SimTime::ZERO); // frozen until t=10
+        assert!(!f.update_from_stats(7.0, 60.0, SimTime::from_secs(5.0)));
+        assert_eq!(f.bw, 5.0);
+        // After expiry the update applies and unfreezes.
+        assert!(f.update_from_stats(7.0, 60.0, SimTime::from_secs(11.0)));
+        assert_eq!(f.bw, 7.0);
+        assert_eq!(f.remaining_bits, 40.0);
+        assert!(!f.frozen);
+    }
+
+    #[test]
+    fn unfrozen_flow_always_updates() {
+        let mut f = flow(1, vec![0], 10.0);
+        assert!(f.update_from_stats(3.0, 90.0, SimTime::ZERO));
+        assert_eq!(f.bw, 3.0);
+        assert_eq!(f.remaining_bits, 10.0);
+    }
+
+    #[test]
+    fn remaining_never_negative() {
+        let mut f = flow(1, vec![0], 10.0);
+        assert!(f.update_from_stats(3.0, 150.0, SimTime::ZERO));
+        assert_eq!(f.remaining_bits, 0.0);
+    }
+
+    #[test]
+    fn tracker_link_index() {
+        let mut t = FlowTracker::new();
+        t.insert(flow(1, vec![0, 1], 2.0));
+        t.insert(flow(2, vec![1, 2], 3.0));
+        assert_eq!(t.flows_on_link(LinkId(0)), vec![FlowCookie(1)]);
+        assert_eq!(
+            t.flows_on_link(LinkId(1)),
+            vec![FlowCookie(1), FlowCookie(2)]
+        );
+        assert_eq!(t.demands_on_link(LinkId(1)), vec![2.0, 3.0]);
+        assert!(t.flows_on_link(LinkId(9)).is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut t = FlowTracker::new();
+        t.insert(flow(1, vec![0], 2.0));
+        let snap = t.snapshot();
+        t.get_mut(FlowCookie(1)).unwrap().bw = 99.0;
+        t.insert(flow(2, vec![1], 1.0));
+        t.restore(snap);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(FlowCookie(1)).unwrap().bw, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already tracked")]
+    fn double_insert_rejected() {
+        let mut t = FlowTracker::new();
+        t.insert(flow(1, vec![0], 2.0));
+        t.insert(flow(1, vec![1], 3.0));
+    }
+}

@@ -1,0 +1,271 @@
+//! `mayfs` — command-line interface to a Mayflower cluster rooted in a
+//! local directory.
+//!
+//! ```text
+//! mayfs init <dir> [--pods N] [--racks N] [--hosts N] [--chunk BYTES] [--replication N]
+//! mayfs create <dir> <name> [--client H]
+//! mayfs append <dir> <name> (--data STR | --file PATH) [--client H]
+//! mayfs read   <dir> <name> [--offset N] [--len N] [--client H]
+//! mayfs stat   <dir> <name>
+//! mayfs ls     <dir>
+//! mayfs rm     <dir> <name> [--client H]
+//! mayfs serve  <dir> --listen ADDR       # nameserver RPC over TCP
+//! ```
+//!
+//! The cluster persists across invocations: `init` writes the topology
+//! parameters to `<dir>/topology.json`; every other command re-opens
+//! the same nameserver database and dataserver directories.
+
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mayflower_fs::nameserver::NameserverConfig;
+use mayflower_fs::remote::NameserverService;
+use mayflower_fs::{Cluster, ClusterConfig};
+use mayflower_net::{HostId, Topology, TreeParams};
+use mayflower_rpc::TcpServer;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mayfs <init|create|append|read|stat|ls|rm|serve> <dir> [args]\n\
+         run `mayfs help` for details"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut it = raw.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Args { positional, flags }
+}
+
+impl Args {
+    fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn topology_path(dir: &Path) -> PathBuf {
+    dir.join("topology.json")
+}
+
+fn load_cluster(dir: &Path) -> Result<Cluster, String> {
+    let params_raw = std::fs::read(topology_path(dir))
+        .map_err(|e| format!("not a mayfs cluster ({}): {e}", dir.display()))?;
+    let params: TreeParams =
+        serde_json::from_slice(&params_raw).map_err(|e| format!("corrupt topology.json: {e}"))?;
+    let chunk_raw = std::fs::read(dir.join("chunk_size"))
+        .map_err(|e| format!("missing chunk_size: {e}"))?;
+    let chunk_size: u64 = String::from_utf8_lossy(&chunk_raw)
+        .trim()
+        .parse()
+        .map_err(|e| format!("corrupt chunk_size: {e}"))?;
+    let replication: u64 = std::fs::read(dir.join("replication"))
+        .ok()
+        .and_then(|b| String::from_utf8_lossy(&b).trim().parse().ok())
+        .unwrap_or(3);
+    let topo = Arc::new(Topology::three_tier(&params));
+    Cluster::create(
+        dir,
+        topo,
+        ClusterConfig {
+            nameserver: NameserverConfig {
+                chunk_size,
+                replication: replication as usize,
+                ..NameserverConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_init(dir: &Path, args: &Args) -> Result<(), String> {
+    let params = TreeParams {
+        pods: args.flag("pods", 4),
+        racks_per_pod: args.flag("racks", 4),
+        hosts_per_rack: args.flag("hosts", 4),
+        ..TreeParams::paper_testbed()
+    };
+    params.validate()?;
+    let chunk: u64 = args.flag("chunk", 64 << 20);
+    let replication: usize = args.flag("replication", 3);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    std::fs::write(
+        topology_path(dir),
+        serde_json::to_vec_pretty(&params).expect("TreeParams serializes"),
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(dir.join("chunk_size"), chunk.to_string()).map_err(|e| e.to_string())?;
+    std::fs::write(dir.join("replication"), replication.to_string())
+        .map_err(|e| e.to_string())?;
+    let cluster = load_cluster(dir)?;
+    println!(
+        "initialized cluster at {}: {} hosts, {} racks, {} pods, chunk {} bytes, {}x replication",
+        dir.display(),
+        cluster.topology().host_count(),
+        cluster.topology().rack_count(),
+        cluster.topology().pod_count(),
+        chunk,
+        replication,
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    let cmd = raw[0].as_str();
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        println!(
+            "mayfs — Mayflower distributed filesystem CLI\n\n\
+             init <dir> [--pods N] [--racks N] [--hosts N] [--chunk BYTES] [--replication N]\n\
+             create <dir> <name> [--client H]\n\
+             append <dir> <name> (--data STR | --file PATH) [--client H]\n\
+             read   <dir> <name> [--offset N] [--len N] [--client H]\n\
+             stat   <dir> <name>\n\
+             ls     <dir>\n\
+             rm     <dir> <name> [--client H]\n\
+             serve  <dir> --listen ADDR"
+        );
+        return Ok(());
+    }
+    let args = parse_args(&raw[1..]);
+    let Some(dir) = args.positional.first().map(PathBuf::from) else {
+        usage();
+    };
+
+    match cmd {
+        "init" => cmd_init(&dir, &args),
+        "create" => {
+            let name = args.positional.get(1).cloned().ok_or("missing <name>")?;
+            let cluster = load_cluster(&dir)?;
+            let mut client = cluster.client(HostId(args.flag("client", 0u32)));
+            let meta = client.create(&name).map_err(|e| e.to_string())?;
+            println!("created {name} (uuid {})", meta.id);
+            for (i, r) in meta.replicas.iter().enumerate() {
+                println!("  replica {i}: host {r}{}", if i == 0 { " (primary)" } else { "" });
+            }
+            Ok(())
+        }
+        "append" => {
+            let name = args.positional.get(1).cloned().ok_or("missing <name>")?;
+            let data = if let Some(s) = args.flags.get("data") {
+                s.clone().into_bytes()
+            } else if let Some(path) = args.flags.get("file") {
+                std::fs::read(path).map_err(|e| e.to_string())?
+            } else if !std::io::stdin().is_terminal() {
+                let mut buf = Vec::new();
+                std::io::stdin()
+                    .read_to_end(&mut buf)
+                    .map_err(|e| e.to_string())?;
+                buf
+            } else {
+                return Err("provide --data, --file, or pipe stdin".into());
+            };
+            let cluster = load_cluster(&dir)?;
+            let mut client = cluster.client(HostId(args.flag("client", 0u32)));
+            let size = client.append(&name, &data).map_err(|e| e.to_string())?;
+            println!("appended {} bytes; {name} is now {size} bytes", data.len());
+            Ok(())
+        }
+        "read" => {
+            let name = args.positional.get(1).cloned().ok_or("missing <name>")?;
+            let cluster = load_cluster(&dir)?;
+            let mut client = cluster.client(HostId(args.flag("client", 0u32)));
+            let data = if args.flags.contains_key("offset") || args.flags.contains_key("len") {
+                client
+                    .read_range(&name, args.flag("offset", 0u64), args.flag("len", u64::MAX / 2))
+                    .map_err(|e| e.to_string())?
+            } else {
+                client.read(&name).map_err(|e| e.to_string())?
+            };
+            std::io::stdout()
+                .write_all(&data)
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        "stat" => {
+            let name = args.positional.get(1).cloned().ok_or("missing <name>")?;
+            let cluster = load_cluster(&dir)?;
+            let meta = cluster.nameserver().lookup(&name).map_err(|e| e.to_string())?;
+            println!("name:       {}", meta.name);
+            println!("uuid:       {}", meta.id);
+            println!("size:       {} bytes", meta.size);
+            println!("chunk size: {} bytes ({} chunks)", meta.chunk_size, meta.chunk_count());
+            println!(
+                "replicas:   {}",
+                meta.replicas
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            Ok(())
+        }
+        "ls" => {
+            let cluster = load_cluster(&dir)?;
+            for meta in cluster.nameserver().list() {
+                println!("{:>12}  {}", meta.size, meta.name);
+            }
+            Ok(())
+        }
+        "rm" => {
+            let name = args.positional.get(1).cloned().ok_or("missing <name>")?;
+            let cluster = load_cluster(&dir)?;
+            let mut client = cluster.client(HostId(args.flag("client", 0u32)));
+            client.delete(&name).map_err(|e| e.to_string())?;
+            println!("deleted {name}");
+            Ok(())
+        }
+        "serve" => {
+            let listen = args
+                .flags
+                .get("listen")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7847".to_string());
+            let cluster = load_cluster(&dir)?;
+            let service = Arc::new(NameserverService::new(cluster.nameserver().clone()));
+            let server = TcpServer::bind(listen.as_str(), service).map_err(|e| e.to_string())?;
+            println!("nameserver RPC listening on {}", server.local_addr());
+            println!("press ctrl-c to stop");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        _ => usage(),
+    }
+}
+
+use std::io::IsTerminal as _;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mayfs: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Chunk-range arithmetic: mapping byte ranges onto numbered chunks.
+//!
+//! The paper stores "the first and second chunks as filenames of 1
+//! and 2 respectively" (§3.3.2) — chunk numbering is 1-based on disk;
+//! this module works in 0-based indices and converts at the I/O layer.
+
+/// One contiguous piece of a byte range that falls in a single chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSlice {
+    /// 0-based chunk index.
+    pub chunk: u64,
+    /// Offset of the slice within the chunk.
+    pub offset_in_chunk: u64,
+    /// Length of the slice in bytes.
+    pub len: u64,
+}
+
+/// Splits the byte range `[offset, offset + len)` into per-chunk
+/// slices, in order.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+#[must_use]
+pub fn split_range(chunk_size: u64, offset: u64, len: u64) -> Vec<ChunkSlice> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let mut out = Vec::new();
+    let mut pos = offset;
+    let end = offset + len;
+    while pos < end {
+        let chunk = pos / chunk_size;
+        let offset_in_chunk = pos % chunk_size;
+        let take = (chunk_size - offset_in_chunk).min(end - pos);
+        out.push(ChunkSlice {
+            chunk,
+            offset_in_chunk,
+            len: take,
+        });
+        pos += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_within_one_chunk() {
+        let s = split_range(100, 10, 20);
+        assert_eq!(
+            s,
+            vec![ChunkSlice {
+                chunk: 0,
+                offset_in_chunk: 10,
+                len: 20
+            }]
+        );
+    }
+
+    #[test]
+    fn range_spanning_three_chunks() {
+        let s = split_range(10, 5, 22);
+        assert_eq!(s.len(), 3);
+        assert_eq!(
+            s[0],
+            ChunkSlice {
+                chunk: 0,
+                offset_in_chunk: 5,
+                len: 5
+            }
+        );
+        assert_eq!(
+            s[1],
+            ChunkSlice {
+                chunk: 1,
+                offset_in_chunk: 0,
+                len: 10
+            }
+        );
+        assert_eq!(
+            s[2],
+            ChunkSlice {
+                chunk: 2,
+                offset_in_chunk: 0,
+                len: 7
+            }
+        );
+    }
+
+    #[test]
+    fn empty_range_is_empty() {
+        assert!(split_range(10, 3, 0).is_empty());
+    }
+
+    #[test]
+    fn exact_chunk_boundaries() {
+        let s = split_range(10, 10, 10);
+        assert_eq!(
+            s,
+            vec![ChunkSlice {
+                chunk: 1,
+                offset_in_chunk: 0,
+                len: 10
+            }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_size_rejected() {
+        let _ = split_range(0, 0, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Slices tile the range exactly: contiguous, in-bounds, total
+        /// length preserved, no slice crossing a chunk boundary.
+        #[test]
+        fn slices_tile_the_range(
+            chunk_size in 1u64..1000,
+            offset in 0u64..10_000,
+            len in 0u64..10_000,
+        ) {
+            let slices = split_range(chunk_size, offset, len);
+            let total: u64 = slices.iter().map(|s| s.len).sum();
+            prop_assert_eq!(total, len);
+            let mut pos = offset;
+            for s in &slices {
+                prop_assert_eq!(s.chunk * chunk_size + s.offset_in_chunk, pos);
+                prop_assert!(s.len > 0);
+                prop_assert!(s.offset_in_chunk + s.len <= chunk_size);
+                pos += s.len;
+            }
+        }
+    }
+}

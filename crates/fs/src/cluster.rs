@@ -1,0 +1,405 @@
+//! An in-process Mayflower deployment: one dataserver per topology
+//! host, a nameserver, and the primary-relay append path.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+
+use mayflower_net::{HostId, Topology};
+use parking_lot::Mutex;
+
+use crate::client::Client;
+use crate::dataserver::Dataserver;
+use crate::error::FsError;
+use crate::nameserver::{Nameserver, NameserverConfig};
+use crate::selector::{NearestSelector, ReplicaSelector};
+use crate::types::{Consistency, FileId, FileMeta};
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfig {
+    /// Nameserver settings (replication, chunk size, placement).
+    pub nameserver: NameserverConfig,
+    /// Read consistency level for clients (§3.4).
+    pub consistency: Consistency,
+}
+
+/// Serializes appends per file: the "primary dataserver is responsible
+/// for ordering all of the append requests for the file" (§3.3.2).
+#[derive(Debug, Default)]
+pub(crate) struct AppendCoordinator {
+    locks: Mutex<HashMap<FileId, Arc<Mutex<()>>>>,
+}
+
+impl AppendCoordinator {
+    pub(crate) fn file_lock(&self, id: FileId) -> Arc<Mutex<()>> {
+        self.locks.lock().entry(id).or_default().clone()
+    }
+}
+
+/// An in-process Mayflower cluster: the deployment unit used by the
+/// examples, the integration tests and the Figure 8 prototype
+/// experiment. All components are real (real nameserver database,
+/// real bytes in dataserver chunk files); only the network transfer
+/// *timing* is delegated to the fluid simulator by the experiment
+/// harness.
+#[derive(Debug)]
+pub struct Cluster {
+    topo: Arc<Topology>,
+    nameserver: Arc<Nameserver>,
+    dataservers: BTreeMap<HostId, Arc<Dataserver>>,
+    coordinator: Arc<AppendCoordinator>,
+    consistency: Consistency,
+}
+
+impl Cluster {
+    /// Creates a cluster rooted at `dir`: `dir/nameserver` for the
+    /// metadata database and `dir/ds-<host>` per dataserver.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any directory cannot be created.
+    pub fn create(dir: &Path, topo: Arc<Topology>, config: ClusterConfig) -> Result<Cluster, FsError> {
+        let nameserver = Arc::new(Nameserver::open(
+            topo.clone(),
+            &dir.join("nameserver"),
+            config.nameserver,
+        )?);
+        let mut dataservers = BTreeMap::new();
+        for host in topo.hosts() {
+            let ds = Dataserver::open(host, &dir.join(format!("ds-{host}")))?;
+            dataservers.insert(host, Arc::new(ds));
+        }
+        Ok(Cluster {
+            topo,
+            nameserver,
+            dataservers,
+            coordinator: Arc::new(AppendCoordinator::default()),
+            consistency: config.consistency,
+        })
+    }
+
+    /// The cluster's topology.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The nameserver.
+    #[must_use]
+    pub fn nameserver(&self) -> &Arc<Nameserver> {
+        &self.nameserver
+    }
+
+    /// The dataserver on a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not in the topology.
+    #[must_use]
+    pub fn dataserver(&self, host: HostId) -> &Arc<Dataserver> {
+        self.dataservers
+            .get(&host)
+            .expect("every topology host runs a dataserver")
+    }
+
+    /// All dataservers, in host order.
+    #[must_use]
+    pub fn dataservers(&self) -> Vec<Arc<Dataserver>> {
+        self.dataservers.values().cloned().collect()
+    }
+
+    /// A client on `host` with the default HDFS-style nearest-replica
+    /// read selection.
+    #[must_use]
+    pub fn client(&self, host: HostId) -> Client {
+        self.client_with_selector(host, Box::new(NearestSelector::new(self.topo.clone())))
+    }
+
+    /// A client on `host` with a custom read selector (e.g. one backed
+    /// by the Flowserver).
+    #[must_use]
+    pub fn client_with_selector(
+        &self,
+        host: HostId,
+        selector: Box<dyn ReplicaSelector>,
+    ) -> Client {
+        Client::new(
+            host,
+            self.nameserver.clone(),
+            self.dataservers.clone(),
+            self.coordinator.clone(),
+            self.consistency,
+            selector,
+        )
+    }
+
+    /// Restores a file's replication factor after replica loss: finds
+    /// replicas whose dataserver no longer holds the data, copies the
+    /// file from a surviving replica onto replacement hosts chosen
+    /// under the same fault-domain constraints, and updates the
+    /// nameserver mapping. Returns the hosts that received new copies.
+    ///
+    /// This is the re-replication background task every GFS/HDFS-class
+    /// system runs; the paper folds it into its fault-tolerance goals
+    /// (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if no surviving replica holds the
+    /// data, or I/O errors from the copy.
+    pub fn repair(&self, name: &str, rng: &mut mayflower_simcore::SimRng) -> Result<Vec<HostId>, FsError> {
+        let meta = self.nameserver.lookup(name)?;
+        let lock = self.coordinator.file_lock(meta.id);
+        let _guard = lock.lock();
+        // Re-read under the lock (an append may have just finished).
+        let mut meta = self.nameserver.lookup(name)?;
+
+        let (alive, dead): (Vec<HostId>, Vec<HostId>) = meta
+            .replicas
+            .iter()
+            .partition(|r| self.dataserver(**r).has_file(meta.id));
+        if dead.is_empty() {
+            return Ok(Vec::new());
+        }
+        let Some(&source) = alive.first() else {
+            return Err(FsError::NotFound(format!(
+                "{name}: all replicas lost, cannot re-replicate"
+            )));
+        };
+        let (data, size) = self.dataserver(source).read_local(meta.id, 0, meta.size)?;
+        debug_assert_eq!(size, meta.size);
+
+        let mut new_hosts = Vec::new();
+        for _ in &dead {
+            // Replacement: any host in a rack not already holding a
+            // replica (the §3.1 no-two-replicas-per-rack constraint).
+            let used_racks: Vec<_> = meta
+                .replicas
+                .iter()
+                .filter(|r| !dead.contains(r) || new_hosts.contains(*r))
+                .chain(new_hosts.iter())
+                .map(|h| self.topo.rack_of(*h))
+                .collect();
+            let candidates: Vec<HostId> = self
+                .topo
+                .hosts()
+                .into_iter()
+                .filter(|h| !used_racks.contains(&self.topo.rack_of(*h)))
+                .collect();
+            let replacement = *rng.choose(&candidates);
+            let mut replica_meta = meta.clone();
+            replica_meta.size = 0;
+            self.dataserver(replacement).create_file(&replica_meta)?;
+            self.dataserver(replacement)
+                .append_local(meta.id, &data)?;
+            new_hosts.push(replacement);
+        }
+
+        // Splice the replacements into the replica list, preserving
+        // the primary position when the primary survived.
+        let mut spliced = Vec::with_capacity(meta.replicas.len());
+        let mut fresh = new_hosts.iter().copied();
+        for r in &meta.replicas {
+            if dead.contains(r) {
+                spliced.push(fresh.next().expect("one replacement per loss"));
+            } else {
+                spliced.push(*r);
+            }
+        }
+        meta.replicas = spliced;
+        // Persist the new mapping (rename-in-place keeps name + id).
+        self.nameserver.delete(name)?;
+        self.nameserver.create_exact(&meta)?;
+        for r in &meta.replicas {
+            let _ = self.dataserver(*r).update_meta(&meta);
+        }
+        Ok(new_hosts)
+    }
+
+    /// Appends through the primary: takes the file's append lock,
+    /// writes the primary replica, relays to the remaining replicas in
+    /// order, then records the new size at the nameserver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataserver or nameserver failures.
+    pub fn append_via_primary(&self, meta: &FileMeta, data: &[u8]) -> Result<u64, FsError> {
+        let lock = self.coordinator.file_lock(meta.id);
+        let _guard = lock.lock();
+        let mut new_size = 0;
+        for (i, host) in meta.replicas.iter().enumerate() {
+            let size = self.dataserver(*host).append_local(meta.id, data)?;
+            if i == 0 {
+                new_size = size;
+            } else {
+                debug_assert_eq!(size, new_size, "replica divergence on append");
+            }
+        }
+        self.nameserver.record_size(&meta.name, new_size)?;
+        Ok(new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "mayflower-cluster-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn small_cluster(dir: &TempDir) -> Cluster {
+        let topo = Arc::new(Topology::three_tier(&TreeParams {
+            pods: 2,
+            racks_per_pod: 2,
+            hosts_per_rack: 2,
+            ..TreeParams::paper_testbed()
+        }));
+        let config = ClusterConfig {
+            nameserver: NameserverConfig {
+                chunk_size: 16,
+                ..NameserverConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        Cluster::create(&dir.0, topo, config).unwrap()
+    }
+
+    #[test]
+    fn cluster_spawns_a_dataserver_per_host() {
+        let dir = TempDir::new("spawn");
+        let c = small_cluster(&dir);
+        assert_eq!(c.dataservers().len(), 8);
+    }
+
+    #[test]
+    fn append_replicates_to_all_replicas() {
+        let dir = TempDir::new("replicate");
+        let c = small_cluster(&dir);
+        let meta = c.nameserver().create("f").unwrap();
+        for r in &meta.replicas {
+            c.dataserver(*r).create_file(&meta).unwrap();
+        }
+        c.append_via_primary(&meta, b"hello").unwrap();
+        for r in &meta.replicas {
+            let (data, size) = c.dataserver(*r).read_local(meta.id, 0, 5).unwrap();
+            assert_eq!(data, b"hello", "replica {r} diverged");
+            assert_eq!(size, 5);
+        }
+        assert_eq!(c.nameserver().lookup("f").unwrap().size, 5);
+    }
+
+    #[test]
+    fn repair_restores_replication_after_loss() {
+        use mayflower_simcore::SimRng;
+        let dir = TempDir::new("repair");
+        let c = small_cluster(&dir);
+        let meta = c.nameserver().create("fixme").unwrap();
+        for r in &meta.replicas {
+            c.dataserver(*r).create_file(&meta).unwrap();
+        }
+        c.append_via_primary(&meta, b"precious payload").unwrap();
+
+        // Lose a non-primary replica.
+        let victim = meta.replicas[1];
+        c.dataserver(victim).delete_file(meta.id).unwrap();
+
+        let mut rng = SimRng::seed_from(5);
+        let new_hosts = c.repair("fixme", &mut rng).unwrap();
+        assert_eq!(new_hosts.len(), 1);
+        let fixed = c.nameserver().lookup("fixme").unwrap();
+        assert_eq!(fixed.replicas.len(), 3);
+        assert!(!fixed.replicas.contains(&victim));
+        assert_eq!(fixed.primary(), meta.primary(), "primary preserved");
+        // Every replica (incl. the new one) serves the full payload.
+        for r in &fixed.replicas {
+            let (data, _) = c.dataserver(*r).read_local(meta.id, 0, 100).unwrap();
+            assert_eq!(data, b"precious payload", "replica {r}");
+        }
+        // No two replicas share a rack.
+        let mut racks: Vec<_> = fixed
+            .replicas
+            .iter()
+            .map(|h| c.topology().rack_of(*h))
+            .collect();
+        racks.sort();
+        racks.dedup();
+        assert_eq!(racks.len(), 3);
+        // Idempotent: nothing left to repair.
+        assert!(c.repair("fixme", &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repair_fails_when_everything_is_lost() {
+        use mayflower_simcore::SimRng;
+        let dir = TempDir::new("unrepairable");
+        let c = small_cluster(&dir);
+        let meta = c.nameserver().create("gone").unwrap();
+        for r in &meta.replicas {
+            c.dataserver(*r).create_file(&meta).unwrap();
+            c.dataserver(*r).delete_file(meta.id).unwrap();
+        }
+        let mut rng = SimRng::seed_from(6);
+        assert!(matches!(
+            c.repair("gone", &mut rng),
+            Err(FsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_appends_keep_replicas_identical() {
+        let dir = TempDir::new("order");
+        let c = Arc::new(small_cluster(&dir));
+        let meta = c.nameserver().create("f").unwrap();
+        for r in &meta.replicas {
+            c.dataserver(*r).create_file(&meta).unwrap();
+        }
+        let threads: Vec<_> = (0..6u8)
+            .map(|t| {
+                let c = c.clone();
+                let meta = meta.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..30 {
+                        c.append_via_primary(&meta, &[t; 8]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let size = 6 * 30 * 8;
+        let reference = c
+            .dataserver(meta.replicas[0])
+            .read_local(meta.id, 0, size)
+            .unwrap()
+            .0;
+        assert_eq!(reference.len() as u64, size);
+        // Sequential consistency: every replica saw the same order.
+        for r in &meta.replicas[1..] {
+            let other = c.dataserver(*r).read_local(meta.id, 0, size).unwrap().0;
+            assert_eq!(other, reference, "replica {r} ordered differently");
+        }
+        // And no torn append records.
+        for rec in reference.chunks(8) {
+            assert!(rec.iter().all(|b| *b == rec[0]));
+        }
+    }
+}

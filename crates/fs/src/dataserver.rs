@@ -1,0 +1,429 @@
+//! The dataserver: chunked, append-only file storage (§3.3.2).
+//!
+//! On-disk layout, matching the paper:
+//!
+//! ```text
+//! <root>/<file-uuid>/meta      # JSON-serialized FileMeta
+//! <root>/<file-uuid>/1         # first chunk
+//! <root>/<file-uuid>/2         # second chunk
+//! ...
+//! ```
+
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mayflower_net::HostId;
+use parking_lot::Mutex;
+
+use crate::chunk::split_range;
+use crate::error::FsError;
+use crate::types::{FileId, FileMeta};
+
+/// A single storage server: owns one directory tree of file-UUID
+/// directories, services appends (one at a time per file) and
+/// concurrent reads.
+#[derive(Debug)]
+pub struct Dataserver {
+    host: HostId,
+    root: PathBuf,
+    /// Per-file append locks, lazily created ("the dataserver only
+    /// services one append request at a time for each file").
+    append_locks: Mutex<HashMap<FileId, Arc<Mutex<()>>>>,
+}
+
+impl Dataserver {
+    /// Opens (creating if needed) a dataserver rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the root directory cannot be created.
+    pub fn open(host: HostId, root: &Path) -> Result<Dataserver, FsError> {
+        std::fs::create_dir_all(root)?;
+        Ok(Dataserver {
+            host,
+            root: root.to_path_buf(),
+            append_locks: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The host this dataserver runs on.
+    #[must_use]
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The storage root.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_dir(&self, id: FileId) -> PathBuf {
+        self.root.join(id.as_hex())
+    }
+
+    fn chunk_path(&self, id: FileId, chunk: u64) -> PathBuf {
+        // On-disk chunk names are 1-based (§3.3.2).
+        self.file_dir(id).join(format!("{}", chunk + 1))
+    }
+
+    /// Creates the local directory and metadata for a new file replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] if this replica already holds
+    /// the file.
+    pub fn create_file(&self, meta: &FileMeta) -> Result<(), FsError> {
+        let dir = self.file_dir(meta.id);
+        if dir.exists() {
+            return Err(FsError::AlreadyExists(meta.name.clone()));
+        }
+        std::fs::create_dir_all(&dir)?;
+        self.write_meta(meta)?;
+        Ok(())
+    }
+
+    fn write_meta(&self, meta: &FileMeta) -> Result<(), FsError> {
+        let body = serde_json::to_vec_pretty(meta)
+            .map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        std::fs::write(self.file_dir(meta.id).join("meta"), body)?;
+        Ok(())
+    }
+
+    /// Overwrites the locally stored metadata of a replica (used when
+    /// a file is renamed, so a post-crash nameserver rebuild sees the
+    /// current name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the replica is absent.
+    pub fn update_meta(&self, meta: &FileMeta) -> Result<(), FsError> {
+        if !self.has_file(meta.id) {
+            return Err(FsError::NotFound(meta.id.to_string()));
+        }
+        self.write_meta(meta)
+    }
+
+    /// Reads the locally stored metadata of a file replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the replica is absent, or
+    /// [`FsError::CorruptMetadata`] if the metadata fails to parse.
+    pub fn read_meta(&self, id: FileId) -> Result<FileMeta, FsError> {
+        let path = self.file_dir(id).join("meta");
+        if !path.exists() {
+            return Err(FsError::NotFound(id.to_string()));
+        }
+        let body = std::fs::read(&path)?;
+        serde_json::from_slice(&body).map_err(|e| FsError::CorruptMetadata(e.to_string()))
+    }
+
+    /// Whether this dataserver holds a replica of the file.
+    #[must_use]
+    pub fn has_file(&self, id: FileId) -> bool {
+        self.file_dir(id).join("meta").exists()
+    }
+
+    /// The replica's current size in bytes (sum of chunk files).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the replica is absent.
+    pub fn local_size(&self, id: FileId) -> Result<u64, FsError> {
+        let meta = self.read_meta(id)?;
+        let mut size = 0u64;
+        let mut chunk = 0u64;
+        loop {
+            let p = self.chunk_path(id, chunk);
+            let Ok(md) = std::fs::metadata(&p) else { break };
+            size += md.len();
+            chunk += 1;
+        }
+        let _ = meta;
+        Ok(size)
+    }
+
+    /// Appends `data` to the local replica, spilling across chunk
+    /// boundaries as needed. Returns the file's new size.
+    ///
+    /// Only one append per file runs at a time; concurrent reads of
+    /// non-last chunks proceed unblocked (§3.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the replica is absent.
+    pub fn append_local(&self, id: FileId, data: &[u8]) -> Result<u64, FsError> {
+        let lock = {
+            let mut locks = self.append_locks.lock();
+            locks.entry(id).or_default().clone()
+        };
+        let _guard = lock.lock();
+
+        let mut meta = self.read_meta(id)?;
+        let chunk_size = meta.chunk_size;
+        let mut pos = meta.size;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let chunk = pos / chunk_size;
+            let offset_in_chunk = pos % chunk_size;
+            let take = ((chunk_size - offset_in_chunk) as usize).min(remaining.len());
+            let mut f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.chunk_path(id, chunk))?;
+            debug_assert_eq!(f.metadata()?.len(), offset_in_chunk);
+            f.write_all(&remaining[..take])?;
+            remaining = &remaining[take..];
+            pos += take as u64;
+        }
+        meta.size = pos;
+        self.write_meta(&meta)?;
+        Ok(pos)
+    }
+
+    /// Reads `[offset, offset + len)` from the local replica. Returns
+    /// the bytes read (shorter than `len` at end-of-file) together
+    /// with the replica's current size — the paper's way of letting
+    /// clients discover appended chunks ("the dataserver includes the
+    /// file's size with each read result").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the replica is absent.
+    pub fn read_local(&self, id: FileId, offset: u64, len: u64) -> Result<(Vec<u8>, u64), FsError> {
+        let meta = self.read_meta(id)?;
+        let size = meta.size;
+        let end = (offset + len).min(size);
+        if offset >= end {
+            return Ok((Vec::new(), size));
+        }
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        for slice in split_range(meta.chunk_size, offset, end - offset) {
+            let mut f = std::fs::File::open(self.chunk_path(id, slice.chunk))?;
+            f.seek(SeekFrom::Start(slice.offset_in_chunk))?;
+            let mut buf = vec![0u8; slice.len as usize];
+            f.read_exact(&mut buf)?;
+            out.extend_from_slice(&buf);
+        }
+        Ok((out, size))
+    }
+
+    /// Deletes the local replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the replica is absent.
+    pub fn delete_file(&self, id: FileId) -> Result<(), FsError> {
+        let dir = self.file_dir(id);
+        if !dir.exists() {
+            return Err(FsError::NotFound(id.to_string()));
+        }
+        std::fs::remove_dir_all(dir)?;
+        self.append_locks.lock().remove(&id);
+        Ok(())
+    }
+
+    /// Lists the metadata of every replica stored here — the
+    /// nameserver's rebuild source after an unclean restart (§3.3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the root directory cannot be read.
+    pub fn list_files(&self) -> Result<Vec<FileMeta>, FsError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let Some(id) = entry
+                .file_name()
+                .to_str()
+                .and_then(FileId::from_hex)
+            else {
+                continue;
+            };
+            if let Ok(meta) = self.read_meta(id) {
+                out.push(meta);
+            }
+        }
+        out.sort_by_key(|a| a.id);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "mayflower-ds-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn meta(id: u128, chunk_size: u64) -> FileMeta {
+        FileMeta {
+            id: FileId(id),
+            name: format!("file-{id}"),
+            chunk_size,
+            size: 0,
+            replicas: vec![HostId(0)],
+        }
+    }
+
+    #[test]
+    fn create_append_read_roundtrip() {
+        let dir = TempDir::new("roundtrip");
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        let m = meta(1, 8);
+        ds.create_file(&m).unwrap();
+        assert_eq!(ds.append_local(m.id, b"hello ").unwrap(), 6);
+        assert_eq!(ds.append_local(m.id, b"world!").unwrap(), 12);
+        let (data, size) = ds.read_local(m.id, 0, 100).unwrap();
+        assert_eq!(data, b"hello world!");
+        assert_eq!(size, 12);
+    }
+
+    #[test]
+    fn appends_spill_across_chunks() {
+        let dir = TempDir::new("spill");
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        let m = meta(2, 4);
+        ds.create_file(&m).unwrap();
+        ds.append_local(m.id, b"abcdefghij").unwrap(); // 10 bytes, chunk 4
+        // Chunks 1..=3 exist with sizes 4, 4, 2 (1-based names).
+        let d = dir.0.join(m.id.as_hex());
+        assert_eq!(std::fs::metadata(d.join("1")).unwrap().len(), 4);
+        assert_eq!(std::fs::metadata(d.join("2")).unwrap().len(), 4);
+        assert_eq!(std::fs::metadata(d.join("3")).unwrap().len(), 2);
+        // Ranged read across boundaries.
+        let (data, _) = ds.read_local(m.id, 3, 5).unwrap();
+        assert_eq!(data, b"defgh");
+    }
+
+    #[test]
+    fn read_past_eof_truncates_and_reports_size() {
+        let dir = TempDir::new("eof");
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        let m = meta(3, 8);
+        ds.create_file(&m).unwrap();
+        ds.append_local(m.id, b"12345").unwrap();
+        let (data, size) = ds.read_local(m.id, 3, 100).unwrap();
+        assert_eq!(data, b"45");
+        assert_eq!(size, 5);
+        let (data, size) = ds.read_local(m.id, 99, 10).unwrap();
+        assert!(data.is_empty());
+        assert_eq!(size, 5);
+    }
+
+    #[test]
+    fn double_create_rejected() {
+        let dir = TempDir::new("dup");
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        let m = meta(4, 8);
+        ds.create_file(&m).unwrap();
+        assert!(matches!(
+            ds.create_file(&m),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn delete_removes_everything() {
+        let dir = TempDir::new("delete");
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        let m = meta(5, 8);
+        ds.create_file(&m).unwrap();
+        ds.append_local(m.id, b"data").unwrap();
+        ds.delete_file(m.id).unwrap();
+        assert!(!ds.has_file(m.id));
+        assert!(matches!(
+            ds.read_local(m.id, 0, 1),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(matches!(ds.delete_file(m.id), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn list_files_finds_all_replicas() {
+        let dir = TempDir::new("list");
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        for i in 0..5u128 {
+            ds.create_file(&meta(i, 8)).unwrap();
+        }
+        let listed = ds.list_files().unwrap();
+        assert_eq!(listed.len(), 5);
+        assert!(listed.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn local_size_tracks_chunks() {
+        let dir = TempDir::new("size");
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        let m = meta(6, 4);
+        ds.create_file(&m).unwrap();
+        ds.append_local(m.id, b"123456789").unwrap();
+        assert_eq!(ds.local_size(m.id).unwrap(), 9);
+    }
+
+    #[test]
+    fn concurrent_appends_serialize() {
+        let dir = TempDir::new("concurrent");
+        let ds = Arc::new(Dataserver::open(HostId(0), &dir.0).unwrap());
+        let m = meta(7, 1 << 20);
+        ds.create_file(&m).unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let ds = ds.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        ds.append_local(FileId(7), &[t as u8; 16]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let (data, size) = ds.read_local(m.id, 0, 1 << 20).unwrap();
+        assert_eq!(size, 8 * 50 * 16);
+        assert_eq!(data.len() as u64, size);
+        // Atomicity: every 16-byte record is homogeneous.
+        for rec in data.chunks(16) {
+            assert!(rec.iter().all(|b| *b == rec[0]), "torn append: {rec:?}");
+        }
+    }
+
+    #[test]
+    fn meta_survives_reopen() {
+        let dir = TempDir::new("reopen");
+        {
+            let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+            let m = meta(8, 8);
+            ds.create_file(&m).unwrap();
+            ds.append_local(m.id, b"persist").unwrap();
+        }
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        let m = ds.read_meta(FileId(8)).unwrap();
+        assert_eq!(m.size, 7);
+        let (data, _) = ds.read_local(FileId(8), 0, 7).unwrap();
+        assert_eq!(data, b"persist");
+    }
+}

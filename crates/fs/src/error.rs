@@ -1,0 +1,88 @@
+//! Filesystem error type.
+
+use std::fmt;
+
+/// Errors returned by Mayflower filesystem operations.
+#[derive(Debug)]
+pub enum FsError {
+    /// Underlying local-filesystem I/O failure.
+    Io(std::io::Error),
+    /// Metadata store failure.
+    Kv(mayflower_kvstore::KvError),
+    /// RPC failure when talking to a remote component.
+    Rpc(mayflower_rpc::RpcError),
+    /// The named file does not exist.
+    NotFound(String),
+    /// A file with that name already exists.
+    AlreadyExists(String),
+    /// A malformed argument (empty name, zero-length range, ...).
+    InvalidArgument(String),
+    /// Stored metadata failed to parse — store corruption.
+    CorruptMetadata(String),
+    /// The operation would violate the configured consistency level.
+    Consistency(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Io(e) => write!(f, "i/o failure: {e}"),
+            FsError::Kv(e) => write!(f, "metadata store failure: {e}"),
+            FsError::Rpc(e) => write!(f, "rpc failure: {e}"),
+            FsError::NotFound(name) => write!(f, "file not found: {name}"),
+            FsError::AlreadyExists(name) => write!(f, "file already exists: {name}"),
+            FsError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
+            FsError::CorruptMetadata(what) => write!(f, "corrupt metadata: {what}"),
+            FsError::Consistency(what) => write!(f, "consistency violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Io(e) => Some(e),
+            FsError::Kv(e) => Some(e),
+            FsError::Rpc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FsError {
+    fn from(e: std::io::Error) -> FsError {
+        FsError::Io(e)
+    }
+}
+
+impl From<mayflower_kvstore::KvError> for FsError {
+    fn from(e: mayflower_kvstore::KvError) -> FsError {
+        FsError::Kv(e)
+    }
+}
+
+impl From<mayflower_rpc::RpcError> for FsError {
+    fn from(e: mayflower_rpc::RpcError) -> FsError {
+        FsError::Rpc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FsError::NotFound("x".into()).to_string().contains("x"));
+        assert!(FsError::AlreadyExists("y".into())
+            .to_string()
+            .contains("exists"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        use std::error::Error as _;
+        let e = FsError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,557 @@
+//! The nameserver: namespace and mappings (§3.3.1).
+
+use std::sync::Arc;
+
+use mayflower_kvstore::{KvStore, Options as KvOptions};
+use mayflower_net::Topology;
+use mayflower_simcore::SimRng;
+use mayflower_workload::PlacementPolicy;
+use parking_lot::Mutex;
+
+use crate::dataserver::Dataserver;
+use crate::error::FsError;
+use crate::types::{FileId, FileMeta, DEFAULT_CHUNK_SIZE};
+
+/// Nameserver configuration.
+#[derive(Debug, Clone)]
+pub struct NameserverConfig {
+    /// Replication factor (default 3, §5).
+    pub replication: usize,
+    /// Chunk size for new files (default 256 MB, §5).
+    pub chunk_size: u64,
+    /// Replica placement rule (default: the prototype's HDFS-style
+    /// rack-aware placement, §5).
+    pub placement: PlacementPolicy,
+    /// Seed for placement randomness.
+    pub seed: u64,
+}
+
+impl Default for NameserverConfig {
+    fn default() -> NameserverConfig {
+        NameserverConfig {
+            replication: 3,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            placement: PlacementPolicy::HdfsRackAware,
+            seed: 0x4E53, // "NS"
+        }
+    }
+}
+
+/// The centralized metadata service: stores file → chunks and file →
+/// dataservers mappings in a persistent KV store, makes replica
+/// placement decisions at file creation, and can rebuild its state by
+/// scanning dataserver metadata after an unclean restart.
+#[derive(Debug)]
+pub struct Nameserver {
+    topo: Arc<Topology>,
+    db: Mutex<KvStore>,
+    config: NameserverConfig,
+    rng: Mutex<SimRng>,
+}
+
+/// Key prefix for name → metadata entries.
+const NAME_PREFIX: &[u8] = b"n/";
+
+impl Nameserver {
+    /// Opens (or creates) a nameserver whose metadata database lives in
+    /// `db_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the database cannot be opened.
+    pub fn open(
+        topo: Arc<Topology>,
+        db_dir: &std::path::Path,
+        config: NameserverConfig,
+    ) -> Result<Nameserver, FsError> {
+        let db = KvStore::open(db_dir, KvOptions::default())?;
+        let rng = SimRng::seed_from(config.seed);
+        Ok(Nameserver {
+            topo,
+            db: Mutex::new(db),
+            config,
+            rng: Mutex::new(rng),
+        })
+    }
+
+    /// The topology used for placement.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &NameserverConfig {
+        &self.config
+    }
+
+    fn name_key(name: &str) -> Vec<u8> {
+        let mut k = NAME_PREFIX.to_vec();
+        k.extend_from_slice(name.as_bytes());
+        k
+    }
+
+    /// Creates a file: assigns a UUID, places replicas under the
+    /// configured fault-domain policy, records the mappings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] for duplicate names or
+    /// [`FsError::InvalidArgument`] for an empty name.
+    pub fn create(&self, name: &str) -> Result<FileMeta, FsError> {
+        if name.is_empty() {
+            return Err(FsError::InvalidArgument("file name is empty".into()));
+        }
+        let key = Self::name_key(name);
+        let mut db = self.db.lock();
+        if db.get(&key).is_some() {
+            return Err(FsError::AlreadyExists(name.to_string()));
+        }
+        let mut rng = self.rng.lock();
+        let id = FileId((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()));
+        let replicas = self
+            .config
+            .placement
+            .place(&self.topo, self.config.replication, &mut rng);
+        drop(rng);
+        let meta = FileMeta {
+            id,
+            name: name.to_string(),
+            chunk_size: self.config.chunk_size,
+            size: 0,
+            replicas,
+        };
+        let body =
+            serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        db.put(&key, &body)?;
+        Ok(meta)
+    }
+
+    /// Creates a file with an **explicit** replica placement instead of
+    /// the configured policy. Used by experiments that must pin files
+    /// to predetermined hosts (the paper's Figure 8 runs Mayflower and
+    /// HDFS "with the same primary replica location"), and by
+    /// migration tooling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] for duplicate names or
+    /// [`FsError::InvalidArgument`] for an empty name or replica list.
+    pub fn create_placed(
+        &self,
+        name: &str,
+        replicas: Vec<mayflower_net::HostId>,
+    ) -> Result<FileMeta, FsError> {
+        if name.is_empty() {
+            return Err(FsError::InvalidArgument("file name is empty".into()));
+        }
+        if replicas.is_empty() {
+            return Err(FsError::InvalidArgument("replica list is empty".into()));
+        }
+        let key = Self::name_key(name);
+        let mut db = self.db.lock();
+        if db.get(&key).is_some() {
+            return Err(FsError::AlreadyExists(name.to_string()));
+        }
+        let mut rng = self.rng.lock();
+        let id = FileId((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()));
+        drop(rng);
+        let meta = FileMeta {
+            id,
+            name: name.to_string(),
+            chunk_size: self.config.chunk_size,
+            size: 0,
+            replicas,
+        };
+        let body =
+            serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        db.put(&key, &body)?;
+        Ok(meta)
+    }
+
+    /// Stores fully-specified metadata verbatim — the deterministic
+    /// apply operation used by the replicated nameserver (UUID and
+    /// placement decided by the proposing node, so every replica's
+    /// state machine transitions identically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] if the name is taken.
+    pub fn create_exact(&self, meta: &FileMeta) -> Result<(), FsError> {
+        let key = Self::name_key(&meta.name);
+        let mut db = self.db.lock();
+        if db.get(&key).is_some() {
+            return Err(FsError::AlreadyExists(meta.name.clone()));
+        }
+        let body =
+            serde_json::to_vec(meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        db.put(&key, &body)?;
+        Ok(())
+    }
+
+    /// Looks a file up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown names.
+    pub fn lookup(&self, name: &str) -> Result<FileMeta, FsError> {
+        let db = self.db.lock();
+        let Some(body) = db.get(&Self::name_key(name)) else {
+            return Err(FsError::NotFound(name.to_string()));
+        };
+        serde_json::from_slice(&body).map_err(|e| FsError::CorruptMetadata(e.to_string()))
+    }
+
+    /// Records a file's new size after an append.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown names.
+    pub fn record_size(&self, name: &str, size: u64) -> Result<(), FsError> {
+        let mut meta = self.lookup(name)?;
+        meta.size = size;
+        let body =
+            serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        self.db.lock().put(&Self::name_key(name), &body)?;
+        Ok(())
+    }
+
+    /// Renames `old` to `new`, optionally overwriting an existing
+    /// `new`. Returns the metadata displaced by an overwrite, whose
+    /// replica data the caller must garbage-collect.
+    ///
+    /// This is the paper's **move** operation (§3.3): "random writes
+    /// can be emulated in the application layer by creating and
+    /// modifying a new copy of the file and using a move operation to
+    /// overwrite the original file." Because dataserver directories
+    /// are named by UUID, a rename touches only the nameserver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if `old` is missing,
+    /// [`FsError::AlreadyExists`] if `new` exists and `overwrite` is
+    /// false, or [`FsError::InvalidArgument`] for an empty target name.
+    pub fn rename(
+        &self,
+        old: &str,
+        new: &str,
+        overwrite: bool,
+    ) -> Result<Option<FileMeta>, FsError> {
+        if new.is_empty() {
+            return Err(FsError::InvalidArgument("target name is empty".into()));
+        }
+        let mut meta = self.lookup(old)?;
+        if old == new {
+            // Self-rename is a no-op (anything else would displace —
+            // and garbage-collect — the file itself).
+            return Ok(None);
+        }
+        let mut db = self.db.lock();
+        let displaced = match db.get(&Self::name_key(new)) {
+            Some(body) if !overwrite => {
+                let _ = body;
+                return Err(FsError::AlreadyExists(new.to_string()));
+            }
+            Some(body) => Some(
+                serde_json::from_slice(&body)
+                    .map_err(|e| FsError::CorruptMetadata(e.to_string()))?,
+            ),
+            None => None,
+        };
+        meta.name = new.to_string();
+        let body =
+            serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        db.put(&Self::name_key(new), &body)?;
+        db.delete(&Self::name_key(old))?;
+        Ok(displaced)
+    }
+
+    /// Deletes a file's mappings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown names.
+    pub fn delete(&self, name: &str) -> Result<FileMeta, FsError> {
+        let meta = self.lookup(name)?;
+        self.db.lock().delete(&Self::name_key(name))?;
+        Ok(meta)
+    }
+
+    /// Lists all files, sorted by name.
+    #[must_use]
+    pub fn list(&self) -> Vec<FileMeta> {
+        self.list_prefix("")
+    }
+
+    /// Lists files whose name starts with `prefix`, sorted by name —
+    /// the namespace is path-like, so this is directory listing.
+    #[must_use]
+    pub fn list_prefix(&self, prefix: &str) -> Vec<FileMeta> {
+        let mut key = NAME_PREFIX.to_vec();
+        key.extend_from_slice(prefix.as_bytes());
+        self.db
+            .lock()
+            .scan_prefix(&key)
+            .into_iter()
+            .filter_map(|(_, v)| serde_json::from_slice(&v).ok())
+            .collect()
+    }
+
+    /// Number of files.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.db.lock().scan_prefix(NAME_PREFIX).len()
+    }
+
+    /// Flushes metadata to disk — the graceful-shutdown path that makes
+    /// the next [`Nameserver::open`] fast and trustworthy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure.
+    pub fn flush(&self) -> Result<(), FsError> {
+        self.db.lock().flush()?;
+        Ok(())
+    }
+
+    /// Rebuilds the mappings by scanning dataserver metadata — the
+    /// paper's recovery path after an *unexpected* restart, when the
+    /// (fsync-off) database may be stale: "instead of reading from the
+    /// possibly stale database, the nameserver rebuilds the mappings by
+    /// scanning the file metadata stored at the dataservers".
+    ///
+    /// Any existing database content is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a dataserver scan or a database write fails.
+    pub fn rebuild_from_dataservers(&self, dataservers: &[Arc<Dataserver>]) -> Result<(), FsError> {
+        let mut db = self.db.lock();
+        // Clear the possibly-stale namespace.
+        let stale: Vec<Vec<u8>> = db
+            .scan_prefix(NAME_PREFIX)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for k in stale {
+            db.delete(&k)?;
+        }
+        // Adopt the freshest replica metadata per file (largest size:
+        // with primary-relayed appends the primary is never behind).
+        let mut best: std::collections::HashMap<FileId, FileMeta> = Default::default();
+        for ds in dataservers {
+            for meta in ds.list_files()? {
+                let entry = best.entry(meta.id).or_insert_with(|| meta.clone());
+                if meta.size > entry.size {
+                    *entry = meta;
+                }
+            }
+        }
+        for meta in best.values() {
+            let body = serde_json::to_vec(meta)
+                .map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+            db.put(&Self::name_key(&meta.name), &body)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "mayflower-ns-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn nameserver(dir: &TempDir) -> Nameserver {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        Nameserver::open(topo, &dir.0.join("db"), NameserverConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn create_lookup_delete() {
+        let dir = TempDir::new("crud");
+        let ns = nameserver(&dir);
+        let meta = ns.create("a/b").unwrap();
+        assert_eq!(meta.replicas.len(), 3);
+        assert_eq!(meta.size, 0);
+        assert_eq!(ns.lookup("a/b").unwrap(), meta);
+        assert_eq!(ns.file_count(), 1);
+        ns.delete("a/b").unwrap();
+        assert!(matches!(ns.lookup("a/b"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let dir = TempDir::new("dup");
+        let ns = nameserver(&dir);
+        ns.create("x").unwrap();
+        assert!(matches!(ns.create("x"), Err(FsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let dir = TempDir::new("empty");
+        let ns = nameserver(&dir);
+        assert!(matches!(ns.create(""), Err(FsError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn unique_file_ids() {
+        let dir = TempDir::new("ids");
+        let ns = nameserver(&dir);
+        let mut ids = std::collections::HashSet::new();
+        for i in 0..100 {
+            let m = ns.create(&format!("f{i}")).unwrap();
+            assert!(ids.insert(m.id), "duplicate id {}", m.id);
+        }
+    }
+
+    #[test]
+    fn record_size_persists() {
+        let dir = TempDir::new("size");
+        let ns = nameserver(&dir);
+        ns.create("f").unwrap();
+        ns.record_size("f", 1234).unwrap();
+        assert_eq!(ns.lookup("f").unwrap().size, 1234);
+    }
+
+    #[test]
+    fn graceful_restart_keeps_namespace() {
+        let dir = TempDir::new("restart");
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        {
+            let ns = Nameserver::open(
+                topo.clone(),
+                &dir.0.join("db"),
+                NameserverConfig::default(),
+            )
+            .unwrap();
+            ns.create("kept").unwrap();
+            ns.flush().unwrap();
+        }
+        let ns =
+            Nameserver::open(topo, &dir.0.join("db"), NameserverConfig::default()).unwrap();
+        assert!(ns.lookup("kept").is_ok());
+    }
+
+    #[test]
+    fn rebuild_from_dataservers_recovers_lost_namespace() {
+        let dir = TempDir::new("rebuild");
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let ns = Nameserver::open(
+            topo.clone(),
+            &dir.0.join("db"),
+            NameserverConfig {
+                chunk_size: 8,
+                ..NameserverConfig::default()
+            },
+        )
+        .unwrap();
+        // Create a file, materialize replicas on dataservers, append.
+        let meta = ns.create("recoverme").unwrap();
+        let ds: Vec<Arc<Dataserver>> = meta
+            .replicas
+            .iter()
+            .map(|h| {
+                Arc::new(
+                    Dataserver::open(*h, &dir.0.join(format!("ds-{h}"))).unwrap(),
+                )
+            })
+            .collect();
+        for d in &ds {
+            d.create_file(&meta).unwrap();
+        }
+        // Primary gets the append and an updated local meta.
+        ds[0].append_local(meta.id, b"payload").unwrap();
+
+        // Simulate a nameserver crash with a stale DB: wipe and rebuild.
+        let fresh = Nameserver::open(
+            Arc::clone(&topo),
+            &dir.0.join("db2"),
+            NameserverConfig::default(),
+        )
+        .unwrap();
+        fresh.rebuild_from_dataservers(&ds).unwrap();
+        let rebuilt = fresh.lookup("recoverme").unwrap();
+        assert_eq!(rebuilt.id, meta.id);
+        assert_eq!(rebuilt.size, 7, "freshest replica wins");
+        assert_eq!(rebuilt.replicas, meta.replicas);
+    }
+
+    #[test]
+    fn create_placed_pins_replicas() {
+        use mayflower_net::HostId;
+        let dir = TempDir::new("placed");
+        let ns = nameserver(&dir);
+        let replicas = vec![HostId(7), HostId(20), HostId(41)];
+        let meta = ns.create_placed("pinned", replicas.clone()).unwrap();
+        assert_eq!(meta.replicas, replicas);
+        assert_eq!(ns.lookup("pinned").unwrap().replicas, replicas);
+        assert!(matches!(
+            ns.create_placed("pinned", replicas),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            ns.create_placed("bad", vec![]),
+            Err(FsError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn list_prefix_acts_as_directory_listing() {
+        let dir = TempDir::new("lsprefix");
+        let ns = nameserver(&dir);
+        for n in ["logs/a", "logs/b", "data/x", "logs2/c"] {
+            ns.create(n).unwrap();
+        }
+        let names: Vec<String> = ns
+            .list_prefix("logs/")
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(names, vec!["logs/a", "logs/b"]);
+        assert_eq!(ns.list_prefix("nope/").len(), 0);
+        assert_eq!(ns.list_prefix("").len(), 4);
+    }
+
+    #[test]
+    fn self_rename_is_a_noop() {
+        let dir = TempDir::new("selfrename");
+        let ns = nameserver(&dir);
+        let meta = ns.create("same").unwrap();
+        let displaced = ns.rename("same", "same", true).unwrap();
+        assert!(displaced.is_none(), "self-rename must not displace itself");
+        assert_eq!(ns.lookup("same").unwrap().id, meta.id);
+    }
+
+    #[test]
+    fn list_sorted_by_name() {
+        let dir = TempDir::new("list");
+        let ns = nameserver(&dir);
+        for n in ["c", "a", "b"] {
+            ns.create(n).unwrap();
+        }
+        let names: Vec<String> = ns.list().into_iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,360 @@
+//! The fault-tolerant nameserver: state machine replication over
+//! Paxos, the paper's §3.3.1 future-work item ("we can improve the
+//! fault-tolerance of the nameserver by using a state machine
+//! replication algorithm, such as Paxos, to replicate the nameserver
+//! to multiple nodes").
+//!
+//! Design: every mutation is a fully-deterministic [`NsOp`] — the
+//! *proposing* node decides the UUID and replica placement, so each
+//! replica's [`Nameserver`] applies the identical transition. Ops are
+//! sequenced by the [`mayflower_consensus`] replicated log; each
+//! replica applies its log's gap-free committed prefix in slot order.
+//! Reads can then be served by any replica that has applied the ops
+//! the caller depends on (read-your-writes via the proposing node).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use mayflower_consensus::cluster::{Cluster as PaxosGroup, FaultModel};
+use mayflower_consensus::ReplicaId;
+use mayflower_net::Topology;
+use mayflower_simcore::SimRng;
+
+use crate::error::FsError;
+use crate::nameserver::{Nameserver, NameserverConfig};
+use crate::types::{FileId, FileMeta};
+
+/// A deterministic nameserver mutation, replicated through the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NsOp {
+    /// Create a file with pre-decided metadata.
+    Create(FileMeta),
+    /// Delete a file by name.
+    Delete(String),
+    /// Record a file's new size after an append.
+    RecordSize {
+        /// File name.
+        name: String,
+        /// New size in bytes.
+        size: u64,
+    },
+}
+
+/// A nameserver replicated across `n` nodes via Paxos.
+///
+/// Mutations go through [`ReplicatedNameserver::create`] /
+/// [`ReplicatedNameserver::delete`] / [`ReplicatedNameserver::
+/// record_size`], each proposed at a chosen node (tolerating crashed
+/// minorities); reads are served from any live node's applied state.
+pub struct ReplicatedNameserver {
+    group: PaxosGroup<NsOp>,
+    nameservers: Vec<Arc<Nameserver>>,
+    /// Ops applied so far per node (prefix length).
+    applied: Vec<usize>,
+    config: NameserverConfig,
+    rng: SimRng,
+}
+
+impl ReplicatedNameserver {
+    /// Creates an `n`-way replicated nameserver with databases under
+    /// `dir/ns-<i>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any replica's database cannot be opened.
+    pub fn open(
+        topo: Arc<Topology>,
+        dir: &Path,
+        n: usize,
+        config: NameserverConfig,
+        seed: u64,
+    ) -> Result<ReplicatedNameserver, FsError> {
+        let nameservers = (0..n)
+            .map(|i| {
+                Nameserver::open(topo.clone(), &dir.join(format!("ns-{i}")), config.clone())
+                    .map(Arc::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ReplicatedNameserver {
+            group: PaxosGroup::with_faults(n, seed, FaultModel::default()),
+            nameservers,
+            applied: vec![0; n],
+            config,
+            rng: SimRng::seed_from(seed ^ 0x5253), // "RS"
+        })
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.nameservers.len()
+    }
+
+    /// Crashes a node (stops participating in consensus).
+    pub fn crash(&mut self, node: u32) {
+        self.group.crash(ReplicaId(node));
+    }
+
+    /// Restarts a crashed node; it catches up from the log on the next
+    /// operation.
+    pub fn restart(&mut self, node: u32) {
+        self.group.restart(ReplicaId(node));
+    }
+
+    /// Proposes an op at `node`, drives consensus to quiescence, and
+    /// applies every newly-committed op everywhere.
+    fn replicate(&mut self, node: u32, op: NsOp) -> Result<(), FsError> {
+        self.group.propose(ReplicaId(node), op.clone());
+        self.group.run_to_quiescence();
+        self.apply_committed()?;
+        // If a minority partition blocked the op, surface it.
+        let committed = self
+            .group
+            .replica(ReplicaId(node))
+            .log()
+            .values()
+            .any(|v| *v == op);
+        if committed {
+            Ok(())
+        } else {
+            // Withdraw so the stuck proposal cannot wedge later ops.
+            self.group.abandon(ReplicaId(node));
+            Err(FsError::Consistency(
+                "operation not committed (no quorum reachable)".into(),
+            ))
+        }
+    }
+
+    /// Applies each node's committed prefix to its nameserver.
+    fn apply_committed(&mut self) -> Result<(), FsError> {
+        for i in 0..self.nameservers.len() {
+            let prefix: Vec<NsOp> = self
+                .group
+                .replica(ReplicaId(i as u32))
+                .committed_prefix()
+                .into_iter()
+                .cloned()
+                .collect();
+            for op in prefix.iter().skip(self.applied[i]) {
+                Self::apply(&self.nameservers[i], op)?;
+            }
+            self.applied[i] = prefix.len();
+        }
+        Ok(())
+    }
+
+    fn apply(ns: &Nameserver, op: &NsOp) -> Result<(), FsError> {
+        match op {
+            NsOp::Create(meta) => match ns.create_exact(meta) {
+                Ok(()) | Err(FsError::AlreadyExists(_)) => Ok(()),
+                Err(e) => Err(e),
+            },
+            NsOp::Delete(name) => match ns.delete(name) {
+                Ok(_) | Err(FsError::NotFound(_)) => Ok(()),
+                Err(e) => Err(e),
+            },
+            NsOp::RecordSize { name, size } => match ns.record_size(name, *size) {
+                Ok(()) | Err(FsError::NotFound(_)) => Ok(()),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    /// Creates a file: the proposing `node` decides UUID and placement,
+    /// then replicates the decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] for duplicate names, or
+    /// [`FsError::Consistency`] if no quorum is reachable.
+    pub fn create(&mut self, node: u32, name: &str) -> Result<FileMeta, FsError> {
+        if name.is_empty() {
+            return Err(FsError::InvalidArgument("file name is empty".into()));
+        }
+        // Duplicate check against the proposer's applied state.
+        if self.lookup_at(node, name).is_ok() {
+            return Err(FsError::AlreadyExists(name.to_string()));
+        }
+        let topo = self.nameservers[node as usize].topology().clone();
+        let id = FileId(
+            (u128::from(self.rng.next_u64()) << 64) | u128::from(self.rng.next_u64()),
+        );
+        let replicas = self
+            .config
+            .placement
+            .place(&topo, self.config.replication, &mut self.rng);
+        let meta = FileMeta {
+            id,
+            name: name.to_string(),
+            chunk_size: self.config.chunk_size,
+            size: 0,
+            replicas,
+        };
+        self.replicate(node, NsOp::Create(meta.clone()))?;
+        Ok(meta)
+    }
+
+    /// Deletes a file through `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] or [`FsError::Consistency`].
+    pub fn delete(&mut self, node: u32, name: &str) -> Result<(), FsError> {
+        self.lookup_at(node, name)?;
+        self.replicate(node, NsOp::Delete(name.to_string()))
+    }
+
+    /// Records a size change through `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] or [`FsError::Consistency`].
+    pub fn record_size(&mut self, node: u32, name: &str, size: u64) -> Result<(), FsError> {
+        self.lookup_at(node, name)?;
+        self.replicate(
+            node,
+            NsOp::RecordSize {
+                name: name.to_string(),
+                size,
+            },
+        )
+    }
+
+    /// Reads a file's metadata from a specific node's applied state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if that node has not (yet) applied
+    /// a create for the name.
+    pub fn lookup_at(&self, node: u32, name: &str) -> Result<FileMeta, FsError> {
+        self.nameservers[node as usize].lookup(name)
+    }
+
+    /// Number of files according to a node's applied state.
+    #[must_use]
+    pub fn file_count_at(&self, node: u32) -> usize {
+        self.nameservers[node as usize].file_count()
+    }
+}
+
+impl std::fmt::Debug for ReplicatedNameserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedNameserver")
+            .field("replicas", &self.nameservers.len())
+            .field("applied", &self.applied)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "mayflower-repl-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn replicated(dir: &TempDir, n: usize) -> ReplicatedNameserver {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        ReplicatedNameserver::open(topo, &dir.0, n, NameserverConfig::default(), 7).unwrap()
+    }
+
+    #[test]
+    fn create_is_visible_on_every_replica() {
+        let dir = TempDir::new("visible");
+        let mut rns = replicated(&dir, 3);
+        let meta = rns.create(0, "a/b").unwrap();
+        for node in 0..3 {
+            let found = rns.lookup_at(node, "a/b").unwrap();
+            assert_eq!(found.id, meta.id, "node {node} diverged");
+            assert_eq!(found.replicas, meta.replicas);
+        }
+    }
+
+    #[test]
+    fn ops_through_different_nodes_stay_consistent() {
+        let dir = TempDir::new("multi");
+        let mut rns = replicated(&dir, 3);
+        rns.create(0, "f1").unwrap();
+        rns.create(1, "f2").unwrap();
+        rns.record_size(2, "f1", 99).unwrap();
+        rns.delete(1, "f2").unwrap();
+        for node in 0..3 {
+            assert_eq!(rns.file_count_at(node), 1, "node {node}");
+            assert_eq!(rns.lookup_at(node, "f1").unwrap().size, 99);
+            assert!(rns.lookup_at(node, "f2").is_err());
+        }
+    }
+
+    #[test]
+    fn survives_minority_crash_and_failover() {
+        let dir = TempDir::new("failover");
+        let mut rns = replicated(&dir, 3);
+        rns.create(0, "before").unwrap();
+        // The original proposer crashes; the system fails over.
+        rns.crash(0);
+        let meta = rns.create(1, "after").unwrap();
+        assert_eq!(rns.lookup_at(1, "after").unwrap().id, meta.id);
+        assert_eq!(rns.lookup_at(2, "after").unwrap().id, meta.id);
+        // The crashed node recovers and catches up on the next op.
+        rns.restart(0);
+        rns.record_size(1, "after", 5).unwrap();
+        assert!(rns.lookup_at(0, "after").is_ok());
+    }
+
+    #[test]
+    fn majority_crash_rejects_writes_safely() {
+        let dir = TempDir::new("quorumloss");
+        let mut rns = replicated(&dir, 3);
+        rns.create(0, "ok").unwrap();
+        rns.crash(1);
+        rns.crash(2);
+        let err = rns.create(0, "blocked");
+        assert!(
+            matches!(err, Err(FsError::Consistency(_))),
+            "write without quorum must fail: {err:?}"
+        );
+        // Reads of committed state still work on the live node.
+        assert!(rns.lookup_at(0, "ok").is_ok());
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let dir = TempDir::new("dup");
+        let mut rns = replicated(&dir, 3);
+        rns.create(0, "x").unwrap();
+        assert!(matches!(
+            rns.create(1, "x"),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn five_way_replication_tolerates_two_crashes() {
+        let dir = TempDir::new("fiveway");
+        let mut rns = replicated(&dir, 5);
+        rns.crash(3);
+        rns.crash(4);
+        rns.create(0, "resilient").unwrap();
+        for node in 0..3 {
+            assert!(rns.lookup_at(node, "resilient").is_ok());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Pluggable read replica selection for the client library.
+//!
+//! "During read operations, clients query the Flowserver to select a
+//! replica to read from" (§5) — in this crate the query is abstracted
+//! behind [`ReplicaSelector`], so the same client code runs with the
+//! Flowserver, with HDFS-style rack-awareness, or with trivial
+//! policies for tests.
+
+use mayflower_net::{HostId, Topology};
+use std::sync::Arc;
+
+/// One piece of a read: which replica serves how many bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadAssignment {
+    /// The replica host to read from.
+    pub replica: HostId,
+    /// How many bytes of the request this replica serves.
+    pub bytes: u64,
+}
+
+/// A read replica selection policy.
+///
+/// Given a client host, the file's replicas, and a request size,
+/// returns one or more assignments whose byte counts sum to the
+/// request size. Multiple assignments express a §4.3 split read; the
+/// client maps them onto consecutive byte ranges.
+pub trait ReplicaSelector: Send {
+    /// Chooses the replica(s) for one read.
+    fn select_read(
+        &mut self,
+        client: HostId,
+        replicas: &[HostId],
+        size_bytes: u64,
+    ) -> Vec<ReadAssignment>;
+}
+
+/// Always reads from the primary replica. Simple, and what a
+/// consistency-paranoid deployment would run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrimarySelector;
+
+impl ReplicaSelector for PrimarySelector {
+    fn select_read(
+        &mut self,
+        _client: HostId,
+        replicas: &[HostId],
+        size_bytes: u64,
+    ) -> Vec<ReadAssignment> {
+        vec![ReadAssignment {
+            replica: replicas[0],
+            bytes: size_bytes,
+        }]
+    }
+}
+
+/// HDFS-style rack-aware selection: the topologically closest replica,
+/// with deterministic tie-breaking (lowest host id). This is the
+/// prototype comparison's "HDFS selects the replica in the same rack
+/// where the client is located, if any such replica exists" (§6.7).
+#[derive(Debug, Clone)]
+pub struct NearestSelector {
+    topo: Arc<Topology>,
+}
+
+impl NearestSelector {
+    /// Creates a selector over the given topology.
+    #[must_use]
+    pub fn new(topo: Arc<Topology>) -> NearestSelector {
+        NearestSelector { topo }
+    }
+}
+
+impl ReplicaSelector for NearestSelector {
+    fn select_read(
+        &mut self,
+        client: HostId,
+        replicas: &[HostId],
+        size_bytes: u64,
+    ) -> Vec<ReadAssignment> {
+        let best = replicas
+            .iter()
+            .copied()
+            .min_by_key(|r| (self.topo.distance(client, *r).unwrap_or(usize::MAX), *r))
+            .expect("non-empty replica set");
+        vec![ReadAssignment {
+            replica: best,
+            bytes: size_bytes,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::{Topology, TreeParams};
+
+    #[test]
+    fn primary_selector_reads_everything_from_primary() {
+        let mut s = PrimarySelector;
+        let a = s.select_read(HostId(0), &[HostId(7), HostId(9)], 100);
+        assert_eq!(
+            a,
+            vec![ReadAssignment {
+                replica: HostId(7),
+                bytes: 100
+            }]
+        );
+    }
+
+    #[test]
+    fn nearest_selector_prefers_same_rack() {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let mut s = NearestSelector::new(topo);
+        let a = s.select_read(HostId(0), &[HostId(40), HostId(1)], 10);
+        assert_eq!(a[0].replica, HostId(1));
+    }
+
+    #[test]
+    fn nearest_selector_prefers_colocated() {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let mut s = NearestSelector::new(topo);
+        let a = s.select_read(HostId(5), &[HostId(40), HostId(5)], 10);
+        assert_eq!(a[0].replica, HostId(5));
+    }
+
+    #[test]
+    fn nearest_tie_breaks_deterministically() {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let mut s = NearestSelector::new(topo);
+        // Both replicas cross-pod: lowest id wins.
+        let a = s.select_read(HostId(0), &[HostId(40), HostId(20)], 10);
+        assert_eq!(a[0].replica, HostId(20));
+    }
+}

@@ -1,0 +1,144 @@
+//! Core filesystem types.
+
+use mayflower_net::HostId;
+use serde::{Deserialize, Serialize};
+
+/// A file's universally-unique identifier. The paper names each file's
+/// dataserver directory by its UUID (§3.3.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FileId(pub u128);
+
+impl FileId {
+    /// Renders as 32 lowercase hex digits — the on-disk directory name.
+    #[must_use]
+    pub fn as_hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the hex form.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<FileId> {
+        u128::from_str_radix(s, 16).ok().map(FileId)
+    }
+}
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.as_hex())
+    }
+}
+
+/// Consistency level for reads (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Consistency {
+    /// Sequential consistency: the primary orders appends; reads may go
+    /// to any replica. The default.
+    #[default]
+    Sequential,
+    /// Strong consistency: reads of the **last** chunk must go to the
+    /// primary replica; all other chunks are immutable and may be read
+    /// anywhere.
+    Strong,
+}
+
+/// Per-file metadata, stored by the nameserver and mirrored to each
+/// replica's dataserver directory (the rebuild source after an unclean
+/// nameserver restart).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// The file's UUID.
+    pub id: FileId,
+    /// The user-visible name (path-like string).
+    pub name: String,
+    /// Chunk size in bytes; fixed at creation. Default 256 MB (§5).
+    pub chunk_size: u64,
+    /// Current file size in bytes (advances with appends).
+    pub size: u64,
+    /// Replica hosts; `replicas[0]` is the **primary**, which orders
+    /// appends.
+    pub replicas: Vec<HostId>,
+}
+
+impl FileMeta {
+    /// The primary replica host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica list is empty (never constructed that
+    /// way).
+    #[must_use]
+    pub fn primary(&self) -> HostId {
+        self.replicas[0]
+    }
+
+    /// Number of chunks currently backing the file (0 when empty).
+    #[must_use]
+    pub fn chunk_count(&self) -> u64 {
+        self.size.div_ceil(self.chunk_size)
+    }
+
+    /// Index of the last (mutable) chunk, if the file is non-empty.
+    #[must_use]
+    pub fn last_chunk(&self) -> Option<u64> {
+        if self.size == 0 {
+            None
+        } else {
+            Some((self.size - 1) / self.chunk_size)
+        }
+    }
+}
+
+/// The paper's default block size: 256 MB.
+pub const DEFAULT_CHUNK_SIZE: u64 = 256 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_hex_roundtrip() {
+        let id = FileId(0xDEAD_BEEF_0123_4567_89AB_CDEF_0000_1111);
+        let hex = id.as_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(FileId::from_hex(&hex), Some(id));
+        assert!(FileId::from_hex("not hex").is_none());
+    }
+
+    fn meta(size: u64, chunk: u64) -> FileMeta {
+        FileMeta {
+            id: FileId(1),
+            name: "f".into(),
+            chunk_size: chunk,
+            size,
+            replicas: vec![HostId(3), HostId(9)],
+        }
+    }
+
+    #[test]
+    fn chunk_math() {
+        assert_eq!(meta(0, 10).chunk_count(), 0);
+        assert_eq!(meta(0, 10).last_chunk(), None);
+        assert_eq!(meta(1, 10).chunk_count(), 1);
+        assert_eq!(meta(10, 10).chunk_count(), 1);
+        assert_eq!(meta(10, 10).last_chunk(), Some(0));
+        assert_eq!(meta(11, 10).chunk_count(), 2);
+        assert_eq!(meta(11, 10).last_chunk(), Some(1));
+        assert_eq!(meta(25, 10).chunk_count(), 3);
+        assert_eq!(meta(25, 10).last_chunk(), Some(2));
+    }
+
+    #[test]
+    fn primary_is_first_replica() {
+        assert_eq!(meta(1, 1).primary(), HostId(3));
+    }
+
+    #[test]
+    fn meta_serde_roundtrip() {
+        let m = meta(42, 7);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: FileMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

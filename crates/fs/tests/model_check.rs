@@ -1,0 +1,155 @@
+//! Model-based property test: the Mayflower filesystem must agree with
+//! a trivial in-memory reference model under arbitrary operation
+//! sequences, chunk sizes and consistency levels.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mayflower_fs::nameserver::NameserverConfig;
+use mayflower_fs::{Cluster, ClusterConfig, Consistency};
+use mayflower_net::{HostId, Topology, TreeParams};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Append(u8, Vec<u8>),
+    ReadAll(u8),
+    ReadRange(u8, u16, u16),
+    Rename(u8, u8),
+    Delete(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let name = 0u8..4;
+    prop_oneof![
+        2 => name.clone().prop_map(Op::Create),
+        4 => (name.clone(), proptest::collection::vec(any::<u8>(), 0..60))
+            .prop_map(|(n, d)| Op::Append(n, d)),
+        3 => name.clone().prop_map(Op::ReadAll),
+        2 => (name.clone(), any::<u16>(), 0u16..80).prop_map(|(n, o, l)| Op::ReadRange(n, o, l)),
+        1 => (name.clone(), name.clone()).prop_map(|(a, b)| Op::Rename(a, b)),
+        1 => name.prop_map(Op::Delete),
+    ]
+}
+
+fn temp_dir(tag: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "mayflower-model-{}-{:?}-{tag}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn filesystem_agrees_with_model(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        chunk_size in 1u64..40,
+        strong in any::<bool>(),
+        case_tag in any::<u64>(),
+    ) {
+        let dir = temp_dir(case_tag);
+        std::fs::remove_dir_all(&dir).ok();
+        let topo = Arc::new(Topology::three_tier(&TreeParams {
+            pods: 2,
+            racks_per_pod: 2,
+            hosts_per_rack: 2,
+            ..TreeParams::paper_testbed()
+        }));
+        let cluster = Cluster::create(
+            &dir,
+            topo,
+            ClusterConfig {
+                nameserver: NameserverConfig {
+                    chunk_size,
+                    ..NameserverConfig::default()
+                },
+                consistency: if strong {
+                    Consistency::Strong
+                } else {
+                    Consistency::Sequential
+                },
+            },
+        )
+        .expect("cluster");
+        let mut client = cluster.client(HostId(0));
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Create(n) => {
+                    let name = format!("f{n}");
+                    let real = client.create(&name);
+                    if model.contains_key(&name) {
+                        prop_assert!(real.is_err(), "duplicate create must fail");
+                    } else {
+                        prop_assert!(real.is_ok(), "create failed: {real:?}");
+                        model.insert(name, Vec::new());
+                    }
+                }
+                Op::Append(n, data) => {
+                    let name = format!("f{n}");
+                    let real = client.append(&name, &data);
+                    match model.get_mut(&name) {
+                        Some(content) => {
+                            content.extend_from_slice(&data);
+                            prop_assert_eq!(real.expect("append"), content.len() as u64);
+                        }
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                Op::ReadAll(n) => {
+                    let name = format!("f{n}");
+                    let real = client.read(&name);
+                    match model.get(&name) {
+                        Some(content) => prop_assert_eq!(&real.expect("read"), content),
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                Op::ReadRange(n, offset, len) => {
+                    let name = format!("f{n}");
+                    let real = client.read_range(&name, u64::from(offset), u64::from(len));
+                    match model.get(&name) {
+                        Some(content) => {
+                            let start = (offset as usize).min(content.len());
+                            let end = (offset as usize + len as usize).min(content.len());
+                            prop_assert_eq!(&real.expect("read_range"), &content[start..end]);
+                        }
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                Op::Rename(a, b) => {
+                    let (from, to) = (format!("f{a}"), format!("f{b}"));
+                    let real = client.rename(&from, &to);
+                    if let Some(content) = model.remove(&from) {
+                        prop_assert!(real.is_ok(), "rename failed: {real:?}");
+                        model.insert(to, content);
+                    } else {
+                        prop_assert!(real.is_err());
+                    }
+                }
+                Op::Delete(n) => {
+                    let name = format!("f{n}");
+                    let real = client.delete(&name);
+                    if model.remove(&name).is_some() {
+                        prop_assert!(real.is_ok(), "delete failed: {real:?}");
+                    } else {
+                        prop_assert!(real.is_err());
+                    }
+                }
+            }
+        }
+
+        // Final sweep: every surviving file reads back exactly.
+        for (name, content) in &model {
+            prop_assert_eq!(&client.read(name).expect("final read"), content);
+        }
+        drop(client);
+        drop(cluster);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

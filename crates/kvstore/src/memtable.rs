@@ -1,0 +1,124 @@
+//! The in-memory sorted write buffer.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+/// A sorted in-memory table of the most recent writes.
+///
+/// `None` values are tombstones: they record a deletion that must
+/// shadow any older value in flushed segments until compaction drops
+/// the pair entirely.
+#[derive(Debug, Clone, Default)]
+pub struct Memtable {
+    entries: BTreeMap<Vec<u8>, Option<Bytes>>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    #[must_use]
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Records a put.
+    pub fn put(&mut self, key: &[u8], value: Bytes) {
+        self.approx_bytes += key.len() + value.len() + 16;
+        self.entries.insert(key.to_vec(), Some(value));
+    }
+
+    /// Records a deletion (tombstone).
+    pub fn delete(&mut self, key: &[u8]) {
+        self.approx_bytes += key.len() + 16;
+        self.entries.insert(key.to_vec(), None);
+    }
+
+    /// Looks a key up. `Some(None)` means "deleted here" (do not fall
+    /// through to older segments); `None` means "not present here".
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<Option<Bytes>> {
+        self.entries.get(key).cloned()
+    }
+
+    /// Number of live entries plus tombstones.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Rough heap footprint, used to trigger flushes.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterates entries in key order (tombstones included).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&Bytes>)> {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), v.as_ref()))
+    }
+
+    /// Drains the table, returning its sorted contents.
+    pub fn drain(&mut self) -> BTreeMap<Vec<u8>, Option<Bytes>> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut m = Memtable::new();
+        m.put(b"a", Bytes::from_static(b"1"));
+        assert_eq!(m.get(b"a"), Some(Some(Bytes::from_static(b"1"))));
+        assert_eq!(m.get(b"b"), None);
+    }
+
+    #[test]
+    fn tombstone_shadows() {
+        let mut m = Memtable::new();
+        m.put(b"a", Bytes::from_static(b"1"));
+        m.delete(b"a");
+        assert_eq!(m.get(b"a"), Some(None));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let mut m = Memtable::new();
+        m.put(b"k", Bytes::from_static(b"old"));
+        m.put(b"k", Bytes::from_static(b"new"));
+        assert_eq!(m.get(b"k"), Some(Some(Bytes::from_static(b"new"))));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = Memtable::new();
+        for k in [b"c".as_slice(), b"a", b"b"] {
+            m.put(k, Bytes::from_static(b"v"));
+        }
+        let keys: Vec<&[u8]> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c"]);
+    }
+
+    #[test]
+    fn size_tracking_grows_and_resets() {
+        let mut m = Memtable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(b"key", Bytes::from_static(b"value"));
+        assert!(m.approx_bytes() > 0);
+        let drained = m.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+}

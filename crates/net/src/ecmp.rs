@@ -1,0 +1,162 @@
+//! Equal-cost multipath (ECMP) path selection.
+//!
+//! ECMP (RFC 2992) hashes flow-identifying packet-header fields onto
+//! one of the equal-length shortest paths. It is oblivious to load,
+//! which is exactly the weakness the paper exploits: elephant flows
+//! that hash onto the same link congest it persistently (§2.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::HostId;
+use crate::path::Path;
+use crate::topology::Topology;
+
+/// The header fields ECMP hashes: the flow five-tuple, reduced here to
+/// source host, destination host and a per-flow discriminator standing
+/// in for the ephemeral port pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source host.
+    pub src: HostId,
+    /// Destination host.
+    pub dst: HostId,
+    /// Per-flow discriminator (e.g. a flow id or port pair hash).
+    pub flow_discriminator: u64,
+}
+
+impl FlowKey {
+    /// Creates a flow key.
+    #[must_use]
+    pub fn new(src: HostId, dst: HostId, flow_discriminator: u64) -> FlowKey {
+        FlowKey {
+            src,
+            dst,
+            flow_discriminator,
+        }
+    }
+
+    /// A deterministic 64-bit hash of the key (FNV-1a). Stable across
+    /// runs and platforms so simulations are reproducible.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in self
+            .src
+            .0
+            .to_le_bytes()
+            .into_iter()
+            .chain(self.dst.0.to_le_bytes())
+            .chain(self.flow_discriminator.to_le_bytes())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
+/// Selects the ECMP path for a flow: a stable hash of the flow key over
+/// the equal-length shortest paths between its endpoints.
+///
+/// Returns `None` when the endpoints coincide (no network path).
+///
+/// # Example
+///
+/// ```
+/// use mayflower_net::{ecmp_path, FlowKey, HostId, Topology, TreeParams};
+///
+/// let topo = Topology::three_tier(&TreeParams::paper_testbed());
+/// let key = FlowKey::new(HostId(0), HostId(20), 7);
+/// let path = ecmp_path(&topo, key).expect("distinct hosts have a path");
+/// assert_eq!(path.len(), 6); // cross-pod
+/// // Same key, same path — ECMP is deterministic per flow.
+/// assert_eq!(ecmp_path(&topo, key), Some(path));
+/// ```
+#[must_use]
+pub fn ecmp_path(topo: &Topology, key: FlowKey) -> Option<Path> {
+    let paths = topo.shortest_paths(key.src, key.dst);
+    if paths.is_empty() {
+        return None;
+    }
+    let idx = (key.stable_hash() % paths.len() as u64) as usize;
+    Some(paths[idx].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+
+    #[test]
+    fn deterministic_per_key() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        let k = FlowKey::new(HostId(1), HostId(33), 42);
+        assert_eq!(ecmp_path(&t, k), ecmp_path(&t, k));
+    }
+
+    #[test]
+    fn different_flows_spread_over_paths() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..64 {
+            let k = FlowKey::new(HostId(0), HostId(20), d);
+            seen.insert(ecmp_path(&t, k).unwrap());
+        }
+        // 8 cross-pod paths exist; hashing should hit several.
+        assert!(seen.len() >= 4, "only {} distinct paths used", seen.len());
+    }
+
+    #[test]
+    fn same_host_has_no_path() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        assert!(ecmp_path(&t, FlowKey::new(HostId(3), HostId(3), 0)).is_none());
+    }
+
+    #[test]
+    fn selected_path_is_valid_shortest() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        for d in 0..16 {
+            let k = FlowKey::new(HostId(2), HostId(45), d);
+            let p = ecmp_path(&t, k).unwrap();
+            assert!(p.validate(&t));
+            assert_eq!(p.len(), 6);
+        }
+    }
+
+    #[test]
+    fn stable_hash_differs_on_discriminator() {
+        let a = FlowKey::new(HostId(0), HostId(1), 1).stable_hash();
+        let b = FlowKey::new(HostId(0), HostId(1), 2).stable_hash();
+        assert_ne!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::tree::TreeParams;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every ECMP selection is one of the shortest paths and is
+        /// stable under repetition.
+        #[test]
+        fn ecmp_always_picks_a_shortest_path(
+            src in 0u32..64, dst in 0u32..64, disc in any::<u64>()
+        ) {
+            let t = Topology::three_tier(&TreeParams::paper_testbed());
+            let key = FlowKey::new(HostId(src), HostId(dst), disc);
+            let choice = ecmp_path(&t, key);
+            let all = t.shortest_paths(HostId(src), HostId(dst));
+            match choice {
+                None => prop_assert!(all.is_empty()),
+                Some(p) => {
+                    prop_assert!(all.contains(&p));
+                    prop_assert_eq!(ecmp_path(&t, key), Some(p));
+                }
+            }
+        }
+    }
+}

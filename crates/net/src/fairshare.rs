@@ -1,0 +1,224 @@
+//! Single-link max-min fair-share arithmetic.
+//!
+//! Both the ground-truth fluid simulator (globally, via progressive
+//! filling) and the Flowserver's estimator (per link, §4.2) divide link
+//! capacity across flows "equally up to the flow's demand while
+//! remaining within the link's capacity". This module implements that
+//! single-link water-filling step.
+
+/// Divides `capacity` across flows with the given `demands` using
+/// max-min fairness: capacity is split equally, but no flow receives
+/// more than its demand; leftover from capped flows is redistributed
+/// among the rest. An unbounded demand is expressed as
+/// `f64::INFINITY`.
+///
+/// Returns the per-flow allocation, in input order. An empty demand
+/// slice returns an empty vector.
+///
+/// # Panics
+///
+/// Panics if `capacity` is negative/NaN or any demand is negative/NaN.
+///
+/// # Example
+///
+/// ```
+/// use mayflower_net::fairshare::waterfill;
+///
+/// // Paper Figure 2(b): 10 Mbps link, three existing flows demanding
+/// // 2, 2 and 6, plus a new flow with unbounded demand. Equal share is
+/// // 2.5; the 2-demand flows cap at 2, freeing capacity: the 6-demand
+/// // flow and the new flow each get 3.
+/// let alloc = waterfill(10.0, &[2.0, 2.0, 6.0, f64::INFINITY]);
+/// assert_eq!(alloc, vec![2.0, 2.0, 3.0, 3.0]);
+/// ```
+#[must_use]
+pub fn waterfill(capacity: f64, demands: &[f64]) -> Vec<f64> {
+    assert!(
+        capacity >= 0.0 && !capacity.is_nan(),
+        "capacity must be non-negative"
+    );
+    assert!(
+        demands.iter().all(|d| *d >= 0.0 && !d.is_nan()),
+        "demands must be non-negative"
+    );
+    let n = demands.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut alloc = vec![0.0f64; n];
+    let mut satisfied = vec![false; n];
+    let mut remaining_cap = capacity;
+    let mut remaining_flows = n;
+    loop {
+        if remaining_flows == 0 || remaining_cap <= 0.0 {
+            break;
+        }
+        let share = remaining_cap / remaining_flows as f64;
+        // Flows whose demand is below the current equal share cap out.
+        let mut any_capped = false;
+        for i in 0..n {
+            if !satisfied[i] && demands[i] <= share {
+                alloc[i] = demands[i];
+                remaining_cap -= demands[i];
+                satisfied[i] = true;
+                remaining_flows -= 1;
+                any_capped = true;
+            }
+        }
+        if !any_capped {
+            // Everyone left wants at least the equal share: done.
+            for i in 0..n {
+                if !satisfied[i] {
+                    alloc[i] = share;
+                }
+            }
+            break;
+        }
+    }
+    alloc
+}
+
+/// The max-min share a **new flow with unbounded demand** would receive
+/// on a link of the given `capacity` already carrying flows with the
+/// given `demands` (§4.2: "the demand of the new flow is set to
+/// infinity").
+///
+/// Equivalent to `waterfill(capacity, demands + [∞]).last()` but
+/// without allocating the full vector.
+#[must_use]
+pub fn new_flow_share(capacity: f64, demands: &[f64]) -> f64 {
+    let mut all: Vec<f64> = demands.to_vec();
+    all.push(f64::INFINITY);
+    *waterfill(capacity, &all)
+        .last()
+        .expect("waterfill of non-empty input is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_split_when_demands_exceed() {
+        let a = waterfill(12.0, &[10.0, 10.0, 10.0]);
+        assert_eq!(a, vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn small_demands_fully_met() {
+        let a = waterfill(12.0, &[1.0, 2.0, 100.0]);
+        assert_eq!(a, vec![1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn paper_fig2b_second_link() {
+        // Second link of first path: flows 2, 2, 6 plus new flow → new
+        // flow gets 3 (the paper's bottleneck share for path 1).
+        let share = new_flow_share(10.0, &[2.0, 2.0, 6.0]);
+        assert!((share - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig2b_third_link() {
+        // Third link: one flow at 10 plus new flow → each gets 5.
+        let share = new_flow_share(10.0, &[10.0]);
+        assert!((share - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_fig2c_second_path() {
+        // Figure 2(c): second path, edge→agg link flows 2, 2, 4 → new
+        // flow share 3; agg→edge link flow 8 → share 5. Bottleneck 3.
+        let s1 = new_flow_share(10.0, &[2.0, 2.0, 4.0]);
+        assert!((s1 - 3.0).abs() < 1e-12, "{s1}");
+        let s2 = new_flow_share(10.0, &[8.0]);
+        assert!((s2 - 5.0).abs() < 1e-12, "{s2}");
+    }
+
+    #[test]
+    fn empty_demands() {
+        assert!(waterfill(5.0, &[]).is_empty());
+        assert_eq!(new_flow_share(5.0, &[]), 5.0);
+    }
+
+    #[test]
+    fn zero_capacity_gives_zero() {
+        assert_eq!(waterfill(0.0, &[1.0, 2.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_demand_flows_get_zero() {
+        let a = waterfill(10.0, &[0.0, f64::INFINITY]);
+        assert_eq!(a, vec![0.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_panics() {
+        let _ = waterfill(-1.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_demand_panics() {
+        let _ = waterfill(1.0, &[-1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn demand_vec() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(
+            prop_oneof![3 => 0.0f64..100.0, 1 => Just(f64::INFINITY)],
+            1..20,
+        )
+    }
+
+    proptest! {
+        /// The allocation never exceeds capacity, never exceeds any
+        /// demand, and is Pareto-efficient (either capacity exhausted
+        /// or all demands met).
+        #[test]
+        fn waterfill_invariants(cap in 0.0f64..1000.0, demands in demand_vec()) {
+            let alloc = waterfill(cap, &demands);
+            let total: f64 = alloc.iter().sum();
+            prop_assert!(total <= cap * (1.0 + 1e-9) + 1e-9);
+            for (a, d) in alloc.iter().zip(&demands) {
+                prop_assert!(*a <= d * (1.0 + 1e-9) + 1e-9);
+                prop_assert!(*a >= 0.0);
+            }
+            let all_met = alloc.iter().zip(&demands).all(|(a, d)| (a - d).abs() < 1e-6 || d.is_infinite() && *a > 0.0);
+            let cap_used = (total - cap).abs() < 1e-6 * cap.max(1.0);
+            prop_assert!(all_met || cap_used || cap == 0.0,
+                "not Pareto efficient: total={total} cap={cap} alloc={alloc:?} demands={demands:?}");
+        }
+
+        /// Fairness: if flow i gets strictly less than flow j, then
+        /// flow i must be demand-capped.
+        #[test]
+        fn waterfill_fairness(cap in 0.1f64..1000.0, demands in demand_vec()) {
+            let alloc = waterfill(cap, &demands);
+            for i in 0..alloc.len() {
+                for j in 0..alloc.len() {
+                    if alloc[i] + 1e-9 < alloc[j] {
+                        prop_assert!((alloc[i] - demands[i]).abs() < 1e-9,
+                            "flow {i} got {} < {} but is not capped at its demand {}",
+                            alloc[i], alloc[j], demands[i]);
+                    }
+                }
+            }
+        }
+
+        /// A new unbounded flow always gets at least an equal share.
+        #[test]
+        fn new_flow_gets_at_least_equal_share(cap in 0.1f64..1000.0, demands in demand_vec()) {
+            let share = new_flow_share(cap, &demands);
+            let equal = cap / (demands.len() + 1) as f64;
+            prop_assert!(share >= equal - 1e-9);
+            prop_assert!(share <= cap + 1e-9);
+        }
+    }
+}

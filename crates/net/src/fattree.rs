@@ -1,0 +1,206 @@
+//! k-ary fat-tree topologies (Al-Fares et al., SIGCOMM '08 — the
+//! paper's reference [5]).
+//!
+//! The paper positions Mayflower for **oversubscribed** hierarchies,
+//! noting that full-bisection designs like the fat-tree "increase the
+//! bisection bandwidth" but that "oversubscribed multi-tier
+//! hierarchical topologies are still prevalent" (§2.2). Building the
+//! fat-tree lets experiments measure how much of the co-design benefit
+//! survives when the network stops being the bottleneck.
+//!
+//! A k-ary fat-tree (k even) has `k` pods; each pod has `k/2` edge
+//! switches and `k/2` aggregation switches; each edge switch serves
+//! `k/2` hosts and links to every aggregation switch in its pod; there
+//! are `(k/2)²` core switches, with aggregation switch `a` of every
+//! pod linking to cores `a·k/2 .. (a+1)·k/2`. All links share one
+//! capacity, giving full bisection bandwidth: `k³/4` hosts.
+
+use crate::ids::{NodeKind, PodId, RackId};
+use crate::topology::Topology;
+use crate::Bps;
+
+/// Parameters of a k-ary fat-tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FatTreeParams {
+    /// The switch radix `k` (even, ≥ 2).
+    pub k: usize,
+    /// Capacity of every link, bits/sec.
+    pub link_capacity: Bps,
+}
+
+impl FatTreeParams {
+    /// Number of hosts: `k³/4`.
+    #[must_use]
+    pub fn host_count(&self) -> usize {
+        self.k * self.k * self.k / 4
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k < 2 || !self.k.is_multiple_of(2) {
+            return Err("fat-tree radix k must be even and >= 2".into());
+        }
+        if !(self.link_capacity.is_finite() && self.link_capacity > 0.0) {
+            return Err("link capacity must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
+impl Topology {
+    /// Builds a k-ary fat-tree. Each edge switch's hosts form a "rack"
+    /// for locality/fault-domain purposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters.
+    #[must_use]
+    pub fn fat_tree(params: &FatTreeParams) -> Topology {
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid FatTreeParams: {e}"));
+        let k = params.k;
+        let half = k / 2;
+        let cap = params.link_capacity;
+        let mut topo = Topology::new();
+
+        // Core switches: (k/2)² of them, grouped by the aggregation
+        // position they connect to.
+        let cores: Vec<Vec<_>> = (0..half)
+            .map(|_| {
+                (0..half)
+                    .map(|_| topo.add_node(NodeKind::CoreSwitch, None, None))
+                    .collect()
+            })
+            .collect();
+
+        let mut rack_no = 0u32;
+        for p in 0..k {
+            let pod = PodId(p as u32);
+            let aggs: Vec<_> = (0..half)
+                .map(|_| topo.add_node(NodeKind::AggSwitch, None, Some(pod)))
+                .collect();
+            // Aggregation position a connects to core group a.
+            for (a, &agg) in aggs.iter().enumerate() {
+                for &core in &cores[a] {
+                    topo.add_duplex_link(agg, core, cap);
+                }
+            }
+            for _ in 0..half {
+                let rack = RackId(rack_no);
+                rack_no += 1;
+                let edge = topo.add_node(NodeKind::EdgeSwitch, Some(rack), Some(pod));
+                topo.set_rack_edge(rack, edge);
+                for &agg in &aggs {
+                    topo.add_duplex_link(edge, agg, cap);
+                }
+                for _ in 0..half {
+                    let host = topo.add_node(NodeKind::Host, Some(rack), Some(pod));
+                    topo.register_host(host, rack, pod);
+                    topo.add_duplex_link(host, edge, cap);
+                }
+            }
+        }
+        topo.freeze();
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+    use crate::GBPS;
+
+    fn ft(k: usize) -> Topology {
+        Topology::fat_tree(&FatTreeParams {
+            k,
+            link_capacity: GBPS,
+        })
+    }
+
+    #[test]
+    fn k4_shape() {
+        let t = ft(4);
+        assert_eq!(t.host_count(), 16);
+        assert_eq!(t.rack_count(), 8); // k·k/2 edge switches
+        assert_eq!(t.pod_count(), 4);
+        let cores = t
+            .nodes()
+            .iter()
+            .filter(|n| n.kind() == NodeKind::CoreSwitch)
+            .count();
+        assert_eq!(cores, 4); // (k/2)²
+        let aggs = t
+            .nodes()
+            .iter()
+            .filter(|n| n.kind() == NodeKind::AggSwitch)
+            .count();
+        assert_eq!(aggs, 8); // k·k/2
+    }
+
+    #[test]
+    fn k8_host_count() {
+        assert_eq!(ft(8).host_count(), 128);
+    }
+
+    #[test]
+    fn path_lengths_match_tiers() {
+        let t = ft(4);
+        // Same rack (same edge switch): 2 hops.
+        assert!(t.shortest_paths(HostId(0), HostId(1)).iter().all(|p| p.len() == 2));
+        // Same pod, different edge: 4 hops, k/2 = 2 choices.
+        let same_pod = t.shortest_paths(HostId(0), HostId(2));
+        assert!(same_pod.iter().all(|p| p.len() == 4));
+        assert_eq!(same_pod.len(), 2);
+        // Cross pod: 6 hops, (k/2)² = 4 distinct core paths.
+        let cross = t.shortest_paths(HostId(0), HostId(15));
+        assert!(cross.iter().all(|p| p.len() == 6));
+        assert_eq!(cross.len(), 4);
+        for p in cross {
+            assert!(p.validate(&t));
+        }
+    }
+
+    #[test]
+    fn full_bisection_supports_pairwise_line_rate() {
+        // In a k=4 fat-tree, 8 simultaneous cross-pod flows on disjoint
+        // core paths can all run at line rate. Verify the capacity
+        // exists: each host's uplink is the only 1-flow link if core
+        // paths are spread.
+        let t = ft(4);
+        // Aggregate core capacity equals aggregate host capacity per
+        // direction: 16 core links × 1 Gbps vs 16 hosts × 1 Gbps.
+        let core_links = t
+            .links()
+            .iter()
+            .filter(|l| {
+                t.node(l.src()).kind() == NodeKind::CoreSwitch
+                    || t.node(l.dst()).kind() == NodeKind::CoreSwitch
+            })
+            .count();
+        assert_eq!(core_links, 32); // 16 cables × 2 directions
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_radix_rejected() {
+        let _ = Topology::fat_tree(&FatTreeParams {
+            k: 3,
+            link_capacity: GBPS,
+        });
+    }
+
+    #[test]
+    fn locality_classification_works() {
+        use crate::locality::Locality;
+        let t = ft(4);
+        assert_eq!(Locality::classify(&t, HostId(0), HostId(1)), Locality::SameRack);
+        assert_eq!(Locality::classify(&t, HostId(0), HostId(2)), Locality::SamePod);
+        assert_eq!(Locality::classify(&t, HostId(0), HostId(15)), Locality::CrossPod);
+    }
+}

@@ -1,0 +1,139 @@
+//! Typed identifiers for topology entities.
+//!
+//! Newtypes keep host, rack, pod, node and link identifiers statically
+//! distinct (C-NEWTYPE): a `HostId` can never be passed where a
+//! `LinkId` is expected, which matters in a codebase that juggles all
+//! of them in the same algorithms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index. Useful for dense `Vec` indexing.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a node (host or switch) in a [`crate::Topology`].
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifies a host (server) — an index into [`crate::Topology::hosts`].
+    HostId,
+    "h"
+);
+id_type!(
+    /// Identifies a directed link in a [`crate::Topology`].
+    LinkId,
+    "l"
+);
+id_type!(
+    /// Identifies a rack (the set of hosts under one edge switch).
+    RackId,
+    "r"
+);
+id_type!(
+    /// Identifies a pod (the racks sharing a set of aggregation
+    /// switches; §3.1 of the paper).
+    PodId,
+    "p"
+);
+
+/// The role of a node in the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A server that can run dataservers and clients.
+    Host,
+    /// A top-of-rack (edge) switch.
+    EdgeSwitch,
+    /// A pod-level aggregation switch.
+    AggSwitch,
+    /// A core switch joining pods.
+    CoreSwitch,
+}
+
+impl NodeKind {
+    /// Whether this node is a switch of any tier.
+    #[must_use]
+    pub fn is_switch(self) -> bool {
+        !matches!(self, NodeKind::Host)
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Host => "host",
+            NodeKind::EdgeSwitch => "edge",
+            NodeKind::AggSwitch => "agg",
+            NodeKind::CoreSwitch => "core",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(HostId(0).to_string(), "h0");
+        assert_eq!(LinkId(12).to_string(), "l12");
+        assert_eq!(RackId(1).to_string(), "r1");
+        assert_eq!(PodId(2).to_string(), "p2");
+    }
+
+    #[test]
+    fn ids_index() {
+        assert_eq!(HostId(7).index(), 7);
+        let u: usize = LinkId(9).into();
+        assert_eq!(u, 9);
+    }
+
+    #[test]
+    fn node_kind_switch_classification() {
+        assert!(!NodeKind::Host.is_switch());
+        assert!(NodeKind::EdgeSwitch.is_switch());
+        assert!(NodeKind::AggSwitch.is_switch());
+        assert!(NodeKind::CoreSwitch.is_switch());
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(HostId(1));
+        set.insert(HostId(1));
+        assert_eq!(set.len(), 1);
+        assert!(HostId(1) < HostId(2));
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! Datacenter network topology model for the Mayflower reproduction.
+//!
+//! This crate models the multi-tier tree networks the paper evaluates
+//! on: hosts grouped into racks, racks into pods (sharing aggregation
+//! switches), pods joined by core switches, with configurable link
+//! capacities and core-to-rack oversubscription.
+//!
+//! The model is *directional*: every physical cable is two directed
+//! [`Link`]s, because datacenter congestion is asymmetric (the paper's
+//! Sinbad-R discussion hinges on which direction of an edge link is
+//! loaded).
+//!
+//! Main entry points:
+//!
+//! * [`TreeParams`] / [`Topology::three_tier`] — build the paper's
+//!   testbed topology (§6.1: 4 pods × 4 racks × 4 hosts, 1 Gbps edge
+//!   links, 8:1 oversubscription) or any variant.
+//! * [`Topology::shortest_paths`] — enumerate all equal-length shortest
+//!   paths between two hosts (lengths 2, 4 or 6 in a 3-tier tree, §4.2).
+//! * [`ecmp`] — hash-based equal-cost multipath selection (RFC 2992),
+//!   the baseline path scheduler.
+//! * [`Locality`] — same-rack / same-pod / cross-pod classification
+//!   used by the workload's staggered client placement.
+//!
+//! # Example
+//!
+//! ```
+//! use mayflower_net::{Topology, TreeParams};
+//!
+//! let topo = Topology::three_tier(&TreeParams::paper_testbed());
+//! assert_eq!(topo.hosts().len(), 64);
+//! let a = topo.hosts()[0];
+//! let b = topo.hosts()[63]; // different pod
+//! let paths = topo.shortest_paths(a, b);
+//! assert!(paths.iter().all(|p| p.len() == 6));
+//! ```
+
+pub mod ecmp;
+pub mod fairshare;
+pub mod fattree;
+pub mod ids;
+pub mod locality;
+pub mod path;
+pub mod topology;
+pub mod tree;
+
+pub use ecmp::{ecmp_path, FlowKey};
+pub use fattree::FatTreeParams;
+pub use ids::{HostId, LinkId, NodeId, NodeKind, PodId, RackId};
+pub use locality::Locality;
+pub use path::Path;
+pub use topology::{Link, Node, Topology};
+pub use tree::TreeParams;
+
+/// Bits per second. All capacities and rates in the workspace use this
+/// unit.
+pub type Bps = f64;
+
+/// One gigabit per second, in [`Bps`].
+pub const GBPS: Bps = 1e9;
+
+/// One megabit per second, in [`Bps`].
+pub const MBPS: Bps = 1e6;

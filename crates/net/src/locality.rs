@@ -1,0 +1,111 @@
+//! Client/replica locality classification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::HostId;
+use crate::topology::Topology;
+
+/// Where a client sits relative to a replica host (§6.1.1's staggered
+/// placement distribution `(R, P, O)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Locality {
+    /// Same physical machine (no network traffic; the paper excludes
+    /// this case from its experiments).
+    SameHost,
+    /// Same rack — 2-hop paths.
+    SameRack,
+    /// Same pod, different rack — 4-hop paths.
+    SamePod,
+    /// Different pod — 6-hop paths crossing the core tier.
+    CrossPod,
+}
+
+impl Locality {
+    /// Classifies the relationship between two hosts in `topo`.
+    #[must_use]
+    pub fn classify(topo: &Topology, a: HostId, b: HostId) -> Locality {
+        if a == b {
+            Locality::SameHost
+        } else if topo.rack_of(a) == topo.rack_of(b) {
+            Locality::SameRack
+        } else if topo.pod_of(a) == topo.pod_of(b) {
+            Locality::SamePod
+        } else {
+            Locality::CrossPod
+        }
+    }
+
+    /// The shortest-path length between hosts with this relationship in
+    /// a 3-tier tree (§4.2: "2, 4 or 6").
+    #[must_use]
+    pub fn hop_count(self) -> usize {
+        match self {
+            Locality::SameHost => 0,
+            Locality::SameRack => 2,
+            Locality::SamePod => 4,
+            Locality::CrossPod => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Locality::SameHost => "same-host",
+            Locality::SameRack => "same-rack",
+            Locality::SamePod => "same-pod",
+            Locality::CrossPod => "cross-pod",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+
+    #[test]
+    fn classification_matches_tree_layout() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        assert_eq!(
+            Locality::classify(&t, HostId(0), HostId(0)),
+            Locality::SameHost
+        );
+        assert_eq!(
+            Locality::classify(&t, HostId(0), HostId(1)),
+            Locality::SameRack
+        );
+        assert_eq!(
+            Locality::classify(&t, HostId(0), HostId(5)),
+            Locality::SamePod
+        );
+        assert_eq!(
+            Locality::classify(&t, HostId(0), HostId(20)),
+            Locality::CrossPod
+        );
+    }
+
+    #[test]
+    fn hop_counts_match_shortest_paths() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        for (a, b) in [(0u32, 1u32), (0, 5), (0, 20)] {
+            let loc = Locality::classify(&t, HostId(a), HostId(b));
+            let paths = t.shortest_paths(HostId(a), HostId(b));
+            assert!(paths.iter().all(|p| p.len() == loc.hop_count()));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Locality::SameRack.to_string(), "same-rack");
+        assert_eq!(Locality::CrossPod.to_string(), "cross-pod");
+    }
+
+    #[test]
+    fn ordering_reflects_distance() {
+        assert!(Locality::SameHost < Locality::SameRack);
+        assert!(Locality::SameRack < Locality::SamePod);
+        assert!(Locality::SamePod < Locality::CrossPod);
+    }
+}

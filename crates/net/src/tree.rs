@@ -1,0 +1,300 @@
+//! Builder for the paper's 3-tier tree topologies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeKind, PodId, RackId};
+use crate::topology::Topology;
+use crate::{Bps, GBPS};
+
+/// Parameters of a 3-tier (edge/aggregation/core) tree network.
+///
+/// The paper's Mininet testbed (§6.1) is 64 hosts in 4 pods, each pod
+/// being 4 racks of 4 hosts joined by 2 aggregation switches, with 2
+/// core switches, 1 Gbps edge links and 8:1 core-to-rack
+/// oversubscription — [`TreeParams::paper_testbed`] builds exactly
+/// that. Figure 7 varies only [`TreeParams::oversubscription`].
+///
+/// # Oversubscription model
+///
+/// The total core-to-rack ratio is split across the two switch tiers:
+/// the edge→aggregation tier is oversubscribed by
+/// [`TreeParams::edge_tier_oversub`] (2:1 by default) and the
+/// aggregation→core tier absorbs the rest
+/// (`oversubscription / edge_tier_oversub`). Uplink capacities are
+/// derived so that each tier's ingress/egress ratio matches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Number of pods.
+    pub pods: usize,
+    /// Racks per pod.
+    pub racks_per_pod: usize,
+    /// Hosts per rack.
+    pub hosts_per_rack: usize,
+    /// Aggregation switches per pod; every rack's edge switch connects
+    /// to each of them.
+    pub aggs_per_pod: usize,
+    /// Core switches; every aggregation switch connects to each.
+    pub cores: usize,
+    /// Capacity of host↔edge-switch links, bits/sec.
+    pub edge_capacity: Bps,
+    /// Total core-to-rack oversubscription ratio (e.g. `8.0` for 8:1).
+    pub oversubscription: f64,
+    /// How much of the total ratio the edge→aggregation tier takes.
+    pub edge_tier_oversub: f64,
+}
+
+impl TreeParams {
+    /// The topology of the paper's testbed: 4 pods × 4 racks × 4 hosts,
+    /// 2 aggregation switches per pod, 2 cores, 1 Gbps edge links,
+    /// 8:1 oversubscription.
+    #[must_use]
+    pub fn paper_testbed() -> TreeParams {
+        TreeParams {
+            pods: 4,
+            racks_per_pod: 4,
+            hosts_per_rack: 4,
+            aggs_per_pod: 2,
+            cores: 2,
+            edge_capacity: GBPS,
+            oversubscription: 8.0,
+            edge_tier_oversub: 2.0,
+        }
+    }
+
+    /// Returns a copy with a different total oversubscription ratio
+    /// (the Figure 7 sweep: 8:1, 16:1, 24:1).
+    #[must_use]
+    pub fn with_oversubscription(mut self, ratio: f64) -> TreeParams {
+        self.oversubscription = ratio;
+        self
+    }
+
+    /// Total number of hosts.
+    #[must_use]
+    pub fn host_count(&self) -> usize {
+        self.pods * self.racks_per_pod * self.hosts_per_rack
+    }
+
+    /// Capacity of each edge-switch→aggregation-switch link.
+    #[must_use]
+    pub fn edge_uplink_capacity(&self) -> Bps {
+        let rack_ingress = self.hosts_per_rack as f64 * self.edge_capacity;
+        rack_ingress / (self.edge_tier_oversub * self.aggs_per_pod as f64)
+    }
+
+    /// Capacity of each aggregation-switch→core-switch link.
+    #[must_use]
+    pub fn agg_uplink_capacity(&self) -> Bps {
+        let agg_tier = (self.oversubscription / self.edge_tier_oversub).max(1.0);
+        let agg_ingress = self.racks_per_pod as f64 * self.edge_uplink_capacity();
+        agg_ingress / (agg_tier * self.cores as f64)
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pods == 0 || self.racks_per_pod == 0 || self.hosts_per_rack == 0 {
+            return Err("pods, racks_per_pod and hosts_per_rack must be positive".into());
+        }
+        if self.aggs_per_pod == 0 || self.cores == 0 {
+            return Err("aggs_per_pod and cores must be positive".into());
+        }
+        if !(self.edge_capacity.is_finite() && self.edge_capacity > 0.0) {
+            return Err("edge_capacity must be positive and finite".into());
+        }
+        if self.oversubscription < 1.0 {
+            return Err("oversubscription must be >= 1".into());
+        }
+        if self.edge_tier_oversub < 1.0 || self.edge_tier_oversub > self.oversubscription {
+            return Err("edge_tier_oversub must be in [1, oversubscription]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TreeParams {
+    fn default() -> TreeParams {
+        TreeParams::paper_testbed()
+    }
+}
+
+impl Topology {
+    /// Builds a 3-tier tree from `params`.
+    ///
+    /// Host ids are assigned pod-major, then rack, then host:
+    /// `HostId(p * racks_per_pod * hosts_per_rack + r * hosts_per_rack + h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`TreeParams::validate`].
+    #[must_use]
+    pub fn three_tier(params: &TreeParams) -> Topology {
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid TreeParams: {e}"));
+        let mut topo = Topology::new();
+
+        // Core switches.
+        let cores: Vec<_> = (0..params.cores)
+            .map(|_| topo.add_node(NodeKind::CoreSwitch, None, None))
+            .collect();
+
+        let edge_up = params.edge_uplink_capacity();
+        let agg_up = params.agg_uplink_capacity();
+
+        let mut rack_no = 0u32;
+        for p in 0..params.pods {
+            let pod = PodId(p as u32);
+            // Aggregation switches for the pod, each wired to all cores.
+            let aggs: Vec<_> = (0..params.aggs_per_pod)
+                .map(|_| topo.add_node(NodeKind::AggSwitch, None, Some(pod)))
+                .collect();
+            for &agg in &aggs {
+                for &core in &cores {
+                    topo.add_duplex_link(agg, core, agg_up);
+                }
+            }
+            for _ in 0..params.racks_per_pod {
+                let rack = RackId(rack_no);
+                rack_no += 1;
+                let edge = topo.add_node(NodeKind::EdgeSwitch, Some(rack), Some(pod));
+                topo.set_rack_edge(rack, edge);
+                for &agg in &aggs {
+                    topo.add_duplex_link(edge, agg, edge_up);
+                }
+                for _ in 0..params.hosts_per_rack {
+                    let host_node = topo.add_node(NodeKind::Host, Some(rack), Some(pod));
+                    topo.register_host(host_node, rack, pod);
+                    topo.add_duplex_link(host_node, edge, params.edge_capacity);
+                }
+            }
+        }
+        topo.freeze();
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+    use crate::MBPS;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let p = TreeParams::paper_testbed();
+        assert_eq!(p.host_count(), 64);
+        let t = Topology::three_tier(&p);
+        assert_eq!(t.host_count(), 64);
+        assert_eq!(t.rack_count(), 16);
+        assert_eq!(t.pod_count(), 4);
+        let switches = t
+            .nodes()
+            .iter()
+            .filter(|n| n.kind().is_switch())
+            .count();
+        // 16 edge + 8 agg + 2 core.
+        assert_eq!(switches, 26);
+    }
+
+    #[test]
+    fn paper_capacities_match_8_to_1() {
+        let p = TreeParams::paper_testbed();
+        // 4 hosts × 1 Gbps = 4 Gbps rack ingress; 2:1 edge tier over 2
+        // uplinks → 1 Gbps each.
+        assert!((p.edge_uplink_capacity() - 1000.0 * MBPS).abs() < 1e-3);
+        // Agg ingress 4 × 1 Gbps; 4:1 agg tier over 2 uplinks → 0.5 Gbps.
+        assert!((p.agg_uplink_capacity() - 500.0 * MBPS).abs() < 1e-3);
+    }
+
+    #[test]
+    fn doubling_oversubscription_halves_core_links() {
+        let p8 = TreeParams::paper_testbed();
+        let p16 = TreeParams::paper_testbed().with_oversubscription(16.0);
+        assert!((p8.agg_uplink_capacity() / p16.agg_uplink_capacity() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_lengths_are_2_4_6() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        // Same rack: hosts 0 and 1.
+        let same_rack = t.shortest_paths(HostId(0), HostId(1));
+        assert!(!same_rack.is_empty());
+        assert!(same_rack.iter().all(|p| p.len() == 2));
+        // Same pod, different rack: hosts 0 and 4.
+        let same_pod = t.shortest_paths(HostId(0), HostId(4));
+        assert!(same_pod.iter().all(|p| p.len() == 4));
+        // Two aggregation switches → 2 distinct 4-hop paths.
+        assert_eq!(same_pod.len(), 2);
+        // Cross pod: hosts 0 and 16.
+        let cross = t.shortest_paths(HostId(0), HostId(16));
+        assert!(cross.iter().all(|p| p.len() == 6));
+        // 2 src aggs × 2 cores × 2 dst aggs = 8 paths.
+        assert_eq!(cross.len(), 8);
+    }
+
+    #[test]
+    fn all_enumerated_paths_validate() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        for (a, b) in [(0u32, 1u32), (0, 4), (0, 16), (5, 62)] {
+            for p in t.shortest_paths(HostId(a), HostId(b)) {
+                assert!(p.validate(&t), "invalid path {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn host_id_layout_is_pod_major() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        assert_eq!(t.pod_of(HostId(0)), PodId(0));
+        assert_eq!(t.pod_of(HostId(15)), PodId(0));
+        assert_eq!(t.pod_of(HostId(16)), PodId(1));
+        assert_eq!(t.rack_of(HostId(0)), t.rack_of(HostId(3)));
+        assert_ne!(t.rack_of(HostId(3)), t.rack_of(HostId(4)));
+    }
+
+    #[test]
+    fn edge_uplinks_face_aggregation() {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        let rack = t.rack_of(HostId(0));
+        let ups = t.edge_uplinks(rack);
+        assert_eq!(ups.len(), 2);
+        for l in ups {
+            assert_eq!(t.node(t.link(l).dst()).kind(), NodeKind::AggSwitch);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = TreeParams::paper_testbed();
+        p.pods = 0;
+        assert!(p.validate().is_err());
+        let mut p = TreeParams::paper_testbed();
+        p.oversubscription = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = TreeParams::paper_testbed();
+        p.edge_tier_oversub = 100.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn single_pod_tree_has_no_core_paths() {
+        let params = TreeParams {
+            pods: 1,
+            racks_per_pod: 2,
+            hosts_per_rack: 2,
+            aggs_per_pod: 2,
+            cores: 1,
+            edge_capacity: GBPS,
+            oversubscription: 4.0,
+            edge_tier_oversub: 2.0,
+        };
+        let t = Topology::three_tier(&params);
+        assert_eq!(t.host_count(), 4);
+        let paths = t.shortest_paths(HostId(0), HostId(2));
+        assert!(paths.iter().all(|p| p.len() == 4));
+    }
+}

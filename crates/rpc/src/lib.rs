@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! A small typed request/response RPC layer — the reproduction's
+//! substitute for the Apache Thrift framework the paper uses for
+//! "control messages between the servers and the clients" (§5).
+//!
+//! Control messages in Mayflower are small (replica lookups, path
+//! selections, append coordination); what matters for the evaluation
+//! is the *message sequence*, not Thrift's exact binary protocol. This
+//! crate keeps the same architecture:
+//!
+//! * [`codec`] — length-prefixed framing over any `Read`/`Write` pair.
+//! * [`message`] — request/response envelopes with typed payloads
+//!   (serde-encoded).
+//! * [`transport`] — a [`Service`] trait for servers, a blocking
+//!   [`Client`], an in-process transport (zero-copy dispatch used by
+//!   the simulations), and a real TCP transport with a threaded server
+//!   for deployments and integration tests.
+//!
+//! # Example
+//!
+//! ```
+//! use mayflower_rpc::{Client, InProcTransport, RpcError, Service};
+//! use std::sync::Arc;
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     fn call(&self, method: &str, body: &[u8]) -> Result<Vec<u8>, RpcError> {
+//!         match method {
+//!             "echo" => Ok(body.to_vec()),
+//!             other => Err(RpcError::UnknownMethod(other.to_string())),
+//!         }
+//!     }
+//! }
+//!
+//! let client = Client::new(InProcTransport::new(Arc::new(Echo)));
+//! let reply: String = client.call("echo", &"hi".to_string())?;
+//! assert_eq!(reply, "hi");
+//! # Ok::<(), RpcError>(())
+//! ```
+
+pub mod codec;
+pub mod message;
+pub mod transport;
+
+pub use message::{Request, Response};
+pub use transport::{Client, InProcTransport, RpcError, Service, TcpServer, TcpTransport, Transport};

@@ -1,0 +1,98 @@
+//! Request/response envelopes.
+
+use serde::{Deserialize, Serialize};
+
+/// A request envelope: correlation id, method name, serialized
+/// argument payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Correlation id, echoed in the matching [`Response`].
+    pub id: u64,
+    /// Method name (e.g. `"nameserver.lookup"`).
+    pub method: String,
+    /// serde-encoded argument.
+    pub body: Vec<u8>,
+}
+
+/// A response envelope.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: u64,
+    /// serde-encoded result on success, error message on failure.
+    pub result: Result<Vec<u8>, String>,
+}
+
+impl Request {
+    /// Serializes the envelope for the wire.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: the envelope contains only
+    /// serializable primitives.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("envelope serialization is infallible")
+    }
+
+    /// Deserializes an envelope from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Request, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+impl Response {
+    /// Serializes the envelope for the wire.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("envelope serialization is infallible")
+    }
+
+    /// Deserializes an envelope from the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serde error on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Response, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request {
+            id: 42,
+            method: "nameserver.lookup".into(),
+            body: vec![1, 2, 3],
+        };
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn response_roundtrip_ok_and_err() {
+        let ok = Response {
+            id: 1,
+            result: Ok(vec![9]),
+        };
+        assert_eq!(Response::decode(&ok.encode()).unwrap(), ok);
+        let err = Response {
+            id: 2,
+            result: Err("no such file".into()),
+        };
+        assert_eq!(Response::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(Request::decode(b"not json").is_err());
+        assert!(Response::decode(&[0xFF, 0xFE]).is_err());
+    }
+}

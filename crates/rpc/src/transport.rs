@@ -1,0 +1,368 @@
+//! Transports: in-process dispatch and a threaded TCP server/client.
+
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::codec::{read_frame, write_frame};
+use crate::message::{Request, Response};
+
+/// Errors surfaced to RPC callers.
+#[derive(Debug)]
+pub enum RpcError {
+    /// The transport failed (connection reset, torn frame, ...).
+    Transport(std::io::Error),
+    /// A payload could not be (de)serialized.
+    Codec(serde_json::Error),
+    /// The server does not implement the requested method.
+    UnknownMethod(String),
+    /// The server handled the call and returned an application error.
+    Remote(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Transport(e) => write!(f, "transport failure: {e}"),
+            RpcError::Codec(e) => write!(f, "payload codec failure: {e}"),
+            RpcError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
+            RpcError::Remote(msg) => write!(f, "remote error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Transport(e) => Some(e),
+            RpcError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> RpcError {
+        RpcError::Transport(e)
+    }
+}
+
+impl From<serde_json::Error> for RpcError {
+    fn from(e: serde_json::Error) -> RpcError {
+        RpcError::Codec(e)
+    }
+}
+
+/// A server-side handler: dispatches a method name and raw payload to
+/// application logic.
+pub trait Service: Send + Sync {
+    /// Handles one call, returning the serialized result.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`RpcError::UnknownMethod`] for
+    /// unrecognized methods and [`RpcError::Remote`] for application
+    /// failures.
+    fn call(&self, method: &str, body: &[u8]) -> Result<Vec<u8>, RpcError>;
+}
+
+/// A client-side byte transport: sends a request envelope, receives the
+/// matching response envelope.
+pub trait Transport {
+    /// Performs one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport or codec error; application errors ride in
+    /// the response envelope.
+    fn round_trip(&self, request: Request) -> Result<Response, RpcError>;
+}
+
+/// In-process transport: full envelope encode/decode (so serialization
+/// bugs surface in tests) but no sockets. This is what the simulation
+/// binds the Mayflower components together with.
+pub struct InProcTransport {
+    service: Arc<dyn Service>,
+}
+
+impl InProcTransport {
+    /// Wraps a service.
+    #[must_use]
+    pub fn new(service: Arc<dyn Service>) -> InProcTransport {
+        InProcTransport { service }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn round_trip(&self, request: Request) -> Result<Response, RpcError> {
+        // Encode/decode the envelope exactly as a socket transport
+        // would, to keep the code path honest.
+        let request = Request::decode(&request.encode())?;
+        let result = match self.service.call(&request.method, &request.body) {
+            Ok(body) => Ok(body),
+            Err(RpcError::UnknownMethod(m)) => Err(format!("unknown method: {m}")),
+            Err(RpcError::Remote(msg)) => Err(msg),
+            Err(other) => Err(other.to_string()),
+        };
+        Ok(Response {
+            id: request.id,
+            result,
+        })
+    }
+}
+
+/// A typed client over any [`Transport`].
+pub struct Client<T> {
+    transport: T,
+    next_id: AtomicU64,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wraps a transport.
+    #[must_use]
+    pub fn new(transport: T) -> Client<T> {
+        Client {
+            transport,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Calls `method` with a serializable argument, deserializing the
+    /// typed reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/codec failures or [`RpcError::Remote`] when
+    /// the server reports an application error.
+    pub fn call<A: Serialize, R: DeserializeOwned>(
+        &self,
+        method: &str,
+        arg: &A,
+    ) -> Result<R, RpcError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let request = Request {
+            id,
+            method: method.to_string(),
+            body: serde_json::to_vec(arg)?,
+        };
+        let response = self.transport.round_trip(request)?;
+        debug_assert_eq!(response.id, id, "correlation id mismatch");
+        match response.result {
+            Ok(body) => Ok(serde_json::from_slice(&body)?),
+            Err(msg) => Err(RpcError::Remote(msg)),
+        }
+    }
+}
+
+/// A blocking TCP transport: one connection, sequential round trips.
+pub struct TcpTransport {
+    stream: Mutex<TcpStream>,
+}
+
+impl TcpTransport {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<TcpTransport, RpcError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream: Mutex::new(stream),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn round_trip(&self, request: Request) -> Result<Response, RpcError> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, &request.encode())?;
+        let Some(frame) = read_frame(&mut *stream)? else {
+            return Err(RpcError::Transport(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        };
+        Ok(Response::decode(&frame)?)
+    }
+}
+
+/// A threaded TCP server: one thread per connection, frames dispatched
+/// to a shared [`Service`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: Arc<dyn Service>) -> Result<TcpServer, RpcError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shutdown_flag = shutdown.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = service.clone();
+                std::thread::spawn(move || serve_connection(stream, &*service));
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections. In-flight connections finish
+    /// on their own threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, service: &dyn Service) {
+    let Ok(peer_read) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(peer_read);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let Ok(request) = Request::decode(&frame) else {
+            return;
+        };
+        let result = match service.call(&request.method, &request.body) {
+            Ok(body) => Ok(body),
+            Err(RpcError::UnknownMethod(m)) => Err(format!("unknown method: {m}")),
+            Err(RpcError::Remote(msg)) => Err(msg),
+            Err(other) => Err(other.to_string()),
+        };
+        let response = Response {
+            id: request.id,
+            result,
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Arith;
+    impl Service for Arith {
+        fn call(&self, method: &str, body: &[u8]) -> Result<Vec<u8>, RpcError> {
+            match method {
+                "add" => {
+                    let (a, b): (i64, i64) = serde_json::from_slice(body)?;
+                    Ok(serde_json::to_vec(&(a + b))?)
+                }
+                "fail" => Err(RpcError::Remote("deliberate".into())),
+                other => Err(RpcError::UnknownMethod(other.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn inproc_typed_call() {
+        let client = Client::new(InProcTransport::new(Arc::new(Arith)));
+        let sum: i64 = client.call("add", &(2i64, 3i64)).unwrap();
+        assert_eq!(sum, 5);
+    }
+
+    #[test]
+    fn inproc_remote_error() {
+        let client = Client::new(InProcTransport::new(Arc::new(Arith)));
+        let r: Result<i64, _> = client.call("fail", &());
+        assert!(matches!(r, Err(RpcError::Remote(msg)) if msg == "deliberate"));
+    }
+
+    #[test]
+    fn inproc_unknown_method() {
+        let client = Client::new(InProcTransport::new(Arc::new(Arith)));
+        let r: Result<i64, _> = client.call("nope", &());
+        assert!(matches!(r, Err(RpcError::Remote(msg)) if msg.contains("unknown method")));
+    }
+
+    #[test]
+    fn tcp_end_to_end() {
+        let mut server = TcpServer::bind("127.0.0.1:0", Arc::new(Arith)).unwrap();
+        let client = Client::new(TcpTransport::connect(server.local_addr()).unwrap());
+        for i in 0..50i64 {
+            let sum: i64 = client.call("add", &(i, 1i64)).unwrap();
+            assert_eq!(sum, i + 1);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_concurrent_clients() {
+        let server = TcpServer::bind("127.0.0.1:0", Arc::new(Arith)).unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let client = Client::new(TcpTransport::connect(addr).unwrap());
+                    for i in 0..20i64 {
+                        let sum: i64 = client.call("add", &(t, i)).unwrap();
+                        assert_eq!(sum, t + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn tcp_remote_error_propagates() {
+        let server = TcpServer::bind("127.0.0.1:0", Arc::new(Arith)).unwrap();
+        let client = Client::new(TcpTransport::connect(server.local_addr()).unwrap());
+        let r: Result<i64, _> = client.call("fail", &());
+        assert!(matches!(r, Err(RpcError::Remote(_))));
+        // The connection survives an application error.
+        let sum: i64 = client.call("add", &(1i64, 1i64)).unwrap();
+        assert_eq!(sum, 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! The switch fabric: flow tables and path installation.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use mayflower_net::{HostId, LinkId, NodeId, Path, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a flow across the fabric — the OpenFlow *cookie* the
+/// controller stamps on every rule belonging to one flow.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FlowCookie(pub u64);
+
+impl std::fmt::Display for FlowCookie {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One forwarding rule in a switch's flow table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRule {
+    /// The flow this rule belongs to.
+    pub cookie: FlowCookie,
+    /// Match: source host of the flow.
+    pub src: HostId,
+    /// Match: destination host of the flow.
+    pub dst: HostId,
+    /// Ingress port (the link the packets arrive on).
+    pub in_link: LinkId,
+    /// Action: output port (the next link on the path).
+    pub out_link: LinkId,
+    /// Whether this switch is the flow's first hop — the edge switch of
+    /// the rack the *source* host (the dataserver on a read) sits in.
+    /// The stats collector polls flow counters only at ingress edges
+    /// (§4: "flow stats are collected for only those flows that
+    /// originate from dataservers attached to the edge switch being
+    /// queried").
+    pub ingress_edge: bool,
+}
+
+/// One switch's flow table.
+#[derive(Debug, Clone, Default)]
+pub struct Switch {
+    rules: BTreeMap<FlowCookie, FlowRule>,
+}
+
+impl Switch {
+    /// The rules currently installed, in cookie order.
+    pub fn rules(&self) -> impl Iterator<Item = &FlowRule> {
+        self.rules.values()
+    }
+
+    /// Number of installed rules.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Looks up the rule for a flow.
+    #[must_use]
+    pub fn rule(&self, cookie: FlowCookie) -> Option<&FlowRule> {
+        self.rules.get(&cookie)
+    }
+}
+
+/// The whole data plane: a flow table per switch node, plus the
+/// path-level install/remove operations the controller uses.
+///
+/// A `Fabric` is pure control-plane state — it moves no bytes. Byte
+/// counters come from a [`crate::CounterSource`].
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    topo: Arc<Topology>,
+    /// Flow tables, keyed by switch node.
+    switches: HashMap<NodeId, Switch>,
+    /// Path each installed flow follows, for removal and introspection.
+    flow_paths: BTreeMap<FlowCookie, Path>,
+}
+
+impl Fabric {
+    /// Creates a fabric with an empty flow table per switch in `topo`.
+    #[must_use]
+    pub fn new(topo: &Topology) -> Fabric {
+        let switches = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.kind().is_switch())
+            .map(|n| (n.id(), Switch::default()))
+            .collect();
+        Fabric {
+            topo: Arc::new(topo.clone()),
+            switches,
+            flow_paths: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a fabric sharing an existing topology handle.
+    #[must_use]
+    pub fn with_topology(topo: Arc<Topology>) -> Fabric {
+        let switches = topo
+            .nodes()
+            .iter()
+            .filter(|n| n.kind().is_switch())
+            .map(|n| (n.id(), Switch::default()))
+            .collect();
+        Fabric {
+            topo,
+            switches,
+            flow_paths: BTreeMap::new(),
+        }
+    }
+
+    /// The topology the fabric spans.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Installs forwarding rules for `cookie` along `path`: one rule in
+    /// every switch the path traverses (every interior node of the
+    /// link sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cookie is already installed, the path is empty, or
+    /// the path is not connected in the fabric's topology.
+    pub fn install_path(&mut self, cookie: FlowCookie, path: &Path) {
+        assert!(
+            !self.flow_paths.contains_key(&cookie),
+            "flow {cookie} already installed"
+        );
+        assert!(!path.is_empty(), "cannot install an empty path");
+        assert!(
+            path.validate(&self.topo),
+            "path is not connected in this topology"
+        );
+        let links = path.links();
+        for w in links.windows(2) {
+            let (in_link, out_link) = (w[0], w[1]);
+            let node = self.topo.link(in_link).dst();
+            let rule = FlowRule {
+                cookie,
+                src: path.src(),
+                dst: path.dst(),
+                in_link,
+                out_link,
+                ingress_edge: in_link == links[0],
+            };
+            self.switches
+                .get_mut(&node)
+                .expect("interior path nodes are switches")
+                .rules
+                .insert(cookie, rule);
+        }
+        self.flow_paths.insert(cookie, path.clone());
+    }
+
+    /// Removes all rules belonging to `cookie`. Returns the path the
+    /// flow was using, or `None` if unknown.
+    pub fn remove_flow(&mut self, cookie: FlowCookie) -> Option<Path> {
+        let path = self.flow_paths.remove(&cookie)?;
+        for w in path.links().windows(2) {
+            let node = self.topo.link(w[0]).dst();
+            if let Some(sw) = self.switches.get_mut(&node) {
+                sw.rules.remove(&cookie);
+            }
+        }
+        Some(path)
+    }
+
+    /// The path an installed flow follows.
+    #[must_use]
+    pub fn flow_path(&self, cookie: FlowCookie) -> Option<&Path> {
+        self.flow_paths.get(&cookie)
+    }
+
+    /// All installed flows, in cookie order.
+    pub fn flows(&self) -> impl Iterator<Item = (FlowCookie, &Path)> {
+        self.flow_paths.iter().map(|(c, p)| (*c, p))
+    }
+
+    /// Number of installed flows.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flow_paths.len()
+    }
+
+    /// Total number of rules across all switches.
+    #[must_use]
+    pub fn rule_count(&self) -> usize {
+        self.switches.values().map(Switch::rule_count).sum()
+    }
+
+    /// The flow table of a switch node, if it is a switch.
+    #[must_use]
+    pub fn switch(&self, node: NodeId) -> Option<&Switch> {
+        self.switches.get(&node)
+    }
+
+    /// Flows whose **ingress edge** is the given switch — the flows a
+    /// stats poll of that edge switch reports (flows originating from
+    /// hosts in that rack).
+    #[must_use]
+    pub fn ingress_flows_at(&self, edge: NodeId) -> Vec<FlowCookie> {
+        self.switches
+            .get(&edge)
+            .map(|sw| {
+                sw.rules()
+                    .filter(|r| r.ingress_edge)
+                    .map(|r| r.cookie)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+
+    fn setup() -> (Arc<Topology>, Fabric) {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let fabric = Fabric::with_topology(topo.clone());
+        (topo, fabric)
+    }
+
+    #[test]
+    fn install_places_rule_per_switch() {
+        let (topo, mut fabric) = setup();
+        // Same rack: 2 links, 1 switch.
+        let p2 = topo.shortest_paths(HostId(0), HostId(1))[0].clone();
+        fabric.install_path(FlowCookie(1), &p2);
+        assert_eq!(fabric.rule_count(), 1);
+        // Cross pod: 6 links, 5 switches.
+        let p6 = topo.shortest_paths(HostId(0), HostId(20))[0].clone();
+        fabric.install_path(FlowCookie(2), &p6);
+        assert_eq!(fabric.rule_count(), 1 + 5);
+        assert_eq!(fabric.flow_count(), 2);
+    }
+
+    #[test]
+    fn remove_clears_every_rule() {
+        let (topo, mut fabric) = setup();
+        let p = topo.shortest_paths(HostId(0), HostId(20))[0].clone();
+        fabric.install_path(FlowCookie(7), &p);
+        let removed = fabric.remove_flow(FlowCookie(7)).unwrap();
+        assert_eq!(removed, p);
+        assert_eq!(fabric.rule_count(), 0);
+        assert!(fabric.remove_flow(FlowCookie(7)).is_none());
+    }
+
+    #[test]
+    fn ingress_edge_is_source_rack_switch() {
+        let (topo, mut fabric) = setup();
+        let p = topo.shortest_paths(HostId(0), HostId(20))[0].clone();
+        fabric.install_path(FlowCookie(3), &p);
+        let src_edge = topo.edge_switch_of(topo.rack_of(HostId(0)));
+        let dst_edge = topo.edge_switch_of(topo.rack_of(HostId(20)));
+        assert_eq!(fabric.ingress_flows_at(src_edge), vec![FlowCookie(3)]);
+        assert!(fabric.ingress_flows_at(dst_edge).is_empty());
+    }
+
+    #[test]
+    fn rules_chain_along_path() {
+        let (topo, mut fabric) = setup();
+        let p = topo.shortest_paths(HostId(0), HostId(20))[0].clone();
+        fabric.install_path(FlowCookie(5), &p);
+        // Walk the path; each interior switch must have a rule whose
+        // in/out links match the path.
+        for w in p.links().windows(2) {
+            let node = topo.link(w[0]).dst();
+            let rule = fabric.switch(node).unwrap().rule(FlowCookie(5)).unwrap();
+            assert_eq!(rule.in_link, w[0]);
+            assert_eq!(rule.out_link, w[1]);
+            assert_eq!(rule.src, HostId(0));
+            assert_eq!(rule.dst, HostId(20));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn double_install_rejected() {
+        let (topo, mut fabric) = setup();
+        let p = topo.shortest_paths(HostId(0), HostId(1))[0].clone();
+        fabric.install_path(FlowCookie(1), &p);
+        fabric.install_path(FlowCookie(1), &p);
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn invalid_path_rejected() {
+        let (topo, mut fabric) = setup();
+        let p = topo.shortest_paths(HostId(0), HostId(1))[0].clone();
+        let backwards = Path::new(
+            HostId(1),
+            HostId(0),
+            p.links().to_vec(),
+        );
+        fabric.install_path(FlowCookie(1), &backwards);
+    }
+
+    #[test]
+    fn flows_iterates_in_cookie_order() {
+        let (topo, mut fabric) = setup();
+        let p1 = topo.shortest_paths(HostId(0), HostId(1))[0].clone();
+        let p2 = topo.shortest_paths(HostId(2), HostId(3))[0].clone();
+        fabric.install_path(FlowCookie(9), &p2);
+        fabric.install_path(FlowCookie(1), &p1);
+        let cookies: Vec<_> = fabric.flows().map(|(c, _)| c).collect();
+        assert_eq!(cookies, vec![FlowCookie(1), FlowCookie(9)]);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! OpenFlow-style SDN substrate.
+//!
+//! The paper's Flowserver runs inside a Floodlight SDN controller and
+//! talks OpenFlow to the switches: it installs per-flow forwarding
+//! rules along a chosen path, and periodically fetches byte counters
+//! (per switch port and per flow rule) from the **edge** switches to
+//! estimate flow bandwidth (§3.3.3).
+//!
+//! This crate reproduces that interface:
+//!
+//! * [`Fabric`] — one [`Switch`] per switch node of a topology, with
+//!   flow tables; [`Fabric::install_path`] / [`Fabric::remove_flow`]
+//!   mirror OpenFlow `FLOW_MOD` add/delete along a path.
+//! * [`CounterSource`] — where counter values actually come from. In
+//!   production this is switch hardware; in the reproduction the fluid
+//!   simulator implements it. Keeping it a trait guarantees the control
+//!   plane only ever sees counters, never ground-truth rates.
+//! * [`StatsCollector`] — the periodic poller: reads edge-switch
+//!   counters, differences them against the previous poll, and emits
+//!   per-flow and per-port bandwidth measurements exactly like
+//!   Floodlight's statistics request/reply cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use mayflower_net::{HostId, Topology, TreeParams};
+//! use mayflower_sdn::{Fabric, FlowCookie};
+//!
+//! let topo = Topology::three_tier(&TreeParams::paper_testbed());
+//! let mut fabric = Fabric::new(&topo);
+//! let path = topo.shortest_paths(HostId(0), HostId(20))[0].clone();
+//! fabric.install_path(FlowCookie(1), &path);
+//! // One rule per switch on the 6-hop path (5 switches).
+//! assert_eq!(fabric.rule_count(), 5);
+//! fabric.remove_flow(FlowCookie(1));
+//! assert_eq!(fabric.rule_count(), 0);
+//! ```
+
+pub mod counters;
+pub mod fabric;
+pub mod stats;
+
+pub use counters::CounterSource;
+pub use fabric::{Fabric, FlowCookie, FlowRule, Switch};
+pub use stats::{FlowStat, PortStat, StatsCollector, StatsReport};

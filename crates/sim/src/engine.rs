@@ -1,0 +1,538 @@
+//! The discrete-event experiment engine: replays a traffic matrix
+//! against a selection strategy over the fluid network.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mayflower_baselines::hedera::{estimate_demands, Hedera, HederaFlow};
+use mayflower_baselines::{nearest_replica, SinbadR};
+use mayflower_flowserver::{Flowserver, FlowserverConfig};
+use mayflower_net::{ecmp_path, FlowKey, HostId, LinkId, Topology};
+use mayflower_sdn::{CounterSource, FlowCookie};
+use mayflower_simcore::{EventQueue, SimRng, SimTime};
+use mayflower_simnet::{FlowCompletion, FlowId, FluidNet};
+use mayflower_workload::TrafficMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::monitor::LinkLoadMonitor;
+use crate::strategy::Strategy;
+
+/// Outcome of one read job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job's id in the trace.
+    pub id: usize,
+    /// When the client issued the request.
+    pub arrival: SimTime,
+    /// When the last byte arrived.
+    pub finish: SimTime,
+    /// Whether the read was served from a co-located replica (no
+    /// network transfer).
+    pub local: bool,
+    /// How many subflows carried the read (2 for a §4.3 split).
+    pub subflows: usize,
+    /// Finish time of each subflow, for split-skew analysis.
+    pub subflow_finishes: Vec<SimTime>,
+}
+
+impl JobRecord {
+    /// Job completion time in seconds.
+    #[must_use]
+    pub fn duration_secs(&self) -> f64 {
+        self.finish.secs_since(self.arrival)
+    }
+}
+
+/// Adapter exposing the fluid simulator's counters to the SDN control
+/// plane under the controller's own flow identifiers.
+struct FabricCounters<'a> {
+    net: &'a FluidNet,
+    cookie_to_flow: &'a HashMap<FlowCookie, FlowId>,
+}
+
+impl CounterSource for FabricCounters<'_> {
+    fn port_bits(&self, link: LinkId) -> f64 {
+        self.net.link_bits(link)
+    }
+    fn flow_bits(&self, cookie: FlowCookie) -> Option<f64> {
+        self.cookie_to_flow
+            .get(&cookie)
+            .and_then(|f| self.net.flow_bits(*f))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    Poll,
+}
+
+/// Callbacks letting a caller attach real work to the simulated jobs.
+///
+/// The Figure 8 prototype experiment implements these to drive the
+/// **real** Mayflower filesystem: metadata lookups through the
+/// nameserver on arrival, and real chunk reads from the chosen
+/// replica's dataserver per assignment — while the engine keeps
+/// charging transfer *time* through the fluid network model.
+pub trait JobHooks {
+    /// A job arrived (before replica selection).
+    fn on_arrival(&mut self, job: &mayflower_workload::ReadJob) {
+        let _ = job;
+    }
+    /// A replica was assigned `bytes` of the job's read.
+    fn on_assignment(&mut self, job: &mayflower_workload::ReadJob, replica: HostId, bytes: f64) {
+        let _ = (job, replica, bytes);
+    }
+}
+
+/// The no-op hooks used by pure simulations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl JobHooks for NoHooks {}
+
+/// Engine options beyond the strategy itself.
+#[derive(Debug, Clone)]
+pub struct ReplayOptions {
+    /// Stats poll interval for both the Flowserver and Sinbad's
+    /// monitor, seconds.
+    pub poll_interval_secs: f64,
+    /// Flowserver configuration (multipath, ablation switches). The
+    /// `poll_interval_secs` and `multipath` fields are overridden from
+    /// this struct and the strategy respectively.
+    pub flowserver: FlowserverConfig,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> ReplayOptions {
+        ReplayOptions {
+            poll_interval_secs: 1.0,
+            flowserver: FlowserverConfig::default(),
+        }
+    }
+}
+
+/// Replays `matrix` on `topo` under `strategy` and returns the per-job
+/// records in job order.
+///
+/// All strategies see identical arrivals, file placements and client
+/// locations; stochastic tie-breaking draws from `rng`. The Flowserver
+/// (when used) and Sinbad's monitor observe the network only through
+/// counters polled every `poll_interval_secs`.
+pub fn replay(
+    topo: &Arc<Topology>,
+    matrix: &TrafficMatrix,
+    strategy: Strategy,
+    poll_interval_secs: f64,
+    rng: &mut SimRng,
+) -> Vec<JobRecord> {
+    let opts = ReplayOptions {
+        poll_interval_secs,
+        ..ReplayOptions::default()
+    };
+    replay_with_options(topo, matrix, strategy, &opts, rng, &mut NoHooks)
+}
+
+/// [`replay`] with [`JobHooks`] attached — see the trait docs.
+pub fn replay_with_hooks(
+    topo: &Arc<Topology>,
+    matrix: &TrafficMatrix,
+    strategy: Strategy,
+    poll_interval_secs: f64,
+    rng: &mut SimRng,
+    hooks: &mut dyn JobHooks,
+) -> Vec<JobRecord> {
+    let opts = ReplayOptions {
+        poll_interval_secs,
+        ..ReplayOptions::default()
+    };
+    replay_with_options(topo, matrix, strategy, &opts, rng, hooks)
+}
+
+/// [`replay`] that also returns the cumulative bits carried per
+/// directed link — the raw material for hotspot/utilization analysis.
+pub fn replay_with_usage(
+    topo: &Arc<Topology>,
+    matrix: &TrafficMatrix,
+    strategy: Strategy,
+    poll_interval_secs: f64,
+    rng: &mut SimRng,
+) -> (Vec<JobRecord>, HashMap<LinkId, f64>) {
+    let opts = ReplayOptions {
+        poll_interval_secs,
+        ..ReplayOptions::default()
+    };
+    replay_inner(topo, matrix, strategy, &opts, rng, &mut NoHooks)
+}
+
+/// The fully-parameterized engine: [`replay`] plus hooks plus the
+/// Flowserver ablation/tuning options.
+pub fn replay_with_options(
+    topo: &Arc<Topology>,
+    matrix: &TrafficMatrix,
+    strategy: Strategy,
+    opts: &ReplayOptions,
+    rng: &mut SimRng,
+    hooks: &mut dyn JobHooks,
+) -> Vec<JobRecord> {
+    replay_inner(topo, matrix, strategy, opts, rng, hooks).0
+}
+
+fn replay_inner(
+    topo: &Arc<Topology>,
+    matrix: &TrafficMatrix,
+    strategy: Strategy,
+    opts: &ReplayOptions,
+    rng: &mut SimRng,
+    hooks: &mut dyn JobHooks,
+) -> (Vec<JobRecord>, HashMap<LinkId, f64>) {
+    let poll_interval_secs = opts.poll_interval_secs;
+    assert!(
+        poll_interval_secs > 0.0,
+        "poll interval must be positive"
+    );
+    let mut net = FluidNet::new(topo.clone());
+    let mut flowserver = strategy.uses_flowserver().then(|| {
+        Flowserver::new(
+            topo.clone(),
+            FlowserverConfig {
+                poll_interval_secs,
+                multipath: strategy == Strategy::MayflowerMultipath,
+                ..opts.flowserver.clone()
+            },
+        )
+    });
+    let sinbad = SinbadR::new();
+    let hedera = strategy.uses_hedera().then(Hedera::new);
+    let mut monitor = LinkLoadMonitor::new(topo);
+
+    let total_jobs = matrix.jobs.len();
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for job in &matrix.jobs {
+        queue.schedule(job.arrival, Event::Arrival(job.id));
+    }
+    queue.schedule(SimTime::from_secs(poll_interval_secs), Event::Poll);
+
+    let mut pending_subflows: Vec<usize> = vec![0; total_jobs];
+    let mut records: Vec<Option<JobRecord>> = vec![None; total_jobs];
+    let mut partial: Vec<Vec<SimTime>> = vec![Vec::new(); total_jobs];
+    let mut flow_to_job: HashMap<FlowId, usize> = HashMap::new();
+    let mut flow_to_cookie: HashMap<FlowId, FlowCookie> = HashMap::new();
+    let mut cookie_to_flow: HashMap<FlowCookie, FlowId> = HashMap::new();
+    let mut jobs_done = 0usize;
+
+    let handle_completions = |comps: Vec<FlowCompletion>,
+                                  flowserver: &mut Option<Flowserver>,
+                                  flow_to_job: &mut HashMap<FlowId, usize>,
+                                  flow_to_cookie: &mut HashMap<FlowId, FlowCookie>,
+                                  cookie_to_flow: &mut HashMap<FlowCookie, FlowId>,
+                                  pending_subflows: &mut Vec<usize>,
+                                  partial: &mut Vec<Vec<SimTime>>,
+                                  records: &mut Vec<Option<JobRecord>>,
+                                  jobs_done: &mut usize,
+                                  matrix: &TrafficMatrix| {
+        for c in comps {
+            let job = flow_to_job
+                .remove(&c.flow)
+                .expect("completed flow belongs to a job");
+            if let Some(cookie) = flow_to_cookie.remove(&c.flow) {
+                cookie_to_flow.remove(&cookie);
+                if let Some(fs) = flowserver.as_mut() {
+                    fs.flow_completed(cookie);
+                }
+            }
+            partial[job].push(c.at);
+            pending_subflows[job] -= 1;
+            if pending_subflows[job] == 0 {
+                let arrival = matrix.jobs[job].arrival;
+                records[job] = Some(JobRecord {
+                    id: job,
+                    arrival,
+                    finish: c.at,
+                    local: false,
+                    subflows: partial[job].len(),
+                    subflow_finishes: std::mem::take(&mut partial[job]),
+                });
+                *jobs_done += 1;
+            }
+        }
+    };
+
+    while jobs_done < total_jobs {
+        let next_event = queue.peek_time().unwrap_or(SimTime::MAX);
+        let next_completion = net.next_completion_time();
+
+        if next_completion <= next_event {
+            let t = next_completion;
+            let comps = net.advance_to(t);
+            handle_completions(
+                comps,
+                &mut flowserver,
+                &mut flow_to_job,
+                &mut flow_to_cookie,
+                &mut cookie_to_flow,
+                &mut pending_subflows,
+                &mut partial,
+                &mut records,
+                &mut jobs_done,
+                matrix,
+            );
+            continue;
+        }
+
+        let Some((t, ev)) = queue.pop() else {
+            // No events, no completions, jobs outstanding: flows are
+            // starved (cannot happen with positive capacities).
+            unreachable!("simulation stalled with {jobs_done}/{total_jobs} jobs done");
+        };
+        let comps = net.advance_to(t);
+        handle_completions(
+            comps,
+            &mut flowserver,
+            &mut flow_to_job,
+            &mut flow_to_cookie,
+            &mut cookie_to_flow,
+            &mut pending_subflows,
+            &mut partial,
+            &mut records,
+            &mut jobs_done,
+            matrix,
+        );
+
+        match ev {
+            Event::Poll => {
+                monitor.sample(&net, t);
+                if let Some(fs) = flowserver.as_mut() {
+                    let counters = FabricCounters {
+                        net: &net,
+                        cookie_to_flow: &cookie_to_flow,
+                    };
+                    let _ = fs.poll_stats(&counters, t);
+                }
+                if let Some(hedera) = &hedera {
+                    // One Hedera round: estimate natural demands from
+                    // flow endpoints, then globally first-fit reroute.
+                    let snapshot: Vec<(FlowId, mayflower_net::Path)> = net
+                        .active_flows()
+                        .iter()
+                        .map(|f| (f.id, f.path.clone()))
+                        .collect();
+                    let endpoints: Vec<(HostId, HostId)> = snapshot
+                        .iter()
+                        .map(|(_, p)| (p.src(), p.dst()))
+                        .collect();
+                    let demands = estimate_demands(topo, &endpoints);
+                    let hflows: Vec<HederaFlow> = snapshot
+                        .iter()
+                        .zip(&demands)
+                        .map(|((id, path), demand)| HederaFlow {
+                            id: id.0,
+                            path: path.clone(),
+                            demand_bps: *demand,
+                        })
+                        .collect();
+                    for (id, new_path) in hedera.reschedule(topo, &hflows) {
+                        net.reroute_flow(FlowId(id), new_path);
+                    }
+                }
+                queue.schedule(t + SimTime::from_secs(poll_interval_secs), Event::Poll);
+            }
+            Event::Arrival(id) => {
+                let job = &matrix.jobs[id];
+                let client = job.client;
+                let replicas = matrix.replicas_of(job);
+                let size = matrix.size_of(job);
+                hooks.on_arrival(job);
+
+                if replicas.contains(&client) {
+                    // Served locally: the paper excludes this from
+                    // network analysis; completion is immediate.
+                    records[id] = Some(JobRecord {
+                        id,
+                        arrival: job.arrival,
+                        finish: job.arrival,
+                        local: true,
+                        subflows: 0,
+                        subflow_finishes: Vec::new(),
+                    });
+                    jobs_done += 1;
+                    continue;
+                }
+
+                let assignments: Vec<(HostId, mayflower_net::Path, f64, Option<FlowCookie>)> =
+                    match strategy {
+                        Strategy::Mayflower | Strategy::MayflowerMultipath => {
+                            let fs = flowserver.as_mut().expect("mayflower uses flowserver");
+                            let sel = fs.select_replica_path(client, replicas, size, t);
+                            sel.assignments()
+                                .iter()
+                                .map(|a| (a.replica, a.path.clone(), a.size_bits, Some(a.cookie)))
+                                .collect()
+                        }
+                        Strategy::NearestMayflower | Strategy::SinbadRMayflower => {
+                            let replica = if strategy == Strategy::NearestMayflower {
+                                nearest_replica(topo, client, replicas, rng)
+                            } else {
+                                sinbad.select(topo, client, replicas, &monitor, rng)
+                            };
+                            let fs = flowserver.as_mut().expect("scheduler uses flowserver");
+                            let sel = fs.select_path_for_replica(client, replica, size, t);
+                            sel.assignments()
+                                .iter()
+                                .map(|a| (a.replica, a.path.clone(), a.size_bits, Some(a.cookie)))
+                                .collect()
+                        }
+                        Strategy::NearestEcmp
+                        | Strategy::SinbadREcmp
+                        | Strategy::NearestHedera
+                        | Strategy::SinbadRHedera => {
+                            let replica = if strategy == Strategy::NearestEcmp
+                                || strategy == Strategy::NearestHedera
+                            {
+                                nearest_replica(topo, client, replicas, rng)
+                            } else {
+                                sinbad.select(topo, client, replicas, &monitor, rng)
+                            };
+                            let key = FlowKey::new(replica, client, id as u64);
+                            let path = ecmp_path(topo, key)
+                                .expect("distinct hosts always have a path");
+                            vec![(replica, path, size, None)]
+                        }
+                    };
+
+                debug_assert!(!assignments.is_empty());
+                pending_subflows[id] = assignments.len();
+                for (replica, path, bits, cookie) in assignments {
+                    hooks.on_assignment(job, replica, bits);
+                    let fid = net.add_flow(path, bits, t);
+                    flow_to_job.insert(fid, id);
+                    if let Some(c) = cookie {
+                        flow_to_cookie.insert(fid, c);
+                        cookie_to_flow.insert(c, fid);
+                    }
+                }
+            }
+        }
+    }
+
+    let usage: HashMap<LinkId, f64> = topo
+        .links()
+        .iter()
+        .map(|l| (l.id(), net.link_bits(l.id())))
+        .collect();
+    let records = records
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect();
+    (records, usage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+    use mayflower_workload::{TrafficMatrix, WorkloadParams};
+
+    fn small_run(strategy: Strategy, seed: u64, jobs: usize) -> Vec<JobRecord> {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let mut rng = SimRng::seed_from(seed);
+        let params = WorkloadParams {
+            job_count: jobs,
+            file_count: 60,
+            ..WorkloadParams::default()
+        };
+        let matrix = TrafficMatrix::generate(&topo, &params, &mut rng);
+        replay(&topo, &matrix, strategy, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn every_job_completes_for_every_strategy() {
+        for strategy in [
+            Strategy::Mayflower,
+            Strategy::MayflowerMultipath,
+            Strategy::SinbadRMayflower,
+            Strategy::SinbadREcmp,
+            Strategy::NearestMayflower,
+            Strategy::NearestEcmp,
+            Strategy::NearestHedera,
+            Strategy::SinbadRHedera,
+        ] {
+            let records = small_run(strategy, 11, 60);
+            assert_eq!(records.len(), 60, "{strategy}");
+            for r in &records {
+                assert!(r.finish >= r.arrival, "{strategy} job {}", r.id);
+                if !r.local {
+                    assert!(r.duration_secs() > 0.0);
+                    assert!(r.subflows >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_run(Strategy::Mayflower, 5, 40);
+        let b = small_run(Strategy::Mayflower, 5, 40);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.finish, rb.finish);
+            assert_eq!(ra.subflows, rb.subflows);
+        }
+    }
+
+    #[test]
+    fn uncontended_read_takes_transfer_time() {
+        // One job far from everything: 256 MB at ≥0.5 Gbps (worst-case
+        // core path) ≤ duration ≤ a few seconds.
+        let records = small_run(Strategy::Mayflower, 3, 1);
+        let r = &records[0];
+        if !r.local {
+            let d = r.duration_secs();
+            // 256 MB = 2.048 Gbit: 2.05 s at 1 Gbps, 4.1 s at 0.5 Gbps.
+            assert!((2.0..=4.2).contains(&d), "duration {d}");
+        }
+    }
+
+    #[test]
+    fn hedera_reroutes_and_still_completes_everything() {
+        // Core-heavy workload: rerouting actually fires. Completion
+        // must stay exact, and Hedera should beat plain ECMP.
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let mut rng = SimRng::seed_from(29);
+        let params = WorkloadParams {
+            job_count: 120,
+            file_count: 60,
+            locality: mayflower_workload::LocalityDist::core_heavy(),
+            ..WorkloadParams::default()
+        };
+        let matrix = TrafficMatrix::generate(&topo, &params, &mut rng);
+        let mut r1 = rng.clone();
+        let hedera = replay(&topo, &matrix, Strategy::NearestHedera, 1.0, &mut r1);
+        let mut r2 = rng.clone();
+        let ecmp = replay(&topo, &matrix, Strategy::NearestEcmp, 1.0, &mut r2);
+        assert_eq!(hedera.len(), ecmp.len());
+        let mean = |rs: &[JobRecord]| {
+            let remote: Vec<f64> = rs
+                .iter()
+                .filter(|r| !r.local)
+                .map(JobRecord::duration_secs)
+                .collect();
+            remote.iter().sum::<f64>() / remote.len() as f64
+        };
+        assert!(
+            mean(&hedera) < mean(&ecmp) * 1.02,
+            "Hedera {} vs ECMP {}",
+            mean(&hedera),
+            mean(&ecmp)
+        );
+    }
+
+    #[test]
+    fn multipath_records_subflow_finishes() {
+        let records = small_run(Strategy::MayflowerMultipath, 17, 80);
+        let split_jobs: Vec<_> = records.iter().filter(|r| r.subflows == 2).collect();
+        for r in &split_jobs {
+            assert_eq!(r.subflow_finishes.len(), 2);
+            assert!(r.subflow_finishes.iter().all(|t| *t <= r.finish));
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Per-figure experiment definitions: one function per table/figure of
+//! the paper's evaluation, each regenerating the corresponding data
+//! series (see DESIGN.md §4 and EXPERIMENTS.md).
+
+use mayflower_net::TreeParams;
+use mayflower_workload::{LocalityDist, WorkloadParams};
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::ExperimentConfig;
+use crate::stats::{fieller_ratio_ci, RatioCi, Summary};
+use crate::strategy::Strategy;
+
+/// How heavyweight the figure runs are. The paper's shapes emerge with
+/// a few hundred jobs; `Full` uses more for tighter intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effort {
+    /// Small runs for CI / smoke tests.
+    Quick,
+    /// Defaults comparable to the paper's experiment lengths.
+    Full,
+}
+
+impl Effort {
+    fn jobs(self) -> usize {
+        match self {
+            Effort::Quick => 150,
+            Effort::Full => 600,
+        }
+    }
+    fn files(self) -> usize {
+        match self {
+            Effort::Quick => 80,
+            Effort::Full => 300,
+        }
+    }
+}
+
+fn base_workload(effort: Effort) -> WorkloadParams {
+    WorkloadParams {
+        job_count: effort.jobs(),
+        file_count: effort.files(),
+        ..WorkloadParams::default()
+    }
+}
+
+/// One strategy's bar in a normalized figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NormalizedBar {
+    /// Scheme name.
+    pub strategy: Strategy,
+    /// Mean completion time, seconds.
+    pub mean_secs: f64,
+    /// 95th-percentile completion time, seconds.
+    pub p95_secs: f64,
+    /// Mean normalized to Mayflower, with Fieller 95% CI.
+    pub mean_ratio: RatioCi,
+    /// p95 normalized to Mayflower.
+    pub p95_ratio: f64,
+}
+
+/// Figure 4: average and 95th-percentile job completion times for the
+/// five schemes, normalized to Mayflower; locality `(0.5, 0.3, 0.2)`,
+/// λ = 0.07.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure4 {
+    /// One bar per scheme, in the paper's order.
+    pub bars: Vec<NormalizedBar>,
+}
+
+/// Runs Figure 4.
+#[must_use]
+pub fn figure4(effort: Effort, seed: u64) -> Figure4 {
+    let cfg = ExperimentConfig {
+        workload: WorkloadParams {
+            locality: LocalityDist::rack_heavy(),
+            ..base_workload(effort)
+        },
+        seed,
+        ..ExperimentConfig::default()
+    };
+    Figure4 {
+        bars: normalized_bars(&cfg, &Strategy::FIGURE4),
+    }
+}
+
+fn normalized_bars(cfg: &ExperimentConfig, strategies: &[Strategy]) -> Vec<NormalizedBar> {
+    let results = cfg.run_strategies(strategies);
+    let baseline = results
+        .iter()
+        .find(|r| r.strategy == Strategy::Mayflower)
+        .expect("Mayflower is always in the set");
+    let base_durations = baseline.durations();
+    let base_summary = Summary::of(&base_durations);
+    results
+        .iter()
+        .map(|r| {
+            let d = r.durations();
+            let s = Summary::of(&d);
+            NormalizedBar {
+                strategy: r.strategy,
+                mean_secs: s.mean,
+                p95_secs: s.p95,
+                mean_ratio: fieller_ratio_ci(&d, &base_durations),
+                p95_ratio: s.p95 / base_summary.p95,
+            }
+        })
+        .collect()
+}
+
+/// Figure 5: the Figure 4 bars swept over four client-locality
+/// distributions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure5 {
+    /// `(label, (R, P, O), bars)` per locality group, in paper order.
+    pub groups: Vec<(String, [f64; 3], Vec<NormalizedBar>)>,
+}
+
+/// Runs Figure 5.
+#[must_use]
+pub fn figure5(effort: Effort, seed: u64) -> Figure5 {
+    let localities = [
+        ("50% in the same rack", LocalityDist::rack_heavy()),
+        ("50% in the same pod", LocalityDist::pod_heavy()),
+        ("50% out of the pod", LocalityDist::core_heavy()),
+        ("Equally distributed", LocalityDist::uniform()),
+    ];
+    let groups = localities
+        .iter()
+        .map(|(label, loc)| {
+            let cfg = ExperimentConfig {
+                workload: WorkloadParams {
+                    locality: *loc,
+                    ..base_workload(effort)
+                },
+                seed,
+                ..ExperimentConfig::default()
+            };
+            (
+                (*label).to_string(),
+                [loc.same_rack, loc.same_pod, loc.other_pod()],
+                normalized_bars(&cfg, &Strategy::FIGURE4),
+            )
+        })
+        .collect();
+    Figure5 { groups }
+}
+
+/// One (λ, strategy) cell of Figure 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Per-server arrival rate λ.
+    pub lambda: f64,
+    /// Scheme.
+    pub strategy: Strategy,
+    /// Completion-time summary (absolute seconds, as in the paper's
+    /// Figure 6 y-axis).
+    pub summary: Summary,
+}
+
+/// Figure 6: completion time versus job arrival rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure6 {
+    /// Which panel: "a" (rack-heavy locality) or "b" (core-heavy).
+    pub panel: char,
+    /// All (λ, strategy) measurements.
+    pub points: Vec<RatePoint>,
+}
+
+/// Runs Figure 6(a) (locality `(0.5, 0.3, 0.2)`, λ ∈ 0.06–0.14) or
+/// 6(b) (locality `(0.2, 0.3, 0.5)`, λ ∈ 0.06–0.10).
+///
+/// # Panics
+///
+/// Panics if `panel` is not `'a'` or `'b'`.
+#[must_use]
+pub fn figure6(panel: char, effort: Effort, seed: u64) -> Figure6 {
+    let (locality, lambdas): (LocalityDist, Vec<f64>) = match panel {
+        'a' => (
+            LocalityDist::rack_heavy(),
+            (6..=14).map(|i| i as f64 / 100.0).collect(),
+        ),
+        'b' => (
+            LocalityDist::core_heavy(),
+            (6..=10).map(|i| i as f64 / 100.0).collect(),
+        ),
+        other => panic!("unknown Figure 6 panel {other:?}"),
+    };
+    let mut points = Vec::new();
+    for &lambda in &lambdas {
+        let cfg = ExperimentConfig {
+            workload: WorkloadParams {
+                locality,
+                lambda_per_server: lambda,
+                ..base_workload(effort)
+            },
+            seed,
+            ..ExperimentConfig::default()
+        };
+        for r in cfg.run_strategies(&Strategy::FIGURE4) {
+            points.push(RatePoint {
+                lambda,
+                strategy: r.strategy,
+                summary: r.summary,
+            });
+        }
+    }
+    Figure6 { panel, points }
+}
+
+/// One (oversubscription, strategy) cell of Figure 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OversubPoint {
+    /// Core-to-rack oversubscription ratio.
+    pub oversubscription: f64,
+    /// Scheme.
+    pub strategy: Strategy,
+    /// Completion-time summary, seconds.
+    pub summary: Summary,
+}
+
+/// Figure 7: impact of network oversubscription (8:1, 16:1, 24:1) on
+/// Mayflower and Sinbad-R Mayflower; locality `(0.5, 0.3, 0.2)`,
+/// λ = 0.07.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure7 {
+    /// All measurements.
+    pub points: Vec<OversubPoint>,
+}
+
+/// Runs Figure 7.
+#[must_use]
+pub fn figure7(effort: Effort, seed: u64) -> Figure7 {
+    let mut points = Vec::new();
+    for ratio in [8.0, 16.0, 24.0] {
+        let cfg = ExperimentConfig {
+            tree: TreeParams::paper_testbed().with_oversubscription(ratio),
+            workload: base_workload(effort),
+            seed,
+            ..ExperimentConfig::default()
+        };
+        for r in cfg.run_strategies(&[Strategy::Mayflower, Strategy::SinbadRMayflower]) {
+            points.push(OversubPoint {
+                oversubscription: ratio,
+                strategy: r.strategy,
+                summary: r.summary,
+            });
+        }
+    }
+    Figure7 { points }
+}
+
+/// The independent-flow-scheduler comparison: where does a Hedera-style
+/// reactive rescheduler land between ECMP and the co-designed
+/// Flowserver?
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HederaComparison {
+    /// `(locality label, bars)` for rack-heavy and core-heavy mixes.
+    pub groups: Vec<(String, Vec<NormalizedBar>)>,
+}
+
+/// Runs the Hedera comparison (§1's argument: flow schedulers "are
+/// unable to take advantage of redundancies in the distributed
+/// filesystem", so even perfect rerouting cannot recover a bad replica
+/// choice).
+#[must_use]
+pub fn hedera_comparison(effort: Effort, seed: u64) -> HederaComparison {
+    let schemes = [
+        Strategy::Mayflower,
+        Strategy::SinbadRMayflower,
+        Strategy::SinbadRHedera,
+        Strategy::NearestHedera,
+        Strategy::NearestEcmp,
+    ];
+    let localities = [
+        ("rack-heavy (0.5,0.3,0.2)", LocalityDist::rack_heavy()),
+        ("core-heavy (0.2,0.3,0.5)", LocalityDist::core_heavy()),
+    ];
+    let groups = localities
+        .iter()
+        .map(|(label, loc)| {
+            let cfg = ExperimentConfig {
+                workload: WorkloadParams {
+                    locality: *loc,
+                    ..base_workload(effort)
+                },
+                seed,
+                ..ExperimentConfig::default()
+            };
+            ((*label).to_string(), normalized_bars(&cfg, &schemes))
+        })
+        .collect();
+    HederaComparison { groups }
+}
+
+/// The §4.3 multi-replica ablation: single-flow Mayflower versus split
+/// reads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultipathAblation {
+    /// Summary without splitting.
+    pub single: Summary,
+    /// Summary with splitting.
+    pub split: Summary,
+    /// Fraction of remote jobs that were actually split.
+    pub split_fraction: f64,
+    /// Mean absolute finish-time skew between the two subflows of
+    /// split jobs, seconds (the paper: "less than a second when
+    /// reading a 256 MB block").
+    pub mean_subflow_skew_secs: f64,
+    /// Mean completion-time reduction from splitting, as a fraction
+    /// (the paper: "up to 10% on average").
+    pub mean_reduction: f64,
+}
+
+/// Runs the multipath ablation on the core-heavy workload (splits only
+/// pay off when single paths are narrower than the client's edge
+/// link, i.e. on oversubscribed cross-pod reads).
+#[must_use]
+pub fn multipath_ablation(effort: Effort, seed: u64) -> MultipathAblation {
+    let cfg = ExperimentConfig {
+        workload: WorkloadParams {
+            locality: LocalityDist::core_heavy(),
+            ..base_workload(effort)
+        },
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let results =
+        cfg.run_strategies(&[Strategy::Mayflower, Strategy::MayflowerMultipath]);
+    let single = Summary::of(&results[0].durations());
+    let split_run = &results[1];
+    let split = Summary::of(&split_run.durations());
+    let remote = split_run.jobs.iter().filter(|j| !j.local).count();
+    let split_jobs: Vec<_> = split_run
+        .jobs
+        .iter()
+        .filter(|j| j.subflows >= 2)
+        .collect();
+    let skew: f64 = if split_jobs.is_empty() {
+        0.0
+    } else {
+        split_jobs
+            .iter()
+            .map(|j| {
+                let max = j
+                    .subflow_finishes
+                    .iter()
+                    .fold(f64::MIN, |m, t| m.max(t.as_secs()));
+                let min = j
+                    .subflow_finishes
+                    .iter()
+                    .fold(f64::MAX, |m, t| m.min(t.as_secs()));
+                max - min
+            })
+            .sum::<f64>()
+            / split_jobs.len() as f64
+    };
+    MultipathAblation {
+        split_fraction: if remote > 0 {
+            split_jobs.len() as f64 / remote as f64
+        } else {
+            0.0
+        },
+        mean_subflow_skew_secs: skew,
+        mean_reduction: 1.0 - split.mean / single.mean,
+        single,
+        split,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_shape_holds() {
+        let fig = figure4(Effort::Quick, 42);
+        assert_eq!(fig.bars.len(), 5);
+        let get = |s: Strategy| {
+            fig.bars
+                .iter()
+                .find(|b| b.strategy == s)
+                .expect("bar present")
+        };
+        let mf = get(Strategy::Mayflower);
+        assert!((mf.mean_ratio.ratio - 1.0).abs() < 1e-9);
+        // Headline orderings: every baseline is slower than Mayflower,
+        // and Nearest ECMP is the slowest family.
+        for b in &fig.bars {
+            assert!(
+                b.mean_ratio.ratio >= 0.99,
+                "{}: ratio {}",
+                b.strategy,
+                b.mean_ratio.ratio
+            );
+        }
+        let ne = get(Strategy::NearestEcmp);
+        let sm = get(Strategy::SinbadRMayflower);
+        assert!(ne.mean_ratio.ratio > sm.mean_ratio.ratio);
+    }
+
+    #[test]
+    fn figure7_oversubscription_hurts() {
+        let fig = figure7(Effort::Quick, 7);
+        assert_eq!(fig.points.len(), 6);
+        let mayflower: Vec<&OversubPoint> = fig
+            .points
+            .iter()
+            .filter(|p| p.strategy == Strategy::Mayflower)
+            .collect();
+        assert!(mayflower[0].oversubscription < mayflower[2].oversubscription);
+        assert!(
+            mayflower[2].summary.mean > mayflower[0].summary.mean,
+            "24:1 ({}) must be slower than 8:1 ({})",
+            mayflower[2].summary.mean,
+            mayflower[0].summary.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Figure 6 panel")]
+    fn figure6_panel_validated() {
+        let _ = figure6('z', Effort::Quick, 1);
+    }
+}

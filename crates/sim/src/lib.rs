@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! End-to-end experiment harness for the Mayflower reproduction.
+//!
+//! This crate wires every substrate together — topology ([`mayflower_net`]),
+//! fluid network simulator ([`mayflower_simnet`]), SDN control plane
+//! ([`mayflower_sdn`]), the Flowserver ([`mayflower_flowserver`]),
+//! the baseline selectors ([`mayflower_baselines`]) and the workload
+//! generator ([`mayflower_workload`]) — into the experiments of the
+//! paper's §6:
+//!
+//! * [`engine::replay`] — replays a traffic matrix under a
+//!   [`Strategy`], producing per-job completion records.
+//! * [`ExperimentConfig`] — one topology × workload × strategy × seed
+//!   run.
+//! * [`figures`] — one function per paper figure (4, 5, 6a, 6b, 7,
+//!   plus the §4.3 multipath ablation); the `figures` binary prints
+//!   them as tables and JSON.
+//! * [`stats`] — means, percentiles, Student-t and Fieller intervals.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mayflower_sim::{ExperimentConfig, Strategy};
+//!
+//! let mut cfg = ExperimentConfig::default();
+//! cfg.strategy = Strategy::Mayflower;
+//! let result = cfg.run();
+//! println!("mean read completion: {:.2}s", result.summary.mean);
+//! ```
+
+pub mod ablation;
+pub mod consistency;
+pub mod engine;
+pub mod experiment;
+pub mod figures;
+pub mod hotspots;
+pub mod monitor;
+pub mod proto;
+pub mod report;
+pub mod scale;
+pub mod stats;
+pub mod strategy;
+pub mod topologies;
+pub mod writes;
+
+pub use engine::{replay, replay_with_usage, JobRecord};
+pub use experiment::{ExperimentConfig, RunResult};
+pub use monitor::LinkLoadMonitor;
+pub use stats::{fieller_ratio_ci, percentile, RatioCi, Summary};
+pub use strategy::Strategy;

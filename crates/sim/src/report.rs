@@ -1,0 +1,243 @@
+//! Plain-text rendering of figure results, in the same rows/series the
+//! paper reports.
+
+use std::fmt::Write as _;
+
+use crate::figures::{Figure4, Figure5, Figure6, Figure7, MultipathAblation};
+use crate::strategy::Strategy;
+
+/// Renders Figure 4 as the paper's normalized bars.
+#[must_use]
+pub fn render_figure4(fig: &Figure4) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 4 — completion times normalized to Mayflower (locality 0.5/0.3/0.2, λ=0.07)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>10} {:>9} {:>17} {:>9}",
+        "scheme", "avg (s)", "p95 (s)", "avg×", "avg× 95% CI", "p95×"
+    );
+    for b in &fig.bars {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10.3} {:>10.3} {:>8.2}x [{:>6.2}, {:>6.2}] {:>8.2}x",
+            b.strategy.label(),
+            b.mean_secs,
+            b.p95_secs,
+            b.mean_ratio.ratio,
+            b.mean_ratio.lo,
+            b.mean_ratio.hi,
+            b.p95_ratio
+        );
+    }
+    headline(&mut out, fig);
+    out
+}
+
+/// Appends the abstract's headline claims, checked against the data:
+/// ≥25% reduction vs the best independent-scheduler baseline and ≥80%
+/// vs HDFS-style Nearest+ECMP.
+fn headline(out: &mut String, fig: &Figure4) {
+    let ratio = |s: Strategy| {
+        fig.bars
+            .iter()
+            .find(|b| b.strategy == s)
+            .map(|b| b.mean_ratio.ratio)
+            .unwrap_or(f64::NAN)
+    };
+    let vs_sinbad = 1.0 - 1.0 / ratio(Strategy::SinbadRMayflower);
+    let vs_hdfs = 1.0 - 1.0 / ratio(Strategy::NearestEcmp);
+    let _ = writeln!(
+        out,
+        "headline: read-time reduction vs Sinbad-R Mayflower = {:.0}% (paper: >25%)",
+        vs_sinbad * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "headline: read-time reduction vs Nearest ECMP (HDFS-like) = {:.0}% (paper: >80%)",
+        vs_hdfs * 100.0
+    );
+}
+
+/// Renders Figure 5's four locality groups.
+#[must_use]
+pub fn render_figure5(fig: &Figure5) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5 — avg/p95 completion normalized to Mayflower across client localities (λ=0.07)"
+    );
+    for (label, rpo, bars) in &fig.groups {
+        let _ = writeln!(
+            out,
+            "\n[{label}] (R,P,O) = ({:.2}, {:.2}, {:.2})",
+            rpo[0], rpo[1], rpo[2]
+        );
+        let _ = writeln!(out, "{:<22} {:>8} {:>8}", "scheme", "avg×", "p95×");
+        for b in bars {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>7.2}x {:>7.2}x",
+                b.strategy.label(),
+                b.mean_ratio.ratio,
+                b.p95_ratio
+            );
+        }
+    }
+    out
+}
+
+/// Renders the Hedera comparison.
+#[must_use]
+pub fn render_hedera(cmp: &crate::figures::HederaComparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Independent flow schedulers — Hedera-style rerouting vs co-design (λ=0.07)"
+    );
+    for (label, bars) in &cmp.groups {
+        let _ = writeln!(out, "\n[{label}]");
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>10} {:>8} {:>8}",
+            "scheme", "avg (s)", "p95 (s)", "avg×", "p95×"
+        );
+        for b in bars {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>10.3} {:>10.3} {:>7.2}x {:>7.2}x",
+                b.strategy.label(),
+                b.mean_secs,
+                b.p95_secs,
+                b.mean_ratio.ratio,
+                b.p95_ratio
+            );
+        }
+    }
+    out
+}
+
+/// Renders Figure 6 (either panel) as λ-indexed series.
+#[must_use]
+pub fn render_figure6(fig: &Figure6) -> String {
+    let mut out = String::new();
+    let locality = match fig.panel {
+        'a' => "(0.5,0.3,0.2)",
+        _ => "(0.2,0.3,0.5)",
+    };
+    let _ = writeln!(
+        out,
+        "Figure 6{} — completion time vs job arrival rate, locality {locality}",
+        fig.panel
+    );
+    let mut lambdas: Vec<f64> = fig.points.iter().map(|p| p.lambda).collect();
+    lambdas.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    lambdas.dedup();
+    for metric in ["avg", "p95"] {
+        let _ = writeln!(out, "\n{metric} completion time (s):");
+        let _ = write!(out, "{:<22}", "scheme \\ λ");
+        for l in &lambdas {
+            let _ = write!(out, " {l:>7.2}");
+        }
+        let _ = writeln!(out);
+        for s in Strategy::FIGURE4 {
+            let _ = write!(out, "{:<22}", s.label());
+            for l in &lambdas {
+                let p = fig
+                    .points
+                    .iter()
+                    .find(|p| p.strategy == s && (p.lambda - l).abs() < 1e-9)
+                    .expect("full grid");
+                let v = if metric == "avg" {
+                    p.summary.mean
+                } else {
+                    p.summary.p95
+                };
+                let _ = write!(out, " {v:>7.2}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Renders Figure 7's oversubscription sweep.
+#[must_use]
+pub fn render_figure7(fig: &Figure7) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 7 — impact of core-to-rack oversubscription (λ=0.07, locality 0.5/0.3/0.2)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>10} {:>10}",
+        "scheme", "oversub", "avg (s)", "p95 (s)"
+    );
+    for p in &fig.points {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6.0}:1 {:>10.3} {:>10.3}",
+            p.strategy.label(),
+            p.oversubscription,
+            p.summary.mean,
+            p.summary.p95
+        );
+    }
+    out
+}
+
+/// Renders the §4.3 multipath ablation.
+#[must_use]
+pub fn render_multipath(abl: &MultipathAblation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "§4.3 — reading from multiple replicas (core-heavy locality)");
+    let _ = writeln!(
+        out,
+        "single-flow Mayflower:    avg {:.3}s  p95 {:.3}s",
+        abl.single.mean, abl.single.p95
+    );
+    let _ = writeln!(
+        out,
+        "multipath Mayflower:      avg {:.3}s  p95 {:.3}s",
+        abl.split.mean, abl.split.p95
+    );
+    let _ = writeln!(
+        out,
+        "jobs split: {:.0}%   avg completion reduction: {:.1}% (paper: up to ~10%)",
+        abl.split_fraction * 100.0,
+        abl.mean_reduction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "mean subflow finish skew: {:.3}s (paper: <1s at 256 MB)",
+        abl.mean_subflow_skew_secs
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{self, Effort};
+
+    #[test]
+    fn figure4_report_contains_all_schemes() {
+        let fig = figures::figure4(Effort::Quick, 9);
+        let text = render_figure4(&fig);
+        for s in Strategy::FIGURE4 {
+            assert!(text.contains(s.label()), "missing {s}");
+        }
+        assert!(text.contains("headline"));
+    }
+
+    #[test]
+    fn figure7_report_mentions_ratios() {
+        let fig = figures::figure7(Effort::Quick, 9);
+        let text = render_figure7(&fig);
+        assert!(text.contains("8:1"));
+        assert!(text.contains("24:1"));
+    }
+}

@@ -1,0 +1,338 @@
+//! The write-placement extension experiment (§3.3's future work,
+//! implemented in `mayflower_flowserver::placement`).
+//!
+//! Mixes a background read workload (served by full Mayflower) with a
+//! stream of 256 MB file-creation writes, and compares two placement
+//! policies for the writes:
+//!
+//! * **static** — the paper's published behaviour: the nameserver
+//!   places replicas randomly under fault-domain constraints, then the
+//!   Flowserver schedules each pipeline hop's *path*;
+//! * **co-designed** — the nameserver asks the Flowserver, which picks
+//!   the replica *hosts* hop by hop with the Eq. 2 cost (a
+//!   Sinbad-like, but flow-accurate, write steering).
+//!
+//! A write is a relay pipeline (writer → primary → second → third);
+//! its completion time is when the last replica holds the last byte —
+//! with cut-through relaying, the fluid model's concurrent pipeline
+//! flows, completed at the slowest hop.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mayflower_flowserver::{Flowserver, FlowserverConfig};
+use mayflower_net::{HostId, Topology, TreeParams};
+use mayflower_sdn::FlowCookie;
+use mayflower_simcore::{EventQueue, SimRng, SimTime};
+use mayflower_simnet::{FlowId, FluidNet};
+use mayflower_workload::{PlacementPolicy, PoissonArrivals, TrafficMatrix, WorkloadParams};
+use serde::{Deserialize, Serialize};
+
+use crate::figures::Effort;
+use crate::stats::Summary;
+
+/// How write replicas are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Random placement under fault domains (the published system),
+    /// with Flowserver path scheduling per hop.
+    Static,
+    /// Joint host+path selection through the Flowserver.
+    CoDesigned,
+}
+
+impl WritePolicy {
+    /// Figure label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WritePolicy::Static => "static placement",
+            WritePolicy::CoDesigned => "co-designed placement",
+        }
+    }
+}
+
+/// Result of one policy's run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteRunResult {
+    /// The placement policy.
+    pub policy: WritePolicy,
+    /// Write completion times, seconds.
+    pub write_summary: Summary,
+    /// Background read completion times, seconds (placement choices
+    /// feed back into read congestion).
+    pub read_summary: Summary,
+}
+
+/// The full experiment output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WriteExperiment {
+    /// One result per policy, on the identical workload.
+    pub runs: Vec<WriteRunResult>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    ReadArrival(usize),
+    WriteArrival(usize),
+    Poll,
+}
+
+struct JobState {
+    pending: usize,
+    arrival: SimTime,
+    finish: SimTime,
+}
+
+/// Runs the experiment: same background matrix and write schedule for
+/// both policies.
+#[must_use]
+pub fn write_placement_experiment(effort: Effort, seed: u64) -> WriteExperiment {
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    let (jobs, files) = match effort {
+        Effort::Quick => (120, 60),
+        Effort::Full => (450, 200),
+    };
+    let params = WorkloadParams {
+        job_count: jobs,
+        file_count: files,
+        ..WorkloadParams::default()
+    };
+    let mut rng = SimRng::seed_from(seed);
+    let matrix = TrafficMatrix::generate(&topo, &params, &mut rng);
+
+    // Write schedule: one write per ~4 reads.
+    let mut arrivals = PoissonArrivals::per_server(
+        params.lambda_per_server / 4.0,
+        topo.host_count(),
+        rng.fork(),
+    );
+    let write_count = jobs / 4;
+    let hosts = topo.hosts();
+    let writes: Vec<(SimTime, HostId)> = (0..write_count)
+        .map(|_| (arrivals.next_arrival(), *rng.choose(&hosts)))
+        .collect();
+    const MB256: f64 = 256.0 * 8e6;
+
+    let runs = [WritePolicy::Static, WritePolicy::CoDesigned]
+        .into_iter()
+        .map(|policy| {
+            let mut run_rng = SimRng::seed_from(seed ^ 0x9E37);
+            let (write_times, read_times) = run_policy(
+                &topo,
+                &matrix,
+                &writes,
+                MB256,
+                policy,
+                &mut run_rng,
+            );
+            WriteRunResult {
+                policy,
+                write_summary: Summary::of(&write_times),
+                read_summary: Summary::of(&read_times),
+            }
+        })
+        .collect();
+    WriteExperiment { runs }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_policy(
+    topo: &Arc<Topology>,
+    matrix: &TrafficMatrix,
+    writes: &[(SimTime, HostId)],
+    write_bits: f64,
+    policy: WritePolicy,
+    rng: &mut SimRng,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut net = FluidNet::new(topo.clone());
+    let mut fs = Flowserver::new(topo.clone(), FlowserverConfig::default());
+
+    let n_reads = matrix.jobs.len();
+    let n_writes = writes.len();
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for job in &matrix.jobs {
+        queue.schedule(job.arrival, Event::ReadArrival(job.id));
+    }
+    for (i, (t, _)) in writes.iter().enumerate() {
+        queue.schedule(*t, Event::WriteArrival(i));
+    }
+    queue.schedule(SimTime::from_secs(1.0), Event::Poll);
+
+    // Job bookkeeping: reads are 0..n_reads, writes n_reads..+n_writes.
+    let mut jobs: Vec<JobState> = (0..n_reads + n_writes)
+        .map(|_| JobState {
+            pending: 0,
+            arrival: SimTime::ZERO,
+            finish: SimTime::ZERO,
+        })
+        .collect();
+    let mut flow_to_job: HashMap<FlowId, usize> = HashMap::new();
+    let mut flow_to_cookie: HashMap<FlowId, FlowCookie> = HashMap::new();
+    let mut done = 0usize;
+    let total = n_reads + n_writes;
+    let mut local_reads = 0usize;
+
+    while done < total {
+        let next_event = queue.peek_time().unwrap_or(SimTime::MAX);
+        let next_completion = net.next_completion_time();
+        let t = next_event.min(next_completion);
+        let completions = net.advance_to(t);
+        for c in completions {
+            let job = flow_to_job.remove(&c.flow).expect("flow has a job");
+            if let Some(cookie) = flow_to_cookie.remove(&c.flow) {
+                fs.flow_completed(cookie);
+            }
+            jobs[job].pending -= 1;
+            if jobs[job].pending == 0 {
+                jobs[job].finish = c.at;
+                done += 1;
+            }
+        }
+        if next_completion <= next_event {
+            continue;
+        }
+        let Some((t, ev)) = queue.pop() else {
+            unreachable!("no events while {done}/{total} jobs outstanding");
+        };
+        match ev {
+            Event::Poll => {
+                if done < total {
+                    queue.schedule(t + SimTime::from_secs(1.0), Event::Poll);
+                }
+            }
+            Event::ReadArrival(id) => {
+                let job = &matrix.jobs[id];
+                jobs[id].arrival = job.arrival;
+                let replicas = matrix.replicas_of(job);
+                if replicas.contains(&job.client) {
+                    jobs[id].finish = t;
+                    local_reads += 1;
+                    done += 1;
+                    continue;
+                }
+                let sel =
+                    fs.select_replica_path(job.client, replicas, matrix.size_of(job), t);
+                jobs[id].pending = sel.assignments().len();
+                for a in sel.assignments() {
+                    let fid = net.add_flow(a.path.clone(), a.size_bits, t);
+                    flow_to_job.insert(fid, id);
+                    flow_to_cookie.insert(fid, a.cookie);
+                }
+            }
+            Event::WriteArrival(i) => {
+                let job_idx = n_reads + i;
+                let (_, writer) = writes[i];
+                jobs[job_idx].arrival = t;
+                let pipeline = match policy {
+                    WritePolicy::CoDesigned => {
+                        fs.select_write_placement(writer, 3, write_bits, t).pipeline
+                    }
+                    WritePolicy::Static => {
+                        let replicas = PlacementPolicy::PaperEval.place(topo, 3, rng);
+                        let mut pipeline = Vec::new();
+                        let mut src = writer;
+                        for &replica in &replicas {
+                            if replica != src {
+                                let sel =
+                                    fs.select_path_for_replica(replica, src, write_bits, t);
+                                pipeline.extend(sel.assignments().iter().cloned());
+                            }
+                            src = replica;
+                        }
+                        pipeline
+                    }
+                };
+                if pipeline.is_empty() {
+                    // Fully machine-local pipeline (can't happen with 3
+                    // fault domains, but stay total).
+                    jobs[job_idx].finish = t;
+                    done += 1;
+                    continue;
+                }
+                jobs[job_idx].pending = pipeline.len();
+                for a in &pipeline {
+                    let fid = net.add_flow(a.path.clone(), a.size_bits, t);
+                    flow_to_job.insert(fid, job_idx);
+                    flow_to_cookie.insert(fid, a.cookie);
+                }
+            }
+        }
+    }
+    let _ = local_reads;
+
+    let write_times: Vec<f64> = (n_reads..total)
+        .map(|j| jobs[j].finish.secs_since(jobs[j].arrival))
+        .collect();
+    let read_times: Vec<f64> = (0..n_reads)
+        .filter(|j| jobs[*j].finish > jobs[*j].arrival)
+        .map(|j| jobs[j].finish.secs_since(jobs[j].arrival))
+        .collect();
+    (write_times, read_times)
+}
+
+/// Renders the experiment as a text table.
+#[must_use]
+pub fn render_writes(exp: &WriteExperiment) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Write placement extension — static vs Flowserver co-designed (3-replica pipelines)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>12} {:>11} {:>11}",
+        "policy", "write avg", "write p95", "read avg", "read p95"
+    );
+    for r in &exp.runs {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>11.3}s {:>11.3}s {:>10.3}s {:>10.3}s",
+            r.policy.label(),
+            r.write_summary.mean,
+            r.write_summary.p95,
+            r.read_summary.mean,
+            r.read_summary.p95
+        );
+    }
+    if exp.runs.len() == 2 {
+        let reduction = 1.0 - exp.runs[1].write_summary.mean / exp.runs[0].write_summary.mean;
+        let _ = writeln!(
+            out,
+            "co-design reduces average write completion by {:.0}%",
+            reduction * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn co_design_does_not_hurt_writes() {
+        let exp = write_placement_experiment(Effort::Quick, 13);
+        assert_eq!(exp.runs.len(), 2);
+        let stat = &exp.runs[0];
+        let co = &exp.runs[1];
+        assert_eq!(stat.policy, WritePolicy::Static);
+        assert_eq!(co.policy, WritePolicy::CoDesigned);
+        assert!(
+            co.write_summary.mean <= stat.write_summary.mean * 1.05,
+            "co-designed {} vs static {}",
+            co.write_summary.mean,
+            stat.write_summary.mean
+        );
+        assert!(co.write_summary.p95 > 0.0);
+    }
+
+    #[test]
+    fn render_includes_both_policies() {
+        let exp = write_placement_experiment(Effort::Quick, 5);
+        let text = render_writes(&exp);
+        assert!(text.contains("static placement"));
+        assert!(text.contains("co-designed placement"));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation core.
+//!
+//! This crate provides the minimal machinery shared by every simulated
+//! component in the Mayflower reproduction:
+//!
+//! * [`SimTime`] — a totally-ordered simulated clock value in seconds.
+//! * [`EventQueue`] — a deterministic priority queue of timestamped
+//!   events (FIFO among equal timestamps).
+//! * [`SimRng`] — a seedable deterministic random number generator with
+//!   the handful of distributions the workload generator needs.
+//!
+//! The design goal is exact repeatability: running the same experiment
+//! with the same seed produces bit-identical results, which is how the
+//! benchmark harness regenerates every figure of the paper
+//! deterministically.
+//!
+//! # Example
+//!
+//! ```
+//! use mayflower_simcore::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_secs(2.0), "second");
+//! q.schedule(SimTime::from_secs(1.0), "first");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "first");
+//! assert_eq!(t, SimTime::from_secs(1.0));
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::SimTime;

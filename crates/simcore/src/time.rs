@@ -1,0 +1,196 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, measured in seconds from the start of the
+/// simulation.
+///
+/// `SimTime` wraps an `f64` but provides a total order (the contained
+/// value is guaranteed finite and non-NaN by construction), making it
+/// usable as a priority-queue key.
+///
+/// # Example
+///
+/// ```
+/// use mayflower_simcore::SimTime;
+///
+/// let t = SimTime::ZERO + SimTime::from_secs(1.5);
+/// assert!(t > SimTime::ZERO);
+/// assert_eq!(t.as_secs(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time value larger than any finite event time, usable as a
+    /// sentinel for "never".
+    pub const MAX: SimTime = SimTime(f64::MAX);
+
+    /// Creates a time value from a number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative infinity — event times must
+    /// be ordered, and negative-infinite times would break the queue.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> SimTime {
+        assert!(!secs.is_nan(), "SimTime cannot be NaN");
+        assert!(secs != f64::NEG_INFINITY, "SimTime cannot be -inf");
+        SimTime(secs.min(f64::MAX))
+    }
+
+    /// Creates a time value from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> SimTime {
+        SimTime::from_secs(ms / 1e3)
+    }
+
+    /// Returns the number of seconds since the simulation origin.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the duration between `self` and an earlier time, in
+    /// seconds. Saturates at zero if `earlier` is actually later.
+    #[must_use]
+    pub fn secs_since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// Returns the earlier of two times.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the later of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Whether this time is the `MAX` sentinel.
+    #[must_use]
+    pub fn is_never(self) -> bool {
+        self.0 >= f64::MAX
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Values are never NaN by construction.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating subtraction: simulated time never goes negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime::from_secs((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(SimTime::ZERO.min(SimTime::MAX), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_saturates_at_zero() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(3.0);
+        assert_eq!((a - b).as_secs(), 0.0);
+        assert_eq!((b - a).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn secs_since_saturates() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(4.0);
+        assert_eq!(b.secs_since(a), 3.0);
+        assert_eq!(a.secs_since(b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn max_is_never() {
+        assert!(SimTime::MAX.is_never());
+        assert!(!SimTime::from_secs(1e12).is_never());
+        // Infinity clamps to MAX.
+        assert!(SimTime::from_secs(f64::INFINITY).is_never());
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn from_millis_scales() {
+        assert_eq!(SimTime::from_millis(1500.0), SimTime::from_secs(1.5));
+    }
+}

@@ -1,0 +1,649 @@
+//! The stateful fluid network simulator.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mayflower_net::{LinkId, Path, Topology};
+use mayflower_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::maxmin::{compute_rates, RoutedFlow};
+
+/// Identifies a flow inside a [`FluidNet`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FlowId(pub u64);
+
+impl std::fmt::Display for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// The live state of an active flow.
+#[derive(Debug, Clone)]
+pub struct FlowState {
+    /// The flow's identifier.
+    pub id: FlowId,
+    /// Its route.
+    pub path: Path,
+    /// Total transfer size in bits.
+    pub size_bits: f64,
+    /// Bits still to transfer.
+    pub remaining_bits: f64,
+    /// Current max-min fair rate, bits/sec.
+    pub rate: f64,
+    /// When the flow was admitted.
+    pub started: SimTime,
+    /// Bits transferred so far (`size_bits - remaining_bits`, tracked
+    /// separately for counter fidelity).
+    pub bits_sent: f64,
+}
+
+/// Record of a flow finishing its transfer.
+#[derive(Debug, Clone)]
+pub struct FlowCompletion {
+    /// Which flow completed.
+    pub flow: FlowId,
+    /// When it completed.
+    pub at: SimTime,
+    /// When it was admitted.
+    pub started: SimTime,
+    /// Its total size in bits.
+    pub size_bits: f64,
+    /// The route it used.
+    pub path: Path,
+}
+
+impl FlowCompletion {
+    /// The flow's completion time (duration from admission), seconds.
+    #[must_use]
+    pub fn duration_secs(&self) -> f64 {
+        self.at.secs_since(self.started)
+    }
+}
+
+/// A fluid-model network simulator.
+///
+/// Active flows transmit simultaneously at their global max-min fair
+/// share, recomputed on every admission and completion. Time advances
+/// only through [`FluidNet::advance_to`], which steps exactly through
+/// each completion instant so rates are piecewise-constant between
+/// events (the standard fluid approximation for long TCP flows).
+///
+/// The simulator also maintains the cumulative per-link and per-flow
+/// byte counters that real OpenFlow switches expose; the `sdn` crate's
+/// stats collector reads them through [`FluidNet::link_bits`] and
+/// [`FluidNet::flow_bits`], never through ground-truth rates — keeping
+/// the Flowserver's information model honest.
+#[derive(Debug, Clone)]
+pub struct FluidNet {
+    topo: Arc<Topology>,
+    flows: BTreeMap<FlowId, FlowState>,
+    next_id: u64,
+    now: SimTime,
+    /// Cumulative bits carried per directed link.
+    link_bits: Vec<f64>,
+    rates_dirty: bool,
+}
+
+impl FluidNet {
+    /// Creates a simulator over the given topology with no flows.
+    #[must_use]
+    pub fn new(topo: Arc<Topology>) -> FluidNet {
+        let n_links = topo.links().len();
+        FluidNet {
+            topo,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+            link_bits: vec![0.0; n_links],
+            rates_dirty: false,
+        }
+    }
+
+    /// The topology being simulated.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Admits a flow of `size_bits` over `path` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past, if a completion is pending
+    /// strictly before `at` (call [`FluidNet::advance_to`] first and
+    /// process the completions), or if `size_bits` is not positive and
+    /// finite.
+    pub fn add_flow(&mut self, path: Path, size_bits: f64, at: SimTime) -> FlowId {
+        assert!(
+            size_bits.is_finite() && size_bits > 0.0,
+            "flow size must be positive and finite"
+        );
+        assert!(at >= self.now, "cannot add a flow in the past");
+        let next = self.next_completion_time();
+        assert!(
+            next >= at,
+            "a completion at {next} precedes the admission at {at}; advance_to() first"
+        );
+        let done = self.advance_to(at);
+        debug_assert!(done.is_empty());
+
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            FlowState {
+                id,
+                path,
+                size_bits,
+                remaining_bits: size_bits,
+                rate: 0.0,
+                started: at,
+                bits_sent: 0.0,
+            },
+        );
+        self.rates_dirty = true;
+        id
+    }
+
+    /// Moves an active flow onto a different path between the same
+    /// endpoints, preserving its remaining bytes and counters — what a
+    /// Hedera-style scheduler does when it reroutes an elephant flow.
+    /// Returns whether the flow existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_path` does not connect the flow's endpoints.
+    pub fn reroute_flow(&mut self, id: FlowId, new_path: Path) -> bool {
+        let Some(flow) = self.flows.get_mut(&id) else {
+            return false;
+        };
+        assert_eq!(
+            (new_path.src(), new_path.dst()),
+            (flow.path.src(), flow.path.dst()),
+            "reroute must keep the flow's endpoints"
+        );
+        flow.path = new_path;
+        self.rates_dirty = true;
+        true
+    }
+
+    /// Cancels an active flow, returning its final state, or `None` if
+    /// the flow is unknown (already completed or cancelled).
+    pub fn remove_flow(&mut self, id: FlowId) -> Option<FlowState> {
+        let state = self.flows.remove(&id);
+        if state.is_some() {
+            self.rates_dirty = true;
+        }
+        state
+    }
+
+    /// The states of all active flows, in flow-id order.
+    pub fn active_flows(&mut self) -> Vec<&FlowState> {
+        self.refresh_rates();
+        self.flows.values().collect()
+    }
+
+    /// Number of active flows.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Looks up an active flow.
+    pub fn flow(&mut self, id: FlowId) -> Option<&FlowState> {
+        self.refresh_rates();
+        self.flows.get(&id)
+    }
+
+    /// Cumulative bits carried by a directed link since simulation
+    /// start — the port byte counter an edge switch would expose
+    /// (modulo the 8× bits/bytes factor).
+    #[must_use]
+    pub fn link_bits(&self, link: LinkId) -> f64 {
+        self.link_bits[link.index()]
+    }
+
+    /// Bits transferred so far by an active flow — the flow-rule byte
+    /// counter. `None` once the flow completes (hardware counters for
+    /// expired rules disappear too).
+    #[must_use]
+    pub fn flow_bits(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.bits_sent)
+    }
+
+    /// When the next active flow will complete, assuming no further
+    /// admissions. [`SimTime::MAX`] if no flow is active.
+    pub fn next_completion_time(&mut self) -> SimTime {
+        self.refresh_rates();
+        let mut earliest = SimTime::MAX;
+        for f in self.flows.values() {
+            let t = self.completion_instant(f);
+            earliest = earliest.min(t);
+        }
+        earliest
+    }
+
+    fn completion_instant(&self, f: &FlowState) -> SimTime {
+        if f.rate <= 0.0 {
+            if f.remaining_bits <= 0.0 {
+                self.now
+            } else {
+                SimTime::MAX
+            }
+        } else if f.rate.is_infinite() {
+            self.now
+        } else {
+            self.now + SimTime::from_secs(f.remaining_bits / f.rate)
+        }
+    }
+
+    /// Advances simulated time to `t`, transferring data at the
+    /// piecewise-constant fair-share rates and collecting every flow
+    /// that completes at an instant `≤ t`, in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<FlowCompletion> {
+        assert!(t >= self.now, "cannot advance into the past");
+        let mut completions = Vec::new();
+        loop {
+            self.refresh_rates();
+            let next = {
+                let mut earliest = SimTime::MAX;
+                for f in self.flows.values() {
+                    earliest = earliest.min(self.completion_instant(f));
+                }
+                earliest
+            };
+            let step_to = next.min(t);
+            self.charge(step_to);
+            if next > t {
+                break;
+            }
+            // Complete everything that has drained (tolerance covers
+            // floating-point residue from the rate × dt arithmetic).
+            let done_ids: Vec<FlowId> = self
+                .flows
+                .values()
+                .filter(|f| f.remaining_bits <= completion_epsilon(f.size_bits))
+                .map(|f| f.id)
+                .collect();
+            for id in done_ids {
+                let f = self.flows.remove(&id).expect("flow present");
+                completions.push(FlowCompletion {
+                    flow: f.id,
+                    at: step_to,
+                    started: f.started,
+                    size_bits: f.size_bits,
+                    path: f.path,
+                });
+                self.rates_dirty = true;
+            }
+            if self.now >= t && completions.is_empty() && self.flows.is_empty() {
+                break;
+            }
+            if self.now >= t {
+                // We are exactly at t; completions at t were collected.
+                // Check for more simultaneous completions.
+                let more = self
+                    .flows
+                    .values()
+                    .any(|f| self.completion_instant(f) <= t);
+                if !more {
+                    break;
+                }
+            }
+        }
+        self.now = t;
+        completions
+    }
+
+    /// Transfers data from `self.now` to `to` at current rates.
+    fn charge(&mut self, to: SimTime) {
+        let dt = to.secs_since(self.now);
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                if f.rate.is_infinite() {
+                    f.bits_sent = f.size_bits;
+                    f.remaining_bits = 0.0;
+                    continue;
+                }
+                let moved = (f.rate * dt).min(f.remaining_bits);
+                f.remaining_bits -= moved;
+                f.bits_sent += moved;
+                for &l in f.path.links() {
+                    self.link_bits[l.index()] += moved;
+                }
+            }
+        } else {
+            // Zero-duration step still completes infinite-rate flows.
+            for f in self.flows.values_mut() {
+                if f.rate.is_infinite() {
+                    f.bits_sent = f.size_bits;
+                    f.remaining_bits = 0.0;
+                }
+            }
+        }
+        self.now = to;
+    }
+
+    fn refresh_rates(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        let routed: Vec<RoutedFlow<'_>> = self
+            .flows
+            .values()
+            .map(|f| RoutedFlow {
+                links: f.path.links(),
+            })
+            .collect();
+        let rates = compute_rates(&self.topo, &routed);
+        for (f, r) in self.flows.values_mut().zip(rates) {
+            f.rate = r;
+        }
+        self.rates_dirty = false;
+    }
+}
+
+/// Absolute slack below which a flow's residual is considered zero.
+fn completion_epsilon(size_bits: f64) -> f64 {
+    (size_bits * 1e-12).max(1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::{HostId, TreeParams};
+
+    fn testbed() -> (Arc<Topology>, FluidNet) {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let net = FluidNet::new(topo.clone());
+        (topo, net)
+    }
+
+    fn path(topo: &Topology, a: u32, b: u32) -> Path {
+        topo.shortest_paths(HostId(a), HostId(b))[0].clone()
+    }
+
+    #[test]
+    fn single_flow_runs_at_line_rate() {
+        let (topo, mut net) = testbed();
+        let f = net.add_flow(path(&topo, 0, 1), 1e9, SimTime::ZERO);
+        assert!((net.flow(f).unwrap().rate - 1e9).abs() < 1.0);
+        let done = net.advance_to(SimTime::from_secs(5.0));
+        assert_eq!(done.len(), 1);
+        assert!((done[0].at.as_secs() - 1.0).abs() < 1e-6);
+        assert!((done[0].duration_secs() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_downlink() {
+        let (topo, mut net) = testbed();
+        // Both flows target host 1: its 1 Gbps downlink is shared.
+        net.add_flow(path(&topo, 0, 1), 1e9, SimTime::ZERO);
+        net.add_flow(path(&topo, 2, 1), 1e9, SimTime::ZERO);
+        let done = net.advance_to(SimTime::from_secs(10.0));
+        assert_eq!(done.len(), 2);
+        // Equal shares (0.5 Gbps each) → both finish at 2 s.
+        for c in &done {
+            assert!((c.at.as_secs() - 2.0).abs() < 1e-6, "{:?}", c.at);
+        }
+    }
+
+    #[test]
+    fn completion_frees_bandwidth_for_survivor() {
+        let (topo, mut net) = testbed();
+        // Shared downlink: a short flow and a long flow.
+        net.add_flow(path(&topo, 0, 1), 0.5e9, SimTime::ZERO);
+        let long = net.add_flow(path(&topo, 2, 1), 1.5e9, SimTime::ZERO);
+        let done = net.advance_to(SimTime::from_secs(10.0));
+        assert_eq!(done.len(), 2);
+        // Short: 0.5 Gb at 0.5 Gbps → t=1. Long: 0.5 Gb by t=1, then
+        // full rate: remaining 1.0 Gb at 1 Gbps → t=2.
+        assert!((done[0].at.as_secs() - 1.0).abs() < 1e-6);
+        assert_eq!(done[1].flow, long);
+        assert!((done[1].at.as_secs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staggered_admission() {
+        let (topo, mut net) = testbed();
+        net.add_flow(path(&topo, 0, 1), 1e9, SimTime::ZERO);
+        // At t=0.5 the first flow has 0.5 Gb left; admit a second on
+        // the same downlink.
+        let done = net.advance_to(SimTime::from_secs(0.5));
+        assert!(done.is_empty());
+        net.add_flow(path(&topo, 2, 1), 1e9, SimTime::from_secs(0.5));
+        let done = net.advance_to(SimTime::from_secs(10.0));
+        assert_eq!(done.len(), 2);
+        // Both at 0.5 Gbps: first finishes at 0.5 + 1.0 = 1.5.
+        assert!((done[0].at.as_secs() - 1.5).abs() < 1e-6);
+        // Second: 0.5 Gb done by 1.5, rest at 1 Gbps → 2.0.
+        assert!((done[1].at.as_secs() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (topo, mut net) = testbed();
+        let p = path(&topo, 0, 1);
+        let first = p.links()[0];
+        let f = net.add_flow(p, 1e9, SimTime::ZERO);
+        net.advance_to(SimTime::from_secs(0.25));
+        let sent = net.flow_bits(f).unwrap();
+        assert!((sent - 0.25e9).abs() < 1.0);
+        assert!((net.link_bits(first) - 0.25e9).abs() < 1.0);
+        net.advance_to(SimTime::from_secs(2.0));
+        assert!(net.flow_bits(f).is_none(), "completed flows drop counters");
+        assert!((net.link_bits(first) - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn remove_flow_stops_transfer() {
+        let (topo, mut net) = testbed();
+        let f = net.add_flow(path(&topo, 0, 1), 1e9, SimTime::ZERO);
+        net.advance_to(SimTime::from_secs(0.5));
+        let state = net.remove_flow(f).unwrap();
+        assert!((state.remaining_bits - 0.5e9).abs() < 1.0);
+        let done = net.advance_to(SimTime::from_secs(5.0));
+        assert!(done.is_empty());
+    }
+
+    #[test]
+    fn cross_pod_flow_bottlenecked_by_core() {
+        let (topo, mut net) = testbed();
+        // 8:1 oversubscription → agg→core links are 0.5 Gbps.
+        let f = net.add_flow(path(&topo, 0, 16), 1e9, SimTime::ZERO);
+        let r = net.flow(f).unwrap().rate;
+        assert!((r - 0.5e9).abs() < 1.0, "rate {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn cannot_rewind() {
+        let (_, mut net) = testbed();
+        net.advance_to(SimTime::from_secs(1.0));
+        net.advance_to(SimTime::from_secs(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "advance_to")]
+    fn cannot_skip_completions() {
+        let (topo, mut net) = testbed();
+        net.add_flow(path(&topo, 0, 1), 1e9, SimTime::ZERO);
+        // First flow completes at t=1; adding at t=2 without advancing
+        // would lose the completion.
+        net.add_flow(path(&topo, 2, 3), 1e9, SimTime::from_secs(2.0));
+    }
+
+    #[test]
+    fn simultaneous_completions_all_reported() {
+        let (topo, mut net) = testbed();
+        // Independent racks, same size: complete at the same instant.
+        net.add_flow(path(&topo, 0, 1), 1e9, SimTime::ZERO);
+        net.add_flow(path(&topo, 4, 5), 1e9, SimTime::ZERO);
+        net.add_flow(path(&topo, 8, 9), 1e9, SimTime::ZERO);
+        let done = net.advance_to(SimTime::from_secs(1.5));
+        assert_eq!(done.len(), 3);
+        for c in done {
+            assert!((c.at.as_secs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reroute_preserves_progress() {
+        let (topo, mut net) = testbed();
+        // Two cross-pod paths exist; start on one, reroute to another.
+        let paths = topo.shortest_paths(HostId(0), HostId(16));
+        let f = net.add_flow(paths[0].clone(), 1e9, SimTime::ZERO);
+        net.advance_to(SimTime::from_secs(0.5));
+        let sent_before = net.flow_bits(f).unwrap();
+        assert!(sent_before > 0.0);
+        assert!(net.reroute_flow(f, paths[1].clone()));
+        let state = net.flow(f).unwrap();
+        assert_eq!(state.path, paths[1]);
+        assert!((state.bits_sent - sent_before).abs() < 1.0);
+        // The flow still completes with the full size accounted.
+        let done = net.advance_to(SimTime::from_secs(60.0));
+        assert_eq!(done.len(), 1);
+        assert!((done[0].size_bits - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn reroute_relieves_congestion() {
+        let (topo, mut net) = testbed();
+        // Two cross-pod flows from different sources to different
+        // destinations hash onto overlapping core paths; moving one to
+        // a disjoint path doubles both rates.
+        let p_a = topo.shortest_paths(HostId(0), HostId(16));
+        let a = net.add_flow(p_a[0].clone(), 4e9, SimTime::ZERO);
+        let p_b: Vec<_> = topo
+            .shortest_paths(HostId(4), HostId(20))
+            .into_iter()
+            .filter(|p| p.shares_link_with(&p_a[0]))
+            .collect();
+        assert!(!p_b.is_empty(), "need an overlapping candidate");
+        let b = net.add_flow(p_b[0].clone(), 4e9, SimTime::ZERO);
+        let rate_shared = net.flow(a).unwrap().rate;
+        // Find a disjoint alternative for b.
+        let alt = topo
+            .shortest_paths(HostId(4), HostId(20))
+            .into_iter()
+            .find(|p| !p.shares_link_with(&p_a[0]))
+            .expect("8 cross-pod paths give a disjoint one");
+        net.reroute_flow(b, alt);
+        let rate_after = net.flow(a).unwrap().rate;
+        assert!(
+            rate_after > rate_shared * 1.5,
+            "relief: {rate_shared} -> {rate_after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints")]
+    fn reroute_cannot_change_endpoints() {
+        let (topo, mut net) = testbed();
+        let p = topo.shortest_paths(HostId(0), HostId(16))[0].clone();
+        let f = net.add_flow(p, 1e9, SimTime::ZERO);
+        let other = topo.shortest_paths(HostId(0), HostId(17))[0].clone();
+        net.reroute_flow(f, other);
+    }
+
+    #[test]
+    fn tiny_flows_complete_exactly() {
+        let (topo, mut net) = testbed();
+        // A one-bit flow on a busy link still finishes, with no
+        // residue poisoning later arithmetic.
+        net.add_flow(path(&topo, 0, 1), 1.0, SimTime::ZERO);
+        net.add_flow(path(&topo, 2, 1), 1e9, SimTime::ZERO);
+        let done = net.advance_to(SimTime::from_secs(10.0));
+        assert_eq!(done.len(), 2);
+        assert!(done[0].at.as_secs() < 1e-6, "1 bit at 0.5 Gbps is instant-ish");
+        let first = done[0].at;
+        assert!(first >= SimTime::ZERO);
+    }
+
+    #[test]
+    fn thousands_of_flows_conserve_bytes() {
+        let (topo, mut net) = testbed();
+        let mut expected = 0.0;
+        for i in 0..800u32 {
+            let a = i % 64;
+            let b = (i * 7 + 1) % 64;
+            if a == b {
+                continue;
+            }
+            let p = topo.shortest_paths(HostId(a), HostId(b))[0].clone();
+            net.add_flow(p, 1e8, SimTime::ZERO);
+            expected += 1e8;
+        }
+        let done = net.advance_to(SimTime::from_secs(1e5));
+        let total: f64 = done.iter().map(|c| c.size_bits).sum();
+        assert!((total - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn advance_without_flows_moves_clock() {
+        let (_, mut net) = testbed();
+        let done = net.advance_to(SimTime::from_secs(3.0));
+        assert!(done.is_empty());
+        assert_eq!(net.now(), SimTime::from_secs(3.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mayflower_net::{HostId, TreeParams};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Conservation: every admitted flow eventually completes, and
+        /// total completed bits equal total admitted bits.
+        #[test]
+        fn all_flows_complete(
+            jobs in proptest::collection::vec(
+                (0u32..64, 0u32..64, 1.0f64..4.0, 0.0f64..5.0), 1..25)
+        ) {
+            let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+            let mut net = FluidNet::new(topo.clone());
+            let mut sorted = jobs.clone();
+            sorted.sort_by(|a, b| a.3.partial_cmp(&b.3).unwrap());
+            let mut admitted = 0usize;
+            let mut admitted_bits = 0.0;
+            let mut completions = Vec::new();
+            for (a, b, gbits, at) in sorted {
+                if a == b { continue; }
+                let t = SimTime::from_secs(at);
+                completions.extend(net.advance_to(t));
+                let p = topo.shortest_paths(HostId(a), HostId(b))[0].clone();
+                net.add_flow(p, gbits * 1e9, t);
+                admitted += 1;
+                admitted_bits += gbits * 1e9;
+            }
+            completions.extend(net.advance_to(SimTime::from_secs(1e5)));
+            prop_assert_eq!(completions.len(), admitted);
+            let done_bits: f64 = completions.iter().map(|c| c.size_bits).sum();
+            prop_assert!((done_bits - admitted_bits).abs() < 1.0);
+            // Completion times are non-decreasing and after admission.
+            let mut last = SimTime::ZERO;
+            for c in &completions {
+                prop_assert!(c.at >= last);
+                prop_assert!(c.at >= c.started);
+                last = c.at;
+            }
+        }
+    }
+}

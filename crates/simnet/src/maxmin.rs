@@ -1,0 +1,251 @@
+//! Global max-min fair rate allocation via progressive filling.
+
+use mayflower_net::{LinkId, Topology};
+
+/// A flow with its route, as input to [`compute_rates`].
+#[derive(Debug, Clone)]
+pub struct RoutedFlow<'a> {
+    /// The directed links the flow traverses.
+    pub links: &'a [LinkId],
+}
+
+/// Computes the global max-min fair rate for each flow using the
+/// classic progressive-filling algorithm:
+///
+/// 1. Grow every unfrozen flow's rate uniformly until some link
+///    saturates — the link with the smallest `residual / unfrozen_count`.
+/// 2. Freeze the flows crossing that link at the achieved share.
+/// 3. Repeat with the remaining flows and residual capacities.
+///
+/// The result is the unique allocation where no flow's rate can be
+/// increased without decreasing the rate of a flow with an equal or
+/// smaller rate. This is the simulator's model of what per-flow
+/// fair-queueing (or long-lived TCP flows with equal RTTs) converges
+/// to.
+///
+/// Flows with empty routes (same-host transfers) are assigned
+/// `f64::INFINITY` — they complete instantly as far as the network is
+/// concerned.
+///
+/// Complexity: `O(rounds × flows × path_len)` with at most one link
+/// saturated per round; fine for the thousands of concurrent flows the
+/// experiments create.
+#[must_use]
+pub fn compute_rates(topo: &Topology, flows: &[RoutedFlow<'_>]) -> Vec<f64> {
+    let n_links = topo.links().len();
+    let n_flows = flows.len();
+    let mut rates = vec![0.0f64; n_flows];
+    if n_flows == 0 {
+        return rates;
+    }
+
+    // Residual capacity and unfrozen-flow count per link.
+    let mut residual: Vec<f64> = topo.links().iter().map(|l| l.capacity()).collect();
+    let mut count = vec![0u32; n_links];
+    let mut frozen = vec![false; n_flows];
+    let mut unfrozen_left = 0usize;
+
+    for (i, f) in flows.iter().enumerate() {
+        if f.links.is_empty() {
+            rates[i] = f64::INFINITY;
+            frozen[i] = true;
+        } else {
+            unfrozen_left += 1;
+            for &l in f.links {
+                count[l.index()] += 1;
+            }
+        }
+    }
+
+    while unfrozen_left > 0 {
+        // Find the most constrained link.
+        let mut best_share = f64::INFINITY;
+        let mut best_link = None;
+        for l in 0..n_links {
+            if count[l] > 0 {
+                let share = (residual[l] / f64::from(count[l])).max(0.0);
+                if share < best_share {
+                    best_share = share;
+                    best_link = Some(l);
+                }
+            }
+        }
+        let Some(bottleneck) = best_link else {
+            // No unfrozen flow crosses any counted link (can't happen
+            // while unfrozen_left > 0, but stay safe).
+            break;
+        };
+
+        // Freeze every unfrozen flow crossing the bottleneck.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] || f.links.is_empty() {
+                continue;
+            }
+            if f.links.iter().any(|l| l.index() == bottleneck) {
+                rates[i] = best_share;
+                frozen[i] = true;
+                unfrozen_left -= 1;
+                for &l in f.links {
+                    residual[l.index()] = (residual[l.index()] - best_share).max(0.0);
+                    count[l.index()] -= 1;
+                }
+            }
+        }
+    }
+
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::{NodeKind, Path, PodId, RackId, Topology};
+
+    /// A dumbbell: two hosts on switch A, two on switch B, A—B link of
+    /// given capacity.
+    fn dumbbell(bottleneck: f64) -> (Topology, Vec<Path>) {
+        let mut t = Topology::new();
+        let sa = t.add_node(NodeKind::EdgeSwitch, Some(RackId(0)), Some(PodId(0)));
+        let sb = t.add_node(NodeKind::EdgeSwitch, Some(RackId(1)), Some(PodId(0)));
+        t.set_rack_edge(RackId(0), sa);
+        t.set_rack_edge(RackId(1), sb);
+        let mut hosts = Vec::new();
+        for (sw, rack) in [(sa, RackId(0)), (sa, RackId(0)), (sb, RackId(1)), (sb, RackId(1))] {
+            let h = t.add_node(NodeKind::Host, Some(rack), Some(PodId(0)));
+            let hid = t.register_host(h, rack, PodId(0));
+            t.add_duplex_link(h, sw, 10.0);
+            hosts.push(hid);
+        }
+        t.add_duplex_link(sa, sb, bottleneck);
+        t.freeze();
+        // Cross flows h0→h2 and h1→h3.
+        let p0 = t.shortest_paths(hosts[0], hosts[2])[0].clone();
+        let p1 = t.shortest_paths(hosts[1], hosts[3])[0].clone();
+        (t, vec![p0, p1])
+    }
+
+    #[test]
+    fn two_flows_split_bottleneck() {
+        let (t, paths) = dumbbell(10.0);
+        let flows: Vec<RoutedFlow> = paths
+            .iter()
+            .map(|p| RoutedFlow { links: p.links() })
+            .collect();
+        let rates = compute_rates(&t, &flows);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_limited_flow_releases_bottleneck() {
+        // Bottleneck 30 shared by two flows, but each host uplink is 10:
+        // both flows are edge-limited at 10.
+        let (t, paths) = dumbbell(30.0);
+        let flows: Vec<RoutedFlow> = paths
+            .iter()
+            .map(|p| RoutedFlow { links: p.links() })
+            .collect();
+        let rates = compute_rates(&t, &flows);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_shares_when_one_flow_is_capped_elsewhere() {
+        // Flow A limited to 2 by its uplink; flow B then gets the rest
+        // of the 10-capacity bottleneck (8) — max-min, not equal split.
+        let mut t = Topology::new();
+        let sa = t.add_node(NodeKind::EdgeSwitch, Some(RackId(0)), Some(PodId(0)));
+        let sb = t.add_node(NodeKind::EdgeSwitch, Some(RackId(1)), Some(PodId(0)));
+        t.set_rack_edge(RackId(0), sa);
+        t.set_rack_edge(RackId(1), sb);
+        let ha = t.add_node(NodeKind::Host, Some(RackId(0)), Some(PodId(0)));
+        let a = t.register_host(ha, RackId(0), PodId(0));
+        t.add_duplex_link(ha, sa, 2.0); // slow uplink
+        let hb = t.add_node(NodeKind::Host, Some(RackId(0)), Some(PodId(0)));
+        let b = t.register_host(hb, RackId(0), PodId(0));
+        t.add_duplex_link(hb, sa, 100.0);
+        let hc = t.add_node(NodeKind::Host, Some(RackId(1)), Some(PodId(0)));
+        let c = t.register_host(hc, RackId(1), PodId(0));
+        t.add_duplex_link(hc, sb, 100.0);
+        let hd = t.add_node(NodeKind::Host, Some(RackId(1)), Some(PodId(0)));
+        let d = t.register_host(hd, RackId(1), PodId(0));
+        t.add_duplex_link(hd, sb, 100.0);
+        t.add_duplex_link(sa, sb, 10.0);
+        t.freeze();
+        let pa = t.shortest_paths(a, c)[0].clone();
+        let pb = t.shortest_paths(b, d)[0].clone();
+        let rates = compute_rates(
+            &t,
+            &[
+                RoutedFlow { links: pa.links() },
+                RoutedFlow { links: pb.links() },
+            ],
+        );
+        assert!((rates[0] - 2.0).abs() < 1e-9, "capped flow: {}", rates[0]);
+        assert!((rates[1] - 8.0).abs() < 1e-9, "greedy flow: {}", rates[1]);
+    }
+
+    #[test]
+    fn empty_route_is_infinite() {
+        let (t, _) = dumbbell(10.0);
+        let rates = compute_rates(&t, &[RoutedFlow { links: &[] }]);
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn no_flows_no_rates() {
+        let (t, _) = dumbbell(10.0);
+        assert!(compute_rates(&t, &[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mayflower_net::{HostId, Topology, TreeParams};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// On the paper testbed with random flows: no link exceeds
+        /// capacity and every flow with a route gets a positive rate.
+        #[test]
+        fn allocation_feasible_and_positive(
+            pairs in proptest::collection::vec((0u32..64, 0u32..64), 1..40)
+        ) {
+            let topo = Topology::three_tier(&TreeParams::paper_testbed());
+            let paths: Vec<_> = pairs
+                .iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| topo.shortest_paths(HostId(*a), HostId(*b))[0].clone())
+                .collect();
+            let flows: Vec<RoutedFlow> = paths.iter().map(|p| RoutedFlow { links: p.links() }).collect();
+            let rates = compute_rates(&topo, &flows);
+
+            // Feasibility: per-link load ≤ capacity.
+            let mut load = vec![0.0f64; topo.links().len()];
+            for (f, r) in flows.iter().zip(&rates) {
+                prop_assert!(*r > 0.0);
+                for l in f.links {
+                    load[l.index()] += r;
+                }
+            }
+            for (l, used) in load.iter().enumerate() {
+                let cap = topo.links()[l].capacity();
+                prop_assert!(*used <= cap * (1.0 + 1e-9) + 1e-6,
+                    "link {l} over capacity: {used} > {cap}");
+            }
+
+            // Max-min property: every flow crosses at least one
+            // saturated link, OR is at its path's min capacity.
+            for (f, r) in flows.iter().zip(&rates) {
+                let bottlenecked = f.links.iter().any(|l| {
+                    let cap = topo.links()[l.index()].capacity();
+                    load[l.index()] >= cap * (1.0 - 1e-6)
+                });
+                prop_assert!(bottlenecked, "flow at rate {r} crosses no saturated link");
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Poisson job-arrival process.
+
+use mayflower_simcore::{SimRng, SimTime};
+
+/// A Poisson arrival process: exponential inter-arrival times with a
+/// configurable aggregate rate.
+///
+/// The paper specifies arrivals per server: "the job arrival (λ) rate
+/// is defined per server. Thus the job arrival rate of 0.07 means
+/// that, system wide, about 5 new read jobs are started every second"
+/// (§6.5, on 64 hosts). Use [`PoissonArrivals::per_server`] for that
+/// parameterization.
+///
+/// # Example
+///
+/// ```
+/// use mayflower_simcore::SimRng;
+/// use mayflower_workload::PoissonArrivals;
+///
+/// let rng = SimRng::seed_from(7);
+/// let mut arrivals = PoissonArrivals::per_server(0.07, 64, rng);
+/// let t1 = arrivals.next_arrival();
+/// let t2 = arrivals.next_arrival();
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate: f64,
+    now: SimTime,
+    rng: SimRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given aggregate rate (events/sec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    #[must_use]
+    pub fn new(rate: f64, rng: SimRng) -> PoissonArrivals {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
+        PoissonArrivals {
+            rate,
+            now: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    /// Creates a process from a per-server rate λ and a server count —
+    /// the paper's parameterization (aggregate rate `λ × servers`).
+    #[must_use]
+    pub fn per_server(lambda: f64, servers: usize, rng: SimRng) -> PoissonArrivals {
+        PoissonArrivals::new(lambda * servers as f64, rng)
+    }
+
+    /// The aggregate rate, events per second.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws the next arrival instant (strictly increasing).
+    pub fn next_arrival(&mut self) -> SimTime {
+        let dt = self.rng.exponential(self.rate);
+        self.now += SimTime::from_secs(dt);
+        self.now
+    }
+
+    /// Generates all arrivals up to `horizon`, in order.
+    pub fn arrivals_until(&mut self, horizon: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_arrival();
+            if t > horizon {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut p = PoissonArrivals::new(10.0, SimRng::seed_from(1));
+        let mut last = SimTime::ZERO;
+        for _ in 0..1000 {
+            let t = p.next_arrival();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn mean_rate_matches() {
+        // λ = 0.07/server × 64 servers = 4.48 jobs/sec: "about 5 new
+        // read jobs every second".
+        let mut p = PoissonArrivals::per_server(0.07, 64, SimRng::seed_from(2));
+        let horizon = SimTime::from_secs(10_000.0);
+        let n = p.arrivals_until(horizon).len() as f64;
+        let rate = n / 10_000.0;
+        assert!((rate - 4.48).abs() < 0.15, "observed rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_until_respects_horizon() {
+        let mut p = PoissonArrivals::new(100.0, SimRng::seed_from(3));
+        let horizon = SimTime::from_secs(1.0);
+        for t in p.arrivals_until(horizon) {
+            assert!(t <= horizon);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = PoissonArrivals::new(5.0, SimRng::seed_from(9));
+        let mut b = PoissonArrivals::new(5.0, SimRng::seed_from(9));
+        for _ in 0..100 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = PoissonArrivals::new(0.0, SimRng::seed_from(0));
+    }
+
+    #[test]
+    fn interarrival_variance_is_exponential() {
+        // For an exponential distribution, std dev == mean.
+        let mut p = PoissonArrivals::new(2.0, SimRng::seed_from(4));
+        let mut prev = SimTime::ZERO;
+        let mut gaps = Vec::new();
+        for _ in 0..50_000 {
+            let t = p.next_arrival();
+            gaps.push(t.secs_since(prev));
+            prev = t;
+        }
+        let mean: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var: f64 =
+            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02);
+        assert!((var.sqrt() - 0.5).abs() < 0.02);
+    }
+}

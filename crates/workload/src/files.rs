@@ -1,0 +1,165 @@
+//! The file population: sizes, replica sets, popularity ranks.
+
+use mayflower_net::{HostId, Topology};
+use mayflower_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::placement::PlacementPolicy;
+use crate::sizes::FileSizeDist;
+
+/// One file in the simulated filesystem's population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// Popularity rank (0 = most popular; the Zipf draw indexes this).
+    pub rank: usize,
+    /// File size in bits.
+    pub size_bits: f64,
+    /// Replica hosts; `replicas[0]` is the primary.
+    pub replicas: Vec<HostId>,
+}
+
+impl FileSpec {
+    /// The primary replica host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica list is empty (never produced by
+    /// [`FilePopulation::generate`]).
+    #[must_use]
+    pub fn primary(&self) -> HostId {
+        self.replicas[0]
+    }
+}
+
+/// A generated population of files with placed replicas.
+///
+/// The experiments read whole files of the configured block size
+/// (256 MB by default, §5); popularity over the population follows
+/// Zipf (§6.1.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FilePopulation {
+    files: Vec<FileSpec>,
+}
+
+impl FilePopulation {
+    /// Generates `count` files of `size_bits` each, placing
+    /// `replication` replicas per file under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or placement constraints cannot be met.
+    pub fn generate(
+        topo: &Topology,
+        count: usize,
+        size_bits: f64,
+        replication: usize,
+        policy: PlacementPolicy,
+        rng: &mut SimRng,
+    ) -> FilePopulation {
+        Self::generate_with_sizes(
+            topo,
+            count,
+            FileSizeDist::Fixed(size_bits),
+            replication,
+            policy,
+            rng,
+        )
+    }
+
+    /// [`FilePopulation::generate`] with a heterogeneous size
+    /// distribution (§3.1's "hundreds of megabytes to tens of
+    /// gigabytes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or placement constraints cannot be met.
+    pub fn generate_with_sizes(
+        topo: &Topology,
+        count: usize,
+        sizes: FileSizeDist,
+        replication: usize,
+        policy: PlacementPolicy,
+        rng: &mut SimRng,
+    ) -> FilePopulation {
+        assert!(count > 0, "population needs at least one file");
+        let files = (0..count)
+            .map(|rank| FileSpec {
+                rank,
+                size_bits: sizes.sample(rng),
+                replicas: policy.place(topo, replication, rng),
+            })
+            .collect();
+        FilePopulation { files }
+    }
+
+    /// The files, by rank.
+    #[must_use]
+    pub fn files(&self) -> &[FileSpec] {
+        &self.files
+    }
+
+    /// Looks up a file by rank.
+    #[must_use]
+    pub fn file(&self, rank: usize) -> &FileSpec {
+        &self.files[rank]
+    }
+
+    /// Number of files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the population is empty (never true once generated).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+
+    #[test]
+    fn generate_places_all_files() {
+        let t = mayflower_net::Topology::three_tier(&TreeParams::paper_testbed());
+        let mut rng = SimRng::seed_from(1);
+        let pop = FilePopulation::generate(
+            &t,
+            100,
+            256.0 * 8e6,
+            3,
+            PlacementPolicy::PaperEval,
+            &mut rng,
+        );
+        assert_eq!(pop.len(), 100);
+        for (i, f) in pop.files().iter().enumerate() {
+            assert_eq!(f.rank, i);
+            assert_eq!(f.replicas.len(), 3);
+            assert_eq!(f.size_bits, 256.0 * 8e6);
+            assert_eq!(f.primary(), f.replicas[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let t = mayflower_net::Topology::three_tier(&TreeParams::paper_testbed());
+        let mut r1 = SimRng::seed_from(5);
+        let mut r2 = SimRng::seed_from(5);
+        let a = FilePopulation::generate(&t, 50, 1e9, 3, PlacementPolicy::PaperEval, &mut r1);
+        let b = FilePopulation::generate(&t, 50, 1e9, 3, PlacementPolicy::PaperEval, &mut r2);
+        for (fa, fb) in a.files().iter().zip(b.files()) {
+            assert_eq!(fa.replicas, fb.replicas);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one file")]
+    fn empty_population_rejected() {
+        let t = mayflower_net::Topology::three_tier(&TreeParams::paper_testbed());
+        let mut rng = SimRng::seed_from(1);
+        let _ = FilePopulation::generate(&t, 0, 1e9, 3, PlacementPolicy::PaperEval, &mut rng);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Workload generation for the Mayflower experiments (§6.1.1).
+//!
+//! The paper synthesizes its traffic matrix probabilistically:
+//!
+//! 1. **Job arrivals** follow a Poisson process with per-server rate λ
+//!    (λ = 0.07 means ~5 new read jobs per second system-wide on 64
+//!    hosts) — [`arrivals`].
+//! 2. **File read popularity** follows a Zipf distribution with
+//!    skewness ρ = 1.1 — [`zipf`].
+//! 3. **Clients are placed** by the staggered probability of Hedera:
+//!    in the primary replica's rack with probability `R`, elsewhere in
+//!    its pod with probability `P`, and in another pod with probability
+//!    `O = 1 − R − P` — [`locality`].
+//! 4. **Replicas are placed** under fault-domain constraints: primary
+//!    uniform-random, second replica in the same pod, third in a
+//!    different pod — [`placement`].
+//!
+//! [`TrafficMatrix::generate`] combines all four into the job list the
+//! experiment harness replays.
+
+pub mod arrivals;
+pub mod files;
+pub mod locality;
+pub mod placement;
+pub mod sizes;
+pub mod trace;
+pub mod zipf;
+
+pub use arrivals::PoissonArrivals;
+pub use files::{FilePopulation, FileSpec};
+pub use locality::LocalityDist;
+pub use placement::PlacementPolicy;
+pub use sizes::FileSizeDist;
+pub use trace::{ReadJob, TrafficMatrix, WorkloadParams};
+pub use zipf::Zipf;

@@ -1,0 +1,183 @@
+//! Staggered client placement relative to the primary replica.
+
+use mayflower_net::{HostId, Topology};
+use mayflower_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The staggered probability distribution of client locations (§6.1.1,
+/// after Hedera): a client lands in the primary replica's rack with
+/// probability `R`, elsewhere in its pod with probability `P`, and in
+/// another pod with probability `O = 1 − R − P`.
+///
+/// Figure 5 sweeps four of these: `(0.5, 0.3, 0.2)`, `(0.3, 0.5,
+/// 0.2)`, `(0.2, 0.3, 0.5)` and `(0.33, 0.33, 0.33)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalityDist {
+    /// Probability of the client being in the primary's rack.
+    pub same_rack: f64,
+    /// Probability of the client being in the primary's pod but
+    /// another rack.
+    pub same_pod: f64,
+}
+
+impl LocalityDist {
+    /// Creates a distribution `(R, P, O = 1 − R − P)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if probabilities are negative or sum above 1.
+    #[must_use]
+    pub fn new(same_rack: f64, same_pod: f64) -> LocalityDist {
+        assert!(
+            same_rack >= 0.0 && same_pod >= 0.0,
+            "probabilities must be non-negative"
+        );
+        assert!(
+            same_rack + same_pod <= 1.0 + 1e-12,
+            "R + P must not exceed 1"
+        );
+        LocalityDist {
+            same_rack,
+            same_pod,
+        }
+    }
+
+    /// `(0.5, 0.3, 0.2)` — the paper's "common scenario": half the
+    /// clients co-located with the primary's rack (Figures 4, 6a, 7).
+    #[must_use]
+    pub fn rack_heavy() -> LocalityDist {
+        LocalityDist::new(0.5, 0.3)
+    }
+
+    /// `(0.3, 0.5, 0.2)` — load concentrated on the aggregation tier.
+    #[must_use]
+    pub fn pod_heavy() -> LocalityDist {
+        LocalityDist::new(0.3, 0.5)
+    }
+
+    /// `(0.2, 0.3, 0.5)` — half the reads traverse the core tier
+    /// (Figure 6b).
+    #[must_use]
+    pub fn core_heavy() -> LocalityDist {
+        LocalityDist::new(0.2, 0.3)
+    }
+
+    /// `(0.33, 0.33, 0.33)` — clients anywhere with equal probability.
+    #[must_use]
+    pub fn uniform() -> LocalityDist {
+        LocalityDist::new(1.0 / 3.0, 1.0 / 3.0)
+    }
+
+    /// The cross-pod probability `O`.
+    #[must_use]
+    pub fn other_pod(&self) -> f64 {
+        (1.0 - self.same_rack - self.same_pod).max(0.0)
+    }
+
+    /// Draws a client host relative to `primary`.
+    ///
+    /// The client is never the primary host itself — the paper ignores
+    /// machine-local reads ("we ignore this scenario due to lack of
+    /// network activity", §6.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology cannot satisfy the drawn tier (e.g. a
+    /// single-rack pod when a same-pod client is drawn).
+    pub fn place_client(&self, topo: &Topology, primary: HostId, rng: &mut SimRng) -> HostId {
+        let u = rng.uniform();
+        let rack = topo.rack_of(primary);
+        let pod = topo.pod_of(primary);
+        if u < self.same_rack {
+            let candidates: Vec<HostId> = topo
+                .hosts_in_rack(rack)
+                .iter()
+                .copied()
+                .filter(|h| *h != primary)
+                .collect();
+            assert!(!candidates.is_empty(), "rack too small for a client");
+            *rng.choose(&candidates)
+        } else if u < self.same_rack + self.same_pod {
+            let candidates: Vec<HostId> = topo
+                .racks_in_pod(pod)
+                .iter()
+                .filter(|r| **r != rack)
+                .flat_map(|r| topo.hosts_in_rack(*r).iter().copied())
+                .collect();
+            assert!(!candidates.is_empty(), "pod too small for a client");
+            *rng.choose(&candidates)
+        } else {
+            let candidates: Vec<HostId> = topo
+                .hosts()
+                .into_iter()
+                .filter(|h| topo.pod_of(*h) != pod)
+                .collect();
+            assert!(!candidates.is_empty(), "need a second pod for a client");
+            *rng.choose(&candidates)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::{Locality, TreeParams};
+
+    #[test]
+    fn empirical_distribution_matches() {
+        let t = mayflower_net::Topology::three_tier(&TreeParams::paper_testbed());
+        let dist = LocalityDist::rack_heavy();
+        let mut rng = SimRng::seed_from(1);
+        let primary = HostId(10);
+        let n = 50_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let c = dist.place_client(&t, primary, &mut rng);
+            match Locality::classify(&t, c, primary) {
+                Locality::SameRack => counts[0] += 1,
+                Locality::SamePod => counts[1] += 1,
+                Locality::CrossPod => counts[2] += 1,
+                Locality::SameHost => panic!("client must not be the primary"),
+            }
+        }
+        let f = |c: usize| c as f64 / n as f64;
+        assert!((f(counts[0]) - 0.5).abs() < 0.01);
+        assert!((f(counts[1]) - 0.3).abs() < 0.01);
+        assert!((f(counts[2]) - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn presets_sum_to_one() {
+        for d in [
+            LocalityDist::rack_heavy(),
+            LocalityDist::pod_heavy(),
+            LocalityDist::core_heavy(),
+            LocalityDist::uniform(),
+        ] {
+            let total = d.same_rack + d.same_pod + d.other_pod();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn client_is_never_the_primary() {
+        let t = mayflower_net::Topology::three_tier(&TreeParams::paper_testbed());
+        let dist = LocalityDist::new(1.0, 0.0); // always same rack
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..1000 {
+            assert_ne!(dist.place_client(&t, HostId(0), &mut rng), HostId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn overfull_distribution_rejected() {
+        let _ = LocalityDist::new(0.8, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_probability_rejected() {
+        let _ = LocalityDist::new(-0.1, 0.5);
+    }
+}

@@ -1,0 +1,208 @@
+//! Replica placement under fault-domain constraints.
+
+use mayflower_net::{HostId, Topology};
+use mayflower_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Which replica placement rule to apply when a file is created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The paper's evaluation placement (§6.1.1): primary replica on a
+    /// uniform-randomly selected server; second replica in the **same
+    /// pod** as the primary (different rack, honouring the §3.1
+    /// constraint that replicas not share a rack); third and later
+    /// replicas in **different pods**.
+    PaperEval,
+    /// The prototype's default (§5), mirroring HDFS rack-awareness:
+    /// second replica in the **same rack** as the primary, further
+    /// replicas in other randomly selected racks.
+    HdfsRackAware,
+}
+
+impl PlacementPolicy {
+    /// Places `replication` replicas for a new file, the first entry
+    /// being the primary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication == 0` or the topology is too small to
+    /// satisfy the policy's fault domains (e.g. `PaperEval` with a
+    /// single pod and `replication >= 3`).
+    pub fn place(self, topo: &Topology, replication: usize, rng: &mut SimRng) -> Vec<HostId> {
+        assert!(replication > 0, "replication factor must be positive");
+        let hosts = topo.hosts();
+        let primary = *rng.choose(&hosts);
+        let mut replicas = vec![primary];
+        match self {
+            PlacementPolicy::PaperEval => {
+                if replication >= 2 {
+                    replicas.push(Self::pick_same_pod_other_rack(topo, primary, rng));
+                }
+                for _ in 2..replication {
+                    replicas.push(Self::pick_other_pod(topo, &replicas, rng));
+                }
+            }
+            PlacementPolicy::HdfsRackAware => {
+                if replication >= 2 {
+                    replicas.push(Self::pick_same_rack(topo, primary, rng));
+                }
+                for _ in 2..replication {
+                    replicas.push(Self::pick_other_rack(topo, &replicas, rng));
+                }
+            }
+        }
+        replicas
+    }
+
+    fn pick_same_rack(topo: &Topology, primary: HostId, rng: &mut SimRng) -> HostId {
+        let rack = topo.rack_of(primary);
+        let candidates: Vec<HostId> = topo
+            .hosts_in_rack(rack)
+            .iter()
+            .copied()
+            .filter(|h| *h != primary)
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "rack too small for same-rack replica"
+        );
+        *rng.choose(&candidates)
+    }
+
+    fn pick_same_pod_other_rack(topo: &Topology, primary: HostId, rng: &mut SimRng) -> HostId {
+        let pod = topo.pod_of(primary);
+        let rack = topo.rack_of(primary);
+        let candidates: Vec<HostId> = topo
+            .racks_in_pod(pod)
+            .iter()
+            .filter(|r| **r != rack)
+            .flat_map(|r| topo.hosts_in_rack(*r).iter().copied())
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "pod has no second rack for the same-pod replica"
+        );
+        *rng.choose(&candidates)
+    }
+
+    fn pick_other_pod(topo: &Topology, existing: &[HostId], rng: &mut SimRng) -> HostId {
+        let used_pods: Vec<_> = existing.iter().map(|h| topo.pod_of(*h)).collect();
+        let candidates: Vec<HostId> = topo
+            .hosts()
+            .into_iter()
+            .filter(|h| !used_pods.contains(&topo.pod_of(*h)))
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "not enough pods for a cross-pod replica"
+        );
+        *rng.choose(&candidates)
+    }
+
+    fn pick_other_rack(topo: &Topology, existing: &[HostId], rng: &mut SimRng) -> HostId {
+        let used_racks: Vec<_> = existing.iter().map(|h| topo.rack_of(*h)).collect();
+        let candidates: Vec<HostId> = topo
+            .hosts()
+            .into_iter()
+            .filter(|h| !used_racks.contains(&topo.rack_of(*h)))
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "not enough racks for an off-rack replica"
+        );
+        *rng.choose(&candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+
+    fn topo() -> Topology {
+        Topology::three_tier(&TreeParams::paper_testbed())
+    }
+
+    #[test]
+    fn paper_eval_fault_domains() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..200 {
+            let r = PlacementPolicy::PaperEval.place(&t, 3, &mut rng);
+            assert_eq!(r.len(), 3);
+            let (p, s, o) = (r[0], r[1], r[2]);
+            // Second replica: same pod, different rack.
+            assert_eq!(t.pod_of(p), t.pod_of(s));
+            assert_ne!(t.rack_of(p), t.rack_of(s));
+            // Third replica: different pod from both.
+            assert_ne!(t.pod_of(o), t.pod_of(p));
+            // All distinct hosts.
+            assert_ne!(p, s);
+            assert_ne!(p, o);
+            assert_ne!(s, o);
+        }
+    }
+
+    #[test]
+    fn hdfs_rack_aware_fault_domains() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..200 {
+            let r = PlacementPolicy::HdfsRackAware.place(&t, 3, &mut rng);
+            let (p, s, o) = (r[0], r[1], r[2]);
+            // Second replica shares the rack but not the host.
+            assert_eq!(t.rack_of(p), t.rack_of(s));
+            assert_ne!(p, s);
+            // Third replica is in another rack.
+            assert_ne!(t.rack_of(o), t.rack_of(p));
+        }
+    }
+
+    #[test]
+    fn replication_one_is_just_primary() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(3);
+        let r = PlacementPolicy::PaperEval.place(&t, 1, &mut rng);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn primary_distribution_is_roughly_uniform() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(4);
+        let mut counts = vec![0usize; t.host_count()];
+        let n = 64_000;
+        for _ in 0..n {
+            let r = PlacementPolicy::PaperEval.place(&t, 3, &mut rng);
+            counts[r[0].index()] += 1;
+        }
+        let expected = n as f64 / 64.0;
+        for c in counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.2,
+                "count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_replication_rejected() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(5);
+        let _ = PlacementPolicy::PaperEval.place(&t, 0, &mut rng);
+    }
+
+    #[test]
+    fn five_replicas_spread_pods() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(6);
+        // 4 pods: primary pod + 3 distinct other pods supports up to 5.
+        let r = PlacementPolicy::PaperEval.place(&t, 5, &mut rng);
+        assert_eq!(r.len(), 5);
+        // Replicas 3.. are all in pods unused by earlier replicas.
+        let mut pods: Vec<_> = r.iter().map(|h| t.pod_of(*h)).collect();
+        pods.dedup();
+        assert_eq!(pods.len(), 4, "pods: primary+second share, rest distinct");
+    }
+}

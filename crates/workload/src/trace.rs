@@ -1,0 +1,210 @@
+//! Traffic-matrix generation: the full §6.1.1 recipe.
+
+use mayflower_net::Topology;
+use mayflower_net::HostId;
+use mayflower_simcore::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::PoissonArrivals;
+use crate::files::FilePopulation;
+use crate::locality::LocalityDist;
+use crate::placement::PlacementPolicy;
+use crate::sizes::FileSizeDist;
+use crate::zipf::Zipf;
+
+/// Everything that parameterizes a synthesized workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Number of files in the population.
+    pub file_count: usize,
+    /// Size of each file (one block), bits. Default 256 MB (§5).
+    /// Ignored when [`WorkloadParams::file_sizes`] is set.
+    pub file_size_bits: f64,
+    /// Optional heterogeneous size distribution (overrides
+    /// `file_size_bits`).
+    pub file_sizes: Option<FileSizeDist>,
+    /// Replication factor. Default 3.
+    pub replication: usize,
+    /// Replica placement rule.
+    pub placement: PlacementPolicy,
+    /// Zipf skewness for read popularity. Default ρ = 1.1.
+    pub zipf_exponent: f64,
+    /// Per-server Poisson arrival rate λ.
+    pub lambda_per_server: f64,
+    /// Client placement distribution `(R, P, O)`.
+    pub locality: LocalityDist,
+    /// Number of read jobs to generate.
+    pub job_count: usize,
+}
+
+impl Default for WorkloadParams {
+    /// The paper's baseline workload: 256 MB reads over a Zipf(1.1)
+    /// population, λ = 0.07/server, locality `(0.5, 0.3, 0.2)`.
+    fn default() -> WorkloadParams {
+        WorkloadParams {
+            file_count: 400,
+            file_size_bits: 256.0 * 8e6,
+            file_sizes: None,
+            replication: 3,
+            placement: PlacementPolicy::PaperEval,
+            zipf_exponent: 1.1,
+            lambda_per_server: 0.07,
+            locality: LocalityDist::rack_heavy(),
+            job_count: 500,
+        }
+    }
+}
+
+/// One read request in the generated trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadJob {
+    /// Sequence number (0-based, arrival order).
+    pub id: usize,
+    /// When the client issues the read.
+    pub arrival: SimTime,
+    /// The requesting host.
+    pub client: HostId,
+    /// Rank of the requested file in the population.
+    pub file_rank: usize,
+}
+
+/// A complete synthesized workload: the file population plus the
+/// ordered job trace. Every selection strategy in the evaluation
+/// replays the *same* matrix (same seed ⇒ same jobs), so differences
+/// in completion time are attributable to the strategy alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficMatrix {
+    /// The file population the jobs read from.
+    pub files: FilePopulation,
+    /// The job trace in arrival order.
+    pub jobs: Vec<ReadJob>,
+}
+
+impl TrafficMatrix {
+    /// Synthesizes a workload on `topo` from `params` using `rng`.
+    ///
+    /// Per §6.1.1: arrivals are Poisson with aggregate rate
+    /// `λ × hosts`, file choice is Zipf over ranks, and each job's
+    /// client is placed by the staggered locality distribution
+    /// relative to the chosen file's **primary** replica.
+    pub fn generate(topo: &Topology, params: &WorkloadParams, rng: &mut SimRng) -> TrafficMatrix {
+        let sizes = params
+            .file_sizes
+            .unwrap_or(FileSizeDist::Fixed(params.file_size_bits));
+        let files = FilePopulation::generate_with_sizes(
+            topo,
+            params.file_count,
+            sizes,
+            params.replication,
+            params.placement,
+            rng,
+        );
+        let zipf = Zipf::new(params.file_count, params.zipf_exponent);
+        let mut arrivals = PoissonArrivals::per_server(
+            params.lambda_per_server,
+            topo.host_count(),
+            rng.fork(),
+        );
+        let mut jobs = Vec::with_capacity(params.job_count);
+        for id in 0..params.job_count {
+            let arrival = arrivals.next_arrival();
+            let file_rank = zipf.sample(rng);
+            let primary = files.file(file_rank).primary();
+            let client = params.locality.place_client(topo, primary, rng);
+            jobs.push(ReadJob {
+                id,
+                arrival,
+                client,
+                file_rank,
+            });
+        }
+        TrafficMatrix { files, jobs }
+    }
+
+    /// The replica set a job reads from.
+    #[must_use]
+    pub fn replicas_of(&self, job: &ReadJob) -> &[HostId] {
+        &self.files.file(job.file_rank).replicas
+    }
+
+    /// The request size of a job, bits.
+    #[must_use]
+    pub fn size_of(&self, job: &ReadJob) -> f64 {
+        self.files.file(job.file_rank).size_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mayflower_net::TreeParams;
+
+    fn generate(seed: u64) -> (Topology, TrafficMatrix) {
+        let t = Topology::three_tier(&TreeParams::paper_testbed());
+        let mut rng = SimRng::seed_from(seed);
+        let params = WorkloadParams {
+            job_count: 300,
+            ..WorkloadParams::default()
+        };
+        let m = TrafficMatrix::generate(&t, &params, &mut rng);
+        (t, m)
+    }
+
+    #[test]
+    fn jobs_are_ordered_and_complete() {
+        let (_, m) = generate(1);
+        assert_eq!(m.jobs.len(), 300);
+        let mut last = SimTime::ZERO;
+        for (i, j) in m.jobs.iter().enumerate() {
+            assert_eq!(j.id, i);
+            assert!(j.arrival > last);
+            last = j.arrival;
+            assert!(j.file_rank < m.files.len());
+        }
+    }
+
+    #[test]
+    fn clients_are_never_primaries() {
+        let (_, m) = generate(2);
+        for j in &m.jobs {
+            assert_ne!(j.client, m.files.file(j.file_rank).primary());
+        }
+    }
+
+    #[test]
+    fn popular_files_dominate() {
+        let (_, m) = generate(3);
+        let top_decile = m.files.len() / 10;
+        let hot = m
+            .jobs
+            .iter()
+            .filter(|j| j.file_rank < top_decile)
+            .count();
+        // Zipf(1.1) over 400 files puts well over half the mass in the
+        // top 10%.
+        assert!(
+            hot * 2 > m.jobs.len(),
+            "only {hot}/{} jobs hit the top decile",
+            m.jobs.len()
+        );
+    }
+
+    #[test]
+    fn same_seed_same_matrix() {
+        let (_, a) = generate(7);
+        let (_, b) = generate(7);
+        for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(ja.arrival, jb.arrival);
+            assert_eq!(ja.client, jb.client);
+            assert_eq!(ja.file_rank, jb.file_rank);
+        }
+    }
+
+    #[test]
+    fn helpers_expose_job_data() {
+        let (_, m) = generate(4);
+        let j = &m.jobs[0];
+        assert_eq!(m.replicas_of(j).len(), 3);
+        assert_eq!(m.size_of(j), 256.0 * 8e6);
+    }
+}

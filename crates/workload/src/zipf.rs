@@ -1,0 +1,183 @@
+//! Zipf-distributed sampling for file popularity.
+
+use mayflower_simcore::SimRng;
+
+/// A Zipf distribution over ranks `0..n`: rank `k` (0-based) has
+/// probability proportional to `1 / (k+1)^s`.
+///
+/// The paper's workload draws file popularity from Zipf with skewness
+/// ρ = 1.1 (§6.1.1, following Scarlett's observation of skewed content
+/// popularity in MapReduce clusters).
+///
+/// Sampling is by inverse-CDF binary search over a precomputed table —
+/// O(n) setup, O(log n) per sample, exact.
+///
+/// # Example
+///
+/// ```
+/// use mayflower_simcore::SimRng;
+/// use mayflower_workload::Zipf;
+///
+/// let zipf = Zipf::new(1000, 1.1);
+/// let mut rng = SimRng::seed_from(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/NaN.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && !s.is_nan(), "Zipf exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf, s }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is degenerate (single rank).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // construction guarantees n > 0
+    }
+
+    /// The skewness exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// The probability of rank `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - lo
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.uniform();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(50, 1.1);
+        for k in 1..50 {
+            assert!(z.pmf(0) > z.pmf(k));
+        }
+        // Monotone decreasing.
+        for k in 1..50 {
+            assert!(z.pmf(k - 1) >= z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(20, 1.1);
+        let mut rng = SimRng::seed_from(42);
+        let n = 200_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, count) in counts.iter().enumerate() {
+            let emp = *count as f64 / n as f64;
+            let expected = z.pmf(k);
+            assert!(
+                (emp - expected).abs() < 0.01,
+                "rank {k}: {emp} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.1);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Samples are always valid ranks, and the CDF is monotone.
+        #[test]
+        fn samples_in_range(n in 1usize..500, s in 0.0f64..3.0, seed in any::<u64>()) {
+            let z = Zipf::new(n, s);
+            let mut rng = SimRng::seed_from(seed);
+            for _ in 0..50 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+            for k in 1..n {
+                prop_assert!(z.pmf(k - 1) >= z.pmf(k) - 1e-12);
+            }
+        }
+    }
+}

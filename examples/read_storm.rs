@@ -1,0 +1,62 @@
+//! A miniature of the paper's Figure 4 experiment: a read-dominant
+//! storm of 256 MB requests over the 64-host testbed, replayed under
+//! all five replica/path-selection schemes, with average and tail
+//! completion times side by side.
+//!
+//! ```text
+//! cargo run --release --example read_storm [jobs]
+//! ```
+
+use mayflower::sim::{ExperimentConfig, Strategy};
+use mayflower::workload::WorkloadParams;
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+
+    let cfg = ExperimentConfig {
+        workload: WorkloadParams {
+            job_count: jobs,
+            file_count: 150,
+            ..WorkloadParams::default()
+        },
+        ..ExperimentConfig::default()
+    };
+    println!(
+        "replaying {jobs} reads of 256 MB (λ = {:.2}/server, Zipf {:.1}, locality R/P/O = {:.2}/{:.2}/{:.2})\n",
+        cfg.workload.lambda_per_server,
+        cfg.workload.zipf_exponent,
+        cfg.workload.locality.same_rack,
+        cfg.workload.locality.same_pod,
+        cfg.workload.locality.other_pod(),
+    );
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9}",
+        "scheme", "avg (s)", "p50 (s)", "p95 (s)", "p99 (s)"
+    );
+
+    let results = cfg.run_strategies(&Strategy::FIGURE4);
+    let mayflower_mean = results[0].summary.mean;
+    for r in &results {
+        let s = &r.summary;
+        println!(
+            "{:<22} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            r.strategy.label(),
+            s.mean,
+            s.p50,
+            s.p95,
+            s.p99
+        );
+    }
+
+    println!();
+    for r in &results[1..] {
+        println!(
+            "{:<22} needs {:.2}x Mayflower's average completion time",
+            r.strategy.label(),
+            r.summary.mean / mayflower_mean
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-crate consistency and recovery tests: the §3.4 consistency
+//! semantics across clients, and the §3.3.1 nameserver recovery paths
+//! over the real kvstore and dataservers.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mayflower::fs::nameserver::NameserverConfig;
+use mayflower::fs::{Cluster, ClusterConfig, Consistency, Nameserver};
+use mayflower::net::{HostId, Topology, TreeParams};
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "mayflower-cons-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        TempDir(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn cluster(dir: &TempDir, consistency: Consistency, chunk: u64) -> Cluster {
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    Cluster::create(
+        &dir.0,
+        topo,
+        ClusterConfig {
+            nameserver: NameserverConfig {
+                chunk_size: chunk,
+                ..NameserverConfig::default()
+            },
+            consistency,
+        },
+    )
+    .expect("cluster creation")
+}
+
+#[test]
+fn sequential_consistency_replicas_agree_after_concurrent_appends() {
+    let dir = TempDir::new("seq");
+    let c = Arc::new(cluster(&dir, Consistency::Sequential, 64));
+    let mut setup = c.client(HostId(0));
+    let meta = setup.create("seq/file").unwrap();
+
+    let writers: Vec<_> = (0..4u8)
+        .map(|w| {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                let mut client = c.client(HostId(u32::from(w)));
+                for i in 0..25u8 {
+                    let tag = w.wrapping_mul(25).wrapping_add(i);
+                    client.append("seq/file", &[tag; 8]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    // Every replica stored the same interleaving (sequential
+    // consistency: one primary-imposed order).
+    let total = 4 * 25 * 8;
+    let reference = c
+        .dataserver(meta.replicas[0])
+        .read_local(meta.id, 0, total)
+        .unwrap()
+        .0;
+    for r in &meta.replicas[1..] {
+        let other = c.dataserver(*r).read_local(meta.id, 0, total).unwrap().0;
+        assert_eq!(other, reference, "replica {r} saw a different order");
+    }
+    // No torn records.
+    for rec in reference.chunks(8) {
+        assert!(rec.iter().all(|b| *b == rec[0]), "torn append {rec:?}");
+    }
+}
+
+#[test]
+fn strong_consistency_read_after_append_from_any_client() {
+    let dir = TempDir::new("strong");
+    let c = cluster(&dir, Consistency::Strong, 32);
+    let mut writer = c.client(HostId(2));
+    writer.create("strong/file").unwrap();
+
+    let mut reader = c.client(HostId(50));
+    // Interleave appends and reads; every read must reflect all
+    // completed appends (reads of the mutable last chunk go to the
+    // primary, §3.4).
+    let mut expected = Vec::new();
+    for i in 0..30u8 {
+        writer.append("strong/file", &[i; 5]).unwrap();
+        expected.extend_from_slice(&[i; 5]);
+        let seen = reader.read("strong/file").unwrap();
+        assert_eq!(seen, expected, "read-after-append violated at {i}");
+    }
+}
+
+#[test]
+fn nameserver_graceful_restart_preserves_namespace() {
+    let dir = TempDir::new("graceful");
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    let db = dir.0.join("ns");
+    let metas: Vec<_> = {
+        let ns = Nameserver::open(topo.clone(), &db, NameserverConfig::default()).unwrap();
+        let metas: Vec<_> = (0..20)
+            .map(|i| ns.create(&format!("file-{i}")).unwrap())
+            .collect();
+        ns.flush().unwrap();
+        metas
+    };
+    let ns = Nameserver::open(topo, &db, NameserverConfig::default()).unwrap();
+    assert_eq!(ns.file_count(), 20);
+    for m in metas {
+        let found = ns.lookup(&m.name).unwrap();
+        assert_eq!(found.id, m.id);
+        assert_eq!(found.replicas, m.replicas);
+    }
+}
+
+#[test]
+fn nameserver_crash_rebuild_matches_dataserver_truth() {
+    let dir = TempDir::new("rebuild");
+    let c = cluster(&dir, Consistency::Sequential, 128);
+    let mut client = c.client(HostId(0));
+    let mut expected: Vec<(String, u64)> = Vec::new();
+    for i in 0..10 {
+        let name = format!("rb/f{i}");
+        client.create(&name).unwrap();
+        let payload = vec![i as u8; 40 + i * 3];
+        client.append(&name, &payload).unwrap();
+        expected.push((name, payload.len() as u64));
+    }
+
+    // "Crash": a brand-new nameserver with an empty database rebuilds
+    // from the dataservers (§3.3.1).
+    let fresh = Nameserver::open(
+        c.topology().clone(),
+        &dir.0.join("fresh-ns"),
+        NameserverConfig::default(),
+    )
+    .unwrap();
+    fresh.rebuild_from_dataservers(&c.dataservers()).unwrap();
+    assert_eq!(fresh.file_count(), 10);
+    for (name, size) in expected {
+        let meta = fresh.lookup(&name).unwrap();
+        assert_eq!(meta.size, size, "{name} size diverged after rebuild");
+        // Replica set survives too, so reads keep working.
+        assert_eq!(meta.replicas.len(), 3);
+    }
+}
+
+#[test]
+fn deleted_files_stay_deleted_across_restart() {
+    let dir = TempDir::new("deleted");
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    let db = dir.0.join("ns");
+    {
+        let ns = Nameserver::open(topo.clone(), &db, NameserverConfig::default()).unwrap();
+        ns.create("keep").unwrap();
+        ns.create("drop").unwrap();
+        ns.delete("drop").unwrap();
+        ns.flush().unwrap();
+    }
+    let ns = Nameserver::open(topo, &db, NameserverConfig::default()).unwrap();
+    assert!(ns.lookup("keep").is_ok());
+    assert!(ns.lookup("drop").is_err());
+}
+
+#[test]
+fn append_only_cache_semantics_survive_other_writers() {
+    // A client's cached chunk map can only be behind, never wrong: an
+    // old cache plus size discovery equals fresh metadata (§3.3).
+    let dir = TempDir::new("cache");
+    let c = cluster(&dir, Consistency::Sequential, 16);
+    let mut a = c.client(HostId(0));
+    let mut b = c.client(HostId(9));
+    a.create("shared").unwrap();
+    // b caches the empty file.
+    assert_eq!(b.read("shared").unwrap(), b"");
+    // a appends enough to create several new chunks.
+    for i in 0..8u8 {
+        a.append("shared", &[i; 10]).unwrap();
+    }
+    // b's stale cache still yields the full current content.
+    let seen = b.read("shared").unwrap();
+    assert_eq!(seen.len(), 80);
+    for (i, chunk) in seen.chunks(10).enumerate() {
+        assert!(chunk.iter().all(|x| *x == i as u8));
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration tests asserting the paper's headline *shapes* on
+//! quick-effort runs: who wins, in what order, and how trends move
+//! with load and oversubscription. Absolute magnitudes are checked in
+//! EXPERIMENTS.md from full-effort runs; these tests keep the
+//! qualitative results from regressing.
+
+use mayflower::sim::figures::{self, Effort};
+use mayflower::sim::{ExperimentConfig, Strategy};
+use mayflower::workload::{LocalityDist, WorkloadParams};
+
+const SEED: u64 = 0x4D41_5946;
+
+#[test]
+fn figure4_ordering_mayflower_first_nearest_last() {
+    let fig = figures::figure4(Effort::Quick, SEED);
+    let ratio = |s: Strategy| {
+        fig.bars
+            .iter()
+            .find(|b| b.strategy == s)
+            .map(|b| b.mean_ratio.ratio)
+            .expect("bar present")
+    };
+    // Mayflower is the unit baseline.
+    assert!((ratio(Strategy::Mayflower) - 1.0).abs() < 1e-9);
+    // Paper Figure 4 ordering of the means.
+    assert!(ratio(Strategy::SinbadRMayflower) > 1.0);
+    assert!(ratio(Strategy::SinbadREcmp) >= ratio(Strategy::SinbadRMayflower));
+    assert!(ratio(Strategy::NearestEcmp) >= ratio(Strategy::NearestMayflower) * 0.95);
+    assert!(ratio(Strategy::NearestEcmp) > ratio(Strategy::SinbadREcmp));
+}
+
+#[test]
+fn figure4_tail_gap_exceeds_mean_gap_for_nearest() {
+    // "At the 95th percentile ... the completion times increase to
+    // 12.4x, which highlights the impact of stragglers."
+    let fig = figures::figure4(Effort::Quick, SEED);
+    let bar = |s: Strategy| fig.bars.iter().find(|b| b.strategy == s).expect("bar");
+    let ne = bar(Strategy::NearestEcmp);
+    assert!(
+        ne.p95_ratio > ne.mean_ratio.ratio,
+        "stragglers must widen the tail: p95 {}x vs mean {}x",
+        ne.p95_ratio,
+        ne.mean_ratio.ratio
+    );
+}
+
+#[test]
+fn figure5_mayflower_wins_under_every_locality() {
+    let fig = figures::figure5(Effort::Quick, SEED);
+    assert_eq!(fig.groups.len(), 4);
+    for (label, _, bars) in &fig.groups {
+        for b in bars {
+            assert!(
+                b.mean_ratio.ratio >= 0.99,
+                "[{label}] {} beat Mayflower: {}x",
+                b.strategy,
+                b.mean_ratio.ratio
+            );
+        }
+    }
+}
+
+#[test]
+fn figure6_completion_time_grows_with_arrival_rate() {
+    let fig = figures::figure6('a', Effort::Quick, SEED);
+    for s in [Strategy::Mayflower, Strategy::NearestEcmp] {
+        let series: Vec<f64> = fig
+            .points
+            .iter()
+            .filter(|p| p.strategy == s)
+            .map(|p| p.summary.mean)
+            .collect();
+        let first = series.first().copied().expect("series");
+        let last = series.last().copied().expect("series");
+        assert!(last > first, "{s}: λ=0.14 ({last}) vs λ=0.06 ({first})");
+    }
+    // And Mayflower degrades the most gracefully (§6.5: "the gap ...
+    // increases with the job rate").
+    let at = |s: Strategy, idx: usize| {
+        fig.points
+            .iter()
+            .filter(|p| p.strategy == s)
+            .nth(idx)
+            .map(|p| p.summary.mean)
+            .expect("point")
+    };
+    let n_lambdas = fig
+        .points
+        .iter()
+        .filter(|p| p.strategy == Strategy::Mayflower)
+        .count();
+    let gap_low = at(Strategy::NearestEcmp, 0) - at(Strategy::Mayflower, 0);
+    let gap_high =
+        at(Strategy::NearestEcmp, n_lambdas - 1) - at(Strategy::Mayflower, n_lambdas - 1);
+    assert!(
+        gap_high > gap_low,
+        "gap must widen with load: {gap_low} -> {gap_high}"
+    );
+}
+
+#[test]
+fn figure7_oversubscription_slows_everyone() {
+    let fig = figures::figure7(Effort::Quick, SEED);
+    for s in [Strategy::Mayflower, Strategy::SinbadRMayflower] {
+        let series: Vec<f64> = fig
+            .points
+            .iter()
+            .filter(|p| p.strategy == s)
+            .map(|p| p.summary.mean)
+            .collect();
+        assert_eq!(series.len(), 3); // 8:1, 16:1, 24:1
+        assert!(
+            series[2] > series[0],
+            "{s}: 24:1 ({}) must be slower than 8:1 ({})",
+            series[2],
+            series[0]
+        );
+    }
+}
+
+#[test]
+fn multipath_helps_on_core_heavy_workloads() {
+    let abl = figures::multipath_ablation(Effort::Quick, SEED);
+    assert!(abl.split_fraction > 0.0, "some reads must split");
+    assert!(
+        abl.split.mean <= abl.single.mean,
+        "splitting must not hurt: {} vs {}",
+        abl.split.mean,
+        abl.single.mean
+    );
+    // "the average difference of finish time between the two subflows
+    // ... is less than a second when reading a 256 MB block."
+    assert!(
+        abl.mean_subflow_skew_secs < 1.0,
+        "subflow skew {}",
+        abl.mean_subflow_skew_secs
+    );
+}
+
+#[test]
+fn headline_reduction_vs_hdfs_like_baseline() {
+    // Abstract: Mayflower reduces average read completion "by more
+    // than 25% compared to current state-of-the-art distributed
+    // filesystems with an independent network flow scheduler" (the
+    // Sinbad-R family) — quick runs must clear a conservative floor.
+    let cfg = ExperimentConfig {
+        workload: WorkloadParams {
+            job_count: 250,
+            file_count: 100,
+            locality: LocalityDist::rack_heavy(),
+            ..WorkloadParams::default()
+        },
+        seed: SEED,
+        ..ExperimentConfig::default()
+    };
+    let results = cfg.run_strategies(&[
+        Strategy::Mayflower,
+        Strategy::SinbadREcmp,
+        Strategy::NearestEcmp,
+    ]);
+    let mf = results[0].summary.mean;
+    let sinbad_ecmp = results[1].summary.mean;
+    let nearest_ecmp = results[2].summary.mean;
+    let vs_sinbad = 1.0 - mf / sinbad_ecmp;
+    let vs_hdfs = 1.0 - mf / nearest_ecmp;
+    assert!(
+        vs_sinbad > 0.10,
+        "reduction vs Sinbad-R ECMP only {:.0}%",
+        vs_sinbad * 100.0
+    );
+    assert!(
+        vs_hdfs > 0.40,
+        "reduction vs Nearest ECMP only {:.0}%",
+        vs_hdfs * 100.0
+    );
+}
