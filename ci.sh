@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must build cleanly, every test must pass,
+# and clippy must be silent under -D warnings. Run before every merge.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> ci.sh: all green"

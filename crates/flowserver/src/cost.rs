@@ -188,6 +188,88 @@ mod tests {
     }
 
     #[test]
+    fn empty_flow_set_costs_pure_transfer_time() {
+        // With no existing flows the impact term vanishes: the cost is
+        // exactly d_j / b_j with b_j the path's bottleneck capacity.
+        let (t, p1, _, _, _) = fig2();
+        let tr = FlowTracker::new();
+        let pc = flow_cost(&t, &tr, p1.links(), 90.0, SimTime::ZERO);
+        let bottleneck = p1
+            .links()
+            .iter()
+            .map(|&l| t.link(l).capacity())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(pc.est_bw, bottleneck);
+        assert_eq!(pc.cost, 90.0 / bottleneck);
+        assert!(pc.impacted.is_empty());
+    }
+
+    #[test]
+    fn single_saturated_link_shares_fairly_and_charges_both_slowdowns() {
+        use mayflower_net::{HostId, NodeKind, Path, PodId, RackId, Topology};
+        use mayflower_simcore::SimTime;
+        // One 10 Mbps bottleneck carrying two 5 Mbps flows — fully
+        // saturated. A newcomer forces an equal three-way split and
+        // pays for both victims' slowdown.
+        let mut t = Topology::new();
+        let e = t.add_node(NodeKind::EdgeSwitch, Some(RackId(0)), Some(PodId(0)));
+        t.set_rack_edge(RackId(0), e);
+        let hs = t.add_node(NodeKind::Host, Some(RackId(0)), Some(PodId(0)));
+        let src = t.register_host(hs, RackId(0), PodId(0));
+        let hr = t.add_node(NodeKind::Host, Some(RackId(0)), Some(PodId(0)));
+        let dst = t.register_host(hr, RackId(0), PodId(0));
+        t.add_duplex_link(hs, e, 100.0);
+        t.add_duplex_link(hr, e, 10.0); // the bottleneck, e→hr direction
+        t.freeze();
+        let path = t.shortest_paths(src, dst).remove(0);
+        let mk = |cookie: u64, remaining: f64| crate::tracker::TrackedFlow {
+            cookie: mayflower_sdn::FlowCookie(cookie),
+            path: path.clone(),
+            size_bits: 100.0,
+            remaining_bits: remaining,
+            bw: 5.0,
+            updated_at: SimTime::ZERO,
+            frozen: false,
+            freeze_until: SimTime::ZERO,
+        };
+        let mut tr = FlowTracker::new();
+        tr.insert(mk(1, 30.0));
+        tr.insert(mk(2, 60.0));
+        let pc = flow_cost(&t, &tr, path.links(), 20.0, SimTime::ZERO);
+        // waterfill(10, [5, 5, ∞]) → 10/3 each.
+        let share = 10.0 / 3.0;
+        assert!((pc.est_bw - share).abs() < 1e-9);
+        let expected =
+            20.0 / share + (30.0 / share - 30.0 / 5.0) + (60.0 / share - 60.0 / 5.0);
+        assert!((pc.cost - expected).abs() < 1e-9, "cost {}", pc.cost);
+        assert_eq!(pc.impacted.len(), 2, "both existing flows re-frozen");
+    }
+
+    #[test]
+    fn zero_bw_existing_flow_does_not_poison_the_cost() {
+        // A flow frozen at zero bandwidth (SETBW 0: frozen forever,
+        // e.g. admitted onto a path that then went dark) sits on the
+        // candidate path. Its share cannot *shrink*, so it is not an
+        // impact victim, and the guard against dividing by its zero
+        // current bandwidth keeps the cost finite and positive.
+        let (t, p1, p2, _, _) = fig2();
+        let mut tr = fig2_tracker(&p1, &p2);
+        for c in [1u64, 2, 3, 4] {
+            if let Some(f) = tr.get_mut(mayflower_sdn::FlowCookie(c)) {
+                f.set_bw(0.0, SimTime::ZERO);
+            }
+        }
+        let pc = flow_cost(&t, &tr, p1.links(), 9.0, SimTime::ZERO);
+        assert!(pc.cost.is_finite());
+        assert!(pc.cost > 0.0);
+        assert!(
+            pc.impacted.is_empty(),
+            "zero-bw flows cannot be slowed further: {:?}",
+            pc.impacted
+        );
+    }
+
+    #[test]
     fn cost_monotone_in_size() {
         let (t, p1, p2, _, _) = fig2();
         let tr = fig2_tracker(&p1, &p2);

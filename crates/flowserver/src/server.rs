@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use mayflower_net::{HostId, Path, Topology};
+use mayflower_net::{HostId, LinkId, Path, Topology};
 use mayflower_sdn::{CounterSource, Fabric, FlowCookie, StatsCollector, StatsReport};
 use mayflower_simcore::SimTime;
 use serde::{Deserialize, Serialize};
@@ -76,6 +76,11 @@ pub enum Selection {
     /// Split the read across multiple replicas (§4.3); sizes are
     /// proportioned so all subflows finish together.
     Split(Vec<Assignment>),
+    /// No usable path exists right now — every candidate path crosses
+    /// a link the controller knows to be down. The client should fall
+    /// back (nearest replica, retry with backoff); nothing was
+    /// installed.
+    Unavailable,
 }
 
 impl Selection {
@@ -83,7 +88,7 @@ impl Selection {
     #[must_use]
     pub fn assignments(&self) -> &[Assignment] {
         match self {
-            Selection::Local => &[],
+            Selection::Local | Selection::Unavailable => &[],
             Selection::Single(a) => std::slice::from_ref(a),
             Selection::Split(v) => v,
         }
@@ -105,6 +110,14 @@ pub struct Flowserver {
     tracker: FlowTracker,
     config: FlowserverConfig,
     next_cookie: u64,
+    /// Links the controller knows to be down (OpenFlow port-status
+    /// events). Candidate paths crossing them are skipped.
+    down_links: std::collections::BTreeSet<LinkId>,
+    /// When the model was last refreshed by a stats poll.
+    last_stats_at: SimTime,
+    /// Polls the controller expected but never received (fault
+    /// injection: switch→controller message loss).
+    missed_polls: u64,
 }
 
 impl Flowserver {
@@ -118,7 +131,65 @@ impl Flowserver {
             topo,
             config,
             next_cookie: 0,
+            down_links: std::collections::BTreeSet::new(),
+            last_stats_at: SimTime::ZERO,
+            missed_polls: 0,
         }
+    }
+
+    /// Records a port-status event: the controller now considers
+    /// `link` down (`up == false`) or restored. Down links are
+    /// excluded from path selection; flows already routed over them
+    /// are the client's problem (retry → reselect).
+    pub fn set_link_state(&mut self, link: LinkId, up: bool) {
+        if up {
+            self.down_links.remove(&link);
+        } else {
+            self.down_links.insert(link);
+        }
+    }
+
+    /// The links currently marked down.
+    #[must_use]
+    pub fn down_links(&self) -> &std::collections::BTreeSet<LinkId> {
+        &self.down_links
+    }
+
+    /// Records that an expected stats poll never arrived (lost
+    /// switch→controller message). The model simply stays stale for
+    /// another interval; freeze windows keep expiring on wall time, so
+    /// [`Flowserver::expire_stale_freezes`] may still unfreeze flows.
+    pub fn note_poll_missed(&mut self, _now: SimTime) {
+        self.missed_polls += 1;
+    }
+
+    /// How many expected polls were lost so far.
+    #[must_use]
+    pub fn missed_polls(&self) -> u64 {
+        self.missed_polls
+    }
+
+    /// Seconds since the model was last refreshed by a stats report —
+    /// the model's staleness bound (§3.3.3 assumes one poll interval).
+    #[must_use]
+    pub fn staleness_secs(&self, now: SimTime) -> f64 {
+        now.secs_since(self.last_stats_at)
+    }
+
+    /// Expires update-freeze windows that have lapsed **without** a
+    /// stats poll arriving (Pseudocode 2 expires freezes on the next
+    /// `UPDATEBW`; when polls are lost there is no such update, so the
+    /// expiry must be driven by the clock instead). Returns how many
+    /// flows were unfrozen.
+    pub fn expire_stale_freezes(&mut self, now: SimTime) -> usize {
+        let mut expired = 0;
+        for f in self.tracker.iter_mut() {
+            if f.frozen && now > f.freeze_until {
+                f.frozen = false;
+                expired += 1;
+            }
+        }
+        expired
     }
 
     /// The controller's view of the data plane.
@@ -187,7 +258,10 @@ impl Flowserver {
         } else {
             match self.select_single(client, replicas, size_bits, now) {
                 Some(a) => Selection::Single(a),
-                None => unreachable!("connected topology always yields a path"),
+                // With all links up this cannot happen on a connected
+                // topology; with down links it means every candidate
+                // path is severed right now.
+                None => Selection::Unavailable,
             }
         }
     }
@@ -213,7 +287,7 @@ impl Flowserver {
         }
         match self.select_single(client, &[replica], size_bits, now) {
             Some(a) => Selection::Single(a),
-            None => unreachable!("connected topology always yields a path"),
+            None => Selection::Unavailable,
         }
     }
 
@@ -246,6 +320,11 @@ impl Flowserver {
                 continue;
             }
             for path in self.topo.shortest_paths(replica, client) {
+                if !self.down_links.is_empty()
+                    && path.links().iter().any(|l| self.down_links.contains(l))
+                {
+                    continue; // severed by a known-down link
+                }
                 let pc = flow_cost_opts(
                     &self.topo,
                     &self.tracker,
@@ -320,7 +399,7 @@ impl Flowserver {
     ) -> Selection {
         // First subflow, chosen over all replicas.
         let Some((r1, path1, pc1)) = self.cheapest_path(client, replicas, size_bits, now) else {
-            unreachable!("connected topology always yields a path");
+            return Selection::Unavailable;
         };
         let b1 = pc1.est_bw;
 
@@ -400,6 +479,7 @@ impl Flowserver {
     /// windows) plus remaining-size refresh from flow byte counters.
     pub fn on_stats(&mut self, report: &StatsReport) {
         let now = report.measured_at;
+        self.last_stats_at = now;
         for stat in &report.flows {
             if let Some(f) = self.tracker.get_mut(stat.cookie) {
                 if !self.config.freeze_enabled {
@@ -667,5 +747,76 @@ mod tests {
     fn empty_replicas_rejected() {
         let mut fs = server();
         fs.select_replica_path(HostId(0), &[], MB256, SimTime::ZERO);
+    }
+
+    #[test]
+    fn down_link_steers_selection_around_it() {
+        let mut fs = server();
+        // Fail the same-rack replica's uplink: selection must route
+        // from the cross-pod replica instead of the usual HostId(1).
+        let uplink = fs.topology().host_uplink(HostId(1));
+        fs.set_link_state(uplink, false);
+        let sel = fs.select_replica_path(
+            HostId(0),
+            &[HostId(1), HostId(20)],
+            MB256,
+            SimTime::ZERO,
+        );
+        let Selection::Single(a) = sel else {
+            panic!("expected single, got {sel:?}")
+        };
+        assert_eq!(a.replica, HostId(20), "avoid the severed replica");
+        assert!(!a.path.links().contains(&uplink));
+        // Heal: the near replica wins again.
+        fs.set_link_state(uplink, true);
+        assert!(fs.down_links().is_empty());
+        let sel = fs.select_replica_path(
+            HostId(2),
+            &[HostId(1), HostId(20)],
+            MB256,
+            SimTime::ZERO,
+        );
+        assert_eq!(sel.assignments()[0].replica, HostId(1));
+    }
+
+    #[test]
+    fn fully_severed_replica_set_reports_unavailable() {
+        let mut fs = server();
+        // Down the client's own downlink: no path can reach it.
+        let downlink = fs.topology().host_downlink(HostId(0));
+        fs.set_link_state(downlink, false);
+        let sel =
+            fs.select_replica_path(HostId(0), &[HostId(1), HostId(20)], MB256, SimTime::ZERO);
+        assert!(matches!(sel, Selection::Unavailable), "got {sel:?}");
+        assert!(sel.assignments().is_empty());
+        assert_eq!(fs.tracked_flows(), 0, "nothing installed");
+    }
+
+    #[test]
+    fn missed_polls_are_counted_and_staleness_grows() {
+        let mut fs = server();
+        assert_eq!(fs.missed_polls(), 0);
+        fs.note_poll_missed(SimTime::from_secs(1.0));
+        fs.note_poll_missed(SimTime::from_secs(2.0));
+        assert_eq!(fs.missed_polls(), 2);
+        assert_eq!(fs.staleness_secs(SimTime::from_secs(2.0)), 2.0);
+    }
+
+    #[test]
+    fn stale_freezes_expire_on_the_clock_without_polls() {
+        let mut fs = server();
+        let sel = fs.select_replica_path(HostId(0), &[HostId(20)], MB256, SimTime::ZERO);
+        let cookie = sel.assignments()[0].cookie;
+        let f = fs.flow_model(cookie).unwrap();
+        assert!(f.frozen);
+        let expires = f.freeze_until;
+        // Before expiry nothing changes even with lost polls.
+        assert_eq!(fs.expire_stale_freezes(SimTime::from_millis(1.0)), 0);
+        assert!(fs.flow_model(cookie).unwrap().frozen);
+        // After the freeze window lapses, the clock-driven expiry
+        // unfreezes the flow so the *next* poll can re-anchor it.
+        let after = expires + SimTime::from_millis(1.0);
+        assert_eq!(fs.expire_stale_freezes(after), 1);
+        assert!(!fs.flow_model(cookie).unwrap().frozen);
     }
 }

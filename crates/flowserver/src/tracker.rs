@@ -128,6 +128,11 @@ impl FlowTracker {
         self.flows.values()
     }
 
+    /// Mutable iteration over all tracked flows, in cookie order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut TrackedFlow> {
+        self.flows.values_mut()
+    }
+
     /// Number of tracked flows.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -243,6 +248,45 @@ mod tests {
         assert_eq!(f.bw, 7.0);
         assert_eq!(f.remaining_bits, 40.0);
         assert!(!f.frozen);
+    }
+
+    #[test]
+    fn freeze_boundary_is_inclusive() {
+        // Pseudocode 2 rejects UPDATEBW while `now <= freeze_until`:
+        // the boundary instant itself is still frozen, the first
+        // instant after it is not.
+        let mut f = flow(1, vec![0], 10.0);
+        f.set_bw(5.0, SimTime::ZERO); // frozen until t = 10
+        assert!(!f.update_from_stats(7.0, 60.0, SimTime::from_secs(10.0)));
+        assert!(f.frozen);
+        assert!(f.update_from_stats(7.0, 60.0, SimTime::from_secs(10.000_001)));
+        assert!(!f.frozen);
+    }
+
+    #[test]
+    fn clock_side_expiry_sweep_unfreezes_in_cookie_order() {
+        // When no stats arrive (Flowserver outage, lost polls) nothing
+        // calls UPDATEBW, so expired freezes are cleared clock-side by
+        // sweeping `iter_mut` — the tracker half of the server's
+        // `expire_stale_freezes`.
+        let mut t = FlowTracker::new();
+        for (cookie, bw) in [(1u64, 10.0), (2, 5.0), (3, 1.0)] {
+            let mut f = flow(cookie, vec![0], bw);
+            f.set_bw(bw, SimTime::ZERO); // freezes until 50/bw secs
+            t.insert(f);
+        }
+        let now = SimTime::from_secs(20.0); // past 5 and 10, before 50
+        let expired: Vec<FlowCookie> = t
+            .iter_mut()
+            .filter(|f| f.frozen && now > f.freeze_until)
+            .map(|f| {
+                f.frozen = false;
+                f.cookie
+            })
+            .collect();
+        assert_eq!(expired, vec![FlowCookie(1), FlowCookie(2)]);
+        assert!(t.get(FlowCookie(3)).unwrap().frozen, "still inside window");
+        assert!(!t.get(FlowCookie(1)).unwrap().frozen);
     }
 
     #[test]

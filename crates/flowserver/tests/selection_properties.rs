@@ -75,6 +75,10 @@ proptest! {
                 }
                 prop_assert_eq!(fs.tracked_flows(), before + parts.len());
             }
+            Selection::Unavailable => {
+                // Only possible when links are down; none are here.
+                prop_assert!(false, "unavailable on a healthy fabric");
+            }
         }
         // The fabric mirrors the tracker, and completion cleans up.
         prop_assert_eq!(fs.fabric().flow_count(), fs.tracked_flows());

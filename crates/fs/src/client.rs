@@ -34,7 +34,16 @@ pub struct Client {
     /// paper prescribes "cache expiry times that depend on the mean
     /// time between replica migration and node failure" (§3.3).
     cache_ttl: std::time::Duration,
+    /// How many times a retryable ([`FsError::Unavailable`]) operation
+    /// is attempted before the error propagates.
+    retry_attempts: u32,
+    /// Base delay between attempts; doubles each retry, capped.
+    retry_backoff: std::time::Duration,
 }
+
+/// Backoff growth is capped so a long retry budget cannot make a
+/// client hang for seconds on a dead component.
+const MAX_RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(16);
 
 impl Client {
     /// Assembles a client. Use [`crate::Cluster::client`] in normal
@@ -57,7 +66,36 @@ impl Client {
             selector,
             cache: HashMap::new(),
             cache_ttl: std::time::Duration::from_secs(300),
+            retry_attempts: 3,
+            retry_backoff: std::time::Duration::from_millis(1),
         }
+    }
+
+    /// Sets the retry policy for [`FsError::Unavailable`] failures:
+    /// `attempts` total tries (min 1) with `backoff` between them,
+    /// doubling per retry up to a small cap. Other errors never retry.
+    pub fn set_retry_policy(&mut self, attempts: u32, backoff: std::time::Duration) {
+        self.retry_attempts = attempts.max(1);
+        self.retry_backoff = backoff;
+    }
+
+    /// Runs `op`, retrying transient [`FsError::Unavailable`] failures
+    /// under the client's retry policy.
+    fn with_retry<T>(&self, mut op: impl FnMut() -> Result<T, FsError>) -> Result<T, FsError> {
+        let mut delay = self.retry_backoff;
+        let mut last = None;
+        for attempt in 0..self.retry_attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e @ FsError::Unavailable(_)) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+            if attempt + 1 < self.retry_attempts && !delay.is_zero() {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(MAX_RETRY_BACKOFF);
+            }
+        }
+        Err(last.expect("at least one attempt runs"))
     }
 
     /// Sets the metadata cache expiry (default five minutes). Shorter
@@ -102,7 +140,11 @@ impl Client {
         let _guard = lock.lock();
         let mut new_size = 0;
         for (i, host) in meta.replicas.iter().enumerate() {
-            let size = self.dataserver(*host)?.append_local(meta.id, data)?;
+            // Each replica write retries transient unavailability; if a
+            // replica stays down past the retry budget the append fails
+            // as a whole and the caller may re-elect the primary
+            // ([`crate::Cluster::reelect_primary`]) before retrying.
+            let size = self.with_retry(|| self.dataserver(*host)?.append_local(meta.id, data))?;
             if i == 0 {
                 new_size = size;
             }
@@ -124,12 +166,25 @@ impl Client {
         // Size discovery: a zero-length read returns the current size
         // (the paper's "the dataserver includes the file's size with
         // each read result"). Under strong consistency the probe must
-        // see the primary's ordering.
-        let probe_host = match self.consistency {
-            Consistency::Strong => meta.primary(),
-            Consistency::Sequential => meta.replicas[0],
+        // see the primary's ordering, so only the primary may answer;
+        // sequential consistency lets the probe fail over to any
+        // replica (appends are relayed to all before acking, so every
+        // live replica knows the size).
+        let probe_order: &[HostId] = match self.consistency {
+            Consistency::Strong => &meta.replicas[..1],
+            Consistency::Sequential => &meta.replicas,
         };
-        let (_, size) = self.dataserver(probe_host)?.read_local(meta.id, 0, 0)?;
+        let size = self.with_retry(|| {
+            let mut last = None;
+            for host in probe_order {
+                match self.dataserver(*host)?.read_local(meta.id, 0, 0) {
+                    Ok((_, size)) => return Ok(size),
+                    Err(e @ (FsError::Unavailable(_) | FsError::NotFound(_))) => last = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(last.unwrap_or_else(|| FsError::NotFound(meta.name.clone())))
+        })?;
         if let Some((cached, _)) = self.cache.get_mut(name) {
             cached.size = size;
         }
@@ -230,14 +285,20 @@ impl Client {
         if meta.primary() != chosen {
             order.push(meta.primary());
         }
-        let mut last_err = None;
-        for host in order {
-            match self.try_read_piece(meta, host, offset, len) {
-                Ok(data) => return Ok(data),
-                Err(e) => last_err = Some(e),
+        // The whole failover sweep retries under the client's policy:
+        // a crashed dataserver that restarts within the retry budget
+        // (or a racing primary re-election) turns a transient outage
+        // into a slower read instead of an error.
+        self.with_retry(|| {
+            let mut last_err = None;
+            for host in &order {
+                match self.try_read_piece(meta, *host, offset, len) {
+                    Ok(data) => return Ok(data),
+                    Err(e) => last_err = Some(e),
+                }
             }
-        }
-        Err(last_err.unwrap_or_else(|| FsError::NotFound(meta.name.clone())))
+            Err(last_err.unwrap_or_else(|| FsError::NotFound(meta.name.clone())))
+        })
     }
 
     fn try_read_piece(
@@ -624,6 +685,73 @@ mod tests {
         }
         let mut reader = c.client_with_selector(HostId(9), Box::new(Fixed(victim)));
         assert_eq!(reader.read("fragile").unwrap(), b"survives replica loss");
+    }
+
+    #[test]
+    fn read_survives_primary_crash_without_reelection() {
+        // Sequential consistency: the size probe and the data path both
+        // fail over past a crashed primary, no control-plane action
+        // needed.
+        let dir = TempDir::new("primarycrash");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut writer = c.client(HostId(0));
+        let meta = writer.create("hardy").unwrap();
+        writer.append("hardy", b"still readable").unwrap();
+
+        c.dataserver(meta.primary()).crash();
+        let mut reader = c.client(HostId(5));
+        reader.set_retry_policy(1, std::time::Duration::ZERO);
+        assert_eq!(reader.read("hardy").unwrap(), b"still readable");
+
+        // Strong consistency pins the probe to the primary: the read
+        // reports Unavailable rather than risking a stale tail.
+        c.dataserver(meta.primary()).restart();
+        let d2 = TempDir::new("primarycrash-strong");
+        let cs = cluster(&d2, Consistency::Strong);
+        let mut w = cs.client(HostId(0));
+        let m = w.create("strict").unwrap();
+        w.append("strict", b"tail").unwrap();
+        cs.dataserver(m.primary()).crash();
+        let mut r = cs.client(HostId(5));
+        r.set_retry_policy(1, std::time::Duration::ZERO);
+        assert!(matches!(r.read("strict"), Err(FsError::Unavailable(_))));
+    }
+
+    #[test]
+    fn retry_outlasts_a_short_outage() {
+        let dir = TempDir::new("retrywindow");
+        let c = Arc::new(cluster(&dir, Consistency::Sequential));
+        let mut writer = c.client(HostId(0));
+        let meta = writer.create("blinky").unwrap();
+        writer.append("blinky", b"blip").unwrap();
+
+        // All replicas down: first attempt must fail...
+        for r in &meta.replicas {
+            c.dataserver(*r).crash();
+        }
+        let mut impatient = c.client(HostId(5));
+        impatient.set_retry_policy(1, std::time::Duration::ZERO);
+        assert!(matches!(
+            impatient.read("blinky"),
+            Err(FsError::Unavailable(_))
+        ));
+
+        // ...but a retrying client rides out an outage shorter than
+        // its backoff budget.
+        let healer = {
+            let c = c.clone();
+            let replicas = meta.replicas.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                for r in &replicas {
+                    c.dataserver(*r).restart();
+                }
+            })
+        };
+        let mut patient = c.client(HostId(5));
+        patient.set_retry_policy(50, std::time::Duration::from_millis(2));
+        assert_eq!(patient.read("blinky").unwrap(), b"blip");
+        healer.join().unwrap();
     }
 
     #[test]

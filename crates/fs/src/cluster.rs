@@ -217,6 +217,51 @@ impl Cluster {
         Ok(new_hosts)
     }
 
+    /// Promotes the first live replica to primary when the current
+    /// primary's dataserver has crashed, so appends (which are relayed
+    /// primary-first) and strong-consistency reads (which pin the last
+    /// chunk to the primary) keep working through the outage. Returns
+    /// the new primary, or `None` if the primary was already live and
+    /// nothing changed.
+    ///
+    /// The paper places replicas in distinct fault domains precisely so
+    /// a single-component failure leaves a live copy to promote (§3.1);
+    /// this is the corresponding control-plane reaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Unavailable`] if no replica is live, or
+    /// nameserver errors from persisting the new order.
+    pub fn reelect_primary(&self, name: &str) -> Result<Option<HostId>, FsError> {
+        let meta = self.nameserver.lookup(name)?;
+        let lock = self.coordinator.file_lock(meta.id);
+        let _guard = lock.lock();
+        let mut meta = self.nameserver.lookup(name)?;
+
+        if self.dataserver(meta.primary()).is_up() {
+            return Ok(None);
+        }
+        let Some(pos) = meta
+            .replicas
+            .iter()
+            .position(|r| self.dataserver(*r).has_file(meta.id))
+        else {
+            return Err(FsError::Unavailable(format!(
+                "{name}: no live replica to promote"
+            )));
+        };
+        let new_primary = meta.replicas.remove(pos);
+        meta.replicas.insert(0, new_primary);
+        // Persist the new order (same idiom as repair: delete +
+        // create_exact keeps name and id).
+        self.nameserver.delete(name)?;
+        self.nameserver.create_exact(&meta)?;
+        for r in &meta.replicas {
+            let _ = self.dataserver(*r).update_meta(&meta);
+        }
+        Ok(Some(new_primary))
+    }
+
     /// Appends through the primary: takes the file's append lock,
     /// writes the primary replica, relays to the remaining replicas in
     /// order, then records the new size at the nameserver.
@@ -344,6 +389,56 @@ mod tests {
         assert_eq!(racks.len(), 3);
         // Idempotent: nothing left to repair.
         assert!(c.repair("fixme", &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn primary_reelection_survives_dataserver_crash() {
+        let dir = TempDir::new("reelect");
+        let c = small_cluster(&dir);
+        let meta = c.nameserver().create("hot").unwrap();
+        for r in &meta.replicas {
+            c.dataserver(*r).create_file(&meta).unwrap();
+        }
+        c.append_via_primary(&meta, b"before crash ").unwrap();
+
+        // Live primary: nothing to do.
+        assert_eq!(c.reelect_primary("hot").unwrap(), None);
+
+        let old_primary = meta.primary();
+        c.dataserver(old_primary).crash();
+        let promoted = c.reelect_primary("hot").unwrap().unwrap();
+        assert_ne!(promoted, old_primary);
+        let after = c.nameserver().lookup("hot").unwrap();
+        assert_eq!(after.primary(), promoted);
+        assert_eq!(after.replicas.len(), meta.replicas.len(), "no replica dropped");
+
+        // Appends keep working through the surviving replicas.
+        let mut live = after.clone();
+        live.replicas.retain(|r| c.dataserver(*r).is_up());
+        c.append_via_primary(&live, b"after crash").unwrap();
+        let (data, _) = c.dataserver(promoted).read_local(meta.id, 0, 100).unwrap();
+        assert_eq!(data, b"before crash after crash");
+
+        // The crashed host restarts with its pre-crash bytes intact —
+        // stale but recoverable (repair would re-sync it).
+        c.dataserver(old_primary).restart();
+        let (stale, _) = c.dataserver(old_primary).read_local(meta.id, 0, 100).unwrap();
+        assert_eq!(stale, b"before crash ");
+    }
+
+    #[test]
+    fn reelection_with_all_replicas_down_is_unavailable() {
+        let dir = TempDir::new("reelect-none");
+        let c = small_cluster(&dir);
+        let meta = c.nameserver().create("doomed").unwrap();
+        for r in &meta.replicas {
+            c.dataserver(*r).create_file(&meta).unwrap();
+            c.dataserver(*r).crash();
+        }
+        assert!(matches!(
+            c.reelect_primary("doomed"),
+            Err(FsError::Unavailable(_))
+        ));
     }
 
     #[test]

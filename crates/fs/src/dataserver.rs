@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::fs::OpenOptions;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mayflower_net::HostId;
@@ -32,6 +33,11 @@ pub struct Dataserver {
     /// Per-file append locks, lazily created ("the dataserver only
     /// services one append request at a time for each file").
     append_locks: Mutex<HashMap<FileId, Arc<Mutex<()>>>>,
+    /// Fault-injection switch: while false, every data operation
+    /// returns [`FsError::Unavailable`], as a crashed process would
+    /// refuse connections. State on disk is untouched, so a restart
+    /// recovers everything — a fail-stop crash, not data loss.
+    up: AtomicBool,
 }
 
 impl Dataserver {
@@ -46,7 +52,36 @@ impl Dataserver {
             host,
             root: root.to_path_buf(),
             append_locks: Mutex::new(HashMap::new()),
+            up: AtomicBool::new(true),
         })
+    }
+
+    /// Simulates a fail-stop crash: subsequent operations return
+    /// [`FsError::Unavailable`] until [`Dataserver::restart`].
+    pub fn crash(&self) {
+        self.up.store(false, Ordering::SeqCst);
+    }
+
+    /// Brings a crashed dataserver back; on-disk state is intact.
+    pub fn restart(&self) {
+        self.up.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the dataserver is accepting requests.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+
+    fn ensure_up(&self) -> Result<(), FsError> {
+        if self.is_up() {
+            Ok(())
+        } else {
+            Err(FsError::Unavailable(format!(
+                "dataserver on host {} is down",
+                self.host.0
+            )))
+        }
     }
 
     /// The host this dataserver runs on.
@@ -77,6 +112,7 @@ impl Dataserver {
     /// Returns [`FsError::AlreadyExists`] if this replica already holds
     /// the file.
     pub fn create_file(&self, meta: &FileMeta) -> Result<(), FsError> {
+        self.ensure_up()?;
         let dir = self.file_dir(meta.id);
         if dir.exists() {
             return Err(FsError::AlreadyExists(meta.name.clone()));
@@ -101,6 +137,7 @@ impl Dataserver {
     ///
     /// Returns [`FsError::NotFound`] if the replica is absent.
     pub fn update_meta(&self, meta: &FileMeta) -> Result<(), FsError> {
+        self.ensure_up()?;
         if !self.has_file(meta.id) {
             return Err(FsError::NotFound(meta.id.to_string()));
         }
@@ -114,6 +151,7 @@ impl Dataserver {
     /// Returns [`FsError::NotFound`] if the replica is absent, or
     /// [`FsError::CorruptMetadata`] if the metadata fails to parse.
     pub fn read_meta(&self, id: FileId) -> Result<FileMeta, FsError> {
+        self.ensure_up()?;
         let path = self.file_dir(id).join("meta");
         if !path.exists() {
             return Err(FsError::NotFound(id.to_string()));
@@ -122,10 +160,12 @@ impl Dataserver {
         serde_json::from_slice(&body).map_err(|e| FsError::CorruptMetadata(e.to_string()))
     }
 
-    /// Whether this dataserver holds a replica of the file.
+    /// Whether this dataserver holds a replica of the file. A downed
+    /// dataserver answers no — callers probing for live copies (repair,
+    /// primary election) must not count a crashed replica.
     #[must_use]
     pub fn has_file(&self, id: FileId) -> bool {
-        self.file_dir(id).join("meta").exists()
+        self.is_up() && self.file_dir(id).join("meta").exists()
     }
 
     /// The replica's current size in bytes (sum of chunk files).
@@ -218,6 +258,7 @@ impl Dataserver {
     ///
     /// Returns [`FsError::NotFound`] if the replica is absent.
     pub fn delete_file(&self, id: FileId) -> Result<(), FsError> {
+        self.ensure_up()?;
         let dir = self.file_dir(id);
         if !dir.exists() {
             return Err(FsError::NotFound(id.to_string()));
@@ -234,6 +275,7 @@ impl Dataserver {
     ///
     /// Returns an error if the root directory cannot be read.
     pub fn list_files(&self) -> Result<Vec<FileMeta>, FsError> {
+        self.ensure_up()?;
         let mut out = Vec::new();
         for entry in std::fs::read_dir(&self.root)? {
             let entry = entry?;
@@ -409,6 +451,34 @@ mod tests {
         for rec in data.chunks(16) {
             assert!(rec.iter().all(|b| *b == rec[0]), "torn append: {rec:?}");
         }
+    }
+
+    #[test]
+    fn crash_refuses_requests_and_restart_recovers_data() {
+        let dir = TempDir::new("crash");
+        let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
+        let m = meta(9, 8);
+        ds.create_file(&m).unwrap();
+        ds.append_local(m.id, b"durable").unwrap();
+        ds.crash();
+        assert!(!ds.is_up());
+        // Every data op refuses; the replica looks absent to probes.
+        assert!(matches!(
+            ds.read_local(m.id, 0, 7),
+            Err(FsError::Unavailable(_))
+        ));
+        assert!(matches!(
+            ds.append_local(m.id, b"x"),
+            Err(FsError::Unavailable(_))
+        ));
+        assert!(matches!(ds.list_files(), Err(FsError::Unavailable(_))));
+        assert!(!ds.has_file(m.id));
+        // Fail-stop, not data loss: restart serves the old bytes.
+        ds.restart();
+        assert!(ds.has_file(m.id));
+        let (data, size) = ds.read_local(m.id, 0, 100).unwrap();
+        assert_eq!(data, b"durable");
+        assert_eq!(size, 7);
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub enum FsError {
     CorruptMetadata(String),
     /// The operation would violate the configured consistency level.
     Consistency(String),
+    /// A component is temporarily down (crashed dataserver, severed
+    /// path). Retryable: the caller may back off and try again, or
+    /// fail over to another replica.
+    Unavailable(String),
 }
 
 impl fmt::Display for FsError {
@@ -34,6 +38,7 @@ impl fmt::Display for FsError {
             FsError::InvalidArgument(what) => write!(f, "invalid argument: {what}"),
             FsError::CorruptMetadata(what) => write!(f, "corrupt metadata: {what}"),
             FsError::Consistency(what) => write!(f, "consistency violation: {what}"),
+            FsError::Unavailable(what) => write!(f, "temporarily unavailable: {what}"),
         }
     }
 }
@@ -77,6 +82,13 @@ mod tests {
         assert!(FsError::AlreadyExists("y".into())
             .to_string()
             .contains("exists"));
+    }
+
+    #[test]
+    fn unavailable_is_retryable_and_informative() {
+        let e = FsError::Unavailable("dataserver 3 down".into());
+        let s = e.to_string();
+        assert!(s.contains("unavailable") && s.contains("dataserver 3"));
     }
 
     #[test]

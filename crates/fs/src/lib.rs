@@ -69,5 +69,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use dataserver::Dataserver;
 pub use error::FsError;
 pub use nameserver::Nameserver;
-pub use selector::{NearestSelector, PrimarySelector, ReadAssignment, ReplicaSelector};
+pub use selector::{
+    FallbackSelector, NearestSelector, PrimarySelector, ReadAssignment, ReplicaSelector,
+};
 pub use types::{Consistency, FileId, FileMeta};

@@ -7,6 +7,7 @@
 //! policies for tests.
 
 use mayflower_net::{HostId, Topology};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// One piece of a read: which replica serves how many bytes.
@@ -89,6 +90,62 @@ impl ReplicaSelector for NearestSelector {
     }
 }
 
+/// Graceful degradation for Flowserver-backed selection: consults the
+/// `primary` selector (typically one that queries the Flowserver)
+/// while an availability flag is up, and falls back to the `fallback`
+/// selector (typically [`NearestSelector`]) while it is down.
+///
+/// The flag is an [`Arc<AtomicBool>`] so the fault injector can flip
+/// it from outside — exactly how a client's RPC timeout to an
+/// unreachable Flowserver would manifest. The fallback path is also
+/// taken when the primary selector returns no assignments (the
+/// Flowserver answered `Unavailable`): a broken control plane must
+/// never make data unreadable.
+pub struct FallbackSelector<P, F> {
+    primary: P,
+    fallback: F,
+    primary_up: Arc<AtomicBool>,
+    fallbacks_taken: u64,
+}
+
+impl<P, F> FallbackSelector<P, F> {
+    /// Combines two selectors behind an availability flag (`true` =
+    /// primary reachable).
+    pub fn new(primary: P, fallback: F, primary_up: Arc<AtomicBool>) -> FallbackSelector<P, F> {
+        FallbackSelector {
+            primary,
+            fallback,
+            primary_up,
+            fallbacks_taken: 0,
+        }
+    }
+
+    /// How many reads were served by the fallback policy — degraded-
+    /// mode decisions, for the run report.
+    #[must_use]
+    pub fn fallbacks_taken(&self) -> u64 {
+        self.fallbacks_taken
+    }
+}
+
+impl<P: ReplicaSelector, F: ReplicaSelector> ReplicaSelector for FallbackSelector<P, F> {
+    fn select_read(
+        &mut self,
+        client: HostId,
+        replicas: &[HostId],
+        size_bytes: u64,
+    ) -> Vec<ReadAssignment> {
+        if self.primary_up.load(Ordering::SeqCst) {
+            let picked = self.primary.select_read(client, replicas, size_bytes);
+            if !picked.is_empty() {
+                return picked;
+            }
+        }
+        self.fallbacks_taken += 1;
+        self.fallback.select_read(client, replicas, size_bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +178,54 @@ mod tests {
         let mut s = NearestSelector::new(topo);
         let a = s.select_read(HostId(5), &[HostId(40), HostId(5)], 10);
         assert_eq!(a[0].replica, HostId(5));
+    }
+
+    #[test]
+    fn fallback_switches_on_flag_and_on_empty_answer() {
+        // A scripted primary that can also return nothing (the
+        // Flowserver's `Unavailable` answer).
+        struct Scripted {
+            answer: Option<HostId>,
+        }
+        impl ReplicaSelector for Scripted {
+            fn select_read(
+                &mut self,
+                _client: HostId,
+                _replicas: &[HostId],
+                size_bytes: u64,
+            ) -> Vec<ReadAssignment> {
+                match self.answer {
+                    Some(replica) => vec![ReadAssignment {
+                        replica,
+                        bytes: size_bytes,
+                    }],
+                    None => Vec::new(),
+                }
+            }
+        }
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let up = Arc::new(AtomicBool::new(true));
+        let mut s = FallbackSelector::new(
+            Scripted {
+                answer: Some(HostId(40)),
+            },
+            NearestSelector::new(topo),
+            up.clone(),
+        );
+        let replicas = [HostId(40), HostId(1)];
+        // Primary reachable: its (far) answer wins.
+        assert_eq!(s.select_read(HostId(0), &replicas, 10)[0].replica, HostId(40));
+        assert_eq!(s.fallbacks_taken(), 0);
+        // Outage: nearest-replica fallback takes over.
+        up.store(false, Ordering::SeqCst);
+        assert_eq!(s.select_read(HostId(0), &replicas, 10)[0].replica, HostId(1));
+        // Recovery: primary again.
+        up.store(true, Ordering::SeqCst);
+        assert_eq!(s.select_read(HostId(0), &replicas, 10)[0].replica, HostId(40));
+        // Reachable but answering `Unavailable` (empty): fall back.
+        s.primary.answer = None;
+        assert_eq!(s.select_read(HostId(0), &replicas, 10)[0].replica, HostId(1));
+        assert_eq!(s.fallbacks_taken(), 2);
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub mod counters;
 pub mod fabric;
 pub mod stats;
 
-pub use counters::CounterSource;
+pub use counters::{BlackoutCounters, CounterSource};
 pub use fabric::{Fabric, FlowCookie, FlowRule, Switch};
 pub use stats::{FlowStat, PortStat, StatsCollector, StatsReport};

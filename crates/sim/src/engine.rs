@@ -1,19 +1,23 @@
 //! The discrete-event experiment engine: replays a traffic matrix
 //! against a selection strategy over the fluid network.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use mayflower_baselines::hedera::{estimate_demands, Hedera, HederaFlow};
 use mayflower_baselines::{nearest_replica, SinbadR};
 use mayflower_flowserver::{Flowserver, FlowserverConfig};
-use mayflower_net::{ecmp_path, FlowKey, HostId, LinkId, Topology};
-use mayflower_sdn::{CounterSource, FlowCookie};
-use mayflower_simcore::{EventQueue, SimRng, SimTime};
+use mayflower_net::{ecmp_path, FlowKey, HostId, LinkId, Path, Topology};
+use mayflower_sdn::{BlackoutCounters, CounterSource, FlowCookie};
+use mayflower_simcore::{EventQueue, FaultSchedule, SimRng, SimTime};
 use mayflower_simnet::{FlowCompletion, FlowId, FluidNet};
 use mayflower_workload::TrafficMatrix;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{
+    self, AppliedFault, DegradedDecision, FaultAction, FaultReport, FlowAbort, JobRetry,
+    MissedPoll,
+};
 use crate::monitor::LinkLoadMonitor;
 use crate::strategy::Strategy;
 
@@ -65,6 +69,10 @@ impl CounterSource for FabricCounters<'_> {
 enum Event {
     Arrival(usize),
     Poll,
+    /// Apply the i-th compiled fault action.
+    Fault(usize),
+    /// A client retries an aborted or unassignable read.
+    Retry(usize),
 }
 
 /// Callbacks letting a caller attach real work to the simulated jobs.
@@ -101,6 +109,12 @@ pub struct ReplayOptions {
     /// `poll_interval_secs` and `multipath` fields are overridden from
     /// this struct and the strategy respectively.
     pub flowserver: FlowserverConfig,
+    /// Fault schedule to inject (empty = fault-free run; the engine
+    /// then behaves bit-for-bit like the pre-fault code path).
+    pub faults: FaultSchedule,
+    /// Base client retry backoff after an aborted transfer or a failed
+    /// selection, seconds; grows linearly with the attempt count.
+    pub retry_backoff_secs: f64,
 }
 
 impl Default for ReplayOptions {
@@ -108,6 +122,8 @@ impl Default for ReplayOptions {
         ReplayOptions {
             poll_interval_secs: 1.0,
             flowserver: FlowserverConfig::default(),
+            faults: FaultSchedule::default(),
+            retry_backoff_secs: 0.25,
         }
     }
 }
@@ -162,7 +178,8 @@ pub fn replay_with_usage(
         poll_interval_secs,
         ..ReplayOptions::default()
     };
-    replay_inner(topo, matrix, strategy, &opts, rng, &mut NoHooks)
+    let (jobs, usage, _) = replay_inner(topo, matrix, strategy, &opts, rng, &mut NoHooks);
+    (jobs, usage)
 }
 
 /// The fully-parameterized engine: [`replay`] plus hooks plus the
@@ -178,6 +195,289 @@ pub fn replay_with_options(
     replay_inner(topo, matrix, strategy, opts, rng, hooks).0
 }
 
+/// [`replay`] under a fault schedule (`opts.faults`): injects the
+/// compiled faults, drives the abort-and-retry recovery machinery, and
+/// returns the per-job records together with the [`FaultReport`] of
+/// every degraded-mode decision. Same seed + same schedule ⇒
+/// byte-identical records and report.
+pub fn replay_with_faults(
+    topo: &Arc<Topology>,
+    matrix: &TrafficMatrix,
+    strategy: Strategy,
+    opts: &ReplayOptions,
+    rng: &mut SimRng,
+) -> (Vec<JobRecord>, FaultReport) {
+    let (jobs, _, report) = replay_inner(topo, matrix, strategy, opts, rng, &mut NoHooks);
+    (jobs, report)
+}
+
+/// Marks a cause for `link` being down, severing it on the first
+/// cause: the data plane zeroes its capacity and the Flowserver gets
+/// the OpenFlow-style port-status notification.
+fn sever_link(
+    link: LinkId,
+    causes: &mut BTreeMap<LinkId, u32>,
+    down_links: &mut BTreeSet<LinkId>,
+    net: &mut FluidNet,
+    flowserver: &mut Option<Flowserver>,
+) {
+    let c = causes.entry(link).or_insert(0);
+    *c += 1;
+    if *c == 1 {
+        down_links.insert(link);
+        net.set_link_up(link, false);
+        if let Some(fs) = flowserver.as_mut() {
+            fs.set_link_state(link, false);
+        }
+    }
+}
+
+/// Removes one cause for `link` being down, healing it when no cause
+/// remains (a link under both a cable cut and a dead switch stays down
+/// until both recover).
+fn heal_link(
+    link: LinkId,
+    causes: &mut BTreeMap<LinkId, u32>,
+    down_links: &mut BTreeSet<LinkId>,
+    net: &mut FluidNet,
+    flowserver: &mut Option<Flowserver>,
+) {
+    let Some(c) = causes.get_mut(&link) else { return };
+    *c = c.saturating_sub(1);
+    if *c == 0 {
+        causes.remove(&link);
+        down_links.remove(&link);
+        net.set_link_up(link, true);
+        if let Some(fs) = flowserver.as_mut() {
+            fs.set_link_state(link, true);
+        }
+    }
+}
+
+/// Schedules the job's next retry with linear per-attempt backoff.
+fn schedule_retry(
+    job: usize,
+    now: SimTime,
+    retry_count: &mut [u32],
+    backoff_secs: f64,
+    queue: &mut EventQueue<Event>,
+    report: &mut FaultReport,
+) {
+    retry_count[job] += 1;
+    let attempt = retry_count[job];
+    assert!(
+        attempt <= 200,
+        "job {job} exhausted its retry budget: the fault schedule leaves \
+         no usable replica or path for it"
+    );
+    let fire = now + SimTime::from_secs(backoff_secs * f64::from(attempt));
+    queue.schedule(fire, Event::Retry(job));
+    report.retries.push(JobRetry { at: fire, job, attempt });
+}
+
+/// Aborts every in-flight subflow of each hit job (client timeout
+/// semantics: the read restarts as a unit), credits delivered bits,
+/// and schedules the retries.
+#[allow(clippy::too_many_arguments)]
+fn abort_and_retry(
+    jobs_hit: &BTreeSet<usize>,
+    t: SimTime,
+    net: &mut FluidNet,
+    flowserver: &mut Option<Flowserver>,
+    flow_to_job: &mut HashMap<FlowId, usize>,
+    flow_to_cookie: &mut HashMap<FlowId, FlowCookie>,
+    cookie_to_flow: &mut HashMap<FlowCookie, FlowId>,
+    pending_subflows: &mut [usize],
+    retry_bits: &mut [f64],
+    retry_count: &mut [u32],
+    retry_backoff_secs: f64,
+    queue: &mut EventQueue<Event>,
+    report: &mut FaultReport,
+) {
+    for &job in jobs_hit {
+        let mut flows: Vec<FlowId> = flow_to_job
+            .iter()
+            .filter_map(|(f, j)| (*j == job).then_some(*f))
+            .collect();
+        flows.sort_unstable();
+        let mut remaining = 0.0;
+        for fid in flows {
+            let state = net.remove_flow(fid).expect("aborted flow is active");
+            remaining += state.remaining_bits;
+            flow_to_job.remove(&fid);
+            if let Some(cookie) = flow_to_cookie.remove(&fid) {
+                cookie_to_flow.remove(&cookie);
+                if let Some(fs) = flowserver.as_mut() {
+                    fs.flow_completed(cookie);
+                }
+            }
+        }
+        pending_subflows[job] = 0;
+        // Bits already delivered (by completed sibling subflows and
+        // the aborted flows' own progress) stay delivered; only the
+        // remainder is re-fetched.
+        retry_bits[job] = remaining.max(1.0);
+        report.aborts.push(FlowAbort {
+            at: t,
+            job,
+            bits_refetched: remaining,
+        });
+        schedule_retry(job, t, retry_count, retry_backoff_secs, queue, report);
+    }
+}
+
+/// Picks a shortest path from `replica` to `client` that avoids every
+/// downed link, deterministically salted by the job id; `None` when
+/// the faults sever all of them.
+fn path_avoiding(
+    topo: &Arc<Topology>,
+    replica: HostId,
+    client: HostId,
+    salt: usize,
+    down_links: &BTreeSet<LinkId>,
+) -> Option<Path> {
+    let paths = topo.shortest_paths(replica, client);
+    let live: Vec<&Path> = paths
+        .iter()
+        .filter(|p| p.links().iter().all(|l| !down_links.contains(l)))
+        .collect();
+    if live.is_empty() {
+        None
+    } else {
+        Some(live[salt % live.len()].clone())
+    }
+}
+
+/// Replica + path selection for one job, fault-aware: filters out
+/// crashed hosts and severed paths, falls back to nearest-replica when
+/// the Flowserver is unreachable, and returns an empty vector (retry
+/// later) when no usable assignment exists. On the fault-free path it
+/// reproduces the original selection logic exactly.
+#[allow(clippy::too_many_arguments)]
+fn select_assignments(
+    topo: &Arc<Topology>,
+    strategy: Strategy,
+    flowserver: &mut Option<Flowserver>,
+    sinbad: &SinbadR,
+    monitor: &LinkLoadMonitor,
+    rng: &mut SimRng,
+    job_id: usize,
+    client: HostId,
+    live_replicas: &[HostId],
+    size: f64,
+    t: SimTime,
+    flowserver_up: bool,
+    down_links: &BTreeSet<LinkId>,
+    report: &mut FaultReport,
+) -> Vec<(HostId, Path, f64, Option<FlowCookie>)> {
+    if live_replicas.is_empty() {
+        report.degraded.push(DegradedDecision {
+            at: t,
+            job: job_id,
+            reason: "replicas-down".into(),
+            replica: u32::MAX,
+        });
+        return Vec::new();
+    }
+
+    if strategy.uses_flowserver() && !flowserver_up {
+        // Flowserver outage: degrade to the HDFS-style nearest-replica
+        // policy with a severed-link-aware path — reads never block on
+        // the control plane.
+        let replica = nearest_replica(topo, client, live_replicas, rng);
+        return match path_avoiding(topo, replica, client, job_id, down_links) {
+            Some(path) => {
+                report.degraded.push(DegradedDecision {
+                    at: t,
+                    job: job_id,
+                    reason: "flowserver-outage-nearest-fallback".into(),
+                    replica: replica.0,
+                });
+                vec![(replica, path, size, None)]
+            }
+            None => {
+                report.degraded.push(DegradedDecision {
+                    at: t,
+                    job: job_id,
+                    reason: "selection-unavailable".into(),
+                    replica: u32::MAX,
+                });
+                Vec::new()
+            }
+        };
+    }
+
+    let assignments: Vec<(HostId, Path, f64, Option<FlowCookie>)> = match strategy {
+        Strategy::Mayflower | Strategy::MayflowerMultipath => {
+            let fs = flowserver.as_mut().expect("mayflower uses flowserver");
+            let sel = fs.select_replica_path(client, live_replicas, size, t);
+            sel.assignments()
+                .iter()
+                .map(|a| (a.replica, a.path.clone(), a.size_bits, Some(a.cookie)))
+                .collect()
+        }
+        Strategy::NearestMayflower | Strategy::SinbadRMayflower => {
+            let replica = if strategy == Strategy::NearestMayflower {
+                nearest_replica(topo, client, live_replicas, rng)
+            } else {
+                sinbad.select(topo, client, live_replicas, monitor, rng)
+            };
+            let fs = flowserver.as_mut().expect("scheduler uses flowserver");
+            let sel = fs.select_path_for_replica(client, replica, size, t);
+            sel.assignments()
+                .iter()
+                .map(|a| (a.replica, a.path.clone(), a.size_bits, Some(a.cookie)))
+                .collect()
+        }
+        Strategy::NearestEcmp
+        | Strategy::SinbadREcmp
+        | Strategy::NearestHedera
+        | Strategy::SinbadRHedera => {
+            let replica = if strategy == Strategy::NearestEcmp
+                || strategy == Strategy::NearestHedera
+            {
+                nearest_replica(topo, client, live_replicas, rng)
+            } else {
+                sinbad.select(topo, client, live_replicas, monitor, rng)
+            };
+            let key = FlowKey::new(replica, client, job_id as u64);
+            let hashed = ecmp_path(topo, key).expect("distinct hosts always have a path");
+            if down_links.is_empty()
+                || hashed.links().iter().all(|l| !down_links.contains(l))
+            {
+                vec![(replica, hashed, size, None)]
+            } else {
+                // ECMP is fault-oblivious; the rerouted pick models the
+                // fabric converging after the port-down notification.
+                match path_avoiding(topo, replica, client, job_id, down_links) {
+                    Some(path) => {
+                        report.degraded.push(DegradedDecision {
+                            at: t,
+                            job: job_id,
+                            reason: "ecmp-rerouted".into(),
+                            replica: replica.0,
+                        });
+                        vec![(replica, path, size, None)]
+                    }
+                    None => Vec::new(),
+                }
+            }
+        }
+    };
+
+    if assignments.is_empty() {
+        // The Flowserver answered `Unavailable` (or every ECMP path is
+        // severed): nothing installed, the client backs off.
+        report.degraded.push(DegradedDecision {
+            at: t,
+            job: job_id,
+            reason: "selection-unavailable".into(),
+            replica: u32::MAX,
+        });
+    }
+    assignments
+}
+
 fn replay_inner(
     topo: &Arc<Topology>,
     matrix: &TrafficMatrix,
@@ -185,7 +485,7 @@ fn replay_inner(
     opts: &ReplayOptions,
     rng: &mut SimRng,
     hooks: &mut dyn JobHooks,
-) -> (Vec<JobRecord>, HashMap<LinkId, f64>) {
+) -> (Vec<JobRecord>, HashMap<LinkId, f64>, FaultReport) {
     let poll_interval_secs = opts.poll_interval_secs;
     assert!(
         poll_interval_secs > 0.0,
@@ -212,6 +512,21 @@ fn replay_inner(
         queue.schedule(job.arrival, Event::Arrival(job.id));
     }
     queue.schedule(SimTime::from_secs(poll_interval_secs), Event::Poll);
+
+    // Fault-injection state. With an empty schedule every structure
+    // stays empty and the engine follows the exact pre-fault paths.
+    let actions = faults::compile(topo, &opts.faults);
+    for (i, (at, _)) in actions.iter().enumerate() {
+        queue.schedule(*at, Event::Fault(i));
+    }
+    let mut report = FaultReport::default();
+    let mut link_down_causes: BTreeMap<LinkId, u32> = BTreeMap::new();
+    let mut down_links: BTreeSet<LinkId> = BTreeSet::new();
+    let mut down_hosts: BTreeSet<HostId> = BTreeSet::new();
+    let mut flowserver_up = true;
+    let mut pending_poll_losses: usize = 0;
+    let mut retry_bits: Vec<f64> = vec![0.0; total_jobs];
+    let mut retry_count: Vec<u32> = vec![0; total_jobs];
 
     let mut pending_subflows: Vec<usize> = vec![0; total_jobs];
     let mut records: Vec<Option<JobRecord>> = vec![None; total_jobs];
@@ -303,11 +618,38 @@ fn replay_inner(
             Event::Poll => {
                 monitor.sample(&net, t);
                 if let Some(fs) = flowserver.as_mut() {
-                    let counters = FabricCounters {
-                        net: &net,
-                        cookie_to_flow: &cookie_to_flow,
-                    };
-                    let _ = fs.poll_stats(&counters, t);
+                    if !flowserver_up || pending_poll_losses > 0 {
+                        // The poll never reaches the Flowserver (outage
+                        // or a lost stats reply): no UPDATEBW arrives,
+                        // so expired update-freezes are cleared on the
+                        // clock instead.
+                        let reason = if flowserver_up {
+                            pending_poll_losses -= 1;
+                            "stats-poll-loss"
+                        } else {
+                            "flowserver-outage"
+                        };
+                        fs.note_poll_missed(t);
+                        let freezes_expired = fs.expire_stale_freezes(t);
+                        report.missed_polls.push(MissedPoll {
+                            at: t,
+                            reason: reason.into(),
+                            freezes_expired,
+                        });
+                    } else {
+                        let counters = FabricCounters {
+                            net: &net,
+                            cookie_to_flow: &cookie_to_flow,
+                        };
+                        if down_links.is_empty() {
+                            let _ = fs.poll_stats(&counters, t);
+                        } else {
+                            // Stats requests to dead ports time out;
+                            // their counters read as zero.
+                            let dark = BlackoutCounters::new(&counters, &down_links);
+                            let _ = fs.poll_stats(&dark, t);
+                        }
+                    }
                 }
                 if let Some(hedera) = &hedera {
                     // One Hedera round: estimate natural demands from
@@ -332,75 +674,98 @@ fn replay_inner(
                         })
                         .collect();
                     for (id, new_path) in hedera.reschedule(topo, &hflows) {
-                        net.reroute_flow(FlowId(id), new_path);
+                        // Hedera is fault-oblivious: drop any reroute
+                        // that would land a flow on a severed link.
+                        if new_path.links().iter().all(|l| !down_links.contains(l)) {
+                            net.reroute_flow(FlowId(id), new_path);
+                        }
                     }
                 }
                 queue.schedule(t + SimTime::from_secs(poll_interval_secs), Event::Poll);
             }
-            Event::Arrival(id) => {
+            Event::Arrival(id) | Event::Retry(id) => {
+                if records[id].is_some() {
+                    // A retry raced a completion; nothing left to do.
+                    continue;
+                }
                 let job = &matrix.jobs[id];
                 let client = job.client;
                 let replicas = matrix.replicas_of(job);
-                let size = matrix.size_of(job);
-                hooks.on_arrival(job);
+                let is_retry = matches!(ev, Event::Retry(_));
+                let size = if is_retry {
+                    // Only the un-delivered remainder is re-fetched.
+                    retry_bits[id].max(1.0)
+                } else {
+                    matrix.size_of(job)
+                };
+                if !is_retry {
+                    hooks.on_arrival(job);
+                }
 
-                if replicas.contains(&client) {
+                if replicas.contains(&client) && !down_hosts.contains(&client) {
                     // Served locally: the paper excludes this from
-                    // network analysis; completion is immediate.
+                    // network analysis; completion is immediate. (A
+                    // retry lands here when the co-located dataserver
+                    // restarted in the meantime — the remainder is
+                    // then a local read.)
+                    let finishes = std::mem::take(&mut partial[id]);
                     records[id] = Some(JobRecord {
                         id,
                         arrival: job.arrival,
-                        finish: job.arrival,
-                        local: true,
-                        subflows: 0,
-                        subflow_finishes: Vec::new(),
+                        finish: t,
+                        local: finishes.is_empty(),
+                        subflows: finishes.len(),
+                        subflow_finishes: finishes,
                     });
                     jobs_done += 1;
                     continue;
                 }
+                if replicas.contains(&client) {
+                    // The co-located replica's dataserver is down: the
+                    // read degrades to a remote transfer.
+                    report.degraded.push(DegradedDecision {
+                        at: t,
+                        job: id,
+                        reason: "local-replica-down".into(),
+                        replica: u32::MAX,
+                    });
+                }
 
-                let assignments: Vec<(HostId, mayflower_net::Path, f64, Option<FlowCookie>)> =
-                    match strategy {
-                        Strategy::Mayflower | Strategy::MayflowerMultipath => {
-                            let fs = flowserver.as_mut().expect("mayflower uses flowserver");
-                            let sel = fs.select_replica_path(client, replicas, size, t);
-                            sel.assignments()
-                                .iter()
-                                .map(|a| (a.replica, a.path.clone(), a.size_bits, Some(a.cookie)))
-                                .collect()
-                        }
-                        Strategy::NearestMayflower | Strategy::SinbadRMayflower => {
-                            let replica = if strategy == Strategy::NearestMayflower {
-                                nearest_replica(topo, client, replicas, rng)
-                            } else {
-                                sinbad.select(topo, client, replicas, &monitor, rng)
-                            };
-                            let fs = flowserver.as_mut().expect("scheduler uses flowserver");
-                            let sel = fs.select_path_for_replica(client, replica, size, t);
-                            sel.assignments()
-                                .iter()
-                                .map(|a| (a.replica, a.path.clone(), a.size_bits, Some(a.cookie)))
-                                .collect()
-                        }
-                        Strategy::NearestEcmp
-                        | Strategy::SinbadREcmp
-                        | Strategy::NearestHedera
-                        | Strategy::SinbadRHedera => {
-                            let replica = if strategy == Strategy::NearestEcmp
-                                || strategy == Strategy::NearestHedera
-                            {
-                                nearest_replica(topo, client, replicas, rng)
-                            } else {
-                                sinbad.select(topo, client, replicas, &monitor, rng)
-                            };
-                            let key = FlowKey::new(replica, client, id as u64);
-                            let path = ecmp_path(topo, key)
-                                .expect("distinct hosts always have a path");
-                            vec![(replica, path, size, None)]
-                        }
-                    };
-
-                debug_assert!(!assignments.is_empty());
+                let live: Vec<HostId> = replicas
+                    .iter()
+                    .copied()
+                    .filter(|r| !down_hosts.contains(r))
+                    .collect();
+                let assignments = select_assignments(
+                    topo,
+                    strategy,
+                    &mut flowserver,
+                    &sinbad,
+                    &monitor,
+                    rng,
+                    id,
+                    client,
+                    &live,
+                    size,
+                    t,
+                    flowserver_up,
+                    &down_links,
+                    &mut report,
+                );
+                if assignments.is_empty() {
+                    // No usable replica or path right now: back off and
+                    // retry once the fault window passes.
+                    retry_bits[id] = size;
+                    schedule_retry(
+                        id,
+                        t,
+                        &mut retry_count,
+                        opts.retry_backoff_secs,
+                        &mut queue,
+                        &mut report,
+                    );
+                    continue;
+                }
                 pending_subflows[id] = assignments.len();
                 for (replica, path, bits, cookie) in assignments {
                     hooks.on_assignment(job, replica, bits);
@@ -410,6 +775,108 @@ fn replay_inner(
                         flow_to_cookie.insert(fid, c);
                         cookie_to_flow.insert(c, fid);
                     }
+                }
+            }
+            Event::Fault(i) => {
+                let (_, action) = &actions[i];
+                let component = match action {
+                    FaultAction::LinkDown(l) | FaultAction::LinkUp(l) => l.0,
+                    FaultAction::DataserverCrash(h) | FaultAction::DataserverRestart(h) => h.0,
+                    FaultAction::SwitchDown(links) | FaultAction::SwitchUp(links) => {
+                        links.first().map_or(u32::MAX, |l| l.0)
+                    }
+                    _ => u32::MAX,
+                };
+                report.applied.push(AppliedFault {
+                    at: t,
+                    kind: action.label().into(),
+                    component,
+                });
+
+                let mut jobs_hit: BTreeSet<usize> = BTreeSet::new();
+                match action {
+                    FaultAction::LinkDown(l) => {
+                        for link in [*l, topo.reverse_link(*l)] {
+                            sever_link(
+                                link,
+                                &mut link_down_causes,
+                                &mut down_links,
+                                &mut net,
+                                &mut flowserver,
+                            );
+                        }
+                    }
+                    FaultAction::LinkUp(l) => {
+                        for link in [*l, topo.reverse_link(*l)] {
+                            heal_link(
+                                link,
+                                &mut link_down_causes,
+                                &mut down_links,
+                                &mut net,
+                                &mut flowserver,
+                            );
+                        }
+                    }
+                    FaultAction::SwitchDown(links) => {
+                        for link in links {
+                            sever_link(
+                                *link,
+                                &mut link_down_causes,
+                                &mut down_links,
+                                &mut net,
+                                &mut flowserver,
+                            );
+                        }
+                    }
+                    FaultAction::SwitchUp(links) => {
+                        for link in links {
+                            heal_link(
+                                *link,
+                                &mut link_down_causes,
+                                &mut down_links,
+                                &mut net,
+                                &mut flowserver,
+                            );
+                        }
+                    }
+                    FaultAction::DataserverCrash(h) => {
+                        down_hosts.insert(*h);
+                        // Transfers sourced at the crashed dataserver
+                        // die with it.
+                        for f in net.active_flows() {
+                            if f.path.src() == *h {
+                                jobs_hit.insert(flow_to_job[&f.id]);
+                            }
+                        }
+                    }
+                    FaultAction::DataserverRestart(h) => {
+                        down_hosts.remove(h);
+                    }
+                    FaultAction::FlowserverDown => flowserver_up = false,
+                    FaultAction::FlowserverUp => flowserver_up = true,
+                    FaultAction::StatsPollLoss => pending_poll_losses += 1,
+                }
+                // Severed links stall every flow crossing them; the
+                // owning clients time out and retry.
+                for f in net.stalled_flows() {
+                    jobs_hit.insert(flow_to_job[&f]);
+                }
+                if !jobs_hit.is_empty() {
+                    abort_and_retry(
+                        &jobs_hit,
+                        t,
+                        &mut net,
+                        &mut flowserver,
+                        &mut flow_to_job,
+                        &mut flow_to_cookie,
+                        &mut cookie_to_flow,
+                        &mut pending_subflows,
+                        &mut retry_bits,
+                        &mut retry_count,
+                        opts.retry_backoff_secs,
+                        &mut queue,
+                        &mut report,
+                    );
                 }
             }
         }
@@ -424,7 +891,7 @@ fn replay_inner(
         .into_iter()
         .map(|r| r.expect("every job completed"))
         .collect();
-    (records, usage)
+    (records, usage, report)
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@ use mayflower_simcore::SimRng;
 use mayflower_workload::{TrafficMatrix, WorkloadParams};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{replay, JobRecord};
+use crate::engine::{replay, replay_with_faults, JobRecord, ReplayOptions};
+use crate::faults::{FaultReport, FaultSchedule};
 use crate::stats::Summary;
 use crate::strategy::Strategy;
 
@@ -25,6 +26,10 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Edge-switch stats poll interval, seconds.
     pub poll_interval_secs: f64,
+    /// Optional fault schedule to inject (`None` = fault-free run).
+    /// `Option` so configs serialized before fault injection existed
+    /// still deserialize.
+    pub faults: Option<FaultSchedule>,
 }
 
 impl Default for ExperimentConfig {
@@ -35,6 +40,7 @@ impl Default for ExperimentConfig {
             strategy: Strategy::Mayflower,
             seed: 0x4D41_5946, // "MAYF"
             poll_interval_secs: 1.0,
+            faults: None,
         }
     }
 }
@@ -50,6 +56,9 @@ pub struct RunResult {
     /// metric; machine-local reads have no network component and are
     /// excluded, §6.4).
     pub summary: Summary,
+    /// Degraded-mode decision log when a fault schedule was injected
+    /// (`None` for fault-free runs).
+    pub fault_report: Option<FaultReport>,
 }
 
 impl RunResult {
@@ -76,13 +85,28 @@ impl ExperimentConfig {
         let topo = Arc::new(Topology::three_tier(&self.tree));
         let mut rng = SimRng::seed_from(self.seed);
         let matrix = TrafficMatrix::generate(&topo, &self.workload, &mut rng);
-        let jobs = replay(
-            &topo,
-            &matrix,
-            self.strategy,
-            self.poll_interval_secs,
-            &mut rng,
-        );
+        let (jobs, fault_report) = match &self.faults {
+            Some(schedule) => {
+                let opts = ReplayOptions {
+                    poll_interval_secs: self.poll_interval_secs,
+                    faults: schedule.clone(),
+                    ..ReplayOptions::default()
+                };
+                let (jobs, report) =
+                    replay_with_faults(&topo, &matrix, self.strategy, &opts, &mut rng);
+                (jobs, Some(report))
+            }
+            None => {
+                let jobs = replay(
+                    &topo,
+                    &matrix,
+                    self.strategy,
+                    self.poll_interval_secs,
+                    &mut rng,
+                );
+                (jobs, None)
+            }
+        };
         let durations: Vec<f64> = jobs
             .iter()
             .filter(|j| !j.local)
@@ -93,6 +117,7 @@ impl ExperimentConfig {
             strategy: self.strategy,
             jobs,
             summary,
+            fault_report,
         }
     }
 

@@ -33,6 +33,7 @@ pub mod ablation;
 pub mod consistency;
 pub mod engine;
 pub mod experiment;
+pub mod faults;
 pub mod figures;
 pub mod hotspots;
 pub mod monitor;
@@ -44,8 +45,9 @@ pub mod strategy;
 pub mod topologies;
 pub mod writes;
 
-pub use engine::{replay, replay_with_usage, JobRecord};
+pub use engine::{replay, replay_with_faults, replay_with_usage, JobRecord, ReplayOptions};
 pub use experiment::{ExperimentConfig, RunResult};
+pub use faults::{FaultAction, FaultEvent, FaultReport, FaultSchedule, FaultScheduleParams};
 pub use monitor::LinkLoadMonitor;
 pub use stats::{fieller_ratio_ci, percentile, RatioCi, Summary};
 pub use strategy::Strategy;

@@ -3,6 +3,7 @@
 
 use std::fmt::Write as _;
 
+use crate::faults::FaultReport;
 use crate::figures::{Figure4, Figure5, Figure6, Figure7, MultipathAblation};
 use crate::strategy::Strategy;
 
@@ -218,6 +219,83 @@ pub fn render_multipath(abl: &MultipathAblation) -> String {
     out
 }
 
+/// Renders the degraded-mode decision log of a faulted run. Every
+/// field is formatted with fixed precision and the vectors are already
+/// in deterministic event order, so equal reports render to identical
+/// bytes — the property `tests/determinism.rs` asserts.
+#[must_use]
+pub fn render_fault_report(rep: &FaultReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fault report — {} applied, {} aborts, {} retries, {} degraded selections, {} missed polls",
+        rep.applied.len(),
+        rep.aborts.len(),
+        rep.retries.len(),
+        rep.degraded.len(),
+        rep.missed_polls.len()
+    );
+    if rep.is_empty() {
+        let _ = writeln!(out, "(fault-free run)");
+        return out;
+    }
+    for f in &rep.applied {
+        let component = if f.component == u32::MAX {
+            "-".to_string()
+        } else {
+            f.component.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "applied   t={:>10.6}s {:<18} component={component}",
+            f.at.as_secs(),
+            f.kind
+        );
+    }
+    for a in &rep.aborts {
+        let _ = writeln!(
+            out,
+            "abort     t={:>10.6}s job={:<5} refetch={:.0} bits",
+            a.at.as_secs(),
+            a.job,
+            a.bits_refetched
+        );
+    }
+    for r in &rep.retries {
+        let _ = writeln!(
+            out,
+            "retry     t={:>10.6}s job={:<5} attempt={}",
+            r.at.as_secs(),
+            r.job,
+            r.attempt
+        );
+    }
+    for d in &rep.degraded {
+        let replica = if d.replica == u32::MAX {
+            "-".to_string()
+        } else {
+            d.replica.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "degraded  t={:>10.6}s job={:<5} reason={:<34} replica={replica}",
+            d.at.as_secs(),
+            d.job,
+            d.reason
+        );
+    }
+    for m in &rep.missed_polls {
+        let _ = writeln!(
+            out,
+            "poll-miss t={:>10.6}s reason={:<17} freezes-expired={}",
+            m.at.as_secs(),
+            m.reason,
+            m.freezes_expired
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +309,41 @@ mod tests {
             assert!(text.contains(s.label()), "missing {s}");
         }
         assert!(text.contains("headline"));
+    }
+
+    #[test]
+    fn fault_report_renders_every_section_and_identically() {
+        use crate::faults::{FaultSchedule, FaultScheduleParams};
+        use crate::{ExperimentConfig, Strategy};
+        use mayflower_simcore::SimRng;
+        use mayflower_workload::WorkloadParams;
+
+        let mut rng = SimRng::seed_from(41);
+        let schedule = FaultSchedule::generate(&FaultScheduleParams::default(), &mut rng);
+        let cfg = ExperimentConfig {
+            strategy: Strategy::Mayflower,
+            workload: WorkloadParams {
+                job_count: 40,
+                file_count: 30,
+                ..WorkloadParams::default()
+            },
+            faults: Some(schedule),
+            ..ExperimentConfig::default()
+        };
+        let a = cfg.run();
+        let b = cfg.run();
+        let rep = a.fault_report.as_ref().expect("faulted run has a report");
+        let text = render_fault_report(rep);
+        assert!(text.contains("Fault report"));
+        assert!(!rep.applied.is_empty(), "schedule applied something");
+        assert!(text.contains("applied"));
+        assert_eq!(
+            text,
+            render_fault_report(b.fault_report.as_ref().unwrap()),
+            "equal reports must render to identical bytes"
+        );
+        // A fault-free report renders the sentinel line.
+        assert!(render_fault_report(&crate::FaultReport::default()).contains("fault-free"));
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Seeded, deterministic fault schedules.
+//!
+//! A [`FaultSchedule`] is a time-ordered list of component failures and
+//! recoveries, expressed with **raw integer identifiers** so this crate
+//! stays independent of the topology layer: the experiment harness maps
+//! each raw id onto a concrete link, switch or host of the topology
+//! under test (by reduction modulo the component count, so *every*
+//! schedule is valid for *every* topology — a property the
+//! property-based determinism tests rely on).
+//!
+//! Schedules are either hand-written ([`FaultSchedule::push`]) or drawn
+//! from a seeded generator ([`FaultSchedule::generate`]): the same
+//! [`FaultScheduleParams`] and the same [`SimRng`] seed always produce
+//! the identical schedule, which is the first half of the subsystem's
+//! replayability guarantee (the second half is the engine's
+//! deterministic event ordering).
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// One fault (or recovery) to inject, with layer-independent ids.
+///
+/// The `u32` payloads are *raw indices*, not typed ids: the harness
+/// reduces them modulo the count of the respective component class, so
+/// arbitrary values (e.g. from a property-test generator) always name
+/// a real component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A physical link fails (both directions).
+    LinkDown(u32),
+    /// A previously failed link recovers.
+    LinkUp(u32),
+    /// An edge or aggregation switch fails: every adjacent link goes
+    /// down and its counters black out.
+    SwitchDown(u32),
+    /// A previously failed switch recovers.
+    SwitchUp(u32),
+    /// The dataserver on a host crashes: its replicas become
+    /// unreadable and in-flight transfers from it abort.
+    DataserverCrash(u32),
+    /// A previously crashed dataserver restarts with its data intact
+    /// (append-only storage survives a crash).
+    DataserverRestart(u32),
+    /// The Flowserver becomes unreachable: clients fall back to
+    /// nearest-replica selection over ECMP paths.
+    FlowserverDown,
+    /// The Flowserver recovers (with a cold, stale flow model).
+    FlowserverUp,
+    /// The next scheduled stats poll is lost (switch → controller
+    /// message drop): the Flowserver's model goes stale for one extra
+    /// interval.
+    StatsPollLoss,
+}
+
+impl FaultEvent {
+    /// Short stable label used in run reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEvent::LinkDown(_) => "link-down",
+            FaultEvent::LinkUp(_) => "link-up",
+            FaultEvent::SwitchDown(_) => "switch-down",
+            FaultEvent::SwitchUp(_) => "switch-up",
+            FaultEvent::DataserverCrash(_) => "dataserver-crash",
+            FaultEvent::DataserverRestart(_) => "dataserver-restart",
+            FaultEvent::FlowserverDown => "flowserver-down",
+            FaultEvent::FlowserverUp => "flowserver-up",
+            FaultEvent::StatsPollLoss => "stats-poll-loss",
+        }
+    }
+}
+
+/// A time-ordered fault injection plan.
+///
+/// Entries are kept sorted by time; pushes out of order are inserted
+/// at their sorted position (stable: equal-time entries keep insertion
+/// order, matching the event queue's FIFO tie-break).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    entries: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults — the engine's fast path).
+    #[must_use]
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Adds one fault at `at`, keeping the schedule time-sorted.
+    pub fn push(&mut self, at: SimTime, event: FaultEvent) -> &mut FaultSchedule {
+        let idx = self.entries.partition_point(|(t, _)| *t <= at);
+        self.entries.insert(idx, (at, event));
+        self
+    }
+
+    /// The scheduled faults, in time order.
+    #[must_use]
+    pub fn entries(&self) -> &[(SimTime, FaultEvent)] {
+        &self.entries
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Draws a random schedule from `params` using `rng`.
+    ///
+    /// Every failure is paired with a recovery (link flaps, switch
+    /// flaps, crash/restart, Flowserver outage windows), so any read
+    /// that survives to the end of the horizon finds a fully healed
+    /// system — the schedule alone never makes a job impossible, only
+    /// slower. Identical `params` and rng state yield the identical
+    /// schedule.
+    #[must_use]
+    pub fn generate(params: &FaultScheduleParams, rng: &mut SimRng) -> FaultSchedule {
+        let mut s = FaultSchedule::new();
+        let h = params.horizon_secs.max(0.0);
+        let window = |rng: &mut SimRng| {
+            let start = rng.uniform_range(0.0, h.max(f64::MIN_POSITIVE));
+            let dur = rng
+                .uniform_range(0.1, params.mean_downtime_secs.max(0.2))
+                .max(1e-3);
+            (SimTime::from_secs(start), SimTime::from_secs(start + dur))
+        };
+        for _ in 0..params.link_flaps {
+            let id = (rng.next_u64() & 0xFFFF_FFFF) as u32;
+            let (down, up) = window(rng);
+            s.push(down, FaultEvent::LinkDown(id));
+            s.push(up, FaultEvent::LinkUp(id));
+        }
+        for _ in 0..params.switch_failures {
+            let id = (rng.next_u64() & 0xFFFF_FFFF) as u32;
+            let (down, up) = window(rng);
+            s.push(down, FaultEvent::SwitchDown(id));
+            s.push(up, FaultEvent::SwitchUp(id));
+        }
+        for _ in 0..params.dataserver_crashes {
+            let id = (rng.next_u64() & 0xFFFF_FFFF) as u32;
+            let (down, up) = window(rng);
+            s.push(down, FaultEvent::DataserverCrash(id));
+            s.push(up, FaultEvent::DataserverRestart(id));
+        }
+        for _ in 0..params.flowserver_outages {
+            let (down, up) = window(rng);
+            s.push(down, FaultEvent::FlowserverDown);
+            s.push(up, FaultEvent::FlowserverUp);
+        }
+        for _ in 0..params.stats_poll_losses {
+            let at = SimTime::from_secs(rng.uniform_range(0.0, h.max(f64::MIN_POSITIVE)));
+            s.push(at, FaultEvent::StatsPollLoss);
+        }
+        s
+    }
+}
+
+/// Shape of a randomly generated [`FaultSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScheduleParams {
+    /// Faults are injected uniformly over `[0, horizon_secs)`.
+    pub horizon_secs: f64,
+    /// Mean length of a failure window, seconds.
+    pub mean_downtime_secs: f64,
+    /// Number of link down/up pairs.
+    pub link_flaps: usize,
+    /// Number of switch down/up pairs.
+    pub switch_failures: usize,
+    /// Number of dataserver crash/restart pairs.
+    pub dataserver_crashes: usize,
+    /// Number of Flowserver outage windows.
+    pub flowserver_outages: usize,
+    /// Number of lost stats polls.
+    pub stats_poll_losses: usize,
+}
+
+impl Default for FaultScheduleParams {
+    fn default() -> FaultScheduleParams {
+        FaultScheduleParams {
+            horizon_secs: 30.0,
+            mean_downtime_secs: 5.0,
+            link_flaps: 1,
+            switch_failures: 1,
+            dataserver_crashes: 1,
+            flowserver_outages: 1,
+            stats_poll_losses: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_time_order_with_stable_ties() {
+        let mut s = FaultSchedule::new();
+        s.push(SimTime::from_secs(2.0), FaultEvent::FlowserverUp);
+        s.push(SimTime::from_secs(1.0), FaultEvent::FlowserverDown);
+        s.push(SimTime::from_secs(2.0), FaultEvent::StatsPollLoss);
+        let times: Vec<f64> = s.entries().iter().map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(times, vec![1.0, 2.0, 2.0]);
+        // Equal-time entries preserve insertion order.
+        assert_eq!(s.entries()[1].1, FaultEvent::FlowserverUp);
+        assert_eq!(s.entries()[2].1, FaultEvent::StatsPollLoss);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let params = FaultScheduleParams::default();
+        let a = FaultSchedule::generate(&params, &mut SimRng::seed_from(42));
+        let b = FaultSchedule::generate(&params, &mut SimRng::seed_from(42));
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(&params, &mut SimRng::seed_from(43));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn generate_pairs_every_failure_with_a_recovery() {
+        let params = FaultScheduleParams {
+            link_flaps: 3,
+            switch_failures: 2,
+            dataserver_crashes: 2,
+            flowserver_outages: 1,
+            stats_poll_losses: 0,
+            ..FaultScheduleParams::default()
+        };
+        let s = FaultSchedule::generate(&params, &mut SimRng::seed_from(7));
+        let count = |pred: fn(&FaultEvent) -> bool| {
+            s.entries().iter().filter(|(_, e)| pred(e)).count()
+        };
+        assert_eq!(count(|e| matches!(e, FaultEvent::LinkDown(_))), 3);
+        assert_eq!(count(|e| matches!(e, FaultEvent::LinkUp(_))), 3);
+        assert_eq!(count(|e| matches!(e, FaultEvent::SwitchDown(_))), 2);
+        assert_eq!(count(|e| matches!(e, FaultEvent::SwitchUp(_))), 2);
+        assert_eq!(count(|e| matches!(e, FaultEvent::DataserverCrash(_))), 2);
+        assert_eq!(count(|e| matches!(e, FaultEvent::DataserverRestart(_))), 2);
+        assert_eq!(count(|e| matches!(e, FaultEvent::FlowserverDown)), 1);
+        assert_eq!(count(|e| matches!(e, FaultEvent::FlowserverUp)), 1);
+    }
+
+    #[test]
+    fn schedule_serializes_round_trip() {
+        let params = FaultScheduleParams::default();
+        let s = FaultSchedule::generate(&params, &mut SimRng::seed_from(5));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

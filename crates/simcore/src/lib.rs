@@ -29,10 +29,12 @@
 //! assert_eq!(t, SimTime::from_secs(1.0));
 //! ```
 
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use faults::{FaultEvent, FaultSchedule, FaultScheduleParams};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::SimTime;

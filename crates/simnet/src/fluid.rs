@@ -7,7 +7,7 @@ use mayflower_net::{LinkId, Path, Topology};
 use mayflower_simcore::SimTime;
 use serde::{Deserialize, Serialize};
 
-use crate::maxmin::{compute_rates, RoutedFlow};
+use crate::maxmin::{compute_rates_masked, RoutedFlow};
 
 /// Identifies a flow inside a [`FluidNet`].
 #[derive(
@@ -85,6 +85,10 @@ pub struct FluidNet {
     now: SimTime,
     /// Cumulative bits carried per directed link.
     link_bits: Vec<f64>,
+    /// Fault-injection mask: `link_up[l]` is false while link `l` is
+    /// failed. Downed links contribute zero capacity, so flows routed
+    /// across them stall at rate zero until rerouted or the link heals.
+    link_up: Vec<bool>,
     rates_dirty: bool,
 }
 
@@ -99,6 +103,7 @@ impl FluidNet {
             next_id: 0,
             now: SimTime::ZERO,
             link_bits: vec![0.0; n_links],
+            link_up: vec![true; n_links],
             rates_dirty: false,
         }
     }
@@ -107,6 +112,35 @@ impl FluidNet {
     #[must_use]
     pub fn topology(&self) -> &Arc<Topology> {
         &self.topo
+    }
+
+    /// Fails or heals a directed link (fault injection). Progress up to
+    /// the current instant has already been charged at the old rates;
+    /// rates are lazily recomputed with the new mask on the next
+    /// advance. Call [`FluidNet::advance_to`] to the fault instant
+    /// *before* flipping a link.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        if self.link_up[link.index()] != up {
+            self.link_up[link.index()] = up;
+            self.rates_dirty = true;
+        }
+    }
+
+    /// Whether a link is currently up.
+    #[must_use]
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.index()]
+    }
+
+    /// Flow ids of active flows whose route crosses any currently
+    /// downed link — the transfers a fault has stalled, in id order.
+    #[must_use]
+    pub fn stalled_flows(&self) -> Vec<FlowId> {
+        self.flows
+            .values()
+            .filter(|f| f.path.links().iter().any(|l| !self.link_up[l.index()]))
+            .map(|f| f.id)
+            .collect()
     }
 
     /// Current simulated time.
@@ -349,7 +383,12 @@ impl FluidNet {
                 links: f.path.links(),
             })
             .collect();
-        let rates = compute_rates(&self.topo, &routed);
+        let mask = if self.link_up.iter().all(|u| *u) {
+            None
+        } else {
+            Some(self.link_up.as_slice())
+        };
+        let rates = compute_rates_masked(&self.topo, &routed, mask);
         for (f, r) in self.flows.values_mut().zip(rates) {
             f.rate = r;
         }
@@ -375,6 +414,43 @@ mod tests {
 
     fn path(topo: &Topology, a: u32, b: u32) -> Path {
         topo.shortest_paths(HostId(a), HostId(b))[0].clone()
+    }
+
+    #[test]
+    fn downed_link_stalls_flow_until_heal() {
+        let (topo, mut net) = testbed();
+        let p = path(&topo, 0, 1);
+        let victim = p.links()[0];
+        let f = net.add_flow(p, 1e9, SimTime::ZERO);
+        // Half the transfer, then the link fails for two seconds.
+        assert!(net.advance_to(SimTime::from_secs(0.5)).is_empty());
+        net.set_link_up(victim, false);
+        assert!(!net.link_is_up(victim));
+        assert_eq!(net.stalled_flows(), vec![f]);
+        assert!(
+            net.advance_to(SimTime::from_secs(2.5)).is_empty(),
+            "no progress while the link is down"
+        );
+        assert!((net.flow(f).unwrap().remaining_bits - 0.5e9).abs() < 1.0);
+        // Heal: the remaining half takes half a second.
+        net.set_link_up(victim, true);
+        assert!(net.stalled_flows().is_empty());
+        let done = net.advance_to(SimTime::from_secs(10.0));
+        assert_eq!(done.len(), 1);
+        assert!((done[0].at.as_secs() - 3.0).abs() < 1e-6, "at {}", done[0].at);
+    }
+
+    #[test]
+    fn downed_link_leaves_disjoint_flows_untouched() {
+        let (topo, mut net) = testbed();
+        let p_victim = path(&topo, 0, 1);
+        let p_other = path(&topo, 4, 5);
+        net.add_flow(p_victim.clone(), 1e9, SimTime::ZERO);
+        let ok = net.add_flow(p_other, 1e9, SimTime::ZERO);
+        net.set_link_up(p_victim.links()[0], false);
+        let done = net.advance_to(SimTime::from_secs(1.5));
+        assert_eq!(done.len(), 1, "unaffected flow still completes");
+        assert_eq!(done[0].flow, ok);
     }
 
     #[test]

@@ -32,15 +32,46 @@ pub struct RoutedFlow<'a> {
 /// experiments create.
 #[must_use]
 pub fn compute_rates(topo: &Topology, flows: &[RoutedFlow<'_>]) -> Vec<f64> {
+    compute_rates_masked(topo, flows, None)
+}
+
+/// [`compute_rates`] with a link up/down mask for fault injection.
+///
+/// `link_up[l]` gives the state of link `l` (by index); `None` means
+/// all links up. A downed link contributes **zero** capacity, so every
+/// flow routed across it is allocated a zero rate — the fluid model of
+/// a transfer stalling on a dead path. All other flows share the
+/// surviving capacity max-min fairly as usual.
+///
+/// # Panics
+///
+/// Panics if a mask is given whose length differs from the link count.
+#[must_use]
+pub fn compute_rates_masked(
+    topo: &Topology,
+    flows: &[RoutedFlow<'_>],
+    link_up: Option<&[bool]>,
+) -> Vec<f64> {
     let n_links = topo.links().len();
     let n_flows = flows.len();
+    if let Some(mask) = link_up {
+        assert_eq!(mask.len(), n_links, "mask must cover every link");
+    }
     let mut rates = vec![0.0f64; n_flows];
     if n_flows == 0 {
         return rates;
     }
 
     // Residual capacity and unfrozen-flow count per link.
-    let mut residual: Vec<f64> = topo.links().iter().map(|l| l.capacity()).collect();
+    let mut residual: Vec<f64> = topo
+        .links()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| match link_up {
+            Some(mask) if !mask[i] => 0.0,
+            _ => l.capacity(),
+        })
+        .collect();
     let mut count = vec![0u32; n_links];
     let mut frozen = vec![false; n_flows];
     let mut unfrozen_left = 0usize;
@@ -197,6 +228,29 @@ mod tests {
     fn no_flows_no_rates() {
         let (t, _) = dumbbell(10.0);
         assert!(compute_rates(&t, &[]).is_empty());
+    }
+
+    #[test]
+    fn masked_link_zeroes_crossing_flows_only() {
+        let (t, paths) = dumbbell(10.0);
+        let flows: Vec<RoutedFlow> = paths
+            .iter()
+            .map(|p| RoutedFlow { links: p.links() })
+            .collect();
+        // Down flow 0's host uplink: flow 0 stalls at zero and flow 1
+        // inherits the whole bottleneck.
+        let victim = paths[0].links()[0];
+        let mut mask = vec![true; t.links().len()];
+        mask[victim.index()] = false;
+        let rates = compute_rates_masked(&t, &flows, Some(&mask));
+        assert_eq!(rates[0], 0.0, "flow on downed link stalls");
+        assert!((rates[1] - 10.0).abs() < 1e-9, "survivor takes over");
+        // All-up mask matches the unmasked computation.
+        let all_up = vec![true; t.links().len()];
+        assert_eq!(
+            compute_rates_masked(&t, &flows, Some(&all_up)),
+            compute_rates(&t, &flows)
+        );
     }
 }
 

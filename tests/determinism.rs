@@ -2,8 +2,10 @@
 //! experiments bit for bit — the property that makes every figure of
 //! EXPERIMENTS.md regenerable.
 
-use mayflower::sim::{ExperimentConfig, Strategy};
+use mayflower::sim::{ExperimentConfig, FaultSchedule, FaultScheduleParams, Strategy};
+use mayflower::simcore::SimRng;
 use mayflower::workload::WorkloadParams;
+use proptest::prelude::*;
 
 fn quick(strategy: Strategy, seed: u64) -> ExperimentConfig {
     ExperimentConfig {
@@ -49,6 +51,72 @@ fn different_seeds_differ() {
         a.summary.mean, b.summary.mean,
         "distinct seeds should produce distinct workloads"
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole's replayability guarantee, property-tested:
+    /// an *arbitrary* seeded fault schedule (link flaps, switch
+    /// failures, dataserver crashes, Flowserver outages, lost polls)
+    /// replayed twice yields **byte-identical** serialized jobs and
+    /// fault reports.
+    #[test]
+    fn faulted_runs_replay_byte_identically(
+        link_flaps in 0usize..3,
+        switch_failures in 0usize..2,
+        dataserver_crashes in 0usize..2,
+        flowserver_outages in 0usize..2,
+        stats_poll_losses in 0usize..3,
+        sched_seed in any::<u64>(),
+        seed in any::<u64>(),
+        strategy in prop_oneof![
+            Just(Strategy::Mayflower),
+            Just(Strategy::SinbadREcmp),
+            Just(Strategy::NearestEcmp),
+        ],
+    ) {
+        let params = FaultScheduleParams {
+            horizon_secs: 20.0,
+            mean_downtime_secs: 4.0,
+            link_flaps,
+            switch_failures,
+            dataserver_crashes,
+            flowserver_outages,
+            stats_poll_losses,
+        };
+        let schedule =
+            FaultSchedule::generate(&params, &mut SimRng::seed_from(sched_seed));
+        let cfg = ExperimentConfig {
+            strategy,
+            seed,
+            workload: WorkloadParams {
+                job_count: 30,
+                file_count: 20,
+                ..WorkloadParams::default()
+            },
+            faults: Some(schedule),
+            ..ExperimentConfig::default()
+        };
+        let a = cfg.run();
+        let b = cfg.run();
+        prop_assert_eq!(
+            serde_json::to_string(&a.jobs).unwrap(),
+            serde_json::to_string(&b.jobs).unwrap()
+        );
+        let ra = a.fault_report.expect("faulted run reports");
+        let rb = b.fault_report.expect("faulted run reports");
+        prop_assert_eq!(
+            serde_json::to_string(&ra).unwrap(),
+            serde_json::to_string(&rb).unwrap()
+        );
+        // Every job still completes: the schedule makes reads slower,
+        // never impossible.
+        prop_assert_eq!(a.jobs.len(), 30);
+        for j in &a.jobs {
+            prop_assert!(j.finish >= j.arrival, "job {} completed", j.id);
+        }
+    }
 }
 
 #[test]

@@ -53,6 +53,9 @@ impl ReplicaSelector for FlowserverSelector {
             SimTime::ZERO,
         );
         let out = match &sel {
+            // No reachable replica (only possible with down links);
+            // answer empty so the client's own failover takes over.
+            Selection::Unavailable => Vec::new(),
             Selection::Local => vec![ReadAssignment {
                 replica: client,
                 bytes: size_bytes,

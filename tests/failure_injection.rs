@@ -4,11 +4,17 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use mayflower::flowserver::{Flowserver, FlowserverConfig, Selection};
 use mayflower::fs::nameserver::NameserverConfig;
-use mayflower::fs::{Cluster, ClusterConfig, ReadAssignment, ReplicaSelector};
-use mayflower::net::{HostId, Topology, TreeParams};
+use mayflower::fs::{
+    Cluster, ClusterConfig, FallbackSelector, NearestSelector, ReadAssignment, ReplicaSelector,
+};
+use mayflower::net::{HostId, NodeKind, Topology, TreeParams};
+use mayflower::sim::{replay_with_faults, FaultEvent, FaultSchedule, ReplayOptions, Strategy};
 use mayflower::simcore::{SimRng, SimTime};
+use mayflower::workload::{TrafficMatrix, WorkloadParams};
 
 struct TempDir(PathBuf);
 impl TempDir {
@@ -99,6 +105,9 @@ impl ReplicaSelector for Steered {
             SimTime::ZERO,
         );
         let out = match &sel {
+            // No reachable replica: answer empty so a wrapping
+            // `FallbackSelector` (or the client's own retry) takes over.
+            Selection::Unavailable => Vec::new(),
             Selection::Local => vec![ReadAssignment {
                 replica: client,
                 bytes: size_bytes,
@@ -164,6 +173,154 @@ fn flowserver_steered_reads_survive_replica_loss_and_migration() {
     assert_eq!(reader.read("steered").unwrap(), payload);
     let repaired = c.nameserver().lookup("steered").unwrap();
     assert!(!repaired.replicas.contains(&victim));
+}
+
+#[test]
+fn flowserver_outage_falls_back_to_nearest_replica_with_correct_data() {
+    let dir = TempDir::new("fs-outage");
+    let c = cluster(&dir);
+    let topo = c.topology().clone();
+    let mut writer = c.client(HostId(2));
+    let payload: Vec<u8> = (0..17_000u32).map(|i| (i % 251) as u8).collect();
+    writer.create("outage").unwrap();
+    writer.append("outage", &payload).unwrap();
+
+    // The availability flag stands in for the client's RPC timeout to
+    // the Flowserver; the fault injector flips it from outside.
+    let flowserver_up = Arc::new(AtomicBool::new(true));
+    let steered = Steered {
+        fs: Flowserver::new(topo.clone(), FlowserverConfig::default()),
+    };
+    let selector = FallbackSelector::new(
+        steered,
+        NearestSelector::new(topo.clone()),
+        flowserver_up.clone(),
+    );
+    let mut reader = c.client_with_selector(HostId(33), Box::new(selector));
+    reader.set_cache_ttl(std::time::Duration::ZERO);
+
+    // Healthy control plane: steered read.
+    assert_eq!(reader.read("outage").unwrap(), payload);
+    // Flowserver outage mid-session: the nearest-replica fallback
+    // serves the same bytes — a broken control plane never makes data
+    // unreadable.
+    flowserver_up.store(false, Ordering::SeqCst);
+    assert_eq!(reader.read("outage").unwrap(), payload);
+    // Recovery: steered again, still correct.
+    flowserver_up.store(true, Ordering::SeqCst);
+    assert_eq!(reader.read("outage").unwrap(), payload);
+
+    // The degraded-mode counter is observable on an un-boxed selector.
+    let mut direct = FallbackSelector::new(
+        Steered {
+            fs: Flowserver::new(topo.clone(), FlowserverConfig::default()),
+        },
+        NearestSelector::new(topo),
+        flowserver_up.clone(),
+    );
+    let meta = c.nameserver().lookup("outage").unwrap();
+    flowserver_up.store(false, Ordering::SeqCst);
+    let picked = direct.select_read(HostId(33), &meta.replicas, 100);
+    assert_eq!(direct.fallbacks_taken(), 1);
+    assert!(meta.replicas.contains(&picked[0].replica));
+}
+
+#[test]
+fn agg_switch_failure_mid_read_reroutes_and_every_job_completes() {
+    // Simulation level: an aggregation switch dies while transfers are
+    // in flight and comes back later; aborted subflows are retried and
+    // every read still completes.
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    let agg_raw = topo
+        .nodes()
+        .iter()
+        .filter(|n| matches!(n.kind(), NodeKind::EdgeSwitch | NodeKind::AggSwitch))
+        .position(|n| matches!(n.kind(), NodeKind::AggSwitch))
+        .expect("testbed has aggregation switches") as u32;
+    let mut faults = FaultSchedule::default();
+    faults.push(SimTime::from_secs(2.0), FaultEvent::SwitchDown(agg_raw));
+    faults.push(SimTime::from_secs(6.0), FaultEvent::SwitchUp(agg_raw));
+
+    let mut rng = SimRng::seed_from(9);
+    let params = WorkloadParams {
+        job_count: 60,
+        file_count: 40,
+        ..WorkloadParams::default()
+    };
+    let matrix = TrafficMatrix::generate(&topo, &params, &mut rng);
+    let opts = ReplayOptions {
+        faults,
+        ..ReplayOptions::default()
+    };
+    let (jobs, report) = replay_with_faults(&topo, &matrix, Strategy::Mayflower, &opts, &mut rng);
+    assert_eq!(jobs.len(), 60, "no job is lost to the dead switch");
+    for j in &jobs {
+        assert!(j.finish >= j.arrival, "job {} finished", j.id);
+    }
+    assert_eq!(report.applied[0].kind, "switch-down");
+    // The heal is applied too unless every job drained first (the
+    // engine stops once all jobs complete).
+    if let Some(second) = report.applied.get(1) {
+        assert_eq!(second.kind, "switch-up");
+    }
+
+    // Filesystem level: with the same dead switch reflected in the
+    // Flowserver's link state, a steered read routes around it and the
+    // bytes are still exactly right.
+    let dir = TempDir::new("agg-switch");
+    let c = cluster(&dir);
+    let ctopo = c.topology().clone();
+    let mut writer = c.client(HostId(4));
+    let payload: Vec<u8> = (0..12_000u32).map(|i| (i % 239) as u8).collect();
+    writer.create("rerouted").unwrap();
+    writer.append("rerouted", &payload).unwrap();
+
+    let mut fs = Flowserver::new(ctopo.clone(), FlowserverConfig::default());
+    let dead_agg = ctopo
+        .nodes()
+        .iter()
+        .find(|n| matches!(n.kind(), NodeKind::AggSwitch))
+        .map(mayflower::net::Node::id)
+        .unwrap();
+    for l in ctopo.out_links(dead_agg) {
+        fs.set_link_state(*l, false);
+        fs.set_link_state(ctopo.reverse_link(*l), false);
+    }
+    let mut reader = c.client_with_selector(HostId(55), Box::new(Steered { fs }));
+    reader.set_cache_ttl(std::time::Duration::ZERO);
+    assert_eq!(reader.read("rerouted").unwrap(), payload);
+}
+
+#[test]
+fn stale_stats_after_missed_polls_still_selects_and_reads_correctly() {
+    let dir = TempDir::new("stale-stats");
+    let c = cluster(&dir);
+    let topo = c.topology().clone();
+    let mut writer = c.client(HostId(7));
+    let payload: Vec<u8> = (0..8_000u32).map(|i| (i % 233) as u8).collect();
+    writer.create("stale").unwrap();
+    writer.append("stale", &payload).unwrap();
+
+    // Three poll intervals go by without a single counter arriving
+    // (e.g. the stats path through the fabric is lossy). The model is
+    // stale and says so; selection must keep answering regardless.
+    let mut fs = Flowserver::new(topo, FlowserverConfig::default());
+    let poll = fs.config().poll_interval_secs;
+    for k in 1..=3u32 {
+        let now = SimTime::from_secs(poll * f64::from(k));
+        fs.note_poll_missed(now);
+        fs.expire_stale_freezes(now);
+    }
+    assert_eq!(fs.missed_polls(), 3);
+    let now = SimTime::from_secs(poll * 3.0);
+    assert!(
+        fs.staleness_secs(now) >= poll * 2.0,
+        "staleness reflects the silent interval"
+    );
+
+    let mut reader = c.client_with_selector(HostId(21), Box::new(Steered { fs }));
+    reader.set_cache_ttl(std::time::Duration::ZERO);
+    assert_eq!(reader.read("stale").unwrap(), payload);
 }
 
 #[test]

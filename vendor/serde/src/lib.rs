@@ -1,0 +1,484 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate provides a simplified serialization framework with the same
+//! *spelling* as serde — `Serialize`, `Deserialize`,
+//! `de::DeserializeOwned`, and `#[derive(Serialize, Deserialize)]`
+//! via the companion `serde_derive` proc-macro — but a much simpler
+//! model: values serialize into an in-memory [`Value`] tree which the
+//! companion `serde_json` stand-in renders to and parses from JSON.
+//!
+//! Representation choices mirror real serde's JSON behaviour so that
+//! documents written by the real stack would round-trip here:
+//!
+//! * structs with named fields → JSON objects in declaration order
+//! * newtype structs (one unnamed field) → the inner value, transparent
+//! * tuple structs (≥2 fields) → JSON arrays
+//! * unit enum variants → the variant name as a string
+//! * data-carrying enum variants → externally tagged:
+//!   `{"Variant": ...}`
+//! * `Option` → `null` / the value
+
+#![allow(clippy::result_unit_err)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The in-memory serialization tree: a JSON-shaped value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative or small integers.
+    I64(i64),
+    /// Non-negative integers that exceed `i64`, and unsigned sources.
+    U64(u64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved so output is
+    /// deterministic and matches struct field declaration order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Views the value as an object's entry list.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Views the value as an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Error produced by deserialization (and re-exported by the
+/// `serde_json` stand-in as its error type).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from the value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers, mirroring serde's module layout.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the
+    /// input. In this stand-in every [`crate::Deserialize`] qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization helpers, mirroring serde's module layout.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Looks up a required struct field in an object entry list.
+pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i128;
+                if v < 0 {
+                    Value::I64(*self as i64)
+                } else if v <= i64::MAX as i128 {
+                    Value::I64(v as i64)
+                } else {
+                    Value::U64(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<$t, Error> {
+                let wide: i128 = match v {
+                    Value::I64(n) => *n as i128,
+                    Value::U64(n) => *n as i128,
+                    Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => *f as i128,
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("integer out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(v: &Value) -> Result<(), Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn serialize_value(&self) -> Value {
+        // Beyond u64 range the value is carried as a decimal string;
+        // the JSON layer has no wider numeric representation.
+        match i64::try_from(*self) {
+            Ok(n) => Value::I64(n),
+            Err(_) => match u64::try_from(*self) {
+                Ok(n) => Value::U64(n),
+                Err(_) => Value::Str(self.to_string()),
+            },
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize_value(v: &Value) -> Result<u128, Error> {
+        match v {
+            Value::I64(n) if *n >= 0 => Ok(*n as u128),
+            Value::U64(n) => Ok(u128::from(*n)),
+            Value::Str(s) => s
+                .parse::<u128>()
+                .map_err(|_| Error::custom("invalid u128 string")),
+            other => Err(Error::custom(format!("expected u128, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<f64, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<f32, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<char, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected char, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<[T; N], Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected {N}-element array, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items
+            .iter()
+            .map(T::deserialize_value)
+            .collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Box<T>, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Ok(v) => Value::Object(vec![("Ok".to_string(), v.serialize_value())]),
+            Err(e) => Value::Object(vec![("Err".to_string(), e.serialize_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn deserialize_value(v: &Value) -> Result<Result<T, E>, Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object for Result"))?;
+        match entries {
+            [(tag, inner)] if tag == "Ok" => T::deserialize_value(inner).map(Ok),
+            [(tag, inner)] if tag == "Err" => E::deserialize_value(inner).map(Err),
+            _ => Err(Error::custom("expected {\"Ok\": ...} or {\"Err\": ...}")),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.serialize_value() {
+                        Value::Str(s) => s,
+                        Value::I64(n) => n.to_string(),
+                        Value::U64(n) => n.to_string(),
+                        other => panic!("unsupported map key {other:?}"),
+                    };
+                    (key, v.serialize_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<($($t,)+), Error> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, found {} items",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize, Value};
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(42u32.serialize_value(), Value::I64(42));
+        assert_eq!(u32::deserialize_value(&Value::I64(42)).unwrap(), 42);
+        assert_eq!((-3i64).serialize_value(), Value::I64(-3));
+        assert_eq!(f64::deserialize_value(&Value::I64(7)).unwrap(), 7.0);
+        assert_eq!(
+            String::deserialize_value(&Value::Str("x".into())).unwrap(),
+            "x"
+        );
+    }
+
+    #[test]
+    fn option_and_vec() {
+        let v: Option<u32> = None;
+        assert_eq!(v.serialize_value(), Value::Null);
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        let xs = vec![1u8, 2, 3];
+        let tree = xs.serialize_value();
+        assert_eq!(Vec::<u8>::deserialize_value(&tree).unwrap(), xs);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let t = (1u32, "hi".to_string(), 2.5f64);
+        let tree = t.serialize_value();
+        let back: (u32, String, f64) = Deserialize::deserialize_value(&tree).unwrap();
+        assert_eq!(back, t);
+    }
+}

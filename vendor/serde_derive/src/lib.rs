@@ -1,0 +1,526 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the vendored value-tree `serde` without depending on `syn`/`quote`:
+//! the input item is parsed directly from its `TokenStream` and the
+//! impls are emitted as source strings.
+//!
+//! Supported shapes (everything this workspace declares):
+//! structs with named fields, tuple structs (1-field newtypes are
+//! transparent), unit structs, and enums whose variants are unit,
+//! newtype, tuple, or struct-like — externally tagged, as in real
+//! serde's JSON representation. Single-letter type parameters (e.g.
+//! `Message<V>`) get the corresponding trait bound. `#[serde(...)]`
+//! attributes are not supported and the workspace does not use them.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<(String, String)>),
+    TupleStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<(String, String)>),
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_group(t: Option<&TokenTree>, d: Delimiter) -> bool {
+    matches!(t, Some(TokenTree::Group(g)) if g.delimiter() == d)
+}
+
+fn ident_str(t: Option<&TokenTree>) -> Option<String> {
+    match t {
+        Some(TokenTree::Ident(i)) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and `pub`/`pub(...)`
+/// visibility tokens.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        if is_punct(tokens.get(*i), '#') && is_group(tokens.get(*i + 1), Delimiter::Bracket) {
+            *i += 2;
+            continue;
+        }
+        if ident_str(tokens.get(*i)).as_deref() == Some("pub") {
+            *i += 1;
+            if is_group(tokens.get(*i), Delimiter::Parenthesis) {
+                *i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Reads type tokens until a top-level `,` (consumed) or end of input,
+/// tracking `<`/`>` nesting. Returns the type as a string.
+fn read_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        ty.push_str(&tok.to_string());
+        ty.push(' ');
+        *i += 1;
+    }
+    ty.trim().to_string()
+}
+
+fn parse_named_fields(group: &Group) -> Vec<(String, String)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(name) = ident_str(tokens.get(i)) else {
+            break;
+        };
+        i += 1;
+        assert!(
+            is_punct(tokens.get(i), ':'),
+            "serde_derive stub: expected `:` after field `{name}`"
+        );
+        i += 1;
+        let ty = read_type(&tokens, &mut i);
+        fields.push((name, ty));
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: &Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(read_type(&tokens, &mut i));
+    }
+    fields
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(name) = ident_str(tokens.get(i)) else {
+            break;
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g);
+                i += 1;
+                VariantKind::Tuple(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = ident_str(tokens.get(i)).expect("serde_derive stub: expected struct/enum");
+    i += 1;
+    let name = ident_str(tokens.get(i)).expect("serde_derive stub: expected item name");
+    i += 1;
+
+    let mut generics = Vec::new();
+    if is_punct(tokens.get(i), '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut expect_param = true;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => expect_param = true,
+                    ':' if depth == 1 => expect_param = false,
+                    _ => {}
+                },
+                Some(TokenTree::Ident(id)) => {
+                    if depth == 1 && expect_param {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("serde_derive stub: unterminated generics"),
+            }
+            i += 1;
+        }
+    }
+
+    // No supported item uses a `where` clause; skip to the body.
+    let shape = match kw.as_str() {
+        "struct" => loop {
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break Shape::NamedStruct(parse_named_fields(g));
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    break Shape::TupleStruct(parse_tuple_fields(g));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Shape::UnitStruct,
+                Some(_) => i += 1,
+                None => break Shape::UnitStruct,
+            }
+        },
+        "enum" => loop {
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break Shape::Enum(parse_variants(g));
+                }
+                Some(_) => i += 1,
+                None => panic!("serde_derive stub: enum without body"),
+            }
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+/// `impl<V: ::serde::Serialize>` header + `Name<V>` type, for `bound`
+/// = "Serialize" or "Deserialize".
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (params, ty) = impl_header(item, "Serialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|(f, _)| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(fields) if fields.len() == 1 => {
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantKind::Tuple(fields) if fields.len() == 1 => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Serialize::serialize_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(fields) => {
+                            let binds: Vec<String> =
+                                (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Array(::std::vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|(f, _)| f.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|(f, _)| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Object(::std::vec![{}]))])",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl{params} ::serde::Serialize for {ty} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Deserialization expression for one field: required unless the type
+/// is an `Option`, in which case a missing entry becomes `None` (as in
+/// real serde's JSON behaviour for our always-emit serializer).
+fn field_expr(fname: &str, ftype: &str, entries_var: &str) -> String {
+    if ftype.starts_with("Option ")
+        || ftype.starts_with("Option<")
+        || ftype.starts_with("::std::option::Option")
+        || ftype.starts_with("std::option::Option")
+    {
+        format!(
+            "match ::serde::field({entries_var}, {fname:?}) {{ \
+             ::std::result::Result::Ok(__fv) => \
+             ::serde::Deserialize::deserialize_value(__fv)?, \
+             ::std::result::Result::Err(_) => ::std::option::Option::None }}"
+        )
+    } else {
+        format!(
+            "::serde::Deserialize::deserialize_value(\
+             ::serde::field({entries_var}, {fname:?})?)?"
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (params, ty) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|(f, t)| format!("{f}: {}", field_expr(f, t, "__entries")))
+                .collect();
+            format!(
+                "let __entries = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(fields) if fields.len() == 1 => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::TupleStruct(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for struct {name}\"))?;\n\
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong arity for struct {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut out = String::new();
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let data: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            if !unit.is_empty() {
+                let arms: Vec<String> = unit
+                    .iter()
+                    .map(|v| {
+                        format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn})",
+                            vn = v.name
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "if let ::serde::Value::Str(__s) = __v {{\n\
+                     return match __s.as_str() {{ {}, __other => \
+                     ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                     \"unknown variant `{{__other}}` of {name}\"))) }};\n}}\n",
+                    arms.join(", ")
+                ));
+            }
+            if !data.is_empty() {
+                let arms: Vec<String> = data
+                    .iter()
+                    .map(|v| {
+                        let vn = &v.name;
+                        let build = match &v.kind {
+                            VariantKind::Unit => unreachable!(),
+                            VariantKind::Tuple(fields) if fields.len() == 1 => format!(
+                                "::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize_value(__inner)?))"
+                            ),
+                            VariantKind::Tuple(fields) => {
+                                let n = fields.len();
+                                let items: Vec<String> = (0..n)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::deserialize_value(\
+                                             &__items[{i}])?"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{{ let __items = __inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for variant \
+                                     {vn}\"))?; if __items.len() != {n} {{ return \
+                                     ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong arity for variant {vn}\")); }} \
+                                     ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                    items.join(", ")
+                                )
+                            }
+                            VariantKind::Struct(fields) => {
+                                let inits: Vec<String> = fields
+                                    .iter()
+                                    .map(|(f, t)| {
+                                        format!("{f}: {}", field_expr(f, t, "__entries"))
+                                    })
+                                    .collect();
+                                format!(
+                                    "{{ let __entries = __inner.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object for variant \
+                                     {vn}\"))?; ::std::result::Result::Ok({name}::{vn} {{ {} \
+                                     }}) }}",
+                                    inits.join(", ")
+                                )
+                            }
+                        };
+                        format!("{vn:?} => {build}")
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "if let ::serde::Value::Object(__entries0) = __v {{\n\
+                     if __entries0.len() == 1 {{\n\
+                     let (__tag, __inner) = (&__entries0[0].0, &__entries0[0].1);\n\
+                     return match __tag.as_str() {{ {}, __other => \
+                     ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+                     \"unknown variant `{{__other}}` of {name}\"))) }};\n}}\n}}\n",
+                    arms.join(", ")
+                ));
+            }
+            out.push_str(&format!(
+                "::std::result::Result::Err(::serde::Error::custom(\
+                 \"unrecognized value for enum {name}\"))"
+            ));
+            out
+        }
+    };
+    format!(
+        "impl{params} ::serde::Deserialize for {ty} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Derives `serde::Serialize` (value-tree flavour) for the item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour) for the item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
