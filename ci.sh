@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: everything must build cleanly, every test must pass,
-# and clippy must be silent under -D warnings. Run before every merge.
+# Tier-1 gate: everything must be formatted, build cleanly, every test
+# must pass, and clippy must be silent under -D warnings. Run before
+# every merge.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --release

@@ -301,10 +301,7 @@ mod tests {
     #[test]
     fn demand_estimation_shared_sender_splits() {
         let t = topo();
-        let d = estimate_demands(
-            &t,
-            &[(HostId(0), HostId(16)), (HostId(0), HostId(20))],
-        );
+        let d = estimate_demands(&t, &[(HostId(0), HostId(16)), (HostId(0), HostId(20))]);
         assert!((d[0] - 0.5 * GBPS).abs() < 1.0);
         assert!((d[1] - 0.5 * GBPS).abs() < 1.0);
     }

@@ -116,8 +116,7 @@ impl SinbadR {
         loads: &L,
     ) -> f64 {
         let uplink = topo.host_uplink(replica);
-        let headroom =
-            |l: LinkId| (topo.link(l).capacity() - loads.load_bps(l)).max(0.0);
+        let headroom = |l: LinkId| (topo.link(l).capacity() - loads.load_bps(l)).max(0.0);
         let mut avail = headroom(uplink);
         if topo.rack_of(client) != topo.rack_of(replica) {
             let best_core_facing = topo
@@ -162,13 +161,7 @@ mod tests {
         // Even with the pod-0 replica loaded, the search space is pod 0.
         let mut loads = StaticLoads::default();
         loads.0.insert(t.host_uplink(HostId(5)), 0.9 * GBPS);
-        let pick = SinbadR::new().select(
-            &t,
-            HostId(0),
-            &[HostId(5), HostId(20)],
-            &loads,
-            &mut rng,
-        );
+        let pick = SinbadR::new().select(&t, HostId(0), &[HostId(5), HostId(20)], &loads, &mut rng);
         assert_eq!(pick, HostId(5), "pod restriction must exclude host 20");
     }
 
@@ -180,13 +173,8 @@ mod tests {
         let mut loads = StaticLoads::default();
         loads.0.insert(t.host_uplink(HostId(20)), 0.8 * GBPS);
         for _ in 0..50 {
-            let pick = SinbadR::new().select(
-                &t,
-                HostId(0),
-                &[HostId(20), HostId(40)],
-                &loads,
-                &mut rng,
-            );
+            let pick =
+                SinbadR::new().select(&t, HostId(0), &[HostId(20), HostId(40)], &loads, &mut rng);
             assert_eq!(pick, HostId(40));
         }
     }
@@ -201,13 +189,8 @@ mod tests {
             loads.0.insert(l, GBPS);
         }
         for _ in 0..50 {
-            let pick = SinbadR::new().select(
-                &t,
-                HostId(0),
-                &[HostId(20), HostId(40)],
-                &loads,
-                &mut rng,
-            );
+            let pick =
+                SinbadR::new().select(&t, HostId(0), &[HostId(20), HostId(40)], &loads, &mut rng);
             assert_eq!(pick, HostId(40));
         }
     }
@@ -224,13 +207,7 @@ mod tests {
         }
         // Replica 2 (same rack) vs replica 20 (cross pod, idle): the
         // rack replica still shows full host-uplink headroom.
-        let pick = SinbadR::new().select(
-            &t,
-            HostId(0),
-            &[HostId(2), HostId(1)],
-            &loads,
-            &mut rng,
-        );
+        let pick = SinbadR::new().select(&t, HostId(0), &[HostId(2), HostId(1)], &loads, &mut rng);
         // Both in-rack with equal headroom: either is acceptable.
         assert!(pick == HostId(1) || pick == HostId(2));
     }

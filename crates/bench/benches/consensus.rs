@@ -67,5 +67,10 @@ fn bench_lossy_commit(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_decree, bench_log_throughput, bench_lossy_commit);
+criterion_group!(
+    benches,
+    bench_single_decree,
+    bench_log_throughput,
+    bench_lossy_commit
+);
 criterion_main!(benches);

@@ -50,10 +50,18 @@ fn bench_figure6(c: &mut Criterion) {
     let mut group = cfg(c).benchmark_group("figure6");
     group.sample_size(10);
     group.bench_function("panel_a_rate_sweep", |b| {
-        b.iter(|| figures::figure6('a', Effort::Quick, black_box(42)).points.len());
+        b.iter(|| {
+            figures::figure6('a', Effort::Quick, black_box(42))
+                .points
+                .len()
+        });
     });
     group.bench_function("panel_b_rate_sweep", |b| {
-        b.iter(|| figures::figure6('b', Effort::Quick, black_box(42)).points.len());
+        b.iter(|| {
+            figures::figure6('b', Effort::Quick, black_box(42))
+                .points
+                .len()
+        });
     });
     group.finish();
 }
@@ -81,10 +89,7 @@ fn bench_figure7(c: &mut Criterion) {
 fn bench_figure8(c: &mut Criterion) {
     let mut group = cfg(c).benchmark_group("figure8");
     group.sample_size(10);
-    let scratch = std::env::temp_dir().join(format!(
-        "mayflower-bench-fig8-{}",
-        std::process::id()
-    ));
+    let scratch = std::env::temp_dir().join(format!("mayflower-bench-fig8-{}", std::process::id()));
     group.bench_function("prototype_real_fs", |b| {
         b.iter(|| {
             let fig = proto::figure8(&[0.07], 20, 40, black_box(42), &scratch);

@@ -14,10 +14,8 @@ use mayflower_net::{HostId, Topology, TreeParams};
 struct TempDir(PathBuf);
 impl TempDir {
     fn new(tag: &str) -> TempDir {
-        let dir = std::env::temp_dir().join(format!(
-            "mayflower-bench-fs-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("mayflower-bench-fs-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         TempDir(dir)
     }

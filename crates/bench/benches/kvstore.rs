@@ -11,10 +11,8 @@ use mayflower_kvstore::{KvStore, Options};
 struct TempDir(PathBuf);
 impl TempDir {
     fn new(tag: &str) -> TempDir {
-        let dir = std::env::temp_dir().join(format!(
-            "mayflower-bench-kv-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("mayflower-bench-kv-{tag}-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         TempDir(dir)

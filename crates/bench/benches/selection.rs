@@ -127,7 +127,11 @@ fn bench_baselines(c: &mut Criterion) {
 fn bench_shortest_paths(c: &mut Criterion) {
     let topo = topo();
     let mut group = c.benchmark_group("shortest_paths");
-    for (label, a, b_) in [("same_rack", 0u32, 1u32), ("same_pod", 0, 5), ("cross_pod", 0, 40)] {
+    for (label, a, b_) in [
+        ("same_rack", 0u32, 1u32),
+        ("same_pod", 0, 5),
+        ("cross_pod", 0, 40),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| topo.shortest_paths(black_box(HostId(a)), black_box(HostId(b_))));
         });

@@ -1,0 +1,80 @@
+//! Telemetry hot-path benchmarks: the counter-increment and
+//! histogram-record paths sit on every RPC call, chunk IO, and
+//! Flowserver selection, so regressions here tax every layer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mayflower_telemetry::{Counter, Histogram, Registry};
+
+fn bench_counter_inc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_counter");
+    group.throughput(Throughput::Elements(1));
+    let counter = Counter::new();
+    group.bench_function("inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        });
+    });
+    group.bench_function("add", |b| {
+        b.iter(|| {
+            counter.add(black_box(4096));
+            black_box(&counter);
+        });
+    });
+    group.finish();
+}
+
+fn bench_histogram_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_histogram");
+    group.throughput(Throughput::Elements(1));
+    let hist = Histogram::new();
+    let mut v = 0u64;
+    group.bench_function("record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            hist.record(black_box(v >> 40));
+            black_box(&hist);
+        });
+    });
+    group.bench_function("record_secs", |b| {
+        b.iter(|| {
+            hist.record_secs(black_box(0.001_234));
+            black_box(&hist);
+        });
+    });
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_registry");
+    // Lookup-then-increment: the cost a call site pays when it does
+    // not cache the Arc (e.g. per-method labelled counters).
+    let registry = Registry::new();
+    let scope = registry.scope("rpc").scope("client");
+    group.bench_function("labelled_counter_lookup_inc", |b| {
+        b.iter(|| {
+            scope
+                .counter_with("calls_total", &[("method", "ns.lookup")])
+                .inc();
+        });
+    });
+    // Snapshot render over a realistically-populated registry.
+    let hist = scope.histogram("call_latency_us");
+    for i in 0..1000u64 {
+        hist.record(i * 37);
+    }
+    group.bench_function("snapshot_render_prometheus", |b| {
+        b.iter(|| black_box(registry.snapshot().render_prometheus()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counter_inc,
+    bench_histogram_record,
+    bench_registry
+);
+criterion_main!(benches);

@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifies a node in the replica group.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ReplicaId(pub u32);
 
 impl From<u32> for ReplicaId {
@@ -25,9 +23,7 @@ pub type Slot = u64;
 
 /// A Paxos ballot number: totally ordered, unique per proposer
 /// (ordered by round, ties broken by node id).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ballot {
     /// Monotone round counter.
     pub round: u64,

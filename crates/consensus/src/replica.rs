@@ -412,7 +412,7 @@ mod tests {
     fn learn_of_foreign_value_requeues_own() {
         let mut r: Replica<u32> = Replica::new(ReplicaId(0), 3);
         let _ = r.submit(42); // proposing 42 at slot 0
-        // Someone else's value gets chosen at slot 0.
+                              // Someone else's value gets chosen at slot 0.
         let out = r.handle(ReplicaId(1), Message::Learn { slot: 0, value: 7 });
         assert_eq!(r.chosen(0), Some(&7));
         // Our 42 restarts at slot 1.

@@ -239,8 +239,7 @@ mod tests {
         // waterfill(10, [5, 5, ∞]) → 10/3 each.
         let share = 10.0 / 3.0;
         assert!((pc.est_bw - share).abs() < 1e-9);
-        let expected =
-            20.0 / share + (30.0 / share - 30.0 / 5.0) + (60.0 / share - 60.0 / 5.0);
+        let expected = 20.0 / share + (30.0 / share - 30.0 / 5.0) + (60.0 / share - 60.0 / 5.0);
         assert!((pc.cost - expected).abs() < 1e-9, "cost {}", pc.cost);
         assert_eq!(pc.impacted.len(), 2, "both existing flows re-frozen");
     }

@@ -79,9 +79,7 @@ impl Service for FlowserverService {
                 self.inner.lock().flow_completed(FlowCookie(cookie));
                 Ok(serde_json::to_vec(&())?)
             }
-            "flowserver.tracked" => {
-                Ok(serde_json::to_vec(&self.inner.lock().tracked_flows())?)
-            }
+            "flowserver.tracked" => Ok(serde_json::to_vec(&self.inner.lock().tracked_flows())?),
             other => Err(RpcError::UnknownMethod(other.to_string())),
         }
     }
@@ -181,12 +179,7 @@ mod tests {
         let svc = service();
         let remote = RemoteFlowserver::new(InProcTransport::new(svc));
         let sel = remote
-            .select(
-                HostId(0),
-                &[HostId(1), HostId(20)],
-                MB256,
-                SimTime::ZERO,
-            )
+            .select(HostId(0), &[HostId(1), HostId(20)], MB256, SimTime::ZERO)
             .unwrap();
         let assignments = sel.assignments();
         assert_eq!(assignments.len(), 1);
@@ -226,15 +219,9 @@ mod tests {
         let handles: Vec<_> = (0..4u32)
             .map(|i| {
                 std::thread::spawn(move || {
-                    let remote =
-                        RemoteFlowserver::new(TcpTransport::connect(addr).unwrap());
+                    let remote = RemoteFlowserver::new(TcpTransport::connect(addr).unwrap());
                     let sel = remote
-                        .select(
-                            HostId(i),
-                            &[HostId(40 + i)],
-                            MB256,
-                            SimTime::ZERO,
-                        )
+                        .select(HostId(i), &[HostId(40 + i)], MB256, SimTime::ZERO)
                         .unwrap();
                     for a in sel.assignments() {
                         remote.completed(a.cookie).unwrap();

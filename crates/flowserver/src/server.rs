@@ -6,10 +6,63 @@ use std::sync::Arc;
 use mayflower_net::{HostId, LinkId, Path, Topology};
 use mayflower_sdn::{CounterSource, Fabric, FlowCookie, StatsCollector, StatsReport};
 use mayflower_simcore::SimTime;
+use mayflower_telemetry::{Counter, Gauge, Histogram, Scope};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{flow_cost_opts, PathCost};
 use crate::tracker::{FlowTracker, TrackedFlow};
+
+/// Flowserver telemetry. Every recorded value derives from simulation
+/// time or model state — never wall clock — so fixed-seed runs render
+/// byte-identical snapshots.
+#[derive(Debug, Clone)]
+struct FlowserverMetrics {
+    selections_local: Arc<Counter>,
+    selections_single: Arc<Counter>,
+    selections_split: Arc<Counter>,
+    selections_unavailable: Arc<Counter>,
+    /// Distribution of the winning Eq. 2 cost (estimated completion
+    /// seconds, recorded as microseconds).
+    selection_cost_us: Arc<Histogram>,
+    polls: Arc<Counter>,
+    /// Sim-time gap between consecutive ingested stats reports.
+    poll_gap_us: Arc<Histogram>,
+    missed_polls: Arc<Counter>,
+    update_freezes: Arc<Counter>,
+    freeze_expirations: Arc<Counter>,
+    split_accepted: Arc<Counter>,
+    split_rejected: Arc<Counter>,
+    tracked_flows: Arc<Gauge>,
+    frozen_flows: Arc<Gauge>,
+}
+
+impl FlowserverMetrics {
+    fn new(scope: &Scope) -> FlowserverMetrics {
+        FlowserverMetrics {
+            selections_local: scope.counter_with("selections_total", &[("outcome", "local")]),
+            selections_single: scope.counter_with("selections_total", &[("outcome", "single")]),
+            selections_split: scope.counter_with("selections_total", &[("outcome", "split")]),
+            selections_unavailable: scope
+                .counter_with("selections_total", &[("outcome", "unavailable")]),
+            selection_cost_us: scope.histogram("selection_cost_us"),
+            polls: scope.counter("polls_total"),
+            poll_gap_us: scope.histogram("poll_gap_us"),
+            missed_polls: scope.counter("missed_polls_total"),
+            update_freezes: scope.counter("update_freezes_total"),
+            freeze_expirations: scope.counter("stale_freeze_expirations_total"),
+            split_accepted: scope.counter("split_accepted_total"),
+            split_rejected: scope.counter("split_rejected_total"),
+            tracked_flows: scope.gauge("tracked_flows"),
+            frozen_flows: scope.gauge("frozen_flows"),
+        }
+    }
+
+    /// Handles on a private, unrendered registry — the default until a
+    /// run attaches the Flowserver to its own registry.
+    fn detached() -> FlowserverMetrics {
+        FlowserverMetrics::new(&mayflower_telemetry::Registry::new().scope("flowserver"))
+    }
+}
 
 /// Flowserver tuning knobs.
 ///
@@ -118,6 +171,7 @@ pub struct Flowserver {
     /// Polls the controller expected but never received (fault
     /// injection: switch→controller message loss).
     missed_polls: u64,
+    metrics: FlowserverMetrics,
 }
 
 impl Flowserver {
@@ -134,7 +188,23 @@ impl Flowserver {
             down_links: std::collections::BTreeSet::new(),
             last_stats_at: SimTime::ZERO,
             missed_polls: 0,
+            metrics: FlowserverMetrics::detached(),
         }
+    }
+
+    /// Re-homes the Flowserver's telemetry onto `registry` (under the
+    /// `flowserver` prefix). Call before driving traffic; counts
+    /// accumulated on the private default registry are not migrated.
+    pub fn attach_metrics(&mut self, registry: &mayflower_telemetry::Registry) {
+        self.metrics = FlowserverMetrics::new(&registry.scope("flowserver"));
+    }
+
+    /// Refreshes the tracked/frozen flow gauges from model state.
+    fn refresh_flow_gauges(&self) {
+        self.metrics.tracked_flows.set(self.tracker.len() as i64);
+        self.metrics
+            .frozen_flows
+            .set(self.tracker.iter().filter(|f| f.frozen).count() as i64);
     }
 
     /// Records a port-status event: the controller now considers
@@ -161,6 +231,7 @@ impl Flowserver {
     /// [`Flowserver::expire_stale_freezes`] may still unfreeze flows.
     pub fn note_poll_missed(&mut self, _now: SimTime) {
         self.missed_polls += 1;
+        self.metrics.missed_polls.inc();
     }
 
     /// How many expected polls were lost so far.
@@ -189,6 +260,8 @@ impl Flowserver {
                 expired += 1;
             }
         }
+        self.metrics.freeze_expirations.add(expired as u64);
+        self.refresh_flow_gauges();
         expired
     }
 
@@ -251,9 +324,10 @@ impl Flowserver {
         assert!(!replicas.is_empty(), "need at least one replica");
         assert!(size_bits > 0.0, "request size must be positive");
         if replicas.contains(&client) {
+            self.metrics.selections_local.inc();
             return Selection::Local;
         }
-        if self.config.multipath && replicas.len() >= 2 {
+        let sel = if self.config.multipath && replicas.len() >= 2 {
             self.select_multipath(client, replicas, size_bits, now)
         } else {
             match self.select_single(client, replicas, size_bits, now) {
@@ -263,7 +337,9 @@ impl Flowserver {
                 // path is severed right now.
                 None => Selection::Unavailable,
             }
-        }
+        };
+        self.note_selection(&sel);
+        sel
     }
 
     /// Path-only scheduling for a pre-selected replica: the dynamic
@@ -283,12 +359,26 @@ impl Flowserver {
     ) -> Selection {
         assert!(size_bits > 0.0, "request size must be positive");
         if replica == client {
+            self.metrics.selections_local.inc();
             return Selection::Local;
         }
-        match self.select_single(client, &[replica], size_bits, now) {
+        let sel = match self.select_single(client, &[replica], size_bits, now) {
             Some(a) => Selection::Single(a),
             None => Selection::Unavailable,
+        };
+        self.note_selection(&sel);
+        sel
+    }
+
+    /// Counts a finished selection by outcome and refreshes gauges.
+    fn note_selection(&self, sel: &Selection) {
+        match sel {
+            Selection::Local => self.metrics.selections_local.inc(),
+            Selection::Single(_) => self.metrics.selections_single.inc(),
+            Selection::Split(_) => self.metrics.selections_split.inc(),
+            Selection::Unavailable => self.metrics.selections_unavailable.inc(),
         }
+        self.refresh_flow_gauges();
     }
 
     /// Core of Pseudocode 1 over an arbitrary replica set. Applies the
@@ -356,6 +446,8 @@ impl Flowserver {
         size_bits: f64,
         now: SimTime,
     ) -> Assignment {
+        self.metrics.selection_cost_us.record_secs(pc.cost);
+        self.metrics.update_freezes.add(pc.impacted.len() as u64);
         for (cookie, new_bw) in &pc.impacted {
             if let Some(f) = self.tracker.get_mut(*cookie) {
                 f.set_bw(*new_bw, now);
@@ -418,8 +510,7 @@ impl Flowserver {
             if remaining.is_empty() {
                 break;
             }
-            let Some((r_i, path_i, pc_i)) =
-                self.cheapest_path(client, &remaining, size_bits, now)
+            let Some((r_i, path_i, pc_i)) = self.cheapest_path(client, &remaining, size_bits, now)
             else {
                 break;
             };
@@ -437,14 +528,14 @@ impl Flowserver {
             let combined: f64 = adjusted.iter().sum::<f64>() + b_i;
             let solo_best = committed_b[0].max(b1);
             if combined > solo_best + 1e-9 {
-                self.fabric
-                    .flow_path(a_i.cookie)
-                    .expect("just installed");
+                self.fabric.flow_path(a_i.cookie).expect("just installed");
+                self.metrics.split_accepted.inc();
                 assignments.push(a_i);
                 committed_b = adjusted;
                 committed_b.push(b_i);
             } else {
                 // Roll back subflow i.
+                self.metrics.split_rejected.inc();
                 self.fabric.remove_flow(a_i.cookie);
                 self.tracker.restore(snapshot_i);
                 // Restore requires re-adding the already-committed
@@ -479,6 +570,10 @@ impl Flowserver {
     /// windows) plus remaining-size refresh from flow byte counters.
     pub fn on_stats(&mut self, report: &StatsReport) {
         let now = report.measured_at;
+        self.metrics.polls.inc();
+        self.metrics
+            .poll_gap_us
+            .record_secs(now.secs_since(self.last_stats_at));
         self.last_stats_at = now;
         for stat in &report.flows {
             if let Some(f) = self.tracker.get_mut(stat.cookie) {
@@ -505,6 +600,7 @@ impl Flowserver {
     pub fn flow_completed(&mut self, cookie: FlowCookie) {
         self.fabric.remove_flow(cookie);
         self.tracker.remove(cookie);
+        self.refresh_flow_gauges();
     }
 }
 
@@ -554,8 +650,7 @@ mod tests {
     #[test]
     fn local_replica_short_circuits() {
         let mut fs = server();
-        let sel =
-            fs.select_replica_path(HostId(3), &[HostId(3), HostId(9)], MB256, SimTime::ZERO);
+        let sel = fs.select_replica_path(HostId(3), &[HostId(3), HostId(9)], MB256, SimTime::ZERO);
         assert!(matches!(sel, Selection::Local));
         assert_eq!(fs.tracked_flows(), 0);
     }
@@ -569,12 +664,7 @@ mod tests {
         }
         // Now a read with replicas at host 1 (same rack, hot) and
         // host 20 (cross pod, idle): Mayflower should go remote.
-        let sel = fs.select_replica_path(
-            HostId(0),
-            &[HostId(1), HostId(20)],
-            MB256,
-            SimTime::ZERO,
-        );
+        let sel = fs.select_replica_path(HostId(0), &[HostId(1), HostId(20)], MB256, SimTime::ZERO);
         let Selection::Single(a) = sel else {
             panic!("expected single")
         };
@@ -615,12 +705,8 @@ mod tests {
         // Cross-pod read: core links are 0.5 Gbps (8:1 oversub), so a
         // single path caps at 0.5 Gbps while the client downlink is
         // 1 Gbps. Two replicas in two other pods can drive ~1 Gbps.
-        let sel = fs.select_replica_path(
-            HostId(0),
-            &[HostId(20), HostId(36)],
-            MB256,
-            SimTime::ZERO,
-        );
+        let sel =
+            fs.select_replica_path(HostId(0), &[HostId(20), HostId(36)], MB256, SimTime::ZERO);
         let Selection::Split(parts) = sel else {
             panic!("expected split, got {sel:?}")
         };
@@ -637,12 +723,7 @@ mod tests {
         let mut fs = server_multipath();
         // Same-rack replica already reaches the client's full 1 Gbps
         // downlink; splitting cannot help.
-        let sel = fs.select_replica_path(
-            HostId(0),
-            &[HostId(1), HostId(2)],
-            MB256,
-            SimTime::ZERO,
-        );
+        let sel = fs.select_replica_path(HostId(0), &[HostId(1), HostId(2)], MB256, SimTime::ZERO);
         assert!(
             matches!(sel, Selection::Single(_)),
             "split of a line-rate read must be declined: {sel:?}"
@@ -654,12 +735,8 @@ mod tests {
     #[test]
     fn split_sizes_proportional_to_bandwidth() {
         let mut fs = server_multipath();
-        let sel = fs.select_replica_path(
-            HostId(0),
-            &[HostId(20), HostId(36)],
-            MB256,
-            SimTime::ZERO,
-        );
+        let sel =
+            fs.select_replica_path(HostId(0), &[HostId(20), HostId(36)], MB256, SimTime::ZERO);
         let Selection::Split(parts) = sel else {
             panic!("expected split")
         };
@@ -756,12 +833,7 @@ mod tests {
         // from the cross-pod replica instead of the usual HostId(1).
         let uplink = fs.topology().host_uplink(HostId(1));
         fs.set_link_state(uplink, false);
-        let sel = fs.select_replica_path(
-            HostId(0),
-            &[HostId(1), HostId(20)],
-            MB256,
-            SimTime::ZERO,
-        );
+        let sel = fs.select_replica_path(HostId(0), &[HostId(1), HostId(20)], MB256, SimTime::ZERO);
         let Selection::Single(a) = sel else {
             panic!("expected single, got {sel:?}")
         };
@@ -770,12 +842,7 @@ mod tests {
         // Heal: the near replica wins again.
         fs.set_link_state(uplink, true);
         assert!(fs.down_links().is_empty());
-        let sel = fs.select_replica_path(
-            HostId(2),
-            &[HostId(1), HostId(20)],
-            MB256,
-            SimTime::ZERO,
-        );
+        let sel = fs.select_replica_path(HostId(2), &[HostId(1), HostId(20)], MB256, SimTime::ZERO);
         assert_eq!(sel.assignments()[0].replica, HostId(1));
     }
 
@@ -785,8 +852,7 @@ mod tests {
         // Down the client's own downlink: no path can reach it.
         let downlink = fs.topology().host_downlink(HostId(0));
         fs.set_link_state(downlink, false);
-        let sel =
-            fs.select_replica_path(HostId(0), &[HostId(1), HostId(20)], MB256, SimTime::ZERO);
+        let sel = fs.select_replica_path(HostId(0), &[HostId(1), HostId(20)], MB256, SimTime::ZERO);
         assert!(matches!(sel, Selection::Unavailable), "got {sel:?}");
         assert!(sel.assignments().is_empty());
         assert_eq!(fs.tracked_flows(), 0, "nothing installed");
@@ -818,5 +884,49 @@ mod tests {
         let after = expires + SimTime::from_millis(1.0);
         assert_eq!(fs.expire_stale_freezes(after), 1);
         assert!(!fs.flow_model(cookie).unwrap().frozen);
+    }
+
+    #[test]
+    fn metrics_cover_selection_polls_and_freezes() {
+        let registry = mayflower_telemetry::Registry::new();
+        let mut fs = server_multipath();
+        fs.attach_metrics(&registry);
+
+        // Local short-circuit, a beneficial cross-pod split, then a
+        // plain single-path pick that later completes.
+        fs.select_replica_path(HostId(3), &[HostId(3)], MB256, SimTime::ZERO);
+        let split =
+            fs.select_replica_path(HostId(0), &[HostId(20), HostId(36)], MB256, SimTime::ZERO);
+        assert!(matches!(split, Selection::Split(_)));
+        let single = fs.select_replica_path(HostId(2), &[HostId(1)], MB256, SimTime::ZERO);
+        let cookie = single.assignments()[0].cookie;
+        fs.flow_completed(cookie);
+
+        fs.on_stats(&StatsReport {
+            measured_at: SimTime::from_secs(1.0),
+            ..StatsReport::default()
+        });
+        fs.note_poll_missed(SimTime::from_secs(2.0));
+
+        let snap = registry.snapshot();
+        let outcome = |o: &str| {
+            snap.counter(&format!("flowserver_selections_total{{outcome=\"{o}\"}}"))
+                .unwrap_or(0)
+        };
+        assert_eq!(outcome("local"), 1);
+        assert_eq!(outcome("split"), 1);
+        assert_eq!(outcome("single"), 1);
+        assert_eq!(outcome("unavailable"), 0);
+        assert_eq!(snap.counter("flowserver_split_accepted_total"), Some(1));
+        assert_eq!(snap.counter("flowserver_polls_total"), Some(1));
+        assert_eq!(snap.counter("flowserver_missed_polls_total"), Some(1));
+        // One commit per subflow plus the single pick.
+        let cost = snap.histogram("flowserver_selection_cost_us").unwrap();
+        assert_eq!(cost.count, 3);
+        // The split pair is still in flight after the single completed.
+        assert_eq!(snap.gauge("flowserver_tracked_flows"), Some(2));
+        // Sim-time poll gap of exactly one second.
+        let gap = snap.histogram("flowserver_poll_gap_us").unwrap();
+        assert_eq!(gap.sum, 1_000_000);
     }
 }

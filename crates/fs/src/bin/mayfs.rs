@@ -10,6 +10,7 @@
 //! mayfs ls     <dir>
 //! mayfs rm     <dir> <name> [--client H]
 //! mayfs serve  <dir> --listen ADDR       # nameserver RPC over TCP
+//! mayfs metrics <dir> [--json] [--client H]
 //! ```
 //!
 //! The cluster persists across invocations: `init` writes the topology
@@ -73,8 +74,8 @@ fn load_cluster(dir: &Path) -> Result<Cluster, String> {
         .map_err(|e| format!("not a mayfs cluster ({}): {e}", dir.display()))?;
     let params: TreeParams =
         serde_json::from_slice(&params_raw).map_err(|e| format!("corrupt topology.json: {e}"))?;
-    let chunk_raw = std::fs::read(dir.join("chunk_size"))
-        .map_err(|e| format!("missing chunk_size: {e}"))?;
+    let chunk_raw =
+        std::fs::read(dir.join("chunk_size")).map_err(|e| format!("missing chunk_size: {e}"))?;
     let chunk_size: u64 = String::from_utf8_lossy(&chunk_raw)
         .trim()
         .parse()
@@ -116,8 +117,7 @@ fn cmd_init(dir: &Path, args: &Args) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     std::fs::write(dir.join("chunk_size"), chunk.to_string()).map_err(|e| e.to_string())?;
-    std::fs::write(dir.join("replication"), replication.to_string())
-        .map_err(|e| e.to_string())?;
+    std::fs::write(dir.join("replication"), replication.to_string()).map_err(|e| e.to_string())?;
     let cluster = load_cluster(dir)?;
     println!(
         "initialized cluster at {}: {} hosts, {} racks, {} pods, chunk {} bytes, {}x replication",
@@ -147,7 +147,8 @@ fn run() -> Result<(), String> {
              stat   <dir> <name>\n\
              ls     <dir>\n\
              rm     <dir> <name> [--client H]\n\
-             serve  <dir> --listen ADDR"
+             serve  <dir> --listen ADDR\n\
+             metrics <dir> [--json] [--client H]   # probe files, dump telemetry"
         );
         return Ok(());
     }
@@ -165,7 +166,10 @@ fn run() -> Result<(), String> {
             let meta = client.create(&name).map_err(|e| e.to_string())?;
             println!("created {name} (uuid {})", meta.id);
             for (i, r) in meta.replicas.iter().enumerate() {
-                println!("  replica {i}: host {r}{}", if i == 0 { " (primary)" } else { "" });
+                println!(
+                    "  replica {i}: host {r}{}",
+                    if i == 0 { " (primary)" } else { "" }
+                );
             }
             Ok(())
         }
@@ -196,7 +200,11 @@ fn run() -> Result<(), String> {
             let mut client = cluster.client(HostId(args.flag("client", 0u32)));
             let data = if args.flags.contains_key("offset") || args.flags.contains_key("len") {
                 client
-                    .read_range(&name, args.flag("offset", 0u64), args.flag("len", u64::MAX / 2))
+                    .read_range(
+                        &name,
+                        args.flag("offset", 0u64),
+                        args.flag("len", u64::MAX / 2),
+                    )
                     .map_err(|e| e.to_string())?
             } else {
                 client.read(&name).map_err(|e| e.to_string())?
@@ -209,11 +217,18 @@ fn run() -> Result<(), String> {
         "stat" => {
             let name = args.positional.get(1).cloned().ok_or("missing <name>")?;
             let cluster = load_cluster(&dir)?;
-            let meta = cluster.nameserver().lookup(&name).map_err(|e| e.to_string())?;
+            let meta = cluster
+                .nameserver()
+                .lookup(&name)
+                .map_err(|e| e.to_string())?;
             println!("name:       {}", meta.name);
             println!("uuid:       {}", meta.id);
             println!("size:       {} bytes", meta.size);
-            println!("chunk size: {} bytes ({} chunks)", meta.chunk_size, meta.chunk_count());
+            println!(
+                "chunk size: {} bytes ({} chunks)",
+                meta.chunk_size,
+                meta.chunk_count()
+            );
             println!(
                 "replicas:   {}",
                 meta.replicas
@@ -237,6 +252,32 @@ fn run() -> Result<(), String> {
             let mut client = cluster.client(HostId(args.flag("client", 0u32)));
             client.delete(&name).map_err(|e| e.to_string())?;
             println!("deleted {name}");
+            Ok(())
+        }
+        "metrics" => {
+            let cluster = load_cluster(&dir)?;
+            let mut client = cluster.client(HostId(args.flag("client", 0u32)));
+            // Probe every file (metadata lookup + first byte) so the
+            // snapshot reflects live client/dataserver counters rather
+            // than an empty just-opened registry.
+            for meta in cluster.nameserver().list() {
+                if meta.size > 0 {
+                    client
+                        .read_range(&meta.name, 0, 1)
+                        .map_err(|e| e.to_string())?;
+                } else {
+                    cluster
+                        .nameserver()
+                        .lookup(&meta.name)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            let snapshot = cluster.registry().snapshot();
+            if args.flags.contains_key("json") {
+                println!("{}", snapshot.render_json());
+            } else {
+                print!("{}", snapshot.render_prometheus());
+            }
             Ok(())
         }
         "serve" => {

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use mayflower_net::HostId;
+use mayflower_telemetry::{Counter, Histogram, Scope, Span};
 
 use crate::cluster::AppendCoordinator;
 use crate::dataserver::Dataserver;
@@ -12,6 +13,35 @@ use crate::error::FsError;
 use crate::nameserver::Nameserver;
 use crate::selector::{ReadAssignment, ReplicaSelector};
 use crate::types::{Consistency, FileMeta};
+
+/// Client-side telemetry. Handles come from the cluster registry, so
+/// every client of a cluster aggregates into the same series.
+#[derive(Debug)]
+pub(crate) struct ClientMetrics {
+    read_latency_us: Arc<Histogram>,
+    append_latency_us: Arc<Histogram>,
+    read_bytes: Arc<Counter>,
+    append_bytes: Arc<Counter>,
+    retries: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+}
+
+impl ClientMetrics {
+    pub(crate) fn new(scope: &Scope) -> ClientMetrics {
+        ClientMetrics {
+            read_latency_us: scope.histogram("read_latency_us"),
+            append_latency_us: scope.histogram("append_latency_us"),
+            read_bytes: scope.counter("read_bytes_total"),
+            append_bytes: scope.counter("append_bytes_total"),
+            retries: scope.counter("retries_total"),
+            cache_hits: scope.counter("cache_hits_total"),
+            cache_misses: scope.counter("cache_misses_total"),
+            cache_evictions: scope.counter("cache_evictions_total"),
+        }
+    }
+}
 
 /// A filesystem client bound to one host.
 ///
@@ -34,6 +64,11 @@ pub struct Client {
     /// paper prescribes "cache expiry times that depend on the mean
     /// time between replica migration and node failure" (§3.3).
     cache_ttl: std::time::Duration,
+    /// Maximum cached entries; inserting past this evicts the entry
+    /// closest to expiry so a client touching a large namespace cannot
+    /// grow without bound.
+    cache_capacity: usize,
+    metrics: ClientMetrics,
     /// How many times a retryable ([`FsError::Unavailable`]) operation
     /// is attempted before the error propagates.
     retry_attempts: u32,
@@ -44,6 +79,10 @@ pub struct Client {
 /// Backoff growth is capped so a long retry budget cannot make a
 /// client hang for seconds on a dead component.
 const MAX_RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(16);
+
+/// Default metadata-cache capacity. A cached entry is ~a FileMeta, so
+/// even at the cap the cache stays well under a megabyte.
+const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 impl Client {
     /// Assembles a client. Use [`crate::Cluster::client`] in normal
@@ -56,6 +95,7 @@ impl Client {
         coordinator: Arc<AppendCoordinator>,
         consistency: Consistency,
         selector: Box<dyn ReplicaSelector>,
+        metrics: ClientMetrics,
     ) -> Client {
         Client {
             host,
@@ -66,6 +106,8 @@ impl Client {
             selector,
             cache: HashMap::new(),
             cache_ttl: std::time::Duration::from_secs(300),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            metrics,
             retry_attempts: 3,
             retry_backoff: std::time::Duration::from_millis(1),
         }
@@ -85,6 +127,9 @@ impl Client {
         let mut delay = self.retry_backoff;
         let mut last = None;
         for attempt in 0..self.retry_attempts {
+            if attempt > 0 {
+                self.metrics.retries.inc();
+            }
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e @ FsError::Unavailable(_)) => last = Some(e),
@@ -105,6 +150,40 @@ impl Client {
         self.cache_ttl = ttl;
     }
 
+    /// Sets the metadata cache capacity (default 1024 entries, min 1).
+    /// Shrinking below the current population evicts the entries
+    /// closest to expiry immediately.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache_capacity = capacity.max(1);
+        while self.cache.len() > self.cache_capacity {
+            self.evict_oldest();
+        }
+    }
+
+    /// Evicts the cached entry closest to expiry (the oldest insert).
+    fn evict_oldest(&mut self) {
+        let Some(victim) = self
+            .cache
+            .iter()
+            .min_by_key(|(_, (_, at))| *at)
+            .map(|(name, _)| name.clone())
+        else {
+            return;
+        };
+        self.cache.remove(&victim);
+        self.metrics.cache_evictions.inc();
+    }
+
+    /// Inserts into the metadata cache, evicting the oldest entry when
+    /// a new key would exceed capacity.
+    fn cache_insert(&mut self, name: &str, meta: FileMeta) {
+        if !self.cache.contains_key(name) && self.cache.len() >= self.cache_capacity {
+            self.evict_oldest();
+        }
+        self.cache
+            .insert(name.to_string(), (meta, std::time::Instant::now()));
+    }
+
     /// The host the client runs on.
     #[must_use]
     pub fn host(&self) -> HostId {
@@ -122,8 +201,7 @@ impl Client {
         for r in &meta.replicas {
             self.dataserver(*r)?.create_file(&meta)?;
         }
-        self.cache
-            .insert(name.to_string(), (meta.clone(), std::time::Instant::now()));
+        self.cache_insert(name, meta.clone());
         Ok(meta)
     }
 
@@ -135,6 +213,8 @@ impl Client {
     ///
     /// Returns [`FsError::NotFound`] for unknown files.
     pub fn append(&mut self, name: &str, data: &[u8]) -> Result<u64, FsError> {
+        let _span = Span::start(self.metrics.append_latency_us.clone());
+        self.metrics.append_bytes.add(data.len() as u64);
         let meta = self.meta(name)?;
         let lock = self.coordinator.file_lock(meta.id);
         let _guard = lock.lock();
@@ -162,6 +242,7 @@ impl Client {
     ///
     /// Returns [`FsError::NotFound`] for unknown files.
     pub fn read(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
+        let _span = Span::start(self.metrics.read_latency_us.clone());
         let meta = self.meta(name)?;
         // Size discovery: a zero-length read returns the current size
         // (the paper's "the dataserver includes the file's size with
@@ -188,7 +269,9 @@ impl Client {
         if let Some((cached, _)) = self.cache.get_mut(name) {
             cached.size = size;
         }
-        self.read_range_inner(&meta, 0, size)
+        let data = self.read_range_inner(&meta, 0, size)?;
+        self.metrics.read_bytes.add(data.len() as u64);
+        Ok(data)
     }
 
     /// Reads `[offset, offset + len)`, truncated at end-of-file.
@@ -229,9 +312,7 @@ impl Client {
 
         if selectable_end > offset {
             let span = selectable_end - offset;
-            let assignments =
-                self.selector
-                    .select_read(self.host, &meta.replicas, span);
+            let assignments = self.selector.select_read(self.host, &meta.replicas, span);
             let total: u64 = assignments.iter().map(|a| a.bytes).sum();
             if total != span {
                 return Err(FsError::InvalidArgument(format!(
@@ -313,11 +394,9 @@ impl Client {
             // A lagging replica returned a short read; the primary is
             // never behind — fetch the remainder there.
             let got = data.len() as u64;
-            let (rest, _) = self.dataserver(meta.primary())?.read_local(
-                meta.id,
-                offset + got,
-                len - got,
-            )?;
+            let (rest, _) =
+                self.dataserver(meta.primary())?
+                    .read_local(meta.id, offset + got, len - got)?;
             data.extend_from_slice(&rest);
         }
         Ok(data)
@@ -384,12 +463,14 @@ impl Client {
     pub fn meta(&mut self, name: &str) -> Result<FileMeta, FsError> {
         if let Some((meta, cached_at)) = self.cache.get(name) {
             if cached_at.elapsed() < self.cache_ttl {
+                self.metrics.cache_hits.inc();
                 return Ok(meta.clone());
             }
         }
+        // Absent or expired either way costs a nameserver lookup.
+        self.metrics.cache_misses.inc();
         let meta = self.nameserver.lookup(name)?;
-        self.cache
-            .insert(name.to_string(), (meta.clone(), std::time::Instant::now()));
+        self.cache_insert(name, meta.clone());
         Ok(meta)
     }
 
@@ -540,6 +621,88 @@ mod tests {
     }
 
     #[test]
+    fn cache_capacity_bounds_population_and_evicts_oldest() {
+        let dir = TempDir::new("cachecap");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.set_cache_capacity(3);
+        for i in 0..5 {
+            client.create(&format!("f{i}")).unwrap();
+        }
+        assert_eq!(client.cached_entries(), 3, "population stays bounded");
+        // The oldest inserts (f0, f1) were evicted; the newest remain.
+        let snap = c.registry().snapshot();
+        assert_eq!(snap.counter("fs_client_cache_evictions_total"), Some(2));
+        // Re-reading an evicted file's meta is a miss...
+        client.meta("f0").unwrap();
+        // ...and a cached one is a hit.
+        client.meta("f4").unwrap();
+        let snap = c.registry().snapshot();
+        assert!(snap.counter("fs_client_cache_misses_total").unwrap() >= 1);
+        assert!(snap.counter("fs_client_cache_hits_total").unwrap() >= 1);
+    }
+
+    #[test]
+    fn shrinking_cache_capacity_evicts_immediately() {
+        let dir = TempDir::new("cacheshrink");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        for i in 0..6 {
+            client.create(&format!("g{i}")).unwrap();
+        }
+        assert_eq!(client.cached_entries(), 6);
+        client.set_cache_capacity(2);
+        assert_eq!(client.cached_entries(), 2);
+    }
+
+    #[test]
+    fn client_and_dataserver_metrics_cover_the_io_path() {
+        let dir = TempDir::new("metrics");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut client = c.client(HostId(0));
+        client.create("observed").unwrap();
+        client.append("observed", b"0123456789").unwrap();
+        assert_eq!(client.read("observed").unwrap().len(), 10);
+        let snap = c.registry().snapshot();
+        assert_eq!(snap.counter("fs_client_append_bytes_total"), Some(10));
+        assert_eq!(snap.counter("fs_client_read_bytes_total"), Some(10));
+        assert_eq!(
+            snap.histogram("fs_client_append_latency_us").unwrap().count,
+            1
+        );
+        assert_eq!(
+            snap.histogram("fs_client_read_latency_us").unwrap().count,
+            1
+        );
+        // The append was relayed to all 3 replicas.
+        assert_eq!(snap.counter("fs_dataserver_appends_total"), Some(3));
+        assert_eq!(
+            snap.histogram("fs_dataserver_append_bytes").unwrap().sum,
+            30
+        );
+        // Reads: the size probe (0 bytes) plus the data read.
+        assert!(snap.counter("fs_dataserver_reads_total").unwrap() >= 2);
+    }
+
+    #[test]
+    fn retry_metric_counts_extra_attempts() {
+        let dir = TempDir::new("retrymetric");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut writer = c.client(HostId(0));
+        let meta = writer.create("bouncy").unwrap();
+        writer.append("bouncy", b"x").unwrap();
+        for r in &meta.replicas {
+            c.dataserver(*r).crash();
+        }
+        let mut reader = c.client(HostId(5));
+        reader.set_retry_policy(3, std::time::Duration::ZERO);
+        assert!(reader.read("bouncy").is_err());
+        let snap = c.registry().snapshot();
+        assert_eq!(snap.counter("fs_client_retries_total"), Some(2));
+        assert!(snap.counter("fs_dataserver_refused_total").unwrap() > 0);
+    }
+
+    #[test]
     fn read_range_past_eof_truncates() {
         let dir = TempDir::new("eof");
         let c = cluster(&dir, Consistency::Sequential);
@@ -599,7 +762,10 @@ mod tests {
         // consistency).
         let meta = client.meta("new-name").unwrap();
         for r in &meta.replicas {
-            assert_eq!(c.dataserver(*r).read_meta(meta.id).unwrap().name, "new-name");
+            assert_eq!(
+                c.dataserver(*r).read_meta(meta.id).unwrap().name,
+                "new-name"
+            );
         }
     }
 
@@ -662,10 +828,8 @@ mod tests {
         // A reader whose selector would pick any replica still gets
         // the data (failover to surviving replicas).
         for host in [0u32, 3, 6] {
-            let mut reader = c.client_with_selector(
-                HostId(host),
-                Box::new(crate::selector::PrimarySelector),
-            );
+            let mut reader =
+                c.client_with_selector(HostId(host), Box::new(crate::selector::PrimarySelector));
             assert_eq!(reader.read("fragile").unwrap(), b"survives replica loss");
         }
         // Even if the selector names the dead replica explicitly.
@@ -765,10 +929,7 @@ mod tests {
             c.dataserver(*r).delete_file(meta.id).unwrap();
         }
         let mut reader = c.client(HostId(5));
-        assert!(matches!(
-            reader.read("doomed"),
-            Err(FsError::NotFound(_))
-        ));
+        assert!(matches!(reader.read("doomed"), Err(FsError::NotFound(_))));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use mayflower_net::{HostId, Topology};
 use parking_lot::Mutex;
 
-use crate::client::Client;
+use crate::client::{Client, ClientMetrics};
 use crate::dataserver::Dataserver;
 use crate::error::FsError;
 use crate::nameserver::{Nameserver, NameserverConfig};
@@ -50,6 +50,7 @@ pub struct Cluster {
     dataservers: BTreeMap<HostId, Arc<Dataserver>>,
     coordinator: Arc<AppendCoordinator>,
     consistency: Consistency,
+    registry: mayflower_telemetry::Registry,
 }
 
 impl Cluster {
@@ -59,15 +60,22 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns an error if any directory cannot be created.
-    pub fn create(dir: &Path, topo: Arc<Topology>, config: ClusterConfig) -> Result<Cluster, FsError> {
+    pub fn create(
+        dir: &Path,
+        topo: Arc<Topology>,
+        config: ClusterConfig,
+    ) -> Result<Cluster, FsError> {
         let nameserver = Arc::new(Nameserver::open(
             topo.clone(),
             &dir.join("nameserver"),
             config.nameserver,
         )?);
+        let registry = mayflower_telemetry::Registry::new();
+        let ds_scope = registry.scope("fs").scope("dataserver");
         let mut dataservers = BTreeMap::new();
         for host in topo.hosts() {
             let ds = Dataserver::open(host, &dir.join(format!("ds-{host}")))?;
+            ds.attach_metrics(&ds_scope);
             dataservers.insert(host, Arc::new(ds));
         }
         Ok(Cluster {
@@ -76,7 +84,16 @@ impl Cluster {
             dataservers,
             coordinator: Arc::new(AppendCoordinator::default()),
             consistency: config.consistency,
+            registry,
         })
+    }
+
+    /// The cluster-wide telemetry registry: dataserver chunk IO and
+    /// client operation metrics all land here (`mayfs metrics` renders
+    /// it).
+    #[must_use]
+    pub fn registry(&self) -> &mayflower_telemetry::Registry {
+        &self.registry
     }
 
     /// The cluster's topology.
@@ -119,11 +136,7 @@ impl Cluster {
     /// A client on `host` with a custom read selector (e.g. one backed
     /// by the Flowserver).
     #[must_use]
-    pub fn client_with_selector(
-        &self,
-        host: HostId,
-        selector: Box<dyn ReplicaSelector>,
-    ) -> Client {
+    pub fn client_with_selector(&self, host: HostId, selector: Box<dyn ReplicaSelector>) -> Client {
         Client::new(
             host,
             self.nameserver.clone(),
@@ -131,6 +144,7 @@ impl Cluster {
             self.coordinator.clone(),
             self.consistency,
             selector,
+            ClientMetrics::new(&self.registry.scope("fs").scope("client")),
         )
     }
 
@@ -148,7 +162,11 @@ impl Cluster {
     ///
     /// Returns [`FsError::NotFound`] if no surviving replica holds the
     /// data, or I/O errors from the copy.
-    pub fn repair(&self, name: &str, rng: &mut mayflower_simcore::SimRng) -> Result<Vec<HostId>, FsError> {
+    pub fn repair(
+        &self,
+        name: &str,
+        rng: &mut mayflower_simcore::SimRng,
+    ) -> Result<Vec<HostId>, FsError> {
         let meta = self.nameserver.lookup(name)?;
         let lock = self.coordinator.file_lock(meta.id);
         let _guard = lock.lock();
@@ -191,8 +209,7 @@ impl Cluster {
             let mut replica_meta = meta.clone();
             replica_meta.size = 0;
             self.dataserver(replacement).create_file(&replica_meta)?;
-            self.dataserver(replacement)
-                .append_local(meta.id, &data)?;
+            self.dataserver(replacement).append_local(meta.id, &data)?;
             new_hosts.push(replacement);
         }
 
@@ -410,7 +427,11 @@ mod tests {
         assert_ne!(promoted, old_primary);
         let after = c.nameserver().lookup("hot").unwrap();
         assert_eq!(after.primary(), promoted);
-        assert_eq!(after.replicas.len(), meta.replicas.len(), "no replica dropped");
+        assert_eq!(
+            after.replicas.len(),
+            meta.replicas.len(),
+            "no replica dropped"
+        );
 
         // Appends keep working through the surviving replicas.
         let mut live = after.clone();
@@ -422,7 +443,10 @@ mod tests {
         // The crashed host restarts with its pre-crash bytes intact —
         // stale but recoverable (repair would re-sync it).
         c.dataserver(old_primary).restart();
-        let (stale, _) = c.dataserver(old_primary).read_local(meta.id, 0, 100).unwrap();
+        let (stale, _) = c
+            .dataserver(old_primary)
+            .read_local(meta.id, 0, 100)
+            .unwrap();
         assert_eq!(stale, b"before crash ");
     }
 

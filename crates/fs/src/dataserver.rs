@@ -17,11 +17,24 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mayflower_net::HostId;
+use mayflower_telemetry::{Counter, Histogram};
 use parking_lot::Mutex;
 
 use crate::chunk::split_range;
 use crate::error::FsError;
 use crate::types::{FileId, FileMeta};
+
+/// Chunk-IO telemetry shared by every dataserver in a cluster (the
+/// registry dedups by metric name, so each handle aggregates across
+/// hosts).
+#[derive(Debug)]
+struct DsMetrics {
+    appends: Arc<Counter>,
+    append_bytes: Arc<Histogram>,
+    reads: Arc<Counter>,
+    read_bytes: Arc<Histogram>,
+    refused: Arc<Counter>,
+}
 
 /// A single storage server: owns one directory tree of file-UUID
 /// directories, services appends (one at a time per file) and
@@ -38,6 +51,9 @@ pub struct Dataserver {
     /// refuse connections. State on disk is untouched, so a restart
     /// recovers everything — a fail-stop crash, not data loss.
     up: AtomicBool,
+    /// Chunk-IO telemetry, attached once by the cluster (absent in
+    /// bare unit-test deployments).
+    metrics: std::sync::OnceLock<DsMetrics>,
 }
 
 impl Dataserver {
@@ -53,7 +69,22 @@ impl Dataserver {
             root: root.to_path_buf(),
             append_locks: Mutex::new(HashMap::new()),
             up: AtomicBool::new(true),
+            metrics: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attaches chunk-IO telemetry: `appends_total` / `reads_total`,
+    /// `append_bytes` / `read_bytes` histograms, and `refused_total`
+    /// (requests rejected while crashed). Idempotent; a second attach
+    /// is ignored.
+    pub fn attach_metrics(&self, scope: &mayflower_telemetry::Scope) {
+        let _ = self.metrics.set(DsMetrics {
+            appends: scope.counter("appends_total"),
+            append_bytes: scope.histogram("append_bytes"),
+            reads: scope.counter("reads_total"),
+            read_bytes: scope.histogram("read_bytes"),
+            refused: scope.counter("refused_total"),
+        });
     }
 
     /// Simulates a fail-stop crash: subsequent operations return
@@ -77,6 +108,9 @@ impl Dataserver {
         if self.is_up() {
             Ok(())
         } else {
+            if let Some(m) = self.metrics.get() {
+                m.refused.inc();
+            }
             Err(FsError::Unavailable(format!(
                 "dataserver on host {} is down",
                 self.host.0
@@ -123,9 +157,14 @@ impl Dataserver {
     }
 
     fn write_meta(&self, meta: &FileMeta) -> Result<(), FsError> {
-        let body = serde_json::to_vec_pretty(meta)
-            .map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
-        std::fs::write(self.file_dir(meta.id).join("meta"), body)?;
+        let body =
+            serde_json::to_vec_pretty(meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        // Write-then-rename: concurrent readers must never observe a
+        // truncated metadata file mid-rewrite.
+        let dir = self.file_dir(meta.id);
+        let tmp = dir.join(format!("meta.tmp.{:?}", std::thread::current().id()));
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, dir.join("meta"))?;
         Ok(())
     }
 
@@ -222,6 +261,10 @@ impl Dataserver {
         }
         meta.size = pos;
         self.write_meta(&meta)?;
+        if let Some(m) = self.metrics.get() {
+            m.appends.inc();
+            m.append_bytes.record(data.len() as u64);
+        }
         Ok(pos)
     }
 
@@ -239,6 +282,11 @@ impl Dataserver {
         let size = meta.size;
         let end = (offset + len).min(size);
         if offset >= end {
+            // Size probes (zero-length reads) are requests too.
+            if let Some(m) = self.metrics.get() {
+                m.reads.inc();
+                m.read_bytes.record(0);
+            }
             return Ok((Vec::new(), size));
         }
         let mut out = Vec::with_capacity((end - offset) as usize);
@@ -248,6 +296,10 @@ impl Dataserver {
             let mut buf = vec![0u8; slice.len as usize];
             f.read_exact(&mut buf)?;
             out.extend_from_slice(&buf);
+        }
+        if let Some(m) = self.metrics.get() {
+            m.reads.inc();
+            m.read_bytes.record(out.len() as u64);
         }
         Ok((out, size))
     }
@@ -282,11 +334,7 @@ impl Dataserver {
             if !entry.file_type()?.is_dir() {
                 continue;
             }
-            let Some(id) = entry
-                .file_name()
-                .to_str()
-                .and_then(FileId::from_hex)
-            else {
+            let Some(id) = entry.file_name().to_str().and_then(FileId::from_hex) else {
                 continue;
             };
             if let Ok(meta) = self.read_meta(id) {
@@ -350,7 +398,7 @@ mod tests {
         let m = meta(2, 4);
         ds.create_file(&m).unwrap();
         ds.append_local(m.id, b"abcdefghij").unwrap(); // 10 bytes, chunk 4
-        // Chunks 1..=3 exist with sizes 4, 4, 2 (1-based names).
+                                                       // Chunks 1..=3 exist with sizes 4, 4, 2 (1-based names).
         let d = dir.0.join(m.id.as_hex());
         assert_eq!(std::fs::metadata(d.join("1")).unwrap().len(), 4);
         assert_eq!(std::fs::metadata(d.join("2")).unwrap().len(), 4);
@@ -381,10 +429,7 @@ mod tests {
         let ds = Dataserver::open(HostId(0), &dir.0).unwrap();
         let m = meta(4, 8);
         ds.create_file(&m).unwrap();
-        assert!(matches!(
-            ds.create_file(&m),
-            Err(FsError::AlreadyExists(_))
-        ));
+        assert!(matches!(ds.create_file(&m), Err(FsError::AlreadyExists(_))));
     }
 
     #[test]

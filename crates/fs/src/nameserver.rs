@@ -184,8 +184,7 @@ impl Nameserver {
         if db.get(&key).is_some() {
             return Err(FsError::AlreadyExists(meta.name.clone()));
         }
-        let body =
-            serde_json::to_vec(meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        let body = serde_json::to_vec(meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
         db.put(&key, &body)?;
         Ok(())
     }
@@ -349,8 +348,8 @@ impl Nameserver {
             }
         }
         for meta in best.values() {
-            let body = serde_json::to_vec(meta)
-                .map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+            let body =
+                serde_json::to_vec(meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
             db.put(&Self::name_key(&meta.name), &body)?;
         }
         Ok(())
@@ -440,17 +439,12 @@ mod tests {
         let dir = TempDir::new("restart");
         let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
         {
-            let ns = Nameserver::open(
-                topo.clone(),
-                &dir.0.join("db"),
-                NameserverConfig::default(),
-            )
-            .unwrap();
+            let ns = Nameserver::open(topo.clone(), &dir.0.join("db"), NameserverConfig::default())
+                .unwrap();
             ns.create("kept").unwrap();
             ns.flush().unwrap();
         }
-        let ns =
-            Nameserver::open(topo, &dir.0.join("db"), NameserverConfig::default()).unwrap();
+        let ns = Nameserver::open(topo, &dir.0.join("db"), NameserverConfig::default()).unwrap();
         assert!(ns.lookup("kept").is_ok());
     }
 
@@ -472,11 +466,7 @@ mod tests {
         let ds: Vec<Arc<Dataserver>> = meta
             .replicas
             .iter()
-            .map(|h| {
-                Arc::new(
-                    Dataserver::open(*h, &dir.0.join(format!("ds-{h}"))).unwrap(),
-                )
-            })
+            .map(|h| Arc::new(Dataserver::open(*h, &dir.0.join(format!("ds-{h}"))).unwrap()))
             .collect();
         for d in &ds {
             d.create_file(&meta).unwrap();

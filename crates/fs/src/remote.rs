@@ -192,8 +192,7 @@ mod tests {
         let ns = nameserver(&dir);
         let service = Arc::new(NameserverService::new(ns));
         let mut server = TcpServer::bind("127.0.0.1:0", service).unwrap();
-        let remote =
-            RemoteNameserver::new(TcpTransport::connect(server.local_addr()).unwrap());
+        let remote = RemoteNameserver::new(TcpTransport::connect(server.local_addr()).unwrap());
         let meta = remote.create("tcp/file").unwrap();
         assert_eq!(meta.replicas.len(), 3);
         assert_eq!(remote.lookup("tcp/file").unwrap(), meta);

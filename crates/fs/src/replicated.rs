@@ -176,9 +176,7 @@ impl ReplicatedNameserver {
             return Err(FsError::AlreadyExists(name.to_string()));
         }
         let topo = self.nameservers[node as usize].topology().clone();
-        let id = FileId(
-            (u128::from(self.rng.next_u64()) << 64) | u128::from(self.rng.next_u64()),
-        );
+        let id = FileId((u128::from(self.rng.next_u64()) << 64) | u128::from(self.rng.next_u64()));
         let replicas = self
             .config
             .placement
@@ -340,10 +338,7 @@ mod tests {
         let dir = TempDir::new("dup");
         let mut rns = replicated(&dir, 3);
         rns.create(0, "x").unwrap();
-        assert!(matches!(
-            rns.create(1, "x"),
-            Err(FsError::AlreadyExists(_))
-        ));
+        assert!(matches!(rns.create(1, "x"), Err(FsError::AlreadyExists(_))));
     }
 
     #[test]

@@ -214,17 +214,29 @@ mod tests {
         );
         let replicas = [HostId(40), HostId(1)];
         // Primary reachable: its (far) answer wins.
-        assert_eq!(s.select_read(HostId(0), &replicas, 10)[0].replica, HostId(40));
+        assert_eq!(
+            s.select_read(HostId(0), &replicas, 10)[0].replica,
+            HostId(40)
+        );
         assert_eq!(s.fallbacks_taken(), 0);
         // Outage: nearest-replica fallback takes over.
         up.store(false, Ordering::SeqCst);
-        assert_eq!(s.select_read(HostId(0), &replicas, 10)[0].replica, HostId(1));
+        assert_eq!(
+            s.select_read(HostId(0), &replicas, 10)[0].replica,
+            HostId(1)
+        );
         // Recovery: primary again.
         up.store(true, Ordering::SeqCst);
-        assert_eq!(s.select_read(HostId(0), &replicas, 10)[0].replica, HostId(40));
+        assert_eq!(
+            s.select_read(HostId(0), &replicas, 10)[0].replica,
+            HostId(40)
+        );
         // Reachable but answering `Unavailable` (empty): fall back.
         s.primary.answer = None;
-        assert_eq!(s.select_read(HostId(0), &replicas, 10)[0].replica, HostId(1));
+        assert_eq!(
+            s.select_read(HostId(0), &replicas, 10)[0].replica,
+            HostId(1)
+        );
         assert_eq!(s.fallbacks_taken(), 2);
     }
 

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 
 /// A file's universally-unique identifier. The paper names each file's
 /// dataserver directory by its UUID (§3.3.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FileId(pub u128);
 
 impl FileId {

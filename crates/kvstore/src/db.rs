@@ -235,8 +235,11 @@ impl KvStore {
         }
         // Drop tombstones: nothing older remains to shadow.
         merged.retain(|_, v| v.is_some());
-        let old_paths: Vec<PathBuf> =
-            self.segments.iter().map(|s| s.path().to_path_buf()).collect();
+        let old_paths: Vec<PathBuf> = self
+            .segments
+            .iter()
+            .map(|s| s.path().to_path_buf())
+            .collect();
         let path = self.dir.join(format!("{:08}.seg", self.next_segment_no));
         self.next_segment_no += 1;
         let seg = Segment::create(&path, merged)?;

@@ -295,7 +295,8 @@ mod tests {
         let dir = tmpdir("reset");
         let path = dir.join("wal");
         let mut wal = Wal::open(&path, false).unwrap();
-        wal.append(&WalRecord::Delete { key: b"x".to_vec() }).unwrap();
+        wal.append(&WalRecord::Delete { key: b"x".to_vec() })
+            .unwrap();
         wal.reset().unwrap();
         assert!(wal.replay().unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();

@@ -152,7 +152,10 @@ mod tests {
     fn path_lengths_match_tiers() {
         let t = ft(4);
         // Same rack (same edge switch): 2 hops.
-        assert!(t.shortest_paths(HostId(0), HostId(1)).iter().all(|p| p.len() == 2));
+        assert!(t
+            .shortest_paths(HostId(0), HostId(1))
+            .iter()
+            .all(|p| p.len() == 2));
         // Same pod, different edge: 4 hops, k/2 = 2 choices.
         let same_pod = t.shortest_paths(HostId(0), HostId(2));
         assert!(same_pod.iter().all(|p| p.len() == 4));
@@ -199,8 +202,17 @@ mod tests {
     fn locality_classification_works() {
         use crate::locality::Locality;
         let t = ft(4);
-        assert_eq!(Locality::classify(&t, HostId(0), HostId(1)), Locality::SameRack);
-        assert_eq!(Locality::classify(&t, HostId(0), HostId(2)), Locality::SamePod);
-        assert_eq!(Locality::classify(&t, HostId(0), HostId(15)), Locality::CrossPod);
+        assert_eq!(
+            Locality::classify(&t, HostId(0), HostId(1)),
+            Locality::SameRack
+        );
+        assert_eq!(
+            Locality::classify(&t, HostId(0), HostId(2)),
+            Locality::SamePod
+        );
+        assert_eq!(
+            Locality::classify(&t, HostId(0), HostId(15)),
+            Locality::CrossPod
+        );
     }
 }

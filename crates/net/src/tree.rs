@@ -191,11 +191,7 @@ mod tests {
         assert_eq!(t.host_count(), 64);
         assert_eq!(t.rack_count(), 16);
         assert_eq!(t.pod_count(), 4);
-        let switches = t
-            .nodes()
-            .iter()
-            .filter(|n| n.kind().is_switch())
-            .count();
+        let switches = t.nodes().iter().filter(|n| n.kind().is_switch()).count();
         // 16 edge + 8 agg + 2 core.
         assert_eq!(switches, 26);
     }

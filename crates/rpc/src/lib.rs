@@ -44,4 +44,6 @@ pub mod message;
 pub mod transport;
 
 pub use message::{Request, Response};
-pub use transport::{Client, InProcTransport, RpcError, Service, TcpServer, TcpTransport, Transport};
+pub use transport::{
+    Client, InProcTransport, RpcError, Service, TcpServer, TcpTransport, Transport,
+};

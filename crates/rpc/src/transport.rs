@@ -26,6 +26,20 @@ pub enum RpcError {
     Remote(String),
 }
 
+impl RpcError {
+    /// A stable, low-cardinality label for the error variant — the
+    /// `kind` label on `rpc_client_errors_total`.
+    #[must_use]
+    pub fn variant_label(&self) -> &'static str {
+        match self {
+            RpcError::Transport(_) => "transport",
+            RpcError::Codec(_) => "codec",
+            RpcError::UnknownMethod(_) => "unknown_method",
+            RpcError::Remote(_) => "remote",
+        }
+    }
+}
+
 impl fmt::Display for RpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -121,6 +135,7 @@ impl Transport for InProcTransport {
 pub struct Client<T> {
     transport: T,
     next_id: AtomicU64,
+    metrics: Option<mayflower_telemetry::Scope>,
 }
 
 impl<T: Transport> Client<T> {
@@ -130,6 +145,20 @@ impl<T: Transport> Client<T> {
         Client {
             transport,
             next_id: AtomicU64::new(1),
+            metrics: None,
+        }
+    }
+
+    /// Wraps a transport and records per-method call telemetry into
+    /// `scope`: `calls_total`, `call_latency_us`, `bytes_sent_total`,
+    /// `bytes_received_total` (all labeled `method`), and
+    /// `errors_total` labeled `method` and error-variant `kind`.
+    #[must_use]
+    pub fn with_metrics(transport: T, scope: mayflower_telemetry::Scope) -> Client<T> {
+        Client {
+            transport,
+            next_id: AtomicU64::new(1),
+            metrics: Some(scope),
         }
     }
 
@@ -145,16 +174,57 @@ impl<T: Transport> Client<T> {
         method: &str,
         arg: &A,
     ) -> Result<R, RpcError> {
+        let Some(scope) = &self.metrics else {
+            return self.call_inner(method, arg, None);
+        };
+        let started = std::time::Instant::now();
+        let result = self.call_inner(method, arg, Some(scope));
+        scope
+            .counter_with("calls_total", &[("method", method)])
+            .inc();
+        scope
+            .histogram_with("call_latency_us", &[("method", method)])
+            .record_duration(started.elapsed());
+        if let Err(e) = &result {
+            scope
+                .counter_with(
+                    "errors_total",
+                    &[("kind", e.variant_label()), ("method", method)],
+                )
+                .inc();
+        }
+        result
+    }
+
+    fn call_inner<A: Serialize, R: DeserializeOwned>(
+        &self,
+        method: &str,
+        arg: &A,
+        scope: Option<&mayflower_telemetry::Scope>,
+    ) -> Result<R, RpcError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let body = serde_json::to_vec(arg)?;
+        if let Some(scope) = scope {
+            scope
+                .counter_with("bytes_sent_total", &[("method", method)])
+                .add(body.len() as u64);
+        }
         let request = Request {
             id,
             method: method.to_string(),
-            body: serde_json::to_vec(arg)?,
+            body,
         };
         let response = self.transport.round_trip(request)?;
         debug_assert_eq!(response.id, id, "correlation id mismatch");
         match response.result {
-            Ok(body) => Ok(serde_json::from_slice(&body)?),
+            Ok(body) => {
+                if let Some(scope) = scope {
+                    scope
+                        .counter_with("bytes_received_total", &[("method", method)])
+                        .add(body.len() as u64);
+                }
+                Ok(serde_json::from_slice(&body)?)
+            }
             Err(msg) => Err(RpcError::Remote(msg)),
         }
     }
@@ -209,7 +279,10 @@ impl TcpServer {
     /// # Errors
     ///
     /// Returns the bind error.
-    pub fn bind<A: ToSocketAddrs>(addr: A, service: Arc<dyn Service>) -> Result<TcpServer, RpcError> {
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        service: Arc<dyn Service>,
+    ) -> Result<TcpServer, RpcError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -364,5 +437,119 @@ mod tests {
         // The connection survives an application error.
         let sum: i64 = client.call("add", &(1i64, 1i64)).unwrap();
         assert_eq!(sum, 2);
+    }
+
+    /// A fake server that accepts one connection, reads the incoming
+    /// request frame, writes `reply` verbatim (possibly garbage), and
+    /// closes the socket.
+    fn misbehaving_server(reply: Vec<u8>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let _ = read_frame(&mut reader);
+            use std::io::Write as _;
+            let mut stream = stream;
+            let _ = stream.write_all(&reply);
+            let _ = stream.flush();
+        });
+        addr
+    }
+
+    #[test]
+    fn tcp_torn_response_frame_is_transport_error() {
+        // Header claims 100 bytes; only 3 arrive before close.
+        let mut reply = 100u32.to_le_bytes().to_vec();
+        reply.extend_from_slice(b"abc");
+        let addr = misbehaving_server(reply);
+        let client = Client::new(TcpTransport::connect(addr).unwrap());
+        let r: Result<i64, _> = client.call("add", &(1i64, 2i64));
+        let err = r.unwrap_err();
+        assert!(matches!(err, RpcError::Transport(_)), "got {err:?}");
+        assert_eq!(err.variant_label(), "transport");
+    }
+
+    #[test]
+    fn tcp_oversized_response_frame_is_transport_error() {
+        let reply = ((crate::codec::MAX_FRAME_LEN as u32) + 1)
+            .to_le_bytes()
+            .to_vec();
+        let addr = misbehaving_server(reply);
+        let client = Client::new(TcpTransport::connect(addr).unwrap());
+        let r: Result<i64, _> = client.call("add", &(1i64, 2i64));
+        let err = r.unwrap_err();
+        let RpcError::Transport(io) = err else {
+            panic!("expected transport error, got {err:?}");
+        };
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn tcp_unknown_method_maps_to_remote() {
+        // The server folds UnknownMethod into the response envelope, so
+        // across the wire the client sees a Remote error that names the
+        // method.
+        let server = TcpServer::bind("127.0.0.1:0", Arc::new(Arith)).unwrap();
+        let client = Client::new(TcpTransport::connect(server.local_addr()).unwrap());
+        let r: Result<i64, _> = client.call("no.such.method", &());
+        let err = r.unwrap_err();
+        assert!(
+            matches!(&err, RpcError::Remote(msg) if msg.contains("unknown method: no.such.method")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn tcp_server_shutdown_mid_call_is_transport_error() {
+        // The peer accepts and closes without replying — the client's
+        // read sees clean EOF mid-call, surfaced as UnexpectedEof.
+        let addr = misbehaving_server(Vec::new());
+        let client = Client::new(TcpTransport::connect(addr).unwrap());
+        let r: Result<i64, _> = client.call("add", &(1i64, 2i64));
+        let RpcError::Transport(io) = r.unwrap_err() else {
+            panic!("expected transport error");
+        };
+        assert_eq!(io.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn client_metrics_track_calls_bytes_and_errors() {
+        let registry = mayflower_telemetry::Registry::new();
+        let server = TcpServer::bind("127.0.0.1:0", Arc::new(Arith)).unwrap();
+        let client = Client::with_metrics(
+            TcpTransport::connect(server.local_addr()).unwrap(),
+            registry.scope("rpc_client"),
+        );
+        let sum: i64 = client.call("add", &(2i64, 3i64)).unwrap();
+        assert_eq!(sum, 5);
+        let r: Result<i64, _> = client.call("fail", &());
+        assert!(r.is_err());
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("rpc_client_calls_total{method=\"add\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("rpc_client_calls_total{method=\"fail\"}"),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("rpc_client_errors_total{kind=\"remote\",method=\"fail\"}"),
+            Some(1)
+        );
+        // "add" sent the JSON tuple `[2,3]` and received `5`.
+        assert_eq!(
+            snap.counter("rpc_client_bytes_sent_total{method=\"add\"}"),
+            Some(5)
+        );
+        assert_eq!(
+            snap.counter("rpc_client_bytes_received_total{method=\"add\"}"),
+            Some(1)
+        );
+        let lat = snap
+            .histogram("rpc_client_call_latency_us{method=\"add\"}")
+            .unwrap();
+        assert_eq!(lat.count, 1);
     }
 }

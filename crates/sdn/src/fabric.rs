@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// Identifies a flow across the fabric — the OpenFlow *cookie* the
 /// controller stamps on every rule belonging to one flow.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowCookie(pub u64);
 
 impl std::fmt::Display for FlowCookie {
@@ -295,11 +293,7 @@ mod tests {
     fn invalid_path_rejected() {
         let (topo, mut fabric) = setup();
         let p = topo.shortest_paths(HostId(0), HostId(1))[0].clone();
-        let backwards = Path::new(
-            HostId(1),
-            HostId(0),
-            p.links().to_vec(),
-        );
+        let backwards = Path::new(HostId(1), HostId(0), p.links().to_vec());
         fabric.install_path(FlowCookie(1), &backwards);
     }
 

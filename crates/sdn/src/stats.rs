@@ -138,7 +138,11 @@ impl StatsCollector {
                     continue;
                 };
                 let prev = self.prev_flow_bits.get(&cookie).copied().unwrap_or(0.0);
-                let rate = if dt > 0.0 { (total - prev).max(0.0) / dt } else { 0.0 };
+                let rate = if dt > 0.0 {
+                    (total - prev).max(0.0) / dt
+                } else {
+                    0.0
+                };
                 report.flows.push(FlowStat {
                     cookie,
                     total_bits: total,
@@ -156,7 +160,11 @@ impl StatsCollector {
         for &link in &self.edge_ports {
             let total = counters.port_bits(link);
             let prev = self.prev_port_bits.get(&link).copied().unwrap_or(0.0);
-            let rate = if dt > 0.0 { (total - prev).max(0.0) / dt } else { 0.0 };
+            let rate = if dt > 0.0 {
+                (total - prev).max(0.0) / dt
+            } else {
+                0.0
+            };
             report.ports.push(PortStat {
                 link,
                 total_bits: total,

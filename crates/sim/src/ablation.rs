@@ -170,7 +170,13 @@ pub fn render_ablation(abl: &Ablation) -> String {
     let _ = writeln!(out, "\npoll-interval sensitivity (full Mayflower):");
     let _ = writeln!(out, "{:<12} {:>9} {:>9}", "interval", "avg (s)", "p95 (s)");
     for (i, s) in &abl.poll_sweep {
-        let _ = writeln!(out, "{:<12} {:>9.3} {:>9.3}", format!("{i} s"), s.mean, s.p95);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9.3} {:>9.3}",
+            format!("{i} s"),
+            s.mean,
+            s.p95
+        );
     }
     out
 }

@@ -100,13 +100,8 @@ fn main() {
             Effort::Full => (150, 400),
         };
         let scratch = std::env::temp_dir().join("mayflower-fig8");
-        let fig = mayflower_sim::proto::figure8(
-            &[0.06, 0.07, 0.08],
-            files,
-            jobs,
-            args.seed,
-            &scratch,
-        );
+        let fig =
+            mayflower_sim::proto::figure8(&[0.06, 0.07, 0.08], files, jobs, args.seed, &scratch);
         println!("{}", mayflower_sim::proto::render_figure8(&fig));
         maybe_write_json(&args.json_dir, "fig8", &fig);
     }

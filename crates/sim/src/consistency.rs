@@ -111,12 +111,7 @@ pub fn consistency_experiment(effort: Effort, seed: u64) -> ConsistencyExperimen
     ConsistencyExperiment { points }
 }
 
-fn run_mode(
-    topo: &Arc<Topology>,
-    matrix: &TrafficMatrix,
-    chunks: u64,
-    mode: Mode,
-) -> Vec<f64> {
+fn run_mode(topo: &Arc<Topology>, matrix: &TrafficMatrix, chunks: u64, mode: Mode) -> Vec<f64> {
     let mut net = FluidNet::new(topo.clone());
     let mut fs = Flowserver::new(topo.clone(), FlowserverConfig::default());
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -171,7 +166,12 @@ fn run_mode(
                 }
                 let size = matrix.size_of(job);
                 let last_chunk_bits = CHUNK_BITS.min(size);
-                let free_bits = size - if mode == Mode::Strong { last_chunk_bits } else { 0.0 };
+                let free_bits = size
+                    - if mode == Mode::Strong {
+                        last_chunk_bits
+                    } else {
+                        0.0
+                    };
                 let mut assignments = Vec::new();
                 if free_bits > 0.0 {
                     let sel = fs.select_replica_path(job.client, replicas, free_bits, t);

@@ -15,8 +15,7 @@ use mayflower_workload::TrafficMatrix;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{
-    self, AppliedFault, DegradedDecision, FaultAction, FaultReport, FlowAbort, JobRetry,
-    MissedPoll,
+    self, AppliedFault, DegradedDecision, FaultAction, FaultReport, FlowAbort, JobRetry, MissedPoll,
 };
 use crate::monitor::LinkLoadMonitor;
 use crate::strategy::Strategy;
@@ -178,7 +177,7 @@ pub fn replay_with_usage(
         poll_interval_secs,
         ..ReplayOptions::default()
     };
-    let (jobs, usage, _) = replay_inner(topo, matrix, strategy, &opts, rng, &mut NoHooks);
+    let (jobs, usage, _, _) = replay_inner(topo, matrix, strategy, &opts, rng, &mut NoHooks);
     (jobs, usage)
 }
 
@@ -195,6 +194,24 @@ pub fn replay_with_options(
     replay_inner(topo, matrix, strategy, opts, rng, hooks).0
 }
 
+/// [`replay_with_options`] that also returns the fault report and the
+/// run's telemetry registry. Every layer under the engine — the
+/// Flowserver, Sinbad's monitor, and the engine itself — homes its
+/// metrics there, and all recorded values are sim-time- or
+/// model-derived, so the registry's snapshot renders to identical
+/// bytes across runs with the same seed.
+pub fn replay_with_telemetry(
+    topo: &Arc<Topology>,
+    matrix: &TrafficMatrix,
+    strategy: Strategy,
+    opts: &ReplayOptions,
+    rng: &mut SimRng,
+    hooks: &mut dyn JobHooks,
+) -> (Vec<JobRecord>, FaultReport, mayflower_telemetry::Registry) {
+    let (jobs, _, report, registry) = replay_inner(topo, matrix, strategy, opts, rng, hooks);
+    (jobs, report, registry)
+}
+
 /// [`replay`] under a fault schedule (`opts.faults`): injects the
 /// compiled faults, drives the abort-and-retry recovery machinery, and
 /// returns the per-job records together with the [`FaultReport`] of
@@ -207,7 +224,7 @@ pub fn replay_with_faults(
     opts: &ReplayOptions,
     rng: &mut SimRng,
 ) -> (Vec<JobRecord>, FaultReport) {
-    let (jobs, _, report) = replay_inner(topo, matrix, strategy, opts, rng, &mut NoHooks);
+    let (jobs, _, report, _) = replay_inner(topo, matrix, strategy, opts, rng, &mut NoHooks);
     (jobs, report)
 }
 
@@ -242,7 +259,9 @@ fn heal_link(
     net: &mut FluidNet,
     flowserver: &mut Option<Flowserver>,
 ) {
-    let Some(c) = causes.get_mut(&link) else { return };
+    let Some(c) = causes.get_mut(&link) else {
+        return;
+    };
     *c = c.saturating_sub(1);
     if *c == 0 {
         causes.remove(&link);
@@ -272,7 +291,11 @@ fn schedule_retry(
     );
     let fire = now + SimTime::from_secs(backoff_secs * f64::from(attempt));
     queue.schedule(fire, Event::Retry(job));
-    report.retries.push(JobRetry { at: fire, job, attempt });
+    report.retries.push(JobRetry {
+        at: fire,
+        job,
+        attempt,
+    });
 }
 
 /// Aborts every in-flight subflow of each hit job (client timeout
@@ -433,18 +456,15 @@ fn select_assignments(
         | Strategy::SinbadREcmp
         | Strategy::NearestHedera
         | Strategy::SinbadRHedera => {
-            let replica = if strategy == Strategy::NearestEcmp
-                || strategy == Strategy::NearestHedera
-            {
-                nearest_replica(topo, client, live_replicas, rng)
-            } else {
-                sinbad.select(topo, client, live_replicas, monitor, rng)
-            };
+            let replica =
+                if strategy == Strategy::NearestEcmp || strategy == Strategy::NearestHedera {
+                    nearest_replica(topo, client, live_replicas, rng)
+                } else {
+                    sinbad.select(topo, client, live_replicas, monitor, rng)
+                };
             let key = FlowKey::new(replica, client, job_id as u64);
             let hashed = ecmp_path(topo, key).expect("distinct hosts always have a path");
-            if down_links.is_empty()
-                || hashed.links().iter().all(|l| !down_links.contains(l))
-            {
+            if down_links.is_empty() || hashed.links().iter().all(|l| !down_links.contains(l)) {
                 vec![(replica, hashed, size, None)]
             } else {
                 // ECMP is fault-oblivious; the rerouted pick models the
@@ -485,26 +505,32 @@ fn replay_inner(
     opts: &ReplayOptions,
     rng: &mut SimRng,
     hooks: &mut dyn JobHooks,
-) -> (Vec<JobRecord>, HashMap<LinkId, f64>, FaultReport) {
+) -> (
+    Vec<JobRecord>,
+    HashMap<LinkId, f64>,
+    FaultReport,
+    mayflower_telemetry::Registry,
+) {
     let poll_interval_secs = opts.poll_interval_secs;
-    assert!(
-        poll_interval_secs > 0.0,
-        "poll interval must be positive"
-    );
+    assert!(poll_interval_secs > 0.0, "poll interval must be positive");
+    let registry = mayflower_telemetry::Registry::new();
     let mut net = FluidNet::new(topo.clone());
     let mut flowserver = strategy.uses_flowserver().then(|| {
-        Flowserver::new(
+        let mut fs = Flowserver::new(
             topo.clone(),
             FlowserverConfig {
                 poll_interval_secs,
                 multipath: strategy == Strategy::MayflowerMultipath,
                 ..opts.flowserver.clone()
             },
-        )
+        );
+        fs.attach_metrics(&registry);
+        fs
     });
     let sinbad = SinbadR::new();
     let hedera = strategy.uses_hedera().then(Hedera::new);
     let mut monitor = LinkLoadMonitor::new(topo);
+    monitor.attach_metrics(&registry.scope("sim").scope("monitor"));
 
     let total_jobs = matrix.jobs.len();
     let mut queue: EventQueue<Event> = EventQueue::new();
@@ -537,15 +563,15 @@ fn replay_inner(
     let mut jobs_done = 0usize;
 
     let handle_completions = |comps: Vec<FlowCompletion>,
-                                  flowserver: &mut Option<Flowserver>,
-                                  flow_to_job: &mut HashMap<FlowId, usize>,
-                                  flow_to_cookie: &mut HashMap<FlowId, FlowCookie>,
-                                  cookie_to_flow: &mut HashMap<FlowCookie, FlowId>,
-                                  pending_subflows: &mut Vec<usize>,
-                                  partial: &mut Vec<Vec<SimTime>>,
-                                  records: &mut Vec<Option<JobRecord>>,
-                                  jobs_done: &mut usize,
-                                  matrix: &TrafficMatrix| {
+                              flowserver: &mut Option<Flowserver>,
+                              flow_to_job: &mut HashMap<FlowId, usize>,
+                              flow_to_cookie: &mut HashMap<FlowId, FlowCookie>,
+                              cookie_to_flow: &mut HashMap<FlowCookie, FlowId>,
+                              pending_subflows: &mut Vec<usize>,
+                              partial: &mut Vec<Vec<SimTime>>,
+                              records: &mut Vec<Option<JobRecord>>,
+                              jobs_done: &mut usize,
+                              matrix: &TrafficMatrix| {
         for c in comps {
             let job = flow_to_job
                 .remove(&c.flow)
@@ -659,10 +685,8 @@ fn replay_inner(
                         .iter()
                         .map(|f| (f.id, f.path.clone()))
                         .collect();
-                    let endpoints: Vec<(HostId, HostId)> = snapshot
-                        .iter()
-                        .map(|(_, p)| (p.src(), p.dst()))
-                        .collect();
+                    let endpoints: Vec<(HostId, HostId)> =
+                        snapshot.iter().map(|(_, p)| (p.src(), p.dst())).collect();
                     let demands = estimate_demands(topo, &endpoints);
                     let hflows: Vec<HederaFlow> = snapshot
                         .iter()
@@ -887,11 +911,39 @@ fn replay_inner(
         .iter()
         .map(|l| (l.id(), net.link_bits(l.id())))
         .collect();
-    let records = records
+    let records: Vec<JobRecord> = records
         .into_iter()
         .map(|r| r.expect("every job completed"))
         .collect();
-    (records, usage, report)
+
+    // Job-level metrics, fed from sim-time completion records (never
+    // wall clock) so a fixed seed renders a byte-identical snapshot.
+    let sim = registry.scope("sim");
+    let jobs_total = sim.counter("jobs_total");
+    let jobs_local = sim.counter("jobs_local_total");
+    let jobs_split = sim.counter("jobs_split_total");
+    let duration_us = sim.histogram("job_duration_us");
+    for r in &records {
+        jobs_total.inc();
+        if r.local {
+            jobs_local.inc();
+        } else {
+            duration_us.record_secs(r.duration_secs());
+        }
+        if r.subflows >= 2 {
+            jobs_split.inc();
+        }
+    }
+    sim.counter("job_retries_total")
+        .add(report.retries.len() as u64);
+    sim.counter("flow_aborts_total")
+        .add(report.aborts.len() as u64);
+    sim.counter("faults_applied_total")
+        .add(report.applied.len() as u64);
+    sim.counter("degraded_selections_total")
+        .add(report.degraded.len() as u64);
+
+    (records, usage, report, registry)
 }
 
 #[cfg(test)]
@@ -990,6 +1042,46 @@ mod tests {
             "Hedera {} vs ECMP {}",
             mean(&hedera),
             mean(&ecmp)
+        );
+    }
+
+    #[test]
+    fn telemetry_registry_spans_engine_flowserver_and_monitor() {
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let mut rng = SimRng::seed_from(11);
+        let params = WorkloadParams {
+            job_count: 60,
+            file_count: 60,
+            ..WorkloadParams::default()
+        };
+        let matrix = TrafficMatrix::generate(&topo, &params, &mut rng);
+        let opts = ReplayOptions::default();
+        let (jobs, _, registry) = replay_with_telemetry(
+            &topo,
+            &matrix,
+            Strategy::Mayflower,
+            &opts,
+            &mut rng,
+            &mut NoHooks,
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim_jobs_total"), Some(jobs.len() as u64));
+        let local = jobs.iter().filter(|j| j.local).count() as u64;
+        assert_eq!(snap.counter("sim_jobs_local_total"), Some(local));
+        let remote = snap.histogram("sim_job_duration_us").unwrap();
+        assert_eq!(remote.count, jobs.len() as u64 - local);
+        // Both observers run once per poll event on the fault-free path.
+        assert_eq!(
+            snap.counter("flowserver_polls_total"),
+            snap.counter("sim_monitor_samples_total")
+        );
+        assert!(snap.counter("flowserver_polls_total").unwrap() > 0);
+        assert!(
+            snap.histogram("flowserver_selection_cost_us")
+                .unwrap()
+                .count
+                > 0,
+            "Eq. 2 selection costs must be distributed"
         );
     }
 

@@ -7,7 +7,7 @@ use mayflower_simcore::SimRng;
 use mayflower_workload::{TrafficMatrix, WorkloadParams};
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{replay, replay_with_faults, JobRecord, ReplayOptions};
+use crate::engine::{replay_with_telemetry, JobRecord, NoHooks, ReplayOptions};
 use crate::faults::{FaultReport, FaultSchedule};
 use crate::stats::Summary;
 use crate::strategy::Strategy;
@@ -59,6 +59,13 @@ pub struct RunResult {
     /// Degraded-mode decision log when a fault schedule was injected
     /// (`None` for fault-free runs).
     pub fault_report: Option<FaultReport>,
+    /// Prometheus text rendering of the run's telemetry registry.
+    /// Byte-identical across runs with the same config and seed.
+    /// `Option` so results serialized before telemetry existed still
+    /// deserialize (as `None`).
+    pub metrics_prometheus: Option<String>,
+    /// JSON rendering of the same registry snapshot.
+    pub metrics_json: Option<String>,
 }
 
 impl RunResult {
@@ -85,39 +92,29 @@ impl ExperimentConfig {
         let topo = Arc::new(Topology::three_tier(&self.tree));
         let mut rng = SimRng::seed_from(self.seed);
         let matrix = TrafficMatrix::generate(&topo, &self.workload, &mut rng);
-        let (jobs, fault_report) = match &self.faults {
-            Some(schedule) => {
-                let opts = ReplayOptions {
-                    poll_interval_secs: self.poll_interval_secs,
-                    faults: schedule.clone(),
-                    ..ReplayOptions::default()
-                };
-                let (jobs, report) =
-                    replay_with_faults(&topo, &matrix, self.strategy, &opts, &mut rng);
-                (jobs, Some(report))
-            }
-            None => {
-                let jobs = replay(
-                    &topo,
-                    &matrix,
-                    self.strategy,
-                    self.poll_interval_secs,
-                    &mut rng,
-                );
-                (jobs, None)
-            }
+        let opts = ReplayOptions {
+            poll_interval_secs: self.poll_interval_secs,
+            faults: self.faults.clone().unwrap_or_default(),
+            ..ReplayOptions::default()
         };
+        let (jobs, report, registry) =
+            replay_with_telemetry(&topo, &matrix, self.strategy, &opts, &mut rng, &mut NoHooks);
+        let fault_report = self.faults.is_some().then_some(report);
         let durations: Vec<f64> = jobs
             .iter()
             .filter(|j| !j.local)
             .map(JobRecord::duration_secs)
             .collect();
         let summary = Summary::of(&durations);
+        summary.record_to(&registry.scope("sim"), "completion");
+        let snapshot = registry.snapshot();
         RunResult {
             strategy: self.strategy,
             jobs,
             summary,
             fault_report,
+            metrics_prometheus: Some(snapshot.render_prometheus()),
+            metrics_json: Some(snapshot.render_json()),
         }
     }
 

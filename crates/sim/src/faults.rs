@@ -17,8 +17,8 @@
 use std::sync::Arc;
 
 use mayflower_net::{HostId, LinkId, NodeKind, Topology};
-pub use mayflower_simcore::{FaultEvent, FaultSchedule, FaultScheduleParams};
 use mayflower_simcore::SimTime;
+pub use mayflower_simcore::{FaultEvent, FaultSchedule, FaultScheduleParams};
 use serde::{Deserialize, Serialize};
 
 /// A schedule entry resolved against a concrete topology.

@@ -324,17 +324,12 @@ pub fn multipath_ablation(effort: Effort, seed: u64) -> MultipathAblation {
         seed,
         ..ExperimentConfig::default()
     };
-    let results =
-        cfg.run_strategies(&[Strategy::Mayflower, Strategy::MayflowerMultipath]);
+    let results = cfg.run_strategies(&[Strategy::Mayflower, Strategy::MayflowerMultipath]);
     let single = Summary::of(&results[0].durations());
     let split_run = &results[1];
     let split = Summary::of(&split_run.durations());
     let remote = split_run.jobs.iter().filter(|j| !j.local).count();
-    let split_jobs: Vec<_> = split_run
-        .jobs
-        .iter()
-        .filter(|j| j.subflows >= 2)
-        .collect();
+    let split_jobs: Vec<_> = split_run.jobs.iter().filter(|j| j.subflows >= 2).collect();
     let skew: f64 = if split_jobs.is_empty() {
         0.0
     } else {

@@ -37,10 +37,7 @@ impl Tier {
     #[must_use]
     pub fn of(topo: &Topology, link: mayflower_net::LinkId) -> Tier {
         let l = topo.link(link);
-        let kinds = (
-            topo.node(l.src()).kind(),
-            topo.node(l.dst()).kind(),
-        );
+        let kinds = (topo.node(l.src()).kind(), topo.node(l.dst()).kind());
         match kinds {
             (NodeKind::Host, _) | (_, NodeKind::Host) => Tier::Edge,
             (NodeKind::CoreSwitch, _) | (_, NodeKind::CoreSwitch) => Tier::Core,
@@ -126,7 +123,10 @@ pub fn hotspot_report(effort: Effort, seed: u64) -> HotspotReport {
             for link in topo.links() {
                 let carried = usage.get(&link.id()).copied().unwrap_or(0.0);
                 let util = carried / (link.capacity() * makespan);
-                per_tier.entry(Tier::of(&topo, link.id())).or_default().push(util);
+                per_tier
+                    .entry(Tier::of(&topo, link.id()))
+                    .or_default()
+                    .push(util);
             }
             let tiers = [Tier::Edge, Tier::Aggregation, Tier::Core]
                 .into_iter()

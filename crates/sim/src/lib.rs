@@ -45,7 +45,9 @@ pub mod strategy;
 pub mod topologies;
 pub mod writes;
 
-pub use engine::{replay, replay_with_faults, replay_with_usage, JobRecord, ReplayOptions};
+pub use engine::{
+    replay, replay_with_faults, replay_with_telemetry, replay_with_usage, JobRecord, ReplayOptions,
+};
 pub use experiment::{ExperimentConfig, RunResult};
 pub use faults::{FaultAction, FaultEvent, FaultReport, FaultSchedule, FaultScheduleParams};
 pub use monitor::LinkLoadMonitor;

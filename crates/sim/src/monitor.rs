@@ -8,11 +8,21 @@
 //! polling delay**, never simulator ground truth.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mayflower_baselines::LinkLoadView;
 use mayflower_net::{LinkId, NodeKind, Topology};
 use mayflower_simcore::SimTime;
 use mayflower_simnet::FluidNet;
+use mayflower_telemetry::{Counter, Histogram, Scope};
+
+/// Registry-backed counters for the monitor, replacing the ad-hoc
+/// bookkeeping a caller previously had to scrape out of the rate maps.
+#[derive(Debug, Clone)]
+struct MonitorMetrics {
+    samples: Arc<Counter>,
+    link_rate_bps: Arc<Histogram>,
+}
 
 /// Periodically samples link byte counters and exposes measured rates
 /// as a [`LinkLoadView`] for Sinbad-R.
@@ -22,6 +32,7 @@ pub struct LinkLoadMonitor {
     prev_bits: HashMap<LinkId, f64>,
     rates: HashMap<LinkId, f64>,
     last_sample: SimTime,
+    metrics: Option<MonitorMetrics>,
 }
 
 impl LinkLoadMonitor {
@@ -44,7 +55,19 @@ impl LinkLoadMonitor {
             prev_bits: HashMap::new(),
             rates: HashMap::new(),
             last_sample: SimTime::ZERO,
+            metrics: None,
         }
+    }
+
+    /// Homes the monitor's counters in `scope`: `samples_total` counts
+    /// poll cycles, `link_rate_bps` distributes every measured link
+    /// rate. Both record only sim-derived values, so snapshots stay
+    /// byte-stable under a fixed seed.
+    pub fn attach_metrics(&mut self, scope: &Scope) {
+        self.metrics = Some(MonitorMetrics {
+            samples: scope.counter("samples_total"),
+            link_rate_bps: scope.histogram("link_rate_bps"),
+        });
     }
 
     /// Takes one sample: reads cumulative counters from the network and
@@ -55,9 +78,16 @@ impl LinkLoadMonitor {
             let total = net.link_bits(l);
             let prev = self.prev_bits.get(&l).copied().unwrap_or(0.0);
             if dt > 0.0 {
-                self.rates.insert(l, (total - prev).max(0.0) / dt);
+                let rate = (total - prev).max(0.0) / dt;
+                self.rates.insert(l, rate);
+                if let Some(m) = &self.metrics {
+                    m.link_rate_bps.record(rate as u64);
+                }
             }
             self.prev_bits.insert(l, total);
+        }
+        if let Some(m) = &self.metrics {
+            m.samples.inc();
         }
         self.last_sample = now;
     }
@@ -123,5 +153,28 @@ mod tests {
         net.advance_to(SimTime::from_secs(2.0));
         mon.sample(&net, SimTime::from_secs(2.0));
         assert_eq!(mon.load_bps(uplink), 0.0);
+    }
+
+    #[test]
+    fn attached_metrics_count_samples_and_rates() {
+        let topo = Arc::new(mayflower_net::Topology::three_tier(
+            &TreeParams::paper_testbed(),
+        ));
+        let mut net = FluidNet::new(topo.clone());
+        let mut mon = LinkLoadMonitor::new(&topo);
+        let registry = mayflower_telemetry::Registry::new();
+        mon.attach_metrics(&registry.scope("sim").scope("monitor"));
+        let p = topo.shortest_paths(HostId(0), HostId(1))[0].clone();
+        net.add_flow(p, 10e9, SimTime::ZERO);
+        net.advance_to(SimTime::from_secs(1.0));
+        mon.sample(&net, SimTime::from_secs(1.0));
+        mon.sample(&net, SimTime::from_secs(2.0));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim_monitor_samples_total"), Some(2));
+        let rates = snap.histogram("sim_monitor_link_rate_bps").unwrap();
+        // Two samples over every watched link direction.
+        assert_eq!(rates.count, 2 * mon.watched.len() as u64);
+        // The active uplink measured ~1 Gbps in the first interval.
+        assert!(rates.percentile(100.0) >= 999_000_000);
     }
 }

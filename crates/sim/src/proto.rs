@@ -256,10 +256,8 @@ mod tests {
 
     #[test]
     fn prototype_runs_real_filesystem_reads() {
-        let scratch = std::env::temp_dir().join(format!(
-            "mayflower-fig8-test-{}",
-            std::process::id()
-        ));
+        let scratch =
+            std::env::temp_dir().join(format!("mayflower-fig8-test-{}", std::process::id()));
         let fig = figure8(&[0.07], 20, 40, 99, &scratch);
         assert_eq!(fig.points.len(), 3);
         for p in &fig.points {
@@ -285,10 +283,8 @@ mod tests {
 
     #[test]
     fn render_contains_all_systems() {
-        let scratch = std::env::temp_dir().join(format!(
-            "mayflower-fig8-render-{}",
-            std::process::id()
-        ));
+        let scratch =
+            std::env::temp_dir().join(format!("mayflower-fig8-render-{}", std::process::id()));
         let fig = figure8(&[0.07], 10, 20, 3, &scratch);
         let text = render_figure8(&fig);
         for s in ["Mayflower", "HDFS-Mayflower", "HDFS-ECMP", "headline"] {

@@ -3,6 +3,7 @@
 
 use std::fmt::Write as _;
 
+use crate::experiment::RunResult;
 use crate::faults::FaultReport;
 use crate::figures::{Figure4, Figure5, Figure6, Figure7, MultipathAblation};
 use crate::strategy::Strategy;
@@ -194,7 +195,10 @@ pub fn render_figure7(fig: &Figure7) -> String {
 #[must_use]
 pub fn render_multipath(abl: &MultipathAblation) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "§4.3 — reading from multiple replicas (core-heavy locality)");
+    let _ = writeln!(
+        out,
+        "§4.3 — reading from multiple replicas (core-heavy locality)"
+    );
     let _ = writeln!(
         out,
         "single-flow Mayflower:    avg {:.3}s  p95 {:.3}s",
@@ -216,6 +220,29 @@ pub fn render_multipath(abl: &MultipathAblation) -> String {
         "mean subflow finish skew: {:.3}s (paper: <1s at 256 MB)",
         abl.mean_subflow_skew_secs
     );
+    out
+}
+
+/// Renders a run's telemetry section: the Prometheus exposition of
+/// the metric registry every layer (engine, Flowserver, Sinbad's
+/// monitor) recorded into during the replay. All recorded values are
+/// sim-time- or model-derived, so runs with the same config and seed
+/// render to identical bytes.
+#[must_use]
+pub fn render_metrics(result: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Telemetry — {} ({} jobs): registry snapshot in Prometheus text format",
+        result.strategy.label(),
+        result.jobs.len()
+    );
+    match &result.metrics_prometheus {
+        Some(text) => out.push_str(text),
+        None => {
+            let _ = writeln!(out, "(no telemetry recorded for this run)");
+        }
+    }
     out
 }
 
@@ -344,6 +371,35 @@ mod tests {
         );
         // A fault-free report renders the sentinel line.
         assert!(render_fault_report(&crate::FaultReport::default()).contains("fault-free"));
+    }
+
+    #[test]
+    fn metrics_section_renders_every_layer_identically() {
+        use crate::{ExperimentConfig, Strategy};
+        use mayflower_workload::WorkloadParams;
+
+        let cfg = ExperimentConfig {
+            strategy: Strategy::Mayflower,
+            workload: WorkloadParams {
+                job_count: 40,
+                file_count: 30,
+                ..WorkloadParams::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        let a = cfg.run();
+        let text = render_metrics(&a);
+        assert!(text.contains("Telemetry"));
+        assert!(text.contains("sim_jobs_total 40"));
+        assert!(text.contains("flowserver_polls_total"));
+        assert!(text.contains("sim_monitor_samples_total"));
+        assert!(text.contains("sim_completion_mean_us"));
+        let b = cfg.run();
+        assert_eq!(
+            text,
+            render_metrics(&b),
+            "same seed must render identical metric bytes"
+        );
     }
 
     #[test]

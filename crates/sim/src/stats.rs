@@ -109,6 +109,26 @@ impl Summary {
             f64::NAN
         }
     }
+
+    /// Publishes the summary onto a telemetry scope as gauges named
+    /// `{name}_count` / `{name}_mean_us` / `{name}_p50_us` /
+    /// `{name}_p95_us` / `{name}_p99_us` (values in microseconds),
+    /// replacing the ad-hoc counters callers used to keep beside the
+    /// registry. Values are quantized through
+    /// [`mayflower_telemetry::secs_to_us`], so identical summaries
+    /// publish identical gauges.
+    pub fn record_to(&self, scope: &mayflower_telemetry::Scope, name: &str) {
+        let us = |secs: f64| {
+            let v = mayflower_telemetry::secs_to_us(secs);
+            i64::try_from(v).unwrap_or(i64::MAX)
+        };
+        let count = i64::try_from(self.n).unwrap_or(i64::MAX);
+        scope.gauge(&format!("{name}_count")).set(count);
+        scope.gauge(&format!("{name}_mean_us")).set(us(self.mean));
+        scope.gauge(&format!("{name}_p50_us")).set(us(self.p50));
+        scope.gauge(&format!("{name}_p95_us")).set(us(self.p95));
+        scope.gauge(&format!("{name}_p99_us")).set(us(self.p99));
+    }
 }
 
 /// Linear-interpolation percentile (R type 7) of pre-sorted data.
@@ -197,6 +217,18 @@ mod tests {
         assert!((s.mean - 3.0).abs() < 1e-12);
         assert!((s.std_dev - 1.5811388).abs() < 1e-6);
         assert!((s.p50 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_publishes_microsecond_gauges() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let registry = mayflower_telemetry::Registry::new();
+        s.record_to(&registry.scope("sim"), "completion");
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("sim_completion_count"), Some(5));
+        assert_eq!(snap.gauge("sim_completion_mean_us"), Some(3_000_000));
+        assert_eq!(snap.gauge("sim_completion_p50_us"), Some(3_000_000));
+        assert_eq!(snap.gauge("sim_completion_p99_us"), Some(4_960_000));
     }
 
     #[test]

@@ -171,11 +171,7 @@ mod tests {
             let mean = |s: Strategy| {
                 cmp.points
                     .iter()
-                    .find(|p| {
-                        p.topology.starts_with(label)
-                            && p.locality == loc
-                            && p.strategy == s
-                    })
+                    .find(|p| p.topology.starts_with(label) && p.locality == loc && p.strategy == s)
                     .map(|p| p.summary.mean)
                     .expect("point present")
             };

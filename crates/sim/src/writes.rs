@@ -118,14 +118,8 @@ pub fn write_placement_experiment(effort: Effort, seed: u64) -> WriteExperiment 
         .into_iter()
         .map(|policy| {
             let mut run_rng = SimRng::seed_from(seed ^ 0x9E37);
-            let (write_times, read_times) = run_policy(
-                &topo,
-                &matrix,
-                &writes,
-                MB256,
-                policy,
-                &mut run_rng,
-            );
+            let (write_times, read_times) =
+                run_policy(&topo, &matrix, &writes, MB256, policy, &mut run_rng);
             WriteRunResult {
                 policy,
                 write_summary: Summary::of(&write_times),
@@ -211,8 +205,7 @@ fn run_policy(
                     done += 1;
                     continue;
                 }
-                let sel =
-                    fs.select_replica_path(job.client, replicas, matrix.size_of(job), t);
+                let sel = fs.select_replica_path(job.client, replicas, matrix.size_of(job), t);
                 jobs[id].pending = sel.assignments().len();
                 for a in sel.assignments() {
                     let fid = net.add_flow(a.path.clone(), a.size_bits, t);
@@ -234,8 +227,7 @@ fn run_policy(
                         let mut src = writer;
                         for &replica in &replicas {
                             if replica != src {
-                                let sel =
-                                    fs.select_path_for_replica(replica, src, write_bits, t);
+                                let sel = fs.select_path_for_replica(replica, src, write_bits, t);
                                 pipeline.extend(sel.assignments().iter().cloned());
                             }
                             src = replica;

@@ -12,10 +12,10 @@ use proptest::prelude::*;
 
 fn workload_strategy() -> impl proptest::strategy::Strategy<Value = WorkloadParams> {
     (
-        5usize..60,                 // jobs
-        5usize..40,                 // files
-        0.02f64..0.15,              // lambda
-        0.0f64..2.0,                // zipf
+        5usize..60,    // jobs
+        5usize..40,    // files
+        0.02f64..0.15, // lambda
+        0.0f64..2.0,   // zipf
         prop_oneof![
             Just(FileSizeDist::paper_default()),
             Just(FileSizeDist::Uniform { lo: 8e6, hi: 2e9 }),
@@ -28,15 +28,17 @@ fn workload_strategy() -> impl proptest::strategy::Strategy<Value = WorkloadPara
             Just(LocalityDist::uniform()),
         ],
     )
-        .prop_map(|(jobs, files, lambda, zipf, sizes, locality)| WorkloadParams {
-            job_count: jobs,
-            file_count: files,
-            lambda_per_server: lambda,
-            zipf_exponent: zipf,
-            file_sizes: Some(sizes),
-            locality,
-            ..WorkloadParams::default()
-        })
+        .prop_map(
+            |(jobs, files, lambda, zipf, sizes, locality)| WorkloadParams {
+                job_count: jobs,
+                file_count: files,
+                lambda_per_server: lambda,
+                zipf_exponent: zipf,
+                file_sizes: Some(sizes),
+                locality,
+                ..WorkloadParams::default()
+            },
+        )
 }
 
 proptest! {

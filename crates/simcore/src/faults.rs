@@ -235,9 +235,8 @@ mod tests {
             ..FaultScheduleParams::default()
         };
         let s = FaultSchedule::generate(&params, &mut SimRng::seed_from(7));
-        let count = |pred: fn(&FaultEvent) -> bool| {
-            s.entries().iter().filter(|(_, e)| pred(e)).count()
-        };
+        let count =
+            |pred: fn(&FaultEvent) -> bool| s.entries().iter().filter(|(_, e)| pred(e)).count();
         assert_eq!(count(|e| matches!(e, FaultEvent::LinkDown(_))), 3);
         assert_eq!(count(|e| matches!(e, FaultEvent::LinkUp(_))), 3);
         assert_eq!(count(|e| matches!(e, FaultEvent::SwitchDown(_))), 2);

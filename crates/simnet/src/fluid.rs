@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::maxmin::{compute_rates_masked, RoutedFlow};
 
 /// Identifies a flow inside a [`FluidNet`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub u64);
 
 impl std::fmt::Display for FlowId {
@@ -330,10 +328,7 @@ impl FluidNet {
             if self.now >= t {
                 // We are exactly at t; completions at t were collected.
                 // Check for more simultaneous completions.
-                let more = self
-                    .flows
-                    .values()
-                    .any(|f| self.completion_instant(f) <= t);
+                let more = self.flows.values().any(|f| self.completion_instant(f) <= t);
                 if !more {
                     break;
                 }
@@ -437,7 +432,11 @@ mod tests {
         assert!(net.stalled_flows().is_empty());
         let done = net.advance_to(SimTime::from_secs(10.0));
         assert_eq!(done.len(), 1);
-        assert!((done[0].at.as_secs() - 3.0).abs() < 1e-6, "at {}", done[0].at);
+        assert!(
+            (done[0].at.as_secs() - 3.0).abs() < 1e-6,
+            "at {}",
+            done[0].at
+        );
     }
 
     #[test]
@@ -645,7 +644,10 @@ mod tests {
         net.add_flow(path(&topo, 2, 1), 1e9, SimTime::ZERO);
         let done = net.advance_to(SimTime::from_secs(10.0));
         assert_eq!(done.len(), 2);
-        assert!(done[0].at.as_secs() < 1e-6, "1 bit at 0.5 Gbps is instant-ish");
+        assert!(
+            done[0].at.as_secs() < 1e-6,
+            "1 bit at 0.5 Gbps is instant-ish"
+        );
         let first = done[0].at;
         assert!(first >= SimTime::ZERO);
     }

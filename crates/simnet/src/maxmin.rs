@@ -141,7 +141,12 @@ mod tests {
         t.set_rack_edge(RackId(0), sa);
         t.set_rack_edge(RackId(1), sb);
         let mut hosts = Vec::new();
-        for (sw, rack) in [(sa, RackId(0)), (sa, RackId(0)), (sb, RackId(1)), (sb, RackId(1))] {
+        for (sw, rack) in [
+            (sa, RackId(0)),
+            (sa, RackId(0)),
+            (sb, RackId(1)),
+            (sb, RackId(1)),
+        ] {
             let h = t.add_node(NodeKind::Host, Some(rack), Some(PodId(0)));
             let hid = t.register_host(h, rack, PodId(0));
             t.add_duplex_link(h, sw, 10.0);

@@ -1,0 +1,97 @@
+//! Scoped wall-clock span timers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A scoped timer: started against a histogram, it records the
+/// elapsed wall-clock time in microseconds when dropped — so every
+/// exit path of a function (including `?` early returns) is measured.
+///
+/// Spans are for the *live* layers (RPC, filesystem). Simulation code
+/// records sim-time values directly via [`Histogram::record_secs`] so
+/// snapshots stay byte-deterministic.
+///
+/// ```
+/// use mayflower_telemetry::{Histogram, Span};
+/// use std::sync::Arc;
+///
+/// let latency = Arc::new(Histogram::new());
+/// {
+///     let _span = Span::start(latency.clone());
+///     // ... work ...
+/// } // records here
+/// assert_eq!(latency.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl Span {
+    /// Starts timing against `hist`.
+    #[must_use]
+    pub fn start(hist: Arc<Histogram>) -> Span {
+        Span {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Elapsed time so far.
+    #[must_use]
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Discards the span without recording (e.g. when the measured
+    /// operation turned out not to apply).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _s = Span::start(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let h = Arc::new(Histogram::new());
+        let s = Span::start(h.clone());
+        s.cancel();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn span_survives_early_return() {
+        fn faillible(h: &Arc<Histogram>) -> Result<(), ()> {
+            let _s = Span::start(h.clone());
+            Err(())
+        }
+        let h = Arc::new(Histogram::new());
+        let _ = faillible(&h);
+        assert_eq!(h.count(), 1, "error path still measured");
+    }
+}

@@ -145,8 +145,7 @@ mod tests {
             prev = t;
         }
         let mean: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        let var: f64 =
-            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let var: f64 = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
         assert!((mean - 0.5).abs() < 0.02);
         assert!((var.sqrt() - 0.5).abs() < 0.02);
     }

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn log_uniform_spreads_decades() {
-        let d = FileSizeDist::LogUniform { lo: 1.0, hi: 1000.0 };
+        let d = FileSizeDist::LogUniform {
+            lo: 1.0,
+            hi: 1000.0,
+        };
         let mut rng = SimRng::seed_from(3);
         let n = 60_000;
         let mut per_decade = [0usize; 3];
@@ -151,7 +154,10 @@ mod tests {
 
     #[test]
     fn log_uniform_mean_is_analytic() {
-        let d = FileSizeDist::LogUniform { lo: 1.0, hi: std::f64::consts::E };
+        let d = FileSizeDist::LogUniform {
+            lo: 1.0,
+            hi: std::f64::consts::E,
+        };
         // mean = (e − 1) / 1 = 1.718...
         assert!((d.mean() - (std::f64::consts::E - 1.0)).abs() < 1e-12);
         let mut rng = SimRng::seed_from(4);

@@ -1,7 +1,7 @@
 //! Traffic-matrix generation: the full §6.1.1 recipe.
 
-use mayflower_net::Topology;
 use mayflower_net::HostId;
+use mayflower_net::Topology;
 use mayflower_simcore::{SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -100,11 +100,8 @@ impl TrafficMatrix {
             rng,
         );
         let zipf = Zipf::new(params.file_count, params.zipf_exponent);
-        let mut arrivals = PoissonArrivals::per_server(
-            params.lambda_per_server,
-            topo.host_count(),
-            rng.fork(),
-        );
+        let mut arrivals =
+            PoissonArrivals::per_server(params.lambda_per_server, topo.host_count(), rng.fork());
         let mut jobs = Vec::with_capacity(params.job_count);
         for id in 0..params.job_count {
             let arrival = arrivals.next_arrival();
@@ -175,11 +172,7 @@ mod tests {
     fn popular_files_dominate() {
         let (_, m) = generate(3);
         let top_decile = m.files.len() / 10;
-        let hot = m
-            .jobs
-            .iter()
-            .filter(|j| j.file_rank < top_decile)
-            .count();
+        let hot = m.jobs.iter().filter(|j| j.file_rank < top_decile).count();
         // Zipf(1.1) over 400 files puts well over half the mass in the
         // top 10%.
         assert!(

@@ -25,7 +25,10 @@ fn main() {
     let client = HostId(0);
     let replicas = [HostId(20), HostId(36)]; // two different remote pods
 
-    println!("client {client}; replicas {} and {} in two other pods\n", replicas[0], replicas[1]);
+    println!(
+        "client {client}; replicas {} and {} in two other pods\n",
+        replicas[0], replicas[1]
+    );
 
     // --- Single-flow Mayflower -------------------------------------
     let mut single = Flowserver::new(topo.clone(), FlowserverConfig::default());
@@ -75,9 +78,7 @@ fn main() {
         let first = done.iter().map(|c| c.at.as_secs()).fold(f64::MAX, f64::min);
         t_multi - first
     };
-    println!(
-        "              completes in {t_multi:.2} s (subflow finish skew {skew:.3} s)\n"
-    );
+    println!("              completes in {t_multi:.2} s (subflow finish skew {skew:.3} s)\n");
 
     println!(
         "speedup from reading both replicas: {:.2}x (paper §4.3: splits help\n\

@@ -6,8 +6,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use mayflower::fs::{Cluster, ClusterConfig, Consistency, FsError};
 use mayflower::fs::nameserver::NameserverConfig;
+use mayflower::fs::{Cluster, ClusterConfig, Consistency, FsError};
 use mayflower::net::{HostId, Locality, Topology, TreeParams};
 
 fn main() -> Result<(), FsError> {
@@ -56,8 +56,10 @@ fn main() -> Result<(), FsError> {
         writer.append("datasets/edges.csv", row)?;
     }
     let size = writer.meta("datasets/edges.csv")?.size;
-    println!("\nappended 40 rows -> {size} bytes across {} chunks",
-        writer.meta("datasets/edges.csv")?.chunk_count());
+    println!(
+        "\nappended 40 rows -> {size} bytes across {} chunks",
+        writer.meta("datasets/edges.csv")?.chunk_count()
+    );
 
     // A reader on a different pod: its client caches metadata and the
     // nearest-replica selector picks the closest copy.

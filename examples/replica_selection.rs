@@ -42,8 +42,16 @@ fn fig2_topology(fat_first_uplink: bool) -> (Topology, HostId, HostId, Path, Pat
     t.freeze();
     let paths = t.shortest_paths(source, reader);
     let via_a1 = |p: &Path| p.links().iter().any(|&l| t.link(l).dst() == a1);
-    let p1 = paths.iter().find(|p| via_a1(p)).expect("path via a1").clone();
-    let p2 = paths.iter().find(|p| !via_a1(p)).expect("path via a2").clone();
+    let p1 = paths
+        .iter()
+        .find(|p| via_a1(p))
+        .expect("path via a1")
+        .clone();
+    let p2 = paths
+        .iter()
+        .find(|p| !via_a1(p))
+        .expect("path via a2")
+        .clone();
     (t, source, reader, p1, p2)
 }
 
@@ -105,7 +113,10 @@ fn main() {
     let c1f = flow_cost(&topo, &tracker, p1f.links(), 9.0, SimTime::ZERO);
     let c2f = flow_cost(&topo, &tracker, p2f.links(), 9.0, SimTime::ZERO);
     println!("with the first path's edge→agg link at 20 Mbps:");
-    println!("  C1 = {:.2} s (paper: 2.4), C2 = {:.2} s", c1f.cost, c2f.cost);
+    println!(
+        "  C1 = {:.2} s (paper: 2.4), C2 = {:.2} s",
+        c1f.cost, c2f.cost
+    );
     println!("  -> the first path now wins.\n");
 
     println!("== The same decision, end to end through the Flowserver ==\n");

@@ -20,11 +20,18 @@ fn main() -> Result<(), FsError> {
     std::fs::create_dir_all(&dir)?;
 
     let mut ns = ReplicatedNameserver::open(topo, &dir, 3, NameserverConfig::default(), 42)?;
-    println!("replicated nameserver with {} nodes (Paxos, quorum 2)\n", ns.replicas());
+    println!(
+        "replicated nameserver with {} nodes (Paxos, quorum 2)\n",
+        ns.replicas()
+    );
 
     // Normal operation: any node takes mutations; all nodes converge.
     let meta = ns.create(0, "warehouse/events.log")?;
-    println!("created {} via node 0; primary replica on {}", meta.name, meta.primary());
+    println!(
+        "created {} via node 0; primary replica on {}",
+        meta.name,
+        meta.primary()
+    );
     for node in 0..3 {
         let seen = ns.lookup_at(node, "warehouse/events.log")?;
         println!("  node {node} sees uuid {}", seen.id);

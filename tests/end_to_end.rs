@@ -46,12 +46,9 @@ impl ReplicaSelector for FlowserverSelector {
         replicas: &[HostId],
         size_bytes: u64,
     ) -> Vec<ReadAssignment> {
-        let sel = self.fs.select_replica_path(
-            client,
-            replicas,
-            (size_bytes * 8) as f64,
-            SimTime::ZERO,
-        );
+        let sel =
+            self.fs
+                .select_replica_path(client, replicas, (size_bytes * 8) as f64, SimTime::ZERO);
         let out = match &sel {
             // No reachable replica (only possible with down links);
             // answer empty so the client's own failover takes over.

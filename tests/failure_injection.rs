@@ -98,12 +98,9 @@ impl ReplicaSelector for Steered {
         replicas: &[HostId],
         size_bytes: u64,
     ) -> Vec<ReadAssignment> {
-        let sel = self.fs.select_replica_path(
-            client,
-            replicas,
-            (size_bytes * 8) as f64,
-            SimTime::ZERO,
-        );
+        let sel =
+            self.fs
+                .select_replica_path(client, replicas, (size_bytes * 8) as f64, SimTime::ZERO);
         let out = match &sel {
             // No reachable replica: answer empty so a wrapping
             // `FallbackSelector` (or the client's own retry) takes over.
