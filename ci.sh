@@ -14,6 +14,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> recovery chaos experiment (release)"
+cargo test --release -q -p mayflower-sim --test recovery_chaos
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

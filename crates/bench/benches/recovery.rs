@@ -1,0 +1,83 @@
+//! Recovery subsystem benchmarks: failure-detector tick cost at
+//! cluster scale and the end-to-end chaos experiment (kill, detect,
+//! plan, repair) that regenerates the recovery report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use mayflower_net::HostId;
+use mayflower_recovery::{DetectorConfig, FailureDetector};
+use mayflower_sim::{run_recovery_chaos, RecoveryExperimentConfig};
+use mayflower_simcore::SimTime;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "mayflower-bench-recovery-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        TempDir(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// One detector round: every host heartbeats, then deadlines fire.
+/// This is the per-tick control-plane cost of liveness tracking.
+fn bench_detector_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_tick");
+    for hosts in [64usize, 256, 1024] {
+        group.throughput(Throughput::Elements(hosts as u64));
+        group.bench_with_input(BenchmarkId::new("hosts", hosts), &hosts, |b, &hosts| {
+            let mut det =
+                FailureDetector::new((0..hosts as u32).map(HostId), DetectorConfig::default());
+            let mut secs = 0.0f64;
+            b.iter(|| {
+                secs += 1.0;
+                let now = SimTime::from_secs(secs);
+                // Half the cluster heartbeats; the rest drift towards
+                // Suspect/Dead so the tick has transitions to emit.
+                for h in 0..(hosts as u32) / 2 {
+                    det.heartbeat(HostId(h), now);
+                }
+                black_box(det.tick(now).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The full chaos experiment: write files, kill replica holders,
+/// detect the deaths, plan flowserver-scheduled repairs, and drain
+/// the backlog to full replication.
+fn bench_chaos_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_chaos");
+    group.sample_size(10);
+    for (label, enabled) in [("repair_on", true), ("repair_off", false)] {
+        group.bench_function(label, |b| {
+            let cfg = RecoveryExperimentConfig {
+                files: 3,
+                horizon_secs: 12,
+                recovery_enabled: enabled,
+                ..RecoveryExperimentConfig::default()
+            };
+            let mut run = 0u64;
+            b.iter(|| {
+                run += 1;
+                let dir = TempDir::new(&format!("{label}-{run}"));
+                let result = run_recovery_chaos(&cfg, &dir.0).unwrap();
+                black_box(result.health.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector_tick, bench_chaos_run);
+criterion_main!(benches);

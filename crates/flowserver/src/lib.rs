@@ -57,5 +57,5 @@ pub mod server;
 pub mod tracker;
 
 pub use placement::WritePlacement;
-pub use server::{Assignment, Flowserver, FlowserverConfig, Selection};
+pub use server::{Assignment, FlowPriority, Flowserver, FlowserverConfig, Selection};
 pub use tracker::TrackedFlow;

@@ -34,6 +34,8 @@ struct FlowserverMetrics {
     split_rejected: Arc<Counter>,
     tracked_flows: Arc<Gauge>,
     frozen_flows: Arc<Gauge>,
+    /// Background-priority repair-flow selections served.
+    repair_selections: Arc<Counter>,
 }
 
 impl FlowserverMetrics {
@@ -54,6 +56,7 @@ impl FlowserverMetrics {
             split_rejected: scope.counter("split_rejected_total"),
             tracked_flows: scope.gauge("tracked_flows"),
             frozen_flows: scope.gauge("frozen_flows"),
+            repair_selections: scope.counter("repair_selections_total"),
         }
     }
 
@@ -116,6 +119,21 @@ pub struct Assignment {
     pub size_bits: f64,
     /// The Flowserver's bandwidth estimate at selection time.
     pub est_bw: f64,
+}
+
+/// Scheduling class of a flow request (§4's cost model applied to the
+/// control plane's own traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FlowPriority {
+    /// Client reads: minimize the full Eq. 2 cost (own completion
+    /// plus inflicted slowdown).
+    #[default]
+    Foreground,
+    /// Repair / re-replication traffic: minimize the slowdown
+    /// inflicted on existing flows *first* and own completion time
+    /// second, so repair bandwidth is steered away from loaded links
+    /// instead of clobbering client reads.
+    Background,
 }
 
 /// The outcome of a replica selection request.
@@ -370,6 +388,47 @@ impl Flowserver {
         sel
     }
 
+    /// Joint source-replica + path selection for a **repair flow** at
+    /// [`FlowPriority::Background`]: evaluates every live source
+    /// replica × path toward the repair destination with the same
+    /// Eq. 2 machinery as client reads, but ranks candidates by the
+    /// slowdown they inflict on existing flows first. The winning flow
+    /// is installed and tracked like any other; the repair executor
+    /// reports it finished via [`Flowserver::flow_completed`].
+    ///
+    /// Data flows source → destination, so `dest` takes the client
+    /// position in path enumeration. Returns [`Selection::Local`] if a
+    /// source is co-located with the destination (nothing crosses the
+    /// network) and [`Selection::Unavailable`] when every candidate
+    /// path is severed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or `size_bits` is not positive.
+    pub fn select_repair_flow(
+        &mut self,
+        dest: HostId,
+        sources: &[HostId],
+        size_bits: f64,
+        now: SimTime,
+    ) -> Selection {
+        assert!(!sources.is_empty(), "need at least one repair source");
+        assert!(size_bits > 0.0, "repair size must be positive");
+        self.metrics.repair_selections.inc();
+        if sources.contains(&dest) {
+            self.metrics.selections_local.inc();
+            return Selection::Local;
+        }
+        let sel = match self.best_path(dest, sources, size_bits, now, FlowPriority::Background) {
+            Some((source, path, pc)) => {
+                Selection::Single(self.commit(source, path, pc, size_bits, now))
+            }
+            None => Selection::Unavailable,
+        };
+        self.note_selection(&sel);
+        sel
+    }
+
     /// Counts a finished selection by outcome and refreshes gauges.
     fn note_selection(&self, sel: &Selection) {
         match sel {
@@ -404,7 +463,41 @@ impl Flowserver {
         size_bits: f64,
         now: SimTime,
     ) -> Option<(HostId, Path, PathCost)> {
+        self.best_path(client, replicas, size_bits, now, FlowPriority::Foreground)
+    }
+
+    /// [`Flowserver::cheapest_path`] with an explicit priority class.
+    ///
+    /// Foreground flows minimize the full Eq. 2 cost. Background
+    /// (repair) flows rank candidates by the **slowdown inflicted on
+    /// existing flows** first and their own completion time second, so
+    /// repair traffic is steered onto idle links and only competes
+    /// with client reads when every path is loaded.
+    fn best_path(
+        &self,
+        client: HostId,
+        replicas: &[HostId],
+        size_bits: f64,
+        now: SimTime,
+        priority: FlowPriority,
+    ) -> Option<(HostId, Path, PathCost)> {
+        // Ranking key per priority class; compared lexicographically.
+        let key = |pc: &PathCost| -> (f64, f64) {
+            match priority {
+                FlowPriority::Foreground => (pc.cost, 0.0),
+                FlowPriority::Background => {
+                    if pc.est_bw <= 0.0 {
+                        (f64::INFINITY, f64::INFINITY)
+                    } else {
+                        let own = size_bits / pc.est_bw;
+                        // Eq. 2's second term alone: Σ (r/b' − r/b).
+                        (pc.cost - own, own)
+                    }
+                }
+            }
+        };
         let mut best: Option<(HostId, Path, PathCost)> = None;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
         for &replica in replicas {
             if replica == client {
                 continue;
@@ -423,11 +516,9 @@ impl Flowserver {
                     now,
                     self.config.impact_aware,
                 );
-                let better = match &best {
-                    None => pc.cost < f64::INFINITY || best.is_none(),
-                    Some((_, _, b)) => pc.cost < b.cost,
-                };
-                if better {
+                let k = key(&pc);
+                if best.is_none() || k < best_key {
+                    best_key = k;
                     best = Some((replica, path, pc));
                 }
             }
@@ -669,6 +760,44 @@ mod tests {
             panic!("expected single")
         };
         assert_eq!(a.replica, HostId(20), "remote replica must win");
+    }
+
+    #[test]
+    fn repair_flow_is_installed_and_tracked() {
+        let mut fs = server();
+        let sel = fs.select_repair_flow(HostId(0), &[HostId(1), HostId(20)], MB256, SimTime::ZERO);
+        let Selection::Single(a) = sel else {
+            panic!("expected single repair assignment")
+        };
+        assert!(a.est_bw > 0.0);
+        assert_eq!(fs.tracked_flows(), 1);
+        fs.flow_completed(a.cookie);
+        assert_eq!(fs.tracked_flows(), 0);
+    }
+
+    #[test]
+    fn repair_flow_local_source_short_circuits() {
+        let mut fs = server();
+        let sel = fs.select_repair_flow(HostId(4), &[HostId(4), HostId(9)], MB256, SimTime::ZERO);
+        assert!(matches!(sel, Selection::Local));
+        assert_eq!(fs.tracked_flows(), 0);
+    }
+
+    #[test]
+    fn background_priority_yields_to_loaded_links() {
+        let mut fs = server();
+        // Saturate the path toward host 1 (same rack as the dest).
+        for dst in [2u32, 3, 5, 6, 7, 9] {
+            fs.select_path_for_replica(HostId(dst), HostId(1), 10.0 * MB256, SimTime::ZERO);
+        }
+        // Repair sources: hot same-rack host 1 vs idle cross-pod host
+        // 20. Background priority minimizes inflicted slowdown, so the
+        // idle source must win even though it is farther.
+        let sel = fs.select_repair_flow(HostId(0), &[HostId(1), HostId(20)], MB256, SimTime::ZERO);
+        let Selection::Single(a) = sel else {
+            panic!("expected single repair assignment")
+        };
+        assert_eq!(a.replica, HostId(20), "repair must avoid the hot rack");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! mayfs rm     <dir> <name> [--client H]
 //! mayfs serve  <dir> --listen ADDR       # nameserver RPC over TCP
 //! mayfs metrics <dir> [--json] [--client H]
+//! mayfs status <dir> [--json]            # dataserver health + under-replicated files
 //! ```
 //!
 //! The cluster persists across invocations: `init` writes the topology
@@ -30,7 +31,7 @@ use mayflower_rpc::TcpServer;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mayfs <init|create|append|read|stat|ls|rm|serve> <dir> [args]\n\
+        "usage: mayfs <init|create|append|read|stat|ls|rm|serve|metrics|status> <dir> [args]\n\
          run `mayfs help` for details"
     );
     std::process::exit(2);
@@ -131,6 +132,137 @@ fn cmd_init(dir: &Path, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One dataserver's health as `mayfs status` sees it.
+#[derive(serde::Serialize)]
+struct HostStatus {
+    host: u32,
+    state: &'static str,
+    replicas_held: usize,
+    replicas_assigned: usize,
+}
+
+/// One file with fewer on-disk replicas than its metadata demands.
+#[derive(serde::Serialize)]
+struct UnderReplicatedStatus {
+    name: String,
+    live: usize,
+    target: usize,
+    missing_hosts: Vec<u32>,
+}
+
+#[derive(serde::Serialize)]
+struct StatusReport {
+    hosts: Vec<HostStatus>,
+    under_replicated: Vec<UnderReplicatedStatus>,
+}
+
+/// Offline health probe. A fresh process has no heartbeat stream, so
+/// liveness is judged from durable evidence: a host that holds every
+/// replica assigned to it is **live**, one that lost some of them is
+/// **suspect**, and one whose dataserver answers for none of its
+/// assignments — or that the nameserver's liveness registry marks
+/// down — is **dead**. Under-replication is the same comparison from
+/// the file's side, ordered most urgent first like the recovery
+/// tracker's backlog.
+fn cmd_status(dir: &Path, args: &Args) -> Result<(), String> {
+    let cluster = load_cluster(dir)?;
+    let files = cluster.nameserver().list();
+    let down = cluster.nameserver().down_hosts();
+
+    let mut hosts = Vec::new();
+    for host in cluster.topology().hosts() {
+        let ds = cluster.dataserver(host);
+        let mut assigned = 0;
+        let mut held = 0;
+        for meta in &files {
+            if meta.replicas.contains(&host) {
+                assigned += 1;
+                if ds.has_file(meta.id) {
+                    held += 1;
+                }
+            }
+        }
+        let state = if down.contains(&host) || (assigned > 0 && held == 0) {
+            "dead"
+        } else if held < assigned {
+            "suspect"
+        } else {
+            "live"
+        };
+        hosts.push(HostStatus {
+            host: host.0,
+            state,
+            replicas_held: held,
+            replicas_assigned: assigned,
+        });
+    }
+
+    let mut under: Vec<UnderReplicatedStatus> = files
+        .iter()
+        .filter_map(|meta| {
+            let missing: Vec<u32> = meta
+                .replicas
+                .iter()
+                .filter(|r| !cluster.dataserver(**r).has_file(meta.id))
+                .map(|r| r.0)
+                .collect();
+            if missing.is_empty() {
+                return None;
+            }
+            Some(UnderReplicatedStatus {
+                name: meta.name.clone(),
+                live: meta.replicas.len() - missing.len(),
+                target: meta.replicas.len(),
+                missing_hosts: missing,
+            })
+        })
+        .collect();
+    under.sort_by(|a, b| (a.live, &a.name).cmp(&(b.live, &b.name)));
+
+    let report = StatusReport {
+        hosts,
+        under_replicated: under,
+    };
+    if args.flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    let count = |s: &str| report.hosts.iter().filter(|h| h.state == s).count();
+    println!(
+        "dataservers: {} live, {} suspect, {} dead",
+        count("live"),
+        count("suspect"),
+        count("dead")
+    );
+    for h in &report.hosts {
+        if h.state != "live" {
+            println!(
+                "  h{:<4} {:7} holds {}/{} assigned replicas",
+                h.host, h.state, h.replicas_held, h.replicas_assigned
+            );
+        }
+    }
+    println!("under-replicated files: {}", report.under_replicated.len());
+    for u in &report.under_replicated {
+        println!(
+            "  {}  {}/{} live  missing: {}",
+            u.name,
+            u.live,
+            u.target,
+            u.missing_hosts
+                .iter()
+                .map(|h| format!("h{h}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -148,7 +280,8 @@ fn run() -> Result<(), String> {
              ls     <dir>\n\
              rm     <dir> <name> [--client H]\n\
              serve  <dir> --listen ADDR\n\
-             metrics <dir> [--json] [--client H]   # probe files, dump telemetry"
+             metrics <dir> [--json] [--client H]   # probe files, dump telemetry\n\
+             status <dir> [--json]                 # dataserver health + under-replicated files"
         );
         return Ok(());
     }
@@ -280,6 +413,7 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "status" => cmd_status(&dir, &args),
         "serve" => {
             let listen = args
                 .flags

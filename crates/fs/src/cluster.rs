@@ -185,32 +185,34 @@ impl Cluster {
                 "{name}: all replicas lost, cannot re-replicate"
             )));
         };
-        let (data, size) = self.dataserver(source).read_local(meta.id, 0, meta.size)?;
-        debug_assert_eq!(size, meta.size);
 
-        let mut new_hosts = Vec::new();
-        for _ in &dead {
-            // Replacement: any host in a rack not already holding a
-            // replica (the §3.1 no-two-replicas-per-rack constraint).
-            let used_racks: Vec<_> = meta
-                .replicas
-                .iter()
-                .filter(|r| !dead.contains(r) || new_hosts.contains(*r))
-                .chain(new_hosts.iter())
-                .map(|h| self.topo.rack_of(*h))
-                .collect();
-            let candidates: Vec<HostId> = self
-                .topo
-                .hosts()
-                .into_iter()
-                .filter(|h| !used_racks.contains(&self.topo.rack_of(*h)))
-                .collect();
-            let replacement = *rng.choose(&candidates);
-            let mut replica_meta = meta.clone();
-            replica_meta.size = 0;
-            self.dataserver(replacement).create_file(&replica_meta)?;
-            self.dataserver(replacement).append_local(meta.id, &data)?;
-            new_hosts.push(replacement);
+        // Replacements come from the cluster's placement policy, which
+        // re-checks the fault-domain spread of the *whole* final
+        // replica set (§3.1's no-two-replicas-per-rack constraint) —
+        // including the case where the survivors are concentrated in
+        // one rack — and degrades to any live host when too few racks
+        // survive, instead of panicking. Only hosts whose dataserver
+        // is up are eligible: copying onto a crashed server would fail.
+        let eligible: Vec<HostId> = self
+            .topo
+            .hosts()
+            .into_iter()
+            .filter(|h| !meta.replicas.contains(h) && self.dataserver(*h).is_up())
+            .collect();
+        let policy = self.nameserver.config().placement;
+        let new_hosts = policy.replacements(&self.topo, &alive, &eligible, dead.len(), rng);
+        if new_hosts.len() < dead.len() {
+            return Err(FsError::Unavailable(format!(
+                "{name}: only {} of {} replacement hosts available",
+                new_hosts.len(),
+                dead.len()
+            )));
+        }
+        for replacement in &new_hosts {
+            // Dataserver-to-dataserver pull: the destination streams
+            // chunks straight from the surviving source replica.
+            self.dataserver(*replacement)
+                .pull_repair(&**self.dataserver(source), &meta)?;
         }
 
         // Splice the replacements into the replica list, preserving
@@ -232,6 +234,61 @@ impl Cluster {
             let _ = self.dataserver(*r).update_meta(&meta);
         }
         Ok(new_hosts)
+    }
+
+    /// One **targeted** repair step, the unit of work the recovery
+    /// subsystem's throttled executor issues: copy `name` from
+    /// `source` onto `dest` over the dataserver-to-dataserver repair
+    /// RPC and splice `dest` into the replica set in place of the
+    /// first lost replica.
+    ///
+    /// Unlike [`Cluster::repair`], the source and destination are
+    /// decided by the caller — the repair planner picks them jointly
+    /// with a network path by consulting the Flowserver at background
+    /// priority.
+    ///
+    /// Idempotent under the per-file lock: if the file is no longer
+    /// under-replicated (a concurrent repair won the race) or `dest`
+    /// already holds a replica, nothing is copied and `Ok(0)` is
+    /// returned. Returns the number of bytes copied otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Unavailable`] if `source` no longer holds a
+    /// live copy or `dest` is down, and nameserver errors from
+    /// persisting the new mapping.
+    pub fn repair_to(&self, name: &str, source: HostId, dest: HostId) -> Result<u64, FsError> {
+        let meta = self.nameserver.lookup(name)?;
+        let lock = self.coordinator.file_lock(meta.id);
+        let _guard = lock.lock();
+        // Re-read under the lock (a concurrent repair may have won).
+        let mut meta = self.nameserver.lookup(name)?;
+
+        let Some(lost) = meta
+            .replicas
+            .iter()
+            .position(|r| !self.dataserver(*r).has_file(meta.id))
+        else {
+            return Ok(0); // fully replicated again — nothing to do
+        };
+        if meta.replicas.contains(&dest) && self.dataserver(dest).has_file(meta.id) {
+            return Ok(0);
+        }
+        if !self.dataserver(source).has_file(meta.id) {
+            return Err(FsError::Unavailable(format!(
+                "{name}: repair source host {source} lost its copy"
+            )));
+        }
+        let copied = self
+            .dataserver(dest)
+            .pull_repair(&**self.dataserver(source), &meta)?;
+        meta.replicas[lost] = dest;
+        self.nameserver.delete(name)?;
+        self.nameserver.create_exact(&meta)?;
+        for r in &meta.replicas {
+            let _ = self.dataserver(*r).update_meta(&meta);
+        }
+        Ok(copied)
     }
 
     /// Promotes the first live replica to primary when the current

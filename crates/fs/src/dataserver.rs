@@ -344,6 +344,84 @@ impl Dataserver {
         out.sort_by_key(|a| a.id);
         Ok(out)
     }
+
+    /// **Repair pull** (dataserver → dataserver): copies a replica
+    /// from `source` onto this dataserver chunk-by-chunk, creating the
+    /// local directory and stamping the authoritative metadata when
+    /// the copy completes. This is the receiving half of the repair
+    /// RPC — `source` is either a co-resident [`Dataserver`] or a
+    /// remote stub speaking `dataserver.repair_read` over the RPC
+    /// layer.
+    ///
+    /// Idempotent: if this dataserver already holds the file, nothing
+    /// is copied and `Ok(0)` is returned. A mid-copy failure removes
+    /// the partial replica so a retry starts clean.
+    ///
+    /// Returns the number of bytes copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Unavailable`] if either side is down, or the
+    /// source's read errors.
+    pub fn pull_repair(&self, source: &dyn RepairSource, meta: &FileMeta) -> Result<u64, FsError> {
+        self.ensure_up()?;
+        if self.has_file(meta.id) {
+            return Ok(0);
+        }
+        let mut shell = meta.clone();
+        shell.size = 0;
+        self.create_file(&shell)?;
+        let copy = || -> Result<u64, FsError> {
+            let mut copied = 0u64;
+            loop {
+                let (data, total) = source.repair_read(meta.id, copied, meta.chunk_size)?;
+                if !data.is_empty() {
+                    copied += data.len() as u64;
+                    self.append_local(meta.id, &data)?;
+                }
+                if copied >= total || data.is_empty() {
+                    return Ok(copied);
+                }
+            }
+        };
+        match copy() {
+            Ok(copied) => {
+                // Stamp the replica with the copied size so a
+                // nameserver rebuild sees a consistent mapping.
+                let mut stamped = meta.clone();
+                stamped.size = copied;
+                self.update_meta(&stamped)?;
+                Ok(copied)
+            }
+            Err(e) => {
+                let _ = self.delete_file(meta.id);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The source side of the dataserver-to-dataserver repair RPC: a
+/// destination [`Dataserver::pull_repair`] streams chunks through this
+/// trait, so the same pull loop works against a local dataserver
+/// (in-process cluster) or a remote one (the
+/// `dataserver.repair_read` RPC stub in [`crate::remote`]).
+pub trait RepairSource {
+    /// Reads `[offset, offset + len)` of the replica, returning the
+    /// bytes and the replica's current total size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Unavailable`] if the source is down or
+    /// [`FsError::NotFound`] if it does not hold the replica.
+    fn repair_read(&self, id: FileId, offset: u64, len: u64) -> Result<(Vec<u8>, u64), FsError>;
+}
+
+impl RepairSource for Dataserver {
+    fn repair_read(&self, id: FileId, offset: u64, len: u64) -> Result<(Vec<u8>, u64), FsError> {
+        self.ensure_up()?;
+        self.read_local(id, offset, len)
+    }
 }
 
 #[cfg(test)]
@@ -524,6 +602,55 @@ mod tests {
         let (data, size) = ds.read_local(m.id, 0, 100).unwrap();
         assert_eq!(data, b"durable");
         assert_eq!(size, 7);
+    }
+
+    #[test]
+    fn pull_repair_copies_across_chunk_boundaries() {
+        let src_dir = TempDir::new("pull-src");
+        let dst_dir = TempDir::new("pull-dst");
+        let src = Dataserver::open(HostId(0), &src_dir.0).unwrap();
+        let dst = Dataserver::open(HostId(1), &dst_dir.0).unwrap();
+        let mut m = meta(21, 8); // tiny chunks: the pull loops
+        src.create_file(&m).unwrap();
+        let payload = b"twenty-three byte body!";
+        m.size = src.append_local(m.id, payload).unwrap();
+        let copied = dst.pull_repair(&src, &m).unwrap();
+        assert_eq!(copied, payload.len() as u64);
+        let (data, size) = dst.read_local(m.id, 0, 100).unwrap();
+        assert_eq!(data, payload);
+        assert_eq!(size, payload.len() as u64);
+        // Idempotent: a second pull is a no-op.
+        assert_eq!(dst.pull_repair(&src, &m).unwrap(), 0);
+    }
+
+    #[test]
+    fn pull_repair_of_empty_file_creates_shell() {
+        let src_dir = TempDir::new("pull-empty-src");
+        let dst_dir = TempDir::new("pull-empty-dst");
+        let src = Dataserver::open(HostId(0), &src_dir.0).unwrap();
+        let dst = Dataserver::open(HostId(1), &dst_dir.0).unwrap();
+        let m = meta(22, 8);
+        src.create_file(&m).unwrap();
+        assert_eq!(dst.pull_repair(&src, &m).unwrap(), 0);
+        assert!(dst.has_file(m.id));
+    }
+
+    #[test]
+    fn pull_repair_from_downed_source_leaves_no_partial() {
+        let src_dir = TempDir::new("pull-down-src");
+        let dst_dir = TempDir::new("pull-down-dst");
+        let src = Dataserver::open(HostId(0), &src_dir.0).unwrap();
+        let dst = Dataserver::open(HostId(1), &dst_dir.0).unwrap();
+        let mut m = meta(23, 8);
+        src.create_file(&m).unwrap();
+        m.size = src.append_local(m.id, b"payload").unwrap();
+        src.crash();
+        assert!(matches!(
+            dst.pull_repair(&src, &m),
+            Err(FsError::Unavailable(_))
+        ));
+        // The failed pull cleaned up after itself.
+        assert!(!dst.has_file(m.id));
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod types;
 
 pub use client::Client;
 pub use cluster::{Cluster, ClusterConfig};
-pub use dataserver::Dataserver;
+pub use dataserver::{Dataserver, RepairSource};
 pub use error::FsError;
 pub use nameserver::Nameserver;
 pub use selector::{

@@ -16,9 +16,10 @@ use std::sync::Arc;
 
 use mayflower_rpc::{Client as RpcClient, RpcError, Service, Transport};
 
+use crate::dataserver::{Dataserver, RepairSource};
 use crate::error::FsError;
 use crate::nameserver::Nameserver;
-use crate::types::FileMeta;
+use crate::types::{FileId, FileMeta};
 
 /// Server-side adapter: dispatches RPC methods onto a [`Nameserver`].
 pub struct NameserverService {
@@ -130,6 +131,67 @@ impl<T: Transport> RemoteNameserver<T> {
     }
 }
 
+/// Server-side adapter for the dataserver-to-dataserver **repair**
+/// RPC: exposes the chunk-read half of a repair pull
+/// ([`crate::dataserver::RepairSource`]) so a remote dataserver can
+/// re-replicate from this one.
+///
+/// Methods:
+///
+/// | method                   | argument              | result             |
+/// |--------------------------|-----------------------|--------------------|
+/// | `dataserver.repair_read` | `(id, offset, len)`   | `(bytes, size)`    |
+pub struct DataserverRepairService {
+    inner: Arc<Dataserver>,
+}
+
+impl DataserverRepairService {
+    /// Wraps a dataserver.
+    #[must_use]
+    pub fn new(inner: Arc<Dataserver>) -> DataserverRepairService {
+        DataserverRepairService { inner }
+    }
+}
+
+impl Service for DataserverRepairService {
+    fn call(&self, method: &str, body: &[u8]) -> Result<Vec<u8>, RpcError> {
+        match method {
+            "dataserver.repair_read" => {
+                let (id, offset, len): (FileId, u64, u64) = serde_json::from_slice(body)?;
+                let reply = RepairSource::repair_read(&*self.inner, id, offset, len)
+                    .map_err(|e| to_remote(&e))?;
+                Ok(serde_json::to_vec(&reply)?)
+            }
+            other => Err(RpcError::UnknownMethod(other.to_string())),
+        }
+    }
+}
+
+/// Client-side typed stub for a remote repair source: lets a
+/// dataserver [`pull_repair`](Dataserver::pull_repair) from a peer in
+/// another process over the RPC layer.
+pub struct RemoteRepairSource<T> {
+    rpc: RpcClient<T>,
+}
+
+impl<T: Transport> RemoteRepairSource<T> {
+    /// Wraps a transport (in-process or TCP).
+    #[must_use]
+    pub fn new(transport: T) -> RemoteRepairSource<T> {
+        RemoteRepairSource {
+            rpc: RpcClient::new(transport),
+        }
+    }
+}
+
+impl<T: Transport> RepairSource for RemoteRepairSource<T> {
+    fn repair_read(&self, id: FileId, offset: u64, len: u64) -> Result<(Vec<u8>, u64), FsError> {
+        Ok(self
+            .rpc
+            .call("dataserver.repair_read", &(id, offset, len))?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +246,62 @@ mod tests {
         let remote = RemoteNameserver::new(InProcTransport::new(service));
         let err = remote.lookup("missing").unwrap_err();
         assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn repair_pull_over_inproc_rpc() {
+        use mayflower_net::HostId;
+
+        let dir = TempDir::new("repair-rpc");
+        let src = Arc::new(Dataserver::open(HostId(0), &dir.0.join("src")).unwrap());
+        let dst = Dataserver::open(HostId(1), &dir.0.join("dst")).unwrap();
+        let mut meta = FileMeta {
+            id: FileId(0xA11CE),
+            name: "repair/rpc".into(),
+            chunk_size: 8,
+            size: 0,
+            replicas: vec![HostId(0)],
+        };
+        src.create_file(&meta).unwrap();
+        meta.size = src.append_local(meta.id, b"pulled over the wire").unwrap();
+
+        let service = Arc::new(DataserverRepairService::new(src.clone()));
+        let remote = RemoteRepairSource::new(InProcTransport::new(service));
+        let copied = dst.pull_repair(&remote, &meta).unwrap();
+        assert_eq!(copied, meta.size);
+        let (data, _) = dst.read_local(meta.id, 0, meta.size).unwrap();
+        assert_eq!(data, b"pulled over the wire");
+    }
+
+    #[test]
+    fn repair_pull_over_real_tcp() {
+        use mayflower_net::HostId;
+
+        let dir = TempDir::new("repair-tcp");
+        let src = Arc::new(Dataserver::open(HostId(0), &dir.0.join("src")).unwrap());
+        let dst = Dataserver::open(HostId(1), &dir.0.join("dst")).unwrap();
+        let mut meta = FileMeta {
+            id: FileId(0xB0B),
+            name: "repair/tcp".into(),
+            chunk_size: 4,
+            size: 0,
+            replicas: vec![HostId(0)],
+        };
+        src.create_file(&meta).unwrap();
+        meta.size = src.append_local(meta.id, b"tcp repair body").unwrap();
+
+        let service = Arc::new(DataserverRepairService::new(src.clone()));
+        let mut server = TcpServer::bind("127.0.0.1:0", service).unwrap();
+        let remote = RemoteRepairSource::new(TcpTransport::connect(server.local_addr()).unwrap());
+        assert_eq!(dst.pull_repair(&remote, &meta).unwrap(), meta.size);
+        // A crashed source surfaces as a retryable remote error.
+        src.crash();
+        let other = FileMeta {
+            id: FileId(0xB0C),
+            ..meta.clone()
+        };
+        assert!(dst.pull_repair(&remote, &other).is_err());
+        server.shutdown();
     }
 
     #[test]

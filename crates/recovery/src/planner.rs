@@ -1,0 +1,300 @@
+//! Prioritized repair planning: joint destination, source-replica and
+//! path selection.
+//!
+//! For every under-replicated file — already sorted most urgent first
+//! by the [`tracker`](crate::tracker) — the planner makes two
+//! decisions:
+//!
+//! * **Where to rebuild**: replacement destinations come from the
+//!   cluster's [`PlacementPolicy::replacements`], so a repaired file
+//!   satisfies the same rack/pod spread invariants a fresh write
+//!   would (HDFS-style, paper §3.1), degrading gracefully when few
+//!   racks survive.
+//! * **From where, over which path**: the Flowserver is consulted
+//!   with [`Flowserver::select_repair_flow`] at
+//!   [`FlowPriority::Background`](mayflower_flowserver::FlowPriority),
+//!   so repair traffic jointly picks the source replica and network
+//!   path that least slows down foreground reads (the paper's Eq. 2
+//!   inflicted-cost term, minimized first).
+//!
+//! If the Flowserver reports every path down, the planner still
+//! emits a task with the first live replica as source and no flow
+//! cookie — restoring durability beats respecting a stale network
+//! view.
+
+use mayflower_flowserver::{Flowserver, Selection};
+use mayflower_fs::FileId;
+use mayflower_net::{HostId, Topology};
+use mayflower_sdn::FlowCookie;
+use mayflower_simcore::{SimRng, SimTime};
+use mayflower_workload::PlacementPolicy;
+use serde::{Deserialize, Serialize};
+
+use crate::tracker::UnderReplicated;
+
+/// One repair the executor should perform: copy `bytes` of file
+/// `name` from `source` onto `dest`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairTask {
+    /// The user-visible file name (the nameserver commit key).
+    pub name: String,
+    /// The file's UUID (the pull RPC key).
+    pub id: FileId,
+    /// The live replica the data is pulled from.
+    pub source: HostId,
+    /// The host that will hold the rebuilt replica.
+    pub dest: HostId,
+    /// Bytes to copy.
+    pub bytes: u64,
+    /// The installed background flow, when the Flowserver granted a
+    /// path; `None` means the planner fell back to the first live
+    /// replica without network scheduling.
+    pub cookie: Option<FlowCookie>,
+    /// The Flowserver's bandwidth estimate for the repair flow, in
+    /// bits/sec (0.0 for unscheduled fallbacks).
+    pub est_bw: f64,
+}
+
+impl RepairTask {
+    /// The report-friendly record of this task.
+    #[must_use]
+    pub fn record(&self, at: SimTime) -> PlannedRepair {
+        PlannedRepair {
+            at,
+            file: self.name.clone(),
+            source: self.source,
+            dest: self.dest,
+            bytes: self.bytes,
+            flow_scheduled: self.cookie.is_some(),
+        }
+    }
+}
+
+/// A serializable record of one planning decision, kept in the
+/// [`RecoveryReport`](crate::report::RecoveryReport).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedRepair {
+    /// When the repair was planned.
+    pub at: SimTime,
+    /// The file being repaired.
+    pub file: String,
+    /// Chosen source replica.
+    pub source: HostId,
+    /// Chosen destination host.
+    pub dest: HostId,
+    /// Bytes to copy.
+    pub bytes: u64,
+    /// Whether the Flowserver installed a background flow for the
+    /// copy (false = unscheduled fallback).
+    pub flow_scheduled: bool,
+}
+
+/// Turns the under-replicated backlog into an ordered list of
+/// [`RepairTask`]s.
+#[derive(Debug)]
+pub struct RepairPlanner {
+    policy: PlacementPolicy,
+}
+
+impl RepairPlanner {
+    /// Creates a planner that places replacements with `policy` — use
+    /// the same policy the cluster writes with, so repairs preserve
+    /// the placement invariants.
+    #[must_use]
+    pub fn new(policy: PlacementPolicy) -> RepairPlanner {
+        RepairPlanner { policy }
+    }
+
+    /// Plans repairs for `under` (must already be urgency-ordered).
+    ///
+    /// `usable` is the detector's not-confirmed-dead host set; hosts
+    /// already in a file's replica list are never chosen as its
+    /// destination. Each destination gets its own
+    /// [`select_repair_flow`](Flowserver::select_repair_flow) call so
+    /// concurrent repairs see each other's background flows. Files
+    /// with no live replica at all are skipped — nothing can restore
+    /// them (the caller counts them as lost).
+    pub fn plan(
+        &self,
+        topo: &Topology,
+        under: &[UnderReplicated],
+        usable: &[HostId],
+        flowserver: &mut Flowserver,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Vec<RepairTask> {
+        let mut tasks = Vec::new();
+        for file in under {
+            if file.live.is_empty() {
+                continue;
+            }
+            let eligible: Vec<HostId> = usable
+                .iter()
+                .copied()
+                .filter(|h| !file.replicas.contains(h))
+                .collect();
+            let dests = self
+                .policy
+                .replacements(topo, &file.live, &eligible, file.missing(), rng);
+            // Each replica holds the full file, so a repair copies
+            // `size` bytes; the flow model needs a positive size even
+            // for empty files (metadata-only shells still move).
+            let size_bits = (file.size as f64 * 8.0).max(1.0);
+            for dest in dests {
+                let (source, cookie, est_bw) =
+                    match flowserver.select_repair_flow(dest, &file.live, size_bits, now) {
+                        Selection::Single(a) => (a.replica, Some(a.cookie), a.est_bw),
+                        // Local is impossible (dest is never a current
+                        // replica) and Split is never produced for
+                        // repairs; both fall back like Unavailable.
+                        _ => (file.live[0], None, 0.0),
+                    };
+                tasks.push(RepairTask {
+                    name: file.name.clone(),
+                    id: file.id,
+                    source,
+                    dest,
+                    bytes: file.size,
+                    cookie,
+                    est_bw,
+                });
+            }
+        }
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use mayflower_flowserver::FlowserverConfig;
+    use mayflower_net::TreeParams;
+
+    use super::*;
+
+    fn topo() -> Arc<Topology> {
+        Arc::new(Topology::three_tier(&TreeParams::paper_testbed()))
+    }
+
+    fn under(name: &str, size: u64, replicas: &[u32], dead: &[u32]) -> UnderReplicated {
+        let replicas: Vec<HostId> = replicas.iter().copied().map(HostId).collect();
+        let live: Vec<HostId> = replicas
+            .iter()
+            .copied()
+            .filter(|h| !dead.contains(&h.0))
+            .collect();
+        UnderReplicated {
+            name: name.to_string(),
+            id: FileId(7),
+            size,
+            target: replicas.len(),
+            live,
+            replicas,
+        }
+    }
+
+    fn usable(topo: &Topology, dead: &[u32]) -> Vec<HostId> {
+        topo.hosts()
+            .into_iter()
+            .filter(|h| !dead.contains(&h.0))
+            .collect()
+    }
+
+    #[test]
+    fn plans_scheduled_repairs_preserving_spread() {
+        let topo = topo();
+        let mut fsrv = Flowserver::new(Arc::clone(&topo), FlowserverConfig::default());
+        let planner = RepairPlanner::new(PlacementPolicy::HdfsRackAware);
+        let mut rng = SimRng::seed_from(5);
+        let dead = [0u32, 5];
+        let file = under("files/a", 1 << 20, &[0, 5, 10], &dead);
+        let tasks = planner.plan(
+            &topo,
+            &[file.clone()],
+            &usable(&topo, &dead),
+            &mut fsrv,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(tasks.len(), 2);
+        let mut racks: Vec<_> = file.live.iter().map(|h| topo.rack_of(*h)).collect();
+        for t in &tasks {
+            assert!(file.live.contains(&t.source), "source must be live");
+            assert!(!file.replicas.contains(&t.dest), "dest must be new");
+            assert!(t.cookie.is_some(), "idle fabric must schedule the flow");
+            assert!(t.est_bw > 0.0);
+            assert_eq!(t.bytes, file.size);
+            // Rack-aware spread: each new replica lands in a rack not
+            // already used by the kept + previously chosen set.
+            let r = topo.rack_of(t.dest);
+            assert!(!racks.contains(&r), "rack {r:?} reused");
+            racks.push(r);
+        }
+        // Both flows are now tracked by the flowserver.
+        assert_eq!(fsrv.tracked_flows(), 2);
+    }
+
+    #[test]
+    fn skips_files_with_no_live_replica() {
+        let topo = topo();
+        let mut fsrv = Flowserver::new(Arc::clone(&topo), FlowserverConfig::default());
+        let planner = RepairPlanner::new(PlacementPolicy::HdfsRackAware);
+        let mut rng = SimRng::seed_from(5);
+        let dead = [0u32, 5, 10];
+        let file = under("files/lost", 1024, &[0, 5, 10], &dead);
+        let tasks = planner.plan(
+            &topo,
+            &[file],
+            &usable(&topo, &dead),
+            &mut fsrv,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(tasks.is_empty());
+        assert_eq!(fsrv.tracked_flows(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let topo = topo();
+        let dead = [3u32];
+        let mk = || {
+            let mut fsrv = Flowserver::new(Arc::clone(&topo), FlowserverConfig::default());
+            let planner = RepairPlanner::new(PlacementPolicy::HdfsRackAware);
+            let mut rng = SimRng::seed_from(42);
+            planner.plan(
+                &topo,
+                &[under("files/x", 4096, &[3, 8, 13], &dead)],
+                &usable(&topo, &dead),
+                &mut fsrv,
+                SimTime::from_secs(1.0),
+                &mut rng,
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn empty_files_still_plan_with_unit_flow() {
+        let topo = topo();
+        let mut fsrv = Flowserver::new(Arc::clone(&topo), FlowserverConfig::default());
+        let planner = RepairPlanner::new(PlacementPolicy::HdfsRackAware);
+        let mut rng = SimRng::seed_from(9);
+        let dead = [2u32];
+        let tasks = planner.plan(
+            &topo,
+            &[under("files/empty", 0, &[2, 7, 12], &dead)],
+            &usable(&topo, &dead),
+            &mut fsrv,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].bytes, 0);
+        assert!(tasks[0].cookie.is_some());
+        let rec = tasks[0].record(SimTime::from_secs(2.0));
+        assert!(rec.flow_scheduled);
+        assert_eq!(rec.file, "files/empty");
+    }
+}

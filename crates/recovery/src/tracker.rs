@@ -1,0 +1,216 @@
+//! Under-replication tracking: nameserver metadata × detector state.
+//!
+//! The tracker derives, on demand, the set of files whose replica
+//! list contains hosts the [`FailureDetector`] has confirmed dead.
+//! Only **confirmed** deaths count as lost replicas — a suspect host
+//! still holds its data as far as anyone knows, and repairing on
+//! suspicion would turn every transient stall into a re-replication
+//! storm. The result is ordered most urgent first: fewest live
+//! replicas, then file name, so the planner drains the files closest
+//! to data loss before merely degraded ones.
+
+use std::sync::Arc;
+
+use mayflower_fs::{FileId, Nameserver};
+use mayflower_net::HostId;
+use mayflower_telemetry::{Gauge, Scope};
+
+use crate::detector::FailureDetector;
+
+/// One file with fewer live replicas than its metadata demands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnderReplicated {
+    /// The user-visible file name.
+    pub name: String,
+    /// The file's UUID (used by the repair pull RPC).
+    pub id: FileId,
+    /// Current size in bytes — the amount a repair must copy.
+    pub size: u64,
+    /// The full replica set from the nameserver, dead hosts included.
+    pub replicas: Vec<HostId>,
+    /// The subset of `replicas` not confirmed dead, in replica order.
+    pub live: Vec<HostId>,
+    /// The replication target (the metadata replica count).
+    pub target: usize,
+}
+
+impl UnderReplicated {
+    /// How many replicas must be re-created to reach the target.
+    #[must_use]
+    pub fn missing(&self) -> usize {
+        self.target.saturating_sub(self.live.len())
+    }
+}
+
+/// Scans nameserver metadata against detector verdicts and exposes
+/// the under-replicated backlog as a gauge.
+#[derive(Debug, Default)]
+pub struct ReplicationTracker {
+    under_gauge: Option<Arc<Gauge>>,
+}
+
+impl ReplicationTracker {
+    /// Creates a tracker with no telemetry attached.
+    #[must_use]
+    pub fn new() -> ReplicationTracker {
+        ReplicationTracker::default()
+    }
+
+    /// Attaches the `under_replicated_files` gauge, updated on every
+    /// [`scan`](ReplicationTracker::scan).
+    pub fn attach_metrics(&mut self, scope: &Scope) {
+        self.under_gauge = Some(scope.gauge("under_replicated_files"));
+    }
+
+    /// Computes the under-replicated set: every file whose live
+    /// replica count (per `detector`) is below its metadata target,
+    /// ordered by `(live count, name)` — most urgent first.
+    pub fn scan(
+        &self,
+        nameserver: &Nameserver,
+        detector: &FailureDetector,
+    ) -> Vec<UnderReplicated> {
+        let mut out: Vec<UnderReplicated> = nameserver
+            .list()
+            .into_iter()
+            .filter_map(|meta| {
+                let live: Vec<HostId> = meta
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|h| detector.is_live(*h))
+                    .collect();
+                if live.len() >= meta.replicas.len() {
+                    return None;
+                }
+                Some(UnderReplicated {
+                    name: meta.name.clone(),
+                    id: meta.id,
+                    size: meta.size,
+                    target: meta.replicas.len(),
+                    live,
+                    replicas: meta.replicas,
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| (a.live.len(), &a.name).cmp(&(b.live.len(), &b.name)));
+        if let Some(g) = &self.under_gauge {
+            g.set(out.len() as i64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use mayflower_net::{Topology, TreeParams};
+    use mayflower_simcore::SimTime;
+
+    use super::*;
+    use crate::detector::DetectorConfig;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mayfs-tracker-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn scan_orders_by_urgency_and_counts_only_confirmed_deaths() {
+        let dir = temp_dir("scan");
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let ns = Nameserver::open(Arc::clone(&topo), &dir, Default::default()).unwrap();
+        let a = ns.create("files/a").unwrap();
+        let b = ns.create("files/b").unwrap();
+        ns.record_size("files/a", 64).unwrap();
+
+        let mut det = FailureDetector::new(topo.hosts(), DetectorConfig::default());
+        // Everything live: nothing under-replicated.
+        let tracker = ReplicationTracker::new();
+        assert!(tracker.scan(&ns, &det).is_empty());
+
+        // Kill two of b's replicas and one of a's by silencing them.
+        let now = SimTime::from_secs(10.0);
+        for h in topo.hosts() {
+            let dead = h == b.replicas[0] || h == b.replicas[1] || h == a.replicas[0];
+            if !dead {
+                det.heartbeat(h, now);
+            }
+        }
+        det.tick(now);
+
+        let under = tracker.scan(&ns, &det);
+        assert_eq!(under.len(), 2);
+        // Most urgent (fewest live replicas) first; ties by name.
+        assert!(under
+            .windows(2)
+            .all(|w| (w[0].live.len(), &w[0].name) <= (w[1].live.len(), &w[1].name)));
+        let ua = under.iter().find(|u| u.name == "files/a").unwrap();
+        assert_eq!(ua.size, 64);
+        assert_eq!(ua.target, ua.replicas.len());
+        assert!(ua.missing() >= 1);
+        assert!(ua.live.iter().all(|h| det.is_live(*h)));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn suspects_do_not_count_as_lost() {
+        let dir = temp_dir("suspect");
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let ns = Nameserver::open(Arc::clone(&topo), &dir, Default::default()).unwrap();
+        let a = ns.create("files/a").unwrap();
+
+        let mut det = FailureDetector::new(topo.hosts(), DetectorConfig::default());
+        // Silence one replica just long enough to be suspect, not dead.
+        let now = SimTime::from_secs(3.0);
+        for h in topo.hosts() {
+            if h != a.replicas[0] {
+                det.heartbeat(h, now);
+            }
+        }
+        det.tick(now);
+        assert_eq!(
+            det.state(a.replicas[0]),
+            crate::detector::HealthState::Suspect
+        );
+        assert!(ReplicationTracker::new().scan(&ns, &det).is_empty());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gauge_tracks_backlog() {
+        let dir = temp_dir("gauge");
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let ns = Nameserver::open(Arc::clone(&topo), &dir, Default::default()).unwrap();
+        let a = ns.create("files/a").unwrap();
+
+        let reg = mayflower_telemetry::Registry::new();
+        let mut tracker = ReplicationTracker::new();
+        tracker.attach_metrics(&reg.scope("recovery"));
+
+        let mut det = FailureDetector::new(topo.hosts(), DetectorConfig::default());
+        let now = SimTime::from_secs(10.0);
+        for h in topo.hosts() {
+            if h != a.replicas[0] {
+                det.heartbeat(h, now);
+            }
+        }
+        det.tick(now);
+        tracker.scan(&ns, &det);
+        assert_eq!(
+            reg.snapshot().gauge("recovery_under_replicated_files"),
+            Some(1)
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -38,6 +38,7 @@ pub mod figures;
 pub mod hotspots;
 pub mod monitor;
 pub mod proto;
+pub mod recovery;
 pub mod report;
 pub mod scale;
 pub mod stats;
@@ -51,5 +52,6 @@ pub use engine::{
 pub use experiment::{ExperimentConfig, RunResult};
 pub use faults::{FaultAction, FaultEvent, FaultReport, FaultSchedule, FaultScheduleParams};
 pub use monitor::LinkLoadMonitor;
+pub use recovery::{run_recovery_chaos, HealthSample, RecoveryExperimentConfig, RecoveryRunResult};
 pub use stats::{fieller_ratio_ci, percentile, RatioCi, Summary};
 pub use strategy::Strategy;

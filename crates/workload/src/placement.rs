@@ -54,6 +54,83 @@ impl PlacementPolicy {
         replicas
     }
 
+    /// Chooses up to `n` replacement hosts for a repair, re-checking
+    /// the policy's fault-domain spread against the **whole** final
+    /// replica set (`keep` plus every replacement chosen so far), not
+    /// just the host being replaced. Candidates are restricted to
+    /// `eligible` — the hosts the caller knows to be alive and not
+    /// already holding a replica.
+    ///
+    /// Preference order per replacement:
+    ///
+    /// 1. [`PlacementPolicy::PaperEval`] only: a pod no kept or chosen
+    ///    replica occupies.
+    /// 2. A rack no kept or chosen replica occupies (the §3.1
+    ///    no-two-replicas-per-rack constraint).
+    /// 3. Any eligible host — when the surviving racks are too few to
+    ///    spread further, degrade to restoring the replication factor
+    ///    rather than failing.
+    ///
+    /// Returns fewer than `n` hosts (possibly none) when `eligible`
+    /// runs out; never panics.
+    pub fn replacements(
+        self,
+        topo: &Topology,
+        keep: &[HostId],
+        eligible: &[HostId],
+        n: usize,
+        rng: &mut SimRng,
+    ) -> Vec<HostId> {
+        let mut chosen: Vec<HostId> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let taken: Vec<HostId> = keep.iter().chain(chosen.iter()).copied().collect();
+            match self.pick_replacement(topo, &taken, eligible, rng) {
+                Some(h) => chosen.push(h),
+                None => break,
+            }
+        }
+        chosen
+    }
+
+    /// One tiered replacement pick; see [`PlacementPolicy::replacements`].
+    fn pick_replacement(
+        self,
+        topo: &Topology,
+        taken: &[HostId],
+        eligible: &[HostId],
+        rng: &mut SimRng,
+    ) -> Option<HostId> {
+        let free: Vec<HostId> = eligible
+            .iter()
+            .copied()
+            .filter(|h| !taken.contains(h))
+            .collect();
+        if free.is_empty() {
+            return None;
+        }
+        if self == PlacementPolicy::PaperEval {
+            let used_pods: Vec<_> = taken.iter().map(|h| topo.pod_of(*h)).collect();
+            let other_pod: Vec<HostId> = free
+                .iter()
+                .copied()
+                .filter(|h| !used_pods.contains(&topo.pod_of(*h)))
+                .collect();
+            if !other_pod.is_empty() {
+                return Some(*rng.choose(&other_pod));
+            }
+        }
+        let used_racks: Vec<_> = taken.iter().map(|h| topo.rack_of(*h)).collect();
+        let other_rack: Vec<HostId> = free
+            .iter()
+            .copied()
+            .filter(|h| !used_racks.contains(&topo.rack_of(*h)))
+            .collect();
+        if !other_rack.is_empty() {
+            return Some(*rng.choose(&other_rack));
+        }
+        Some(*rng.choose(&free))
+    }
+
     fn pick_same_rack(topo: &Topology, primary: HostId, rng: &mut SimRng) -> HostId {
         let rack = topo.rack_of(primary);
         let candidates: Vec<HostId> = topo
@@ -191,6 +268,87 @@ mod tests {
         let t = topo();
         let mut rng = SimRng::seed_from(5);
         let _ = PlacementPolicy::PaperEval.place(&t, 0, &mut rng);
+    }
+
+    #[test]
+    fn replacements_prefer_unused_racks() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(7);
+        for _ in 0..100 {
+            let survivors = PlacementPolicy::HdfsRackAware.place(&t, 2, &mut rng);
+            let eligible: Vec<HostId> = t
+                .hosts()
+                .into_iter()
+                .filter(|h| !survivors.contains(h))
+                .collect();
+            let picked =
+                PlacementPolicy::HdfsRackAware.replacements(&t, &survivors, &eligible, 2, &mut rng);
+            assert_eq!(picked.len(), 2);
+            let survivor_racks: Vec<_> = survivors.iter().map(|h| t.rack_of(*h)).collect();
+            // Plenty of racks here, so both replacements land in racks
+            // unused by survivors and by each other.
+            assert!(!survivor_racks.contains(&t.rack_of(picked[0])));
+            assert!(!survivor_racks.contains(&t.rack_of(picked[1])));
+            assert_ne!(t.rack_of(picked[0]), t.rack_of(picked[1]));
+        }
+    }
+
+    #[test]
+    fn replacements_degrade_when_racks_are_scarce() {
+        // Single pod, two racks, two hosts each: survivors cover both
+        // racks, so the tier-2 rack filter is empty and the picker must
+        // fall back to any distinct eligible host instead of failing.
+        let t = Topology::three_tier(&TreeParams {
+            pods: 1,
+            racks_per_pod: 2,
+            hosts_per_rack: 2,
+            ..TreeParams::paper_testbed()
+        });
+        let mut rng = SimRng::seed_from(8);
+        let hosts = t.hosts();
+        let survivors = vec![hosts[0], hosts[2]]; // one per rack
+        let eligible: Vec<HostId> = hosts
+            .iter()
+            .copied()
+            .filter(|h| !survivors.contains(h))
+            .collect();
+        let picked =
+            PlacementPolicy::HdfsRackAware.replacements(&t, &survivors, &eligible, 1, &mut rng);
+        assert_eq!(picked.len(), 1);
+        assert!(!survivors.contains(&picked[0]));
+    }
+
+    #[test]
+    fn replacements_exhaust_gracefully() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(9);
+        let keep = vec![t.hosts()[0]];
+        // Only one eligible host but two losses: return what exists.
+        let picked =
+            PlacementPolicy::PaperEval.replacements(&t, &keep, &[t.hosts()[1]], 2, &mut rng);
+        assert_eq!(picked, vec![t.hosts()[1]]);
+        // No eligible hosts at all: empty, no panic.
+        let picked = PlacementPolicy::PaperEval.replacements(&t, &keep, &[], 2, &mut rng);
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn paper_eval_replacements_prefer_unused_pods() {
+        let t = topo();
+        let mut rng = SimRng::seed_from(10);
+        for _ in 0..100 {
+            let survivors = PlacementPolicy::PaperEval.place(&t, 2, &mut rng);
+            let eligible: Vec<HostId> = t
+                .hosts()
+                .into_iter()
+                .filter(|h| !survivors.contains(h))
+                .collect();
+            let picked =
+                PlacementPolicy::PaperEval.replacements(&t, &survivors, &eligible, 1, &mut rng);
+            let used_pods: Vec<_> = survivors.iter().map(|h| t.pod_of(*h)).collect();
+            // 4 pods, survivors share one pod: a fresh pod exists.
+            assert!(!used_pods.contains(&t.pod_of(picked[0])));
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`sdn`] | OpenFlow-style fabric, flow rules, stats polling |
 //! | [`flowserver`] | the paper's contribution: cost-based replica–path selection |
 //! | [`fs`] | the distributed filesystem: nameserver, dataservers, client |
+//! | [`recovery`] | failure detection, prioritized re-replication, repair scheduling |
 //! | [`kvstore`] | persistent KV store backing the nameserver (LevelDB substitute) |
 //! | [`consensus`] | Paxos replicated log (fault-tolerant nameserver extension) |
 //! | [`rpc`] | control-message transport (Thrift substitute) |
@@ -59,6 +60,7 @@ pub use mayflower_flowserver as flowserver;
 pub use mayflower_fs as fs;
 pub use mayflower_kvstore as kvstore;
 pub use mayflower_net as net;
+pub use mayflower_recovery as recovery;
 pub use mayflower_rpc as rpc;
 pub use mayflower_sdn as sdn;
 pub use mayflower_sim as sim;
