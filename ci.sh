@@ -17,6 +17,12 @@ cargo test -q
 echo "==> recovery chaos experiment (release)"
 cargo test --release -q -p mayflower-sim --test recovery_chaos
 
+echo "==> cargo bench --no-run --workspace (benches must compile)"
+cargo bench --no-run --workspace
+
+echo "==> selection fast-path perf smoke (writes BENCH_selection.json)"
+cargo run --release -q -p mayflower-bench --bin selection_smoke
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

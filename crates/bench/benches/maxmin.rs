@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
-use mayflower_net::fairshare::{new_flow_share, waterfill};
+use mayflower_net::fairshare::{
+    new_flow_share, new_flow_share_into, waterfill, waterfill_into, FairshareScratch,
+};
 use mayflower_net::{HostId, Path, Topology, TreeParams};
 use mayflower_simcore::SimRng;
 use mayflower_simnet::{compute_rates, RoutedFlow};
@@ -56,6 +58,28 @@ fn bench_waterfill(c: &mut Criterion) {
             &demands,
             |b, demands| {
                 b.iter(|| new_flow_share(black_box(100.0), black_box(demands)));
+            },
+        );
+        // Allocation-free variants with buffers reused across
+        // iterations — the Flowserver's steady-state usage.
+        group.bench_with_input(
+            BenchmarkId::new("waterfill_into", n),
+            &demands,
+            |b, demands| {
+                let mut alloc = Vec::new();
+                let mut order = Vec::new();
+                b.iter(|| {
+                    waterfill_into(black_box(100.0), black_box(demands), &mut alloc, &mut order);
+                    alloc.last().copied()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("new_flow_share_into", n),
+            &demands,
+            |b, demands| {
+                let mut scratch = FairshareScratch::default();
+                b.iter(|| new_flow_share_into(black_box(100.0), black_box(demands), &mut scratch));
             },
         );
     }

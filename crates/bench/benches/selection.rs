@@ -8,6 +8,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 use mayflower_baselines::{nearest_replica, SinbadR, StaticLoads};
+use mayflower_flowserver::cost::flow_cost_opts;
 use mayflower_flowserver::{Flowserver, FlowserverConfig};
 use mayflower_net::{ecmp_path, FlowKey, HostId, Topology, TreeParams};
 use mayflower_simcore::{SimRng, SimTime};
@@ -45,7 +46,7 @@ fn loaded_flowserver(topo: &Arc<Topology>, n: usize, multipath: bool) -> Flowser
 fn bench_flowserver_selection(c: &mut Criterion) {
     let topo = topo();
     let mut group = c.benchmark_group("flowserver_select_replica_path");
-    for load in [0usize, 32, 128] {
+    for load in [0usize, 10, 100, 1000] {
         group.bench_with_input(BenchmarkId::from_parameter(load), &load, |b, &load| {
             let mut fs = loaded_flowserver(&topo, load, false);
             let replicas = [HostId(1), HostId(5), HostId(20)];
@@ -57,6 +58,77 @@ fn bench_flowserver_selection(c: &mut Criterion) {
                     SimTime::ZERO,
                 );
                 // Keep the tracker size constant.
+                for a in sel.assignments() {
+                    fs.flow_completed(a.cookie);
+                }
+                sel.assignments().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The pre-fast-path evaluation loop, reconstructed from the public
+/// naive entry points: every shortest path of every replica, a fresh
+/// `flow_cost_opts` per candidate (which scans every tracked flow per
+/// link and allocates throughout). This is what `select_replica_path`
+/// cost before the cached/incremental/pruned fast path landed; the
+/// `selection_eval` group quantifies the speedup side by side.
+fn naive_select(
+    fs: &Flowserver,
+    topo: &Topology,
+    client: HostId,
+    replicas: &[HostId],
+    size_bits: f64,
+) -> Option<(HostId, f64)> {
+    let mut best: Option<(HostId, f64)> = None;
+    for &replica in replicas {
+        if replica == client {
+            continue;
+        }
+        for path in topo.shortest_paths(replica, client) {
+            let pc = flow_cost_opts(
+                topo,
+                fs.tracker(),
+                path.links(),
+                size_bits,
+                SimTime::ZERO,
+                true,
+            );
+            if best.as_ref().is_none_or(|(_, c)| pc.cost < *c) {
+                best = Some((replica, pc.cost));
+            }
+        }
+    }
+    best
+}
+
+fn bench_naive_vs_fast(c: &mut Criterion) {
+    let topo = topo();
+    let mut group = c.benchmark_group("selection_eval");
+    let replicas = [HostId(1), HostId(5), HostId(20)];
+    for load in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("naive", load), &load, |b, &load| {
+            let fs = loaded_flowserver(&topo, load, false);
+            b.iter(|| {
+                naive_select(
+                    &fs,
+                    &topo,
+                    black_box(HostId(0)),
+                    black_box(&replicas),
+                    MB256,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fast", load), &load, |b, &load| {
+            let mut fs = loaded_flowserver(&topo, load, false);
+            b.iter(|| {
+                let sel = fs.select_replica_path(
+                    black_box(HostId(0)),
+                    black_box(&replicas),
+                    MB256,
+                    SimTime::ZERO,
+                );
                 for a in sel.assignments() {
                     fs.flow_completed(a.cookie);
                 }
@@ -142,6 +214,7 @@ fn bench_shortest_paths(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_flowserver_selection,
+    bench_naive_vs_fast,
     bench_multipath_selection,
     bench_baselines,
     bench_shortest_paths

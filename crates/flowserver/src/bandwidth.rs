@@ -16,10 +16,13 @@
 //! Estimation error does not accumulate because periodic stats polls
 //! re-anchor the model to measured counters.
 
-use mayflower_net::fairshare::waterfill;
+use mayflower_net::fairshare::{
+    new_flow_share_into, waterfill, waterfill_with_extra, FairshareScratch,
+};
 use mayflower_net::{LinkId, Topology};
 use mayflower_sdn::FlowCookie;
 
+use crate::scratch::{ImpactRow, SelectionScratch};
 use crate::tracker::FlowTracker;
 
 /// The estimated max-min share of a **new** flow on `path_links`: its
@@ -60,7 +63,10 @@ pub fn existing_flow_new_shares(
     new_flow_bw: f64,
 ) -> Vec<(FlowCookie, f64)> {
     use std::collections::BTreeMap;
-    let mut new_bw: BTreeMap<FlowCookie, f64> = BTreeMap::new();
+    // Per flow: (current bw, min share across links). The current bw is
+    // captured while building the demand vector, so the change filter
+    // below needs no second tracker lookup per flow.
+    let mut new_bw: BTreeMap<FlowCookie, (f64, f64)> = BTreeMap::new();
     for &l in path_links {
         let cookies = tracker.flows_on_link(l);
         if cookies.is_empty() {
@@ -73,20 +79,141 @@ pub fn existing_flow_new_shares(
             .collect();
         demands.push(new_flow_bw);
         let alloc = waterfill(cap, &demands);
-        for (c, share) in cookies.iter().zip(&alloc) {
+        for ((c, cur), share) in cookies.iter().zip(&demands).zip(&alloc) {
             new_bw
                 .entry(*c)
-                .and_modify(|b| *b = b.min(*share))
-                .or_insert(*share);
+                .and_modify(|(_, b)| *b = b.min(*share))
+                .or_insert((*cur, *share));
         }
     }
     new_bw
         .into_iter()
-        .filter(|(c, b)| {
-            let cur = tracker.get(*c).expect("indexed flow exists").bw;
-            *b < cur - 1e-9
-        })
+        .filter(|(_, (cur, b))| *b < cur - 1e-9)
+        .map(|(c, (_, b))| (c, b))
         .collect()
+}
+
+/// Allocation-free [`new_flow_share_on_path`]: reads each link's
+/// demand vector from the tracker's incremental [`crate::tracker::
+/// LinkLoad`] index instead of scanning every flow, and waterfills
+/// into scratch buffers. Bit-identical to the naive scan; falls back
+/// to it while the tracker index is dirty.
+#[must_use]
+pub fn new_flow_share_on_path_into(
+    topo: &Topology,
+    tracker: &FlowTracker,
+    path_links: &[LinkId],
+    fair: &mut FairshareScratch,
+) -> f64 {
+    if tracker.is_dirty() {
+        return new_flow_share_on_path(topo, tracker, path_links);
+    }
+    let mut share = f64::INFINITY;
+    for &l in path_links {
+        let cap = topo.link(l).capacity();
+        let s = match tracker.link_load(l) {
+            // An idle link gives the newcomer exactly its capacity
+            // (`waterfill(cap, [∞]) = [cap]`, bit for bit).
+            None => cap,
+            Some(load) if load.is_empty() => cap,
+            Some(load) => new_flow_share_into(cap, load.demands(), fair),
+        };
+        share = share.min(s);
+    }
+    share
+}
+
+/// Allocation-free [`existing_flow_new_shares`]: accumulates the
+/// impacted rows (already change-filtered, cookie order) into
+/// `scratch.impact`. Bit-identical to the naive version; falls back
+/// to it while the tracker index is dirty.
+pub fn existing_flow_new_shares_into(
+    topo: &Topology,
+    tracker: &FlowTracker,
+    path_links: &[LinkId],
+    new_flow_bw: f64,
+    scratch: &mut SelectionScratch,
+) {
+    scratch.impact.clear();
+    if tracker.is_dirty() {
+        for (cookie, new_bw) in existing_flow_new_shares(topo, tracker, path_links, new_flow_bw) {
+            let cur_bw = tracker.get(cookie).expect("impacted flow exists").bw;
+            scratch.impact.push(ImpactRow {
+                cookie,
+                new_bw,
+                cur_bw,
+            });
+        }
+        return;
+    }
+    for &l in path_links {
+        let Some(load) = tracker.link_load(l) else {
+            continue;
+        };
+        if load.is_empty() {
+            continue;
+        }
+        let cap = topo.link(l).capacity();
+        let alloc = waterfill_with_extra(cap, load.demands(), new_flow_bw, &mut scratch.fair);
+        merge_link_shares(
+            &mut scratch.impact,
+            &mut scratch.merged,
+            load.cookies(),
+            load.demands(),
+            alloc,
+        );
+    }
+    // Same change filter (and epsilon) as the naive BTreeMap version.
+    scratch.impact.retain(|r| r.new_bw < r.cur_bw - 1e-9);
+}
+
+/// Merges one link's `(cookie, share)` pairs into the accumulator,
+/// keeping per-cookie minima — the sorted-vector equivalent of the
+/// naive version's `BTreeMap::entry().and_modify(min)` loop. Both
+/// inputs are cookie-sorted; the result stays cookie-sorted.
+fn merge_link_shares(
+    impact: &mut Vec<ImpactRow>,
+    merged: &mut Vec<ImpactRow>,
+    cookies: &[FlowCookie],
+    demands: &[f64],
+    alloc: &[f64],
+) {
+    merged.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < impact.len() && j < cookies.len() {
+        match impact[i].cookie.cmp(&cookies[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(impact[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(ImpactRow {
+                    cookie: cookies[j],
+                    new_bw: alloc[j],
+                    cur_bw: demands[j],
+                });
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let mut row = impact[i];
+                // Operand order matches `b.min(*share)` in the naive
+                // version (relevant only for NaN, but kept identical).
+                row.new_bw = row.new_bw.min(alloc[j]);
+                merged.push(row);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&impact[i..]);
+    for k in j..cookies.len() {
+        merged.push(ImpactRow {
+            cookie: cookies[k],
+            new_bw: alloc[k],
+            cur_bw: demands[k],
+        });
+    }
+    std::mem::swap(impact, merged);
 }
 
 #[cfg(test)]

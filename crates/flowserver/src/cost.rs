@@ -4,7 +4,8 @@
 use mayflower_net::{LinkId, Topology};
 use mayflower_simcore::SimTime;
 
-use crate::bandwidth::{existing_flow_new_shares, new_flow_share_on_path};
+use crate::bandwidth::{existing_flow_new_shares_into, new_flow_share_on_path_into};
+use crate::scratch::SelectionScratch;
 use crate::tracker::FlowTracker;
 
 /// The result of evaluating one candidate path.
@@ -53,37 +54,69 @@ pub fn flow_cost_opts(
     now: SimTime,
     impact_aware: bool,
 ) -> PathCost {
-    let est_bw = new_flow_share_on_path(topo, tracker, path_links);
-    if est_bw <= 0.0 {
-        return PathCost {
-            est_bw,
-            cost: f64::INFINITY,
-            impacted: Vec::new(),
-        };
-    }
-    let mut cost = flow_size_bits / est_bw;
-    let impacted = existing_flow_new_shares(topo, tracker, path_links, est_bw);
-    if impact_aware {
-        for (cookie, new_bw) in &impacted {
-            let f = tracker.get(*cookie).expect("impacted flow exists");
-            let r = f.remaining_at(now);
-            if *new_bw <= 0.0 {
-                return PathCost {
-                    est_bw,
-                    cost: f64::INFINITY,
-                    impacted,
-                };
-            }
-            // r/b' − r/b: the increase in that flow's completion time.
-            let cur = f.bw.max(f64::MIN_POSITIVE);
-            cost += r / new_bw - r / cur;
-        }
-    }
+    let mut scratch = SelectionScratch::new();
+    let (est_bw, cost) = flow_cost_into(
+        topo,
+        tracker,
+        path_links,
+        flow_size_bits,
+        now,
+        impact_aware,
+        None,
+        &mut scratch,
+    );
     PathCost {
         est_bw,
         cost,
-        impacted,
+        impacted: scratch.take_impacted(),
     }
+}
+
+/// The allocation-free evaluation core behind [`flow_cost_opts`]:
+/// returns `(est_bw, cost)` and leaves the impacted rows in
+/// `scratch.impact` (materialize them with `take_impacted` only for
+/// the winning candidate — losing candidates never touch the heap).
+///
+/// `est_bw_hint` lets a caller that already knows the path's
+/// bottleneck share (from a per-link share cache) skip recomputing it;
+/// the hint **must** equal what [`crate::bandwidth::
+/// new_flow_share_on_path`] would return, bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn flow_cost_into(
+    topo: &Topology,
+    tracker: &FlowTracker,
+    path_links: &[LinkId],
+    flow_size_bits: f64,
+    now: SimTime,
+    impact_aware: bool,
+    est_bw_hint: Option<f64>,
+    scratch: &mut SelectionScratch,
+) -> (f64, f64) {
+    let est_bw = match est_bw_hint {
+        Some(b) => b,
+        None => new_flow_share_on_path_into(topo, tracker, path_links, &mut scratch.fair),
+    };
+    if est_bw <= 0.0 {
+        scratch.impact.clear();
+        return (est_bw, f64::INFINITY);
+    }
+    let mut cost = flow_size_bits / est_bw;
+    existing_flow_new_shares_into(topo, tracker, path_links, est_bw, scratch);
+    if impact_aware {
+        for row in &scratch.impact {
+            let f = tracker.get(row.cookie).expect("impacted flow exists");
+            let r = f.remaining_at(now);
+            if row.new_bw <= 0.0 {
+                // The impacted rows stay in the scratch: a starving
+                // admission still re-freezes its victims if committed.
+                return (est_bw, f64::INFINITY);
+            }
+            // r/b' − r/b: the increase in that flow's completion time.
+            let cur = f.bw.max(f64::MIN_POSITIVE);
+            cost += r / row.new_bw - r / cur;
+        }
+    }
+    (est_bw, cost)
 }
 
 #[cfg(test)]
@@ -206,7 +239,7 @@ mod tests {
 
     #[test]
     fn single_saturated_link_shares_fairly_and_charges_both_slowdowns() {
-        use mayflower_net::{HostId, NodeKind, Path, PodId, RackId, Topology};
+        use mayflower_net::{NodeKind, PodId, RackId, Topology};
         use mayflower_simcore::SimTime;
         // One 10 Mbps bottleneck carrying two 5 Mbps flows — fully
         // saturated. A newcomer forces an equal three-way split and

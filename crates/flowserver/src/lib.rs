@@ -53,9 +53,14 @@ pub mod bandwidth;
 pub mod cost;
 pub mod placement;
 pub mod remote;
+pub mod scratch;
 pub mod server;
 pub mod tracker;
 
+#[cfg(test)]
+mod differential;
+
 pub use placement::WritePlacement;
+pub use scratch::SelectionScratch;
 pub use server::{Assignment, FlowPriority, Flowserver, FlowserverConfig, Selection};
-pub use tracker::TrackedFlow;
+pub use tracker::{FlowTracker, TrackedFlow};

@@ -23,8 +23,7 @@
 use mayflower_net::{HostId, Topology};
 use mayflower_simcore::SimTime;
 
-use crate::cost::flow_cost_opts;
-use crate::server::{Assignment, Flowserver};
+use crate::server::{prune_candidate, Assignment, FlowPriority, Flowserver};
 
 /// The outcome of a co-designed write placement.
 #[derive(Debug, Clone)]
@@ -104,7 +103,7 @@ impl Flowserver {
         size_bits: f64,
         now: SimTime,
     ) -> (HostId, f64, Option<Assignment>) {
-        let topo = self.topology().clone();
+        self.ensure_model_fresh();
         let mut best: Option<(HostId, f64)> = None;
         for &cand in candidates {
             if cand == src {
@@ -113,17 +112,31 @@ impl Flowserver {
                 }
                 continue;
             }
-            for path in topo.shortest_paths(src, cand) {
-                let pc = flow_cost_opts(
-                    &topo,
-                    self.tracker(),
-                    path.links(),
-                    size_bits,
-                    now,
-                    self.config().impact_aware,
-                );
-                if best.as_ref().is_none_or(|(_, c)| pc.cost < *c) {
-                    best = Some((cand, pc.cost));
+            // Placement deliberately evaluates the full cached path
+            // set (down links don't constrain *placement*; the hop's
+            // flow is installed through the normal selection path,
+            // which does route around them).
+            let set = self.lookup_paths(src, cand);
+            for path in set.paths().iter() {
+                let est_bw = self.path_share(path.links());
+                // Same lower-bound prune as read selection: with a
+                // strict `cost < best` acceptance and cost ≥
+                // size/est_bw, a candidate whose bound already loses
+                // can never be chosen.
+                let prune = match &best {
+                    None => false,
+                    Some((_, c)) => {
+                        prune_candidate(FlowPriority::Foreground, est_bw, size_bits, (*c, 0.0))
+                    }
+                };
+                if prune {
+                    self.note_candidate_pruned();
+                    continue;
+                }
+                self.note_candidate_evaluated();
+                let (_, cost) = self.eval_candidate(path.links(), size_bits, now, est_bw);
+                if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                    best = Some((cand, cost));
                 }
             }
         }

@@ -1,0 +1,52 @@
+//! Reusable buffers for allocation-free selection.
+//!
+//! Evaluating one candidate path used to allocate at every level: a
+//! demand `Vec` per link, a waterfill result per link, a `BTreeMap` of
+//! impacted flows per candidate. A [`SelectionScratch`] owns all of
+//! those buffers once, for the lifetime of the scheduler; the
+//! evaluation core ([`crate::cost::flow_cost_into`]) threads it
+//! through every stage, so the steady-state per-candidate cost is
+//! pure arithmetic.
+//!
+//! The buffers hold no semantic state between calls — every entry
+//! point clears what it writes — so a scratch can be shared freely
+//! across selections, priorities, and replica sets.
+
+use mayflower_net::fairshare::FairshareScratch;
+use mayflower_sdn::FlowCookie;
+
+/// One impacted existing flow during a candidate evaluation: its new
+/// (post-admission) share and its current modelled bandwidth. Keeping
+/// `cur_bw` here is what lets the final change filter run without a
+/// second tracker lookup per flow.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ImpactRow {
+    pub cookie: FlowCookie,
+    pub new_bw: f64,
+    pub cur_bw: f64,
+}
+
+/// Reusable buffers threaded through the selection fast path.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionScratch {
+    /// Waterfill staging (demand list + allocation + sort order).
+    pub(crate) fair: FairshareScratch,
+    /// The impacted-flow accumulator, sorted by cookie.
+    pub(crate) impact: Vec<ImpactRow>,
+    /// Merge buffer for combining one link's shares into `impact`.
+    pub(crate) merged: Vec<ImpactRow>,
+}
+
+impl SelectionScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> SelectionScratch {
+        SelectionScratch::default()
+    }
+
+    /// Drains the accumulated impact rows into the `(cookie, new_bw)`
+    /// form [`crate::cost::PathCost`] carries.
+    pub(crate) fn take_impacted(&mut self) -> Vec<(FlowCookie, f64)> {
+        self.impact.iter().map(|r| (r.cookie, r.new_bw)).collect()
+    }
+}

@@ -3,13 +3,15 @@
 
 use std::sync::Arc;
 
-use mayflower_net::{HostId, LinkId, Path, Topology};
+use mayflower_net::fairshare::new_flow_share_into;
+use mayflower_net::{HostId, LinkId, Path, PathCache, PathSet, Topology};
 use mayflower_sdn::{CounterSource, Fabric, FlowCookie, StatsCollector, StatsReport};
 use mayflower_simcore::SimTime;
 use mayflower_telemetry::{Counter, Gauge, Histogram, Scope};
 use serde::{Deserialize, Serialize};
 
-use crate::cost::{flow_cost_opts, PathCost};
+use crate::cost::{flow_cost_into, PathCost};
+use crate::scratch::SelectionScratch;
 use crate::tracker::{FlowTracker, TrackedFlow};
 
 /// Flowserver telemetry. Every recorded value derives from simulation
@@ -36,6 +38,15 @@ struct FlowserverMetrics {
     frozen_flows: Arc<Gauge>,
     /// Background-priority repair-flow selections served.
     repair_selections: Arc<Counter>,
+    /// Shortest-path cache lookups served from / filled into the memo.
+    path_cache_hits: Arc<Counter>,
+    path_cache_misses: Arc<Counter>,
+    /// Link-state changes that invalidated the severed-path overlays.
+    path_cache_invalidations: Arc<Counter>,
+    /// Candidate paths fully evaluated vs skipped by the
+    /// branch-and-bound lower-bound prune.
+    candidates_evaluated: Arc<Counter>,
+    candidates_pruned: Arc<Counter>,
 }
 
 impl FlowserverMetrics {
@@ -57,6 +68,13 @@ impl FlowserverMetrics {
             tracked_flows: scope.gauge("tracked_flows"),
             frozen_flows: scope.gauge("frozen_flows"),
             repair_selections: scope.counter("repair_selections_total"),
+            path_cache_hits: scope.counter("path_cache_hits_total"),
+            path_cache_misses: scope.counter("path_cache_misses_total"),
+            path_cache_invalidations: scope.counter("path_cache_invalidations_total"),
+            candidates_evaluated: scope
+                .counter_with("selection_candidates_total", &[("result", "evaluated")]),
+            candidates_pruned: scope
+                .counter_with("selection_candidates_total", &[("result", "pruned")]),
         }
     }
 
@@ -166,6 +184,25 @@ impl Selection {
     }
 }
 
+/// A memoized per-link "share a new flow would get" value, stamped
+/// with the tracker epoch it was computed under. The default epoch
+/// `u64::MAX` can never equal a real tracker epoch (epochs start at 0
+/// and increment), so fresh slots always miss.
+#[derive(Debug, Clone, Copy)]
+struct ShareSlot {
+    epoch: u64,
+    share: f64,
+}
+
+impl Default for ShareSlot {
+    fn default() -> ShareSlot {
+        ShareSlot {
+            epoch: u64::MAX,
+            share: 0.0,
+        }
+    }
+}
+
 /// The Mayflower Flowserver (§3.3.3): runs inside the SDN controller,
 /// models every Mayflower flow's bandwidth, and serves
 /// `SELECTREPLICAANDPATH` requests.
@@ -181,9 +218,14 @@ pub struct Flowserver {
     tracker: FlowTracker,
     config: FlowserverConfig,
     next_cookie: u64,
-    /// Links the controller knows to be down (OpenFlow port-status
-    /// events). Candidate paths crossing them are skipped.
-    down_links: std::collections::BTreeSet<LinkId>,
+    /// Memoized shortest-path sets plus the down-link overlay
+    /// (OpenFlow port-status events). Candidate paths crossing a
+    /// down link are skipped via the severed bitmap.
+    path_cache: PathCache,
+    /// Reusable evaluation buffers for the selection fast path.
+    scratch: SelectionScratch,
+    /// Per-link new-flow-share memo, validated by tracker epoch.
+    share_cache: Vec<ShareSlot>,
     /// When the model was last refreshed by a stats poll.
     last_stats_at: SimTime,
     /// Polls the controller expected but never received (fault
@@ -200,10 +242,12 @@ impl Flowserver {
             fabric: Fabric::with_topology(topo.clone()),
             collector: StatsCollector::new(&topo),
             tracker: FlowTracker::new(),
+            share_cache: vec![ShareSlot::default(); topo.links().len()],
             topo,
             config,
             next_cookie: 0,
-            down_links: std::collections::BTreeSet::new(),
+            path_cache: PathCache::new(),
+            scratch: SelectionScratch::new(),
             last_stats_at: SimTime::ZERO,
             missed_polls: 0,
             metrics: FlowserverMetrics::detached(),
@@ -230,17 +274,15 @@ impl Flowserver {
     /// excluded from path selection; flows already routed over them
     /// are the client's problem (retry → reselect).
     pub fn set_link_state(&mut self, link: LinkId, up: bool) {
-        if up {
-            self.down_links.remove(&link);
-        } else {
-            self.down_links.insert(link);
+        if self.path_cache.set_link_state(link, up) {
+            self.metrics.path_cache_invalidations.inc();
         }
     }
 
     /// The links currently marked down.
     #[must_use]
     pub fn down_links(&self) -> &std::collections::BTreeSet<LinkId> {
-        &self.down_links
+        self.path_cache.down_links()
     }
 
     /// Records that an expected stats poll never arrived (lost
@@ -271,13 +313,7 @@ impl Flowserver {
     /// expiry must be driven by the clock instead). Returns how many
     /// flows were unfrozen.
     pub fn expire_stale_freezes(&mut self, now: SimTime) -> usize {
-        let mut expired = 0;
-        for f in self.tracker.iter_mut() {
-            if f.frozen && now > f.freeze_until {
-                f.frozen = false;
-                expired += 1;
-            }
-        }
+        let expired = self.tracker.expire_frozen(now);
         self.metrics.freeze_expirations.add(expired as u64);
         self.refresh_flow_gauges();
         expired
@@ -295,9 +331,10 @@ impl Flowserver {
         &self.topo
     }
 
-    /// Read access to the flow model, for cost evaluation by sibling
-    /// modules (write placement).
-    pub(crate) fn tracker(&self) -> &FlowTracker {
+    /// Read access to the flow model, for the naive oracle in the
+    /// differential tests and the naive-vs-fast benchmarks.
+    #[must_use]
+    pub fn tracker(&self) -> &FlowTracker {
         &self.tracker
     }
 
@@ -455,15 +492,100 @@ impl Flowserver {
     }
 
     /// Evaluates every candidate path of every replica and returns the
-    /// minimum-cost one, without mutating any state.
+    /// minimum-cost one. Mutates only caches and scratch buffers —
+    /// never the flow model itself.
     fn cheapest_path(
-        &self,
+        &mut self,
         client: HostId,
         replicas: &[HostId],
         size_bits: f64,
         now: SimTime,
     ) -> Option<(HostId, Path, PathCost)> {
         self.best_path(client, replicas, size_bits, now, FlowPriority::Foreground)
+    }
+
+    /// Rebuilds the tracker's per-link load index if direct mutable
+    /// access (tests, snapshots) left it dirty. Production mutation
+    /// paths maintain the index incrementally and never dirty it, so
+    /// this is a no-op in the steady state.
+    pub(crate) fn ensure_model_fresh(&mut self) {
+        if self.tracker.is_dirty() {
+            self.tracker.ensure_fresh();
+        }
+    }
+
+    /// Cached shortest-path lookup (replica → client direction),
+    /// counting hits and misses.
+    pub(crate) fn lookup_paths(&mut self, src: HostId, dst: HostId) -> PathSet {
+        let (set, hit) = self.path_cache.lookup(&self.topo, src, dst);
+        if hit {
+            self.metrics.path_cache_hits.inc();
+        } else {
+            self.metrics.path_cache_misses.inc();
+        }
+        set
+    }
+
+    /// The exact bottleneck share `b_j` a new flow would get on
+    /// `links`, served from the per-link share memo where the tracker
+    /// epoch proves it fresh. Bit-identical to
+    /// [`crate::bandwidth::new_flow_share_on_path`]: idle links
+    /// contribute their raw capacity (`waterfill(cap, [∞]) ≡ cap`),
+    /// loaded links re-run the same waterfill over the same
+    /// cookie-ordered demands.
+    pub(crate) fn path_share(&mut self, links: &[LinkId]) -> f64 {
+        debug_assert!(!self.tracker.is_dirty(), "call ensure_model_fresh first");
+        let mut share = f64::INFINITY;
+        for l in links {
+            let cap = self.topo.link(*l).capacity();
+            let link_share = match self.tracker.link_load(*l) {
+                None => cap,
+                Some(load) if load.is_empty() => cap,
+                Some(load) => {
+                    let slot = &mut self.share_cache[l.index()];
+                    if slot.epoch != load.epoch() {
+                        slot.share =
+                            new_flow_share_into(cap, load.demands(), &mut self.scratch.fair);
+                        slot.epoch = load.epoch();
+                    }
+                    slot.share
+                }
+            };
+            share = share.min(link_share);
+        }
+        share
+    }
+
+    /// Runs the full Eq. 2 evaluation for one candidate path, feeding
+    /// it the pre-computed bottleneck share. Impacted rows are left in
+    /// the scratch; materialize them only for a winning candidate.
+    pub(crate) fn eval_candidate(
+        &mut self,
+        links: &[LinkId],
+        size_bits: f64,
+        now: SimTime,
+        est_bw: f64,
+    ) -> (f64, f64) {
+        flow_cost_into(
+            &self.topo,
+            &self.tracker,
+            links,
+            size_bits,
+            now,
+            self.config.impact_aware,
+            Some(est_bw),
+            &mut self.scratch,
+        )
+    }
+
+    /// Counts a candidate skipped by the lower-bound prune.
+    pub(crate) fn note_candidate_pruned(&self) {
+        self.metrics.candidates_pruned.inc();
+    }
+
+    /// Counts a candidate that went through the full evaluation.
+    pub(crate) fn note_candidate_evaluated(&self) {
+        self.metrics.candidates_evaluated.inc();
     }
 
     /// [`Flowserver::cheapest_path`] with an explicit priority class.
@@ -473,53 +595,54 @@ impl Flowserver {
     /// existing flows** first and their own completion time second, so
     /// repair traffic is steered onto idle links and only competes
     /// with client reads when every path is loaded.
+    ///
+    /// Fast path: candidate paths come from the [`PathCache`] (severed
+    /// ones pre-flagged), the bottleneck share comes from the per-link
+    /// share memo, and a candidate whose **optimistic lower bound**
+    /// already loses to the incumbent is pruned before any waterfill
+    /// runs. See `DESIGN.md` §11 for the soundness argument; the
+    /// differential tests prove selection-identical behaviour against
+    /// the naive implementation.
     fn best_path(
-        &self,
+        &mut self,
         client: HostId,
         replicas: &[HostId],
         size_bits: f64,
         now: SimTime,
         priority: FlowPriority,
     ) -> Option<(HostId, Path, PathCost)> {
-        // Ranking key per priority class; compared lexicographically.
-        let key = |pc: &PathCost| -> (f64, f64) {
-            match priority {
-                FlowPriority::Foreground => (pc.cost, 0.0),
-                FlowPriority::Background => {
-                    if pc.est_bw <= 0.0 {
-                        (f64::INFINITY, f64::INFINITY)
-                    } else {
-                        let own = size_bits / pc.est_bw;
-                        // Eq. 2's second term alone: Σ (r/b' − r/b).
-                        (pc.cost - own, own)
-                    }
-                }
-            }
-        };
+        self.ensure_model_fresh();
         let mut best: Option<(HostId, Path, PathCost)> = None;
         let mut best_key = (f64::INFINITY, f64::INFINITY);
         for &replica in replicas {
             if replica == client {
                 continue;
             }
-            for path in self.topo.shortest_paths(replica, client) {
-                if !self.down_links.is_empty()
-                    && path.links().iter().any(|l| self.down_links.contains(l))
-                {
+            let set = self.lookup_paths(replica, client);
+            for (i, path) in set.paths().iter().enumerate() {
+                if set.is_severed(i) {
                     continue; // severed by a known-down link
                 }
-                let pc = flow_cost_opts(
-                    &self.topo,
-                    &self.tracker,
-                    path.links(),
-                    size_bits,
-                    now,
-                    self.config.impact_aware,
-                );
-                let k = key(&pc);
+                let est_bw = self.path_share(path.links());
+                // Never prune while no incumbent exists: the naive
+                // loop accepts the first candidate unconditionally
+                // (even at infinite cost) and commits its impacted
+                // list, so we must evaluate it fully.
+                if best.is_some() && prune_candidate(priority, est_bw, size_bits, best_key) {
+                    self.note_candidate_pruned();
+                    continue;
+                }
+                self.note_candidate_evaluated();
+                let (est_bw, cost) = self.eval_candidate(path.links(), size_bits, now, est_bw);
+                let k = selection_key(priority, size_bits, est_bw, cost);
                 if best.is_none() || k < best_key {
                     best_key = k;
-                    best = Some((replica, path, pc));
+                    let pc = PathCost {
+                        est_bw,
+                        cost,
+                        impacted: self.scratch.take_impacted(),
+                    };
+                    best = Some((replica, path.clone(), pc));
                 }
             }
         }
@@ -540,9 +663,7 @@ impl Flowserver {
         self.metrics.selection_cost_us.record_secs(pc.cost);
         self.metrics.update_freezes.add(pc.impacted.len() as u64);
         for (cookie, new_bw) in &pc.impacted {
-            if let Some(f) = self.tracker.get_mut(*cookie) {
-                f.set_bw(*new_bw, now);
-            }
+            self.tracker.set_flow_bw(*cookie, *new_bw, now);
         }
         let cookie = FlowCookie(self.next_cookie);
         self.next_cookie += 1;
@@ -646,13 +767,8 @@ impl Flowserver {
         for (a, b_i) in assignments.iter_mut().zip(&committed_b) {
             a.size_bits = size_bits * b_i / total_b;
             a.est_bw = *b_i;
-            if let Some(f) = self.tracker.get_mut(a.cookie) {
-                f.size_bits = a.size_bits;
-                f.remaining_bits = a.size_bits;
-                // Refresh the freeze window for the reduced size.
-                let bw = f.bw;
-                f.set_bw(bw, now);
-            }
+            // Also refreshes the freeze window for the reduced size.
+            self.tracker.resize_flow(a.cookie, a.size_bits, now);
         }
         Selection::Split(assignments)
     }
@@ -667,13 +783,15 @@ impl Flowserver {
             .record_secs(now.secs_since(self.last_stats_at));
         self.last_stats_at = now;
         for stat in &report.flows {
-            if let Some(f) = self.tracker.get_mut(stat.cookie) {
-                if !self.config.freeze_enabled {
-                    // Ablation mode: estimates are never shielded.
-                    f.frozen = false;
-                }
-                f.update_from_stats(stat.rate_bps, stat.total_bits, now);
-            }
+            // Force-unfreeze in ablation mode: estimates are never
+            // shielded when freezing is disabled.
+            self.tracker.apply_stats(
+                stat.cookie,
+                stat.rate_bps,
+                stat.total_bits,
+                now,
+                !self.config.freeze_enabled,
+            );
         }
     }
 
@@ -692,6 +810,60 @@ impl Flowserver {
         self.fabric.remove_flow(cookie);
         self.tracker.remove(cookie);
         self.refresh_flow_gauges();
+    }
+}
+
+/// The lexicographic ranking key of a fully-evaluated candidate, per
+/// priority class (identical to the naive implementation's closure).
+pub(crate) fn selection_key(
+    priority: FlowPriority,
+    size_bits: f64,
+    est_bw: f64,
+    cost: f64,
+) -> (f64, f64) {
+    match priority {
+        FlowPriority::Foreground => (cost, 0.0),
+        FlowPriority::Background => {
+            if est_bw <= 0.0 {
+                (f64::INFINITY, f64::INFINITY)
+            } else {
+                let own = size_bits / est_bw;
+                // Eq. 2's second term alone: Σ (r/b' − r/b).
+                (cost - own, own)
+            }
+        }
+    }
+}
+
+/// Whether a candidate with bottleneck share `est_bw` can be skipped
+/// without running the full evaluation, given the incumbent's key.
+/// Sound because the impact term is non-negative (every impacted flow
+/// strictly *loses* bandwidth), so `size/est_bw` is an exact lower
+/// bound on the Foreground cost — and for Background the second key
+/// component `own = size/est_bw` is known exactly while the first is
+/// bounded below by zero. Must only be called when an incumbent
+/// exists; keys of pruned candidates can provably never win:
+///
+/// * Foreground: `k = (cost, 0.0)` with `cost ≥ size/est_bw`; the
+///   incumbent's second component is also `0.0`, so `k` wins iff
+///   `cost < best.0`. If `est_bw ≤ 0` the cost is `∞` and never wins.
+/// * Background: `k = (impact, own)` with `impact ≥ 0`, or `(∞, ∞)`
+///   when `est_bw ≤ 0` (never wins). Since `impact` could be `0`, a
+///   candidate is only provably beaten when the incumbent's impact is
+///   already `0` and `own ≥ best.1`.
+pub(crate) fn prune_candidate(
+    priority: FlowPriority,
+    est_bw: f64,
+    size_bits: f64,
+    best_key: (f64, f64),
+) -> bool {
+    if est_bw <= 0.0 {
+        return true;
+    }
+    let own = size_bits / est_bw;
+    match priority {
+        FlowPriority::Foreground => own >= best_key.0,
+        FlowPriority::Background => best_key.0 == 0.0 && own >= best_key.1,
     }
 }
 
@@ -1057,5 +1229,71 @@ mod tests {
         // Sim-time poll gap of exactly one second.
         let gap = snap.histogram("flowserver_poll_gap_us").unwrap();
         assert_eq!(gap.sum, 1_000_000);
+
+        // The fast path's own counters: every selection above went
+        // through the path cache and the candidate loop.
+        let misses = snap
+            .counter("flowserver_path_cache_misses_total")
+            .unwrap_or(0);
+        assert!(misses > 0, "first lookups must miss");
+        let evaluated = snap
+            .counter("flowserver_selection_candidates_total{result=\"evaluated\"}")
+            .unwrap_or(0);
+        assert!(evaluated > 0, "candidates were evaluated");
+    }
+
+    #[test]
+    fn fast_path_metrics_track_cache_and_prune() {
+        let registry = mayflower_telemetry::Registry::new();
+        let mut fs = server();
+        fs.attach_metrics(&registry);
+        let c = |snap: &mayflower_telemetry::Snapshot, name: &str| snap.counter(name).unwrap_or(0);
+
+        // Two identical selections: the second is served from the
+        // path cache.
+        fs.select_replica_path(HostId(0), &[HostId(20)], MB256, SimTime::ZERO);
+        let snap = registry.snapshot();
+        let misses_after_first = c(&snap, "flowserver_path_cache_misses_total");
+        assert!(misses_after_first > 0);
+        assert_eq!(c(&snap, "flowserver_path_cache_hits_total"), 0);
+
+        fs.select_replica_path(HostId(0), &[HostId(20)], MB256, SimTime::ZERO);
+        let snap = registry.snapshot();
+        assert_eq!(
+            c(&snap, "flowserver_path_cache_misses_total"),
+            misses_after_first,
+            "repeat lookup must not miss"
+        );
+        assert!(c(&snap, "flowserver_path_cache_hits_total") > 0);
+
+        // Link-state changes count as invalidations; a no-op repeat
+        // does not.
+        let uplink = fs.topology().host_uplink(HostId(1));
+        fs.set_link_state(uplink, false);
+        fs.set_link_state(uplink, false);
+        fs.set_link_state(uplink, true);
+        let snap = registry.snapshot();
+        assert_eq!(c(&snap, "flowserver_path_cache_invalidations_total"), 2);
+
+        // A multi-replica selection over a loaded network exercises
+        // the prune: once a finite incumbent exists, hopeless
+        // candidates are skipped before evaluation.
+        for dst in [2u32, 3, 5, 6, 7, 9] {
+            fs.select_path_for_replica(HostId(dst), HostId(1), 10.0 * MB256, SimTime::ZERO);
+        }
+        fs.select_replica_path(
+            HostId(0),
+            &[HostId(1), HostId(20), HostId(36), HostId(52)],
+            MB256,
+            SimTime::ZERO,
+        );
+        let snap = registry.snapshot();
+        assert!(
+            c(
+                &snap,
+                "flowserver_selection_candidates_total{result=\"pruned\"}"
+            ) > 0,
+            "loaded candidates must be pruned"
+        );
     }
 }

@@ -84,10 +84,77 @@ impl TrackedFlow {
     }
 }
 
+/// The incrementally-maintained load summary of one directed link: the
+/// cookies and modelled bandwidths (demands) of every flow crossing
+/// it, in cookie order — exactly the demand vector a per-link
+/// waterfill consumes — plus their sum and a change epoch for
+/// downstream share caches.
+#[derive(Debug, Clone, Default)]
+pub struct LinkLoad {
+    cookies: Vec<FlowCookie>,
+    demands: Vec<f64>,
+    demand_sum: f64,
+    epoch: u64,
+}
+
+impl LinkLoad {
+    /// Cookies of the flows crossing the link, ascending.
+    #[must_use]
+    pub fn cookies(&self) -> &[FlowCookie] {
+        &self.cookies
+    }
+
+    /// The flows' modelled bandwidths, parallel to
+    /// [`LinkLoad::cookies`].
+    #[must_use]
+    pub fn demands(&self) -> &[f64] {
+        &self.demands
+    }
+
+    /// Sum of the demands — the link's total modelled offered load.
+    #[must_use]
+    pub fn demand_sum(&self) -> f64 {
+        self.demand_sum
+    }
+
+    /// Bumped whenever this link's flow set or demands change; share
+    /// caches keyed on it stay exact.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether no flow crosses the link.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+
+    fn refresh_sum(&mut self, epoch: u64) {
+        self.demand_sum = self.demands.iter().sum();
+        self.epoch = epoch;
+    }
+}
+
 /// An ordered collection of tracked flows with per-link indexing.
+///
+/// The per-link [`LinkLoad`] index is maintained incrementally by the
+/// structured mutators ([`FlowTracker::insert`], [`FlowTracker::
+/// remove`], [`FlowTracker::set_flow_bw`], [`FlowTracker::
+/// apply_stats`], ...). The raw escape hatches ([`FlowTracker::
+/// get_mut`], [`FlowTracker::iter_mut`], [`FlowTracker::restore`])
+/// cannot know what they changed, so they mark the tracker *dirty*;
+/// [`FlowTracker::ensure_fresh`] rebuilds the index before the next
+/// indexed read.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTracker {
     flows: BTreeMap<FlowCookie, TrackedFlow>,
+    /// Dense per-link load index, grown on first touch.
+    links: Vec<LinkLoad>,
+    /// Global change counter; touched links are stamped with it.
+    epoch: u64,
+    /// Whether an unstructured mutation may have desynced the index.
+    dirty: bool,
 }
 
 impl FlowTracker {
@@ -97,19 +164,55 @@ impl FlowTracker {
         FlowTracker::default()
     }
 
+    fn load_slot(links: &mut Vec<LinkLoad>, link: LinkId) -> &mut LinkLoad {
+        if links.len() <= link.index() {
+            links.resize_with(link.index() + 1, LinkLoad::default);
+        }
+        &mut links[link.index()]
+    }
+
     /// Registers a flow.
     ///
     /// # Panics
     ///
     /// Panics if the cookie is already tracked.
     pub fn insert(&mut self, flow: TrackedFlow) {
-        let prev = self.flows.insert(flow.cookie, flow);
-        assert!(prev.is_none(), "cookie already tracked");
+        assert!(
+            !self.flows.contains_key(&flow.cookie),
+            "cookie already tracked"
+        );
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let links = flow.path.links();
+        for (i, &l) in links.iter().enumerate() {
+            if links[..i].contains(&l) {
+                continue; // a degenerate path repeating a link counts once
+            }
+            let load = Self::load_slot(&mut self.links, l);
+            if let Err(pos) = load.cookies.binary_search(&flow.cookie) {
+                load.cookies.insert(pos, flow.cookie);
+                load.demands.insert(pos, flow.bw);
+                load.refresh_sum(epoch);
+            }
+        }
+        self.flows.insert(flow.cookie, flow);
     }
 
     /// Removes a flow, returning its final model state.
     pub fn remove(&mut self, cookie: FlowCookie) -> Option<TrackedFlow> {
-        self.flows.remove(&cookie)
+        let flow = self.flows.remove(&cookie)?;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &l in flow.path.links() {
+            if let Some(load) = self.links.get_mut(l.index()) {
+                if let Ok(pos) = load.cookies.binary_search(&cookie) {
+                    load.cookies.remove(pos);
+                    load.demands.remove(pos);
+                    load.refresh_sum(epoch);
+                }
+            }
+        }
+        Some(flow)
     }
 
     /// Looks up a flow.
@@ -118,8 +221,11 @@ impl FlowTracker {
         self.flows.get(&cookie)
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Marks the link index dirty — prefer the
+    /// structured mutators ([`FlowTracker::set_flow_bw`] and friends),
+    /// which keep it exact.
     pub fn get_mut(&mut self, cookie: FlowCookie) -> Option<&mut TrackedFlow> {
+        self.dirty = true;
         self.flows.get_mut(&cookie)
     }
 
@@ -129,8 +235,144 @@ impl FlowTracker {
     }
 
     /// Mutable iteration over all tracked flows, in cookie order.
+    /// Marks the link index dirty, like [`FlowTracker::get_mut`].
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut TrackedFlow> {
+        self.dirty = true;
         self.flows.values_mut()
+    }
+
+    /// `SETBW` on a tracked flow (see [`TrackedFlow::set_bw`]),
+    /// keeping the link index exact. Returns whether the flow exists.
+    pub fn set_flow_bw(&mut self, cookie: FlowCookie, bw: f64, now: SimTime) -> bool {
+        let Some(f) = self.flows.get_mut(&cookie) else {
+            return false;
+        };
+        f.set_bw(bw, now);
+        let new_bw = f.bw;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &l in f.path.links() {
+            if let Some(load) = self.links.get_mut(l.index()) {
+                if let Ok(pos) = load.cookies.binary_search(&cookie) {
+                    load.demands[pos] = new_bw;
+                    load.refresh_sum(epoch);
+                }
+            }
+        }
+        true
+    }
+
+    /// `UPDATEBW` from a stats poll (see [`TrackedFlow::
+    /// update_from_stats`]), keeping the link index exact. With
+    /// `force_unfreeze` the freeze window is cleared first (the
+    /// freeze-disabled ablation). Returns whether the update applied.
+    pub fn apply_stats(
+        &mut self,
+        cookie: FlowCookie,
+        measured_bw: f64,
+        total_bits: f64,
+        now: SimTime,
+        force_unfreeze: bool,
+    ) -> bool {
+        let Some(f) = self.flows.get_mut(&cookie) else {
+            return false;
+        };
+        if force_unfreeze {
+            f.frozen = false;
+        }
+        if !f.update_from_stats(measured_bw, total_bits, now) {
+            return false;
+        }
+        let new_bw = f.bw;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for &l in f.path.links() {
+            if let Some(load) = self.links.get_mut(l.index()) {
+                if let Ok(pos) = load.cookies.binary_search(&cookie) {
+                    load.demands[pos] = new_bw;
+                    load.refresh_sum(epoch);
+                }
+            }
+        }
+        true
+    }
+
+    /// Clock-side freeze expiry: unfreezes every flow whose freeze
+    /// window has lapsed, returning how many. Demands are untouched,
+    /// so the link index stays exact without reindexing.
+    pub fn expire_frozen(&mut self, now: SimTime) -> usize {
+        let mut expired = 0;
+        for f in self.flows.values_mut() {
+            if f.frozen && now > f.freeze_until {
+                f.frozen = false;
+                expired += 1;
+            }
+        }
+        expired
+    }
+
+    /// Re-sizes a flow (a §4.3 split proportioning its subflows) and
+    /// refreshes its freeze window at its current bandwidth. The
+    /// demand is unchanged, so the link index stays exact. Returns
+    /// whether the flow exists.
+    pub fn resize_flow(&mut self, cookie: FlowCookie, size_bits: f64, now: SimTime) -> bool {
+        let Some(f) = self.flows.get_mut(&cookie) else {
+            return false;
+        };
+        f.size_bits = size_bits;
+        f.remaining_bits = size_bits;
+        let bw = f.bw;
+        f.set_bw(bw, now);
+        true
+    }
+
+    /// The incrementally-maintained load summary for `link`, if any
+    /// flow ever touched it. Exact only while [`FlowTracker::
+    /// is_dirty`] is false; call [`FlowTracker::ensure_fresh`] first.
+    #[must_use]
+    pub fn link_load(&self, link: LinkId) -> Option<&LinkLoad> {
+        self.links.get(link.index())
+    }
+
+    /// Whether an unstructured mutation may have desynced the link
+    /// index since the last rebuild.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// The global change counter; see [`LinkLoad::epoch`].
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rebuilds the link index from scratch if it is dirty.
+    pub fn ensure_fresh(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for load in &mut self.links {
+            load.cookies.clear();
+            load.demands.clear();
+        }
+        for f in self.flows.values() {
+            let links = f.path.links();
+            for (i, &l) in links.iter().enumerate() {
+                if links[..i].contains(&l) {
+                    continue;
+                }
+                let load = Self::load_slot(&mut self.links, l);
+                load.cookies.push(f.cookie);
+                load.demands.push(f.bw);
+            }
+        }
+        for load in &mut self.links {
+            load.refresh_sum(epoch);
+        }
     }
 
     /// Number of tracked flows.
@@ -174,8 +416,10 @@ impl FlowTracker {
     }
 
     /// Restores a snapshot taken with [`FlowTracker::snapshot`].
+    /// Marks the link index dirty (the snapshot carries no index).
     pub fn restore(&mut self, snapshot: BTreeMap<FlowCookie, TrackedFlow>) {
         self.flows = snapshot;
+        self.dirty = true;
     }
 }
 
@@ -336,5 +580,135 @@ mod tests {
         let mut t = FlowTracker::new();
         t.insert(flow(1, vec![0], 2.0));
         t.insert(flow(1, vec![1], 3.0));
+    }
+
+    /// The incremental index must agree with the naive scans after any
+    /// sequence of structured mutations.
+    fn assert_index_matches_scans(t: &FlowTracker, links: &[u32]) {
+        assert!(!t.is_dirty());
+        for &l in links {
+            let link = LinkId(l);
+            let cookies = t.flows_on_link(link);
+            let demands = t.demands_on_link(link);
+            match t.link_load(link) {
+                None => assert!(cookies.is_empty(), "untouched link {l} has flows"),
+                Some(load) => {
+                    assert_eq!(load.cookies(), cookies.as_slice(), "link {l}");
+                    assert_eq!(load.demands(), demands.as_slice(), "link {l}");
+                    let sum: f64 = demands.iter().sum();
+                    assert_eq!(load.demand_sum().to_bits(), sum.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_tracks_insert_remove_and_setbw() {
+        let mut t = FlowTracker::new();
+        t.insert(flow(2, vec![0, 1], 2.0));
+        t.insert(flow(1, vec![1, 2], 3.0));
+        assert_index_matches_scans(&t, &[0, 1, 2, 3]);
+        // Cookie order, not insertion order.
+        assert_eq!(
+            t.link_load(LinkId(1)).unwrap().cookies(),
+            &[FlowCookie(1), FlowCookie(2)]
+        );
+
+        let e0 = t.link_load(LinkId(1)).unwrap().epoch();
+        assert!(t.set_flow_bw(FlowCookie(2), 7.0, SimTime::ZERO));
+        assert_index_matches_scans(&t, &[0, 1, 2]);
+        assert!(t.link_load(LinkId(1)).unwrap().epoch() > e0);
+        // Link 2 carries only flow 1: untouched by the set_bw.
+        assert_eq!(t.link_load(LinkId(2)).unwrap().demands(), &[3.0]);
+
+        t.remove(FlowCookie(2));
+        assert_index_matches_scans(&t, &[0, 1, 2]);
+        assert!(t.link_load(LinkId(0)).unwrap().is_empty());
+        assert!(!t.set_flow_bw(FlowCookie(99), 1.0, SimTime::ZERO));
+    }
+
+    #[test]
+    fn index_tracks_stats_updates() {
+        let mut t = FlowTracker::new();
+        t.insert(flow(1, vec![0], 10.0));
+        assert!(t.apply_stats(FlowCookie(1), 4.0, 60.0, SimTime::ZERO, false));
+        assert_eq!(t.link_load(LinkId(0)).unwrap().demands(), &[4.0]);
+        assert_index_matches_scans(&t, &[0]);
+        // A frozen flow rejects the update and leaves the index alone.
+        t.set_flow_bw(FlowCookie(1), 5.0, SimTime::ZERO);
+        assert!(!t.apply_stats(FlowCookie(1), 9.0, 80.0, SimTime::from_secs(1.0), false));
+        assert_eq!(t.link_load(LinkId(0)).unwrap().demands(), &[5.0]);
+        // Forcing the unfreeze (ablation mode) applies it.
+        assert!(t.apply_stats(FlowCookie(1), 9.0, 80.0, SimTime::from_secs(1.0), true));
+        assert_eq!(t.link_load(LinkId(0)).unwrap().demands(), &[9.0]);
+    }
+
+    #[test]
+    fn raw_mutation_dirties_and_ensure_fresh_rebuilds() {
+        let mut t = FlowTracker::new();
+        t.insert(flow(1, vec![0, 1], 2.0));
+        t.insert(flow(2, vec![1], 3.0));
+        assert!(!t.is_dirty());
+        t.get_mut(FlowCookie(1)).unwrap().bw = 42.0;
+        assert!(t.is_dirty());
+        t.ensure_fresh();
+        assert_index_matches_scans(&t, &[0, 1]);
+        assert_eq!(t.link_load(LinkId(0)).unwrap().demands(), &[42.0]);
+
+        let snap = t.snapshot();
+        for f in t.iter_mut() {
+            f.bw = 1.0;
+        }
+        assert!(t.is_dirty());
+        t.restore(snap);
+        assert!(t.is_dirty());
+        t.ensure_fresh();
+        assert_eq!(t.link_load(LinkId(0)).unwrap().demands(), &[42.0]);
+        assert_index_matches_scans(&t, &[0, 1]);
+    }
+
+    #[test]
+    fn expire_frozen_sweeps_without_touching_demands() {
+        let mut t = FlowTracker::new();
+        for (cookie, bw) in [(1u64, 10.0), (2, 5.0), (3, 1.0)] {
+            let mut f = flow(cookie, vec![0], bw);
+            f.set_bw(bw, SimTime::ZERO); // freezes until 50/bw secs
+            t.insert(f);
+        }
+        let epoch = t.link_load(LinkId(0)).unwrap().epoch();
+        assert_eq!(t.expire_frozen(SimTime::from_secs(20.0)), 2);
+        assert!(!t.is_dirty());
+        assert_eq!(t.link_load(LinkId(0)).unwrap().epoch(), epoch);
+        assert!(t.get(FlowCookie(3)).unwrap().frozen);
+    }
+
+    #[test]
+    fn resize_flow_refreezes_at_same_demand() {
+        let mut t = FlowTracker::new();
+        let mut f = flow(1, vec![0], 10.0);
+        f.set_bw(10.0, SimTime::ZERO);
+        t.insert(f);
+        let epoch = t.link_load(LinkId(0)).unwrap().epoch();
+        assert!(t.resize_flow(FlowCookie(1), 30.0, SimTime::ZERO));
+        let f = t.get(FlowCookie(1)).unwrap();
+        assert_eq!(f.size_bits, 30.0);
+        assert_eq!(f.remaining_bits, 30.0);
+        assert!(f.frozen);
+        assert_eq!(f.freeze_until, SimTime::from_secs(3.0));
+        assert!(!t.is_dirty());
+        assert_eq!(t.link_load(LinkId(0)).unwrap().epoch(), epoch);
+        assert!(!t.resize_flow(FlowCookie(9), 1.0, SimTime::ZERO));
+    }
+
+    #[test]
+    fn degenerate_repeated_link_counts_once() {
+        let mut t = FlowTracker::new();
+        t.insert(flow(1, vec![0, 0], 2.0));
+        assert_index_matches_scans(&t, &[0]);
+        assert_eq!(t.link_load(LinkId(0)).unwrap().cookies().len(), 1);
+        t.set_flow_bw(FlowCookie(1), 5.0, SimTime::ZERO);
+        assert_eq!(t.link_load(LinkId(0)).unwrap().demands(), &[5.0]);
+        t.remove(FlowCookie(1));
+        assert!(t.link_load(LinkId(0)).unwrap().is_empty());
     }
 }

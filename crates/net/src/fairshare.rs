@@ -94,6 +94,119 @@ pub fn new_flow_share(capacity: f64, demands: &[f64]) -> f64 {
         .expect("waterfill of non-empty input is non-empty")
 }
 
+/// Reusable buffers for the allocation-free waterfill entry points.
+///
+/// One scratch lives for the whole lifetime of a scheduler; every call
+/// reuses its vectors, so the steady-state cost of a waterfill is pure
+/// arithmetic plus one sort — no heap traffic.
+#[derive(Debug, Clone, Default)]
+pub struct FairshareScratch {
+    all: Vec<f64>,
+    alloc: Vec<f64>,
+    order: Vec<u32>,
+}
+
+impl FairshareScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> FairshareScratch {
+        FairshareScratch::default()
+    }
+}
+
+/// [`waterfill`] into caller-owned buffers, in O(n log n) instead of
+/// the reference implementation's O(n²) round scan.
+///
+/// `alloc` receives the per-flow allocation (cleared first); `order` is
+/// an index scratch buffer. The result is **bit-identical** to
+/// [`waterfill`]: each round fixes the equal share from the remaining
+/// capacity, caps the demand-sorted prefix of remaining flows, and —
+/// because f64 subtraction is not associative — subtracts the capped
+/// demands in original input order, exactly like the reference loop.
+///
+/// # Panics
+///
+/// Panics if `capacity` is negative/NaN or any demand is negative/NaN.
+pub fn waterfill_into(capacity: f64, demands: &[f64], alloc: &mut Vec<f64>, order: &mut Vec<u32>) {
+    assert!(
+        capacity >= 0.0 && !capacity.is_nan(),
+        "capacity must be non-negative"
+    );
+    assert!(
+        demands.iter().all(|d| *d >= 0.0 && !d.is_nan()),
+        "demands must be non-negative"
+    );
+    let n = demands.len();
+    alloc.clear();
+    alloc.resize(n, 0.0);
+    if n == 0 {
+        return;
+    }
+    order.clear();
+    order.extend(0..u32::try_from(n).expect("demand count fits u32"));
+    order.sort_by(|&a, &b| demands[a as usize].total_cmp(&demands[b as usize]));
+    let mut start = 0usize;
+    let mut remaining_cap = capacity;
+    loop {
+        if start == n || remaining_cap <= 0.0 {
+            break;
+        }
+        let share = remaining_cap / (n - start) as f64;
+        // Flows whose demand is below the current equal share cap out;
+        // they are exactly a prefix of the demand-sorted remainder.
+        let cut = start + order[start..].partition_point(|&i| demands[i as usize] <= share);
+        if cut == start {
+            // Everyone left wants at least the equal share: done.
+            for &i in &order[start..] {
+                alloc[i as usize] = share;
+            }
+            break;
+        }
+        // Restore input order within the capped set so the capacity
+        // subtractions replay the reference loop's exact f64 sequence.
+        order[start..cut].sort_unstable();
+        for &i in &order[start..cut] {
+            let d = demands[i as usize];
+            alloc[i as usize] = d;
+            remaining_cap -= d;
+        }
+        start = cut;
+    }
+}
+
+/// Waterfills `demands + [extra]` using scratch buffers and returns the
+/// allocation slice (length `demands.len() + 1`, the extra flow last).
+///
+/// This is the allocation-free core behind both the new-flow share and
+/// the existing-flow impact computation: the Flowserver stages a link's
+/// demand list plus the newcomer's demand, waterfills once, and reads
+/// both answers from the same slice.
+pub fn waterfill_with_extra<'a>(
+    capacity: f64,
+    demands: &[f64],
+    extra: f64,
+    scratch: &'a mut FairshareScratch,
+) -> &'a [f64] {
+    scratch.all.clear();
+    scratch.all.extend_from_slice(demands);
+    scratch.all.push(extra);
+    waterfill_into(
+        capacity,
+        &scratch.all,
+        &mut scratch.alloc,
+        &mut scratch.order,
+    );
+    &scratch.alloc
+}
+
+/// Allocation-free [`new_flow_share`]: bit-identical result, scratch
+/// buffers instead of fresh vectors.
+pub fn new_flow_share_into(capacity: f64, demands: &[f64], scratch: &mut FairshareScratch) -> f64 {
+    *waterfill_with_extra(capacity, demands, f64::INFINITY, scratch)
+        .last()
+        .expect("waterfill of non-empty input is non-empty")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +276,78 @@ mod tests {
     fn negative_demand_panics() {
         let _ = waterfill(1.0, &[-1.0]);
     }
+
+    fn fill_into(capacity: f64, demands: &[f64]) -> Vec<f64> {
+        let mut alloc = Vec::new();
+        let mut order = Vec::new();
+        waterfill_into(capacity, demands, &mut alloc, &mut order);
+        alloc
+    }
+
+    #[test]
+    fn into_zero_capacity_gives_zero() {
+        assert_eq!(fill_into(0.0, &[1.0, 2.0, f64::INFINITY]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn into_all_infinite_demands_split_equally() {
+        assert_eq!(fill_into(12.0, &[f64::INFINITY; 4]), vec![3.0; 4]);
+    }
+
+    #[test]
+    fn into_single_flow_capped_and_uncapped() {
+        // Demand below capacity: capped at the demand.
+        assert_eq!(fill_into(10.0, &[4.0]), vec![4.0]);
+        // Demand above capacity: gets the whole link.
+        assert_eq!(fill_into(10.0, &[40.0]), vec![10.0]);
+        assert_eq!(fill_into(10.0, &[f64::INFINITY]), vec![10.0]);
+    }
+
+    #[test]
+    fn into_empty_demands() {
+        assert!(fill_into(5.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn into_matches_reference_on_paper_examples() {
+        for (cap, demands) in [
+            (10.0, vec![2.0, 2.0, 6.0, f64::INFINITY]),
+            (10.0, vec![2.0, 2.0, 4.0, f64::INFINITY]),
+            (12.0, vec![1.0, 2.0, 100.0]),
+            (10.0, vec![0.0, f64::INFINITY]),
+        ] {
+            let reference = waterfill(cap, &demands);
+            assert_eq!(fill_into(cap, &demands), reference);
+        }
+    }
+
+    #[test]
+    fn into_buffers_are_reusable() {
+        let mut scratch = FairshareScratch::new();
+        let s1 = new_flow_share_into(10.0, &[2.0, 2.0, 6.0], &mut scratch);
+        assert_eq!(
+            s1.to_bits(),
+            new_flow_share(10.0, &[2.0, 2.0, 6.0]).to_bits()
+        );
+        // A second, smaller call must not see stale state.
+        let s2 = new_flow_share_into(10.0, &[10.0], &mut scratch);
+        assert_eq!(s2.to_bits(), new_flow_share(10.0, &[10.0]).to_bits());
+        let alloc = waterfill_with_extra(10.0, &[2.0, 2.0, 6.0], 3.0, &mut scratch);
+        assert_eq!(alloc.len(), 4);
+        assert_eq!(alloc, waterfill(10.0, &[2.0, 2.0, 6.0, 3.0]).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn into_negative_capacity_panics() {
+        let _ = fill_into(-1.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn into_negative_demand_panics() {
+        let _ = fill_into(1.0, &[-1.0]);
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +404,32 @@ mod proptests {
             let equal = cap / (demands.len() + 1) as f64;
             prop_assert!(share >= equal - 1e-9);
             prop_assert!(share <= cap + 1e-9);
+        }
+
+        /// The sort-based fast path is **bit-identical** to the
+        /// reference quadratic loop — not merely close: the Flowserver
+        /// substitutes one for the other and must keep every selection
+        /// and every serialized report byte-equal.
+        #[test]
+        fn waterfill_into_is_bit_identical(cap in 0.0f64..1000.0, demands in demand_vec()) {
+            let reference = waterfill(cap, &demands);
+            let mut alloc = Vec::new();
+            let mut order = Vec::new();
+            waterfill_into(cap, &demands, &mut alloc, &mut order);
+            prop_assert_eq!(alloc.len(), reference.len());
+            for (fast, slow) in alloc.iter().zip(&reference) {
+                prop_assert_eq!(fast.to_bits(), slow.to_bits(),
+                    "fast={} slow={} cap={} demands={:?}", fast, slow, cap, &demands);
+            }
+        }
+
+        /// Same bit-identity for the new-flow share entry point.
+        #[test]
+        fn new_flow_share_into_is_bit_identical(cap in 0.0f64..1000.0, demands in demand_vec()) {
+            let mut scratch = FairshareScratch::new();
+            let fast = new_flow_share_into(cap, &demands, &mut scratch);
+            let slow = new_flow_share(cap, &demands);
+            prop_assert_eq!(fast.to_bits(), slow.to_bits(), "fast={} slow={}", fast, slow);
         }
     }
 }

@@ -43,6 +43,7 @@ pub mod fattree;
 pub mod ids;
 pub mod locality;
 pub mod path;
+pub mod pathcache;
 pub mod topology;
 pub mod tree;
 
@@ -51,6 +52,7 @@ pub use fattree::FatTreeParams;
 pub use ids::{HostId, LinkId, NodeId, NodeKind, PodId, RackId};
 pub use locality::Locality;
 pub use path::Path;
+pub use pathcache::{PathCache, PathCacheStats, PathSet};
 pub use topology::{Link, Node, Topology};
 pub use tree::TreeParams;
 

@@ -1,9 +1,10 @@
 //! Offline stand-in for the `criterion` crate.
 //!
 //! Supports the subset of the criterion 0.5 API used by this
-//! workspace's benches: `Criterion::benchmark_group`,
-//! `BenchmarkGroup::{sample_size, throughput, bench_function,
-//! bench_with_input, finish}`, `BenchmarkId`, `Throughput`,
+//! workspace's benches: `Criterion::{benchmark_group, bench_function,
+//! bench_with_input}`, `BenchmarkGroup::{sample_size, throughput,
+//! bench_function, bench_with_input, finish}`, `BenchmarkId`,
+//! `Throughput`,
 //! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
 //! macros. There is no statistical machinery: each benchmark runs its
 //! closure a small fixed number of times and prints the mean wall
@@ -32,6 +33,30 @@ impl Criterion {
             samples: self.sample_size.unwrap_or(10),
             _criterion: self,
         }
+    }
+
+    /// Runs a standalone (ungrouped) benchmark, as in criterion 0.5.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_bench(&label, self.sample_size.unwrap_or(10), |b| f(b));
+        self
+    }
+
+    /// Runs a standalone benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.0, self.sample_size.unwrap_or(10), |b| f(b, input));
+        self
     }
 }
 
