@@ -14,6 +14,23 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo build --workspace --examples (examples must compile)"
+cargo build --workspace --examples
+
+echo "==> mcheck smoke gate (every mutant caught, real protocols clean, fixed seeds)"
+cargo test --release -q -p mayflower-mcheck --test mutants
+
+# Opt-in long fuzz: MCHECK_BUDGET=5000 [MCHECK_SEED=7] ./ci.sh explores
+# that many random-walk schedules of every scenario on top of the gate.
+if [[ -n "${MCHECK_BUDGET:-}" ]]; then
+  echo "==> mcheck long fuzz (budget ${MCHECK_BUDGET}, seed ${MCHECK_SEED:-1})"
+  for sc in ns data data-strong data-repair freeze; do
+    cargo run --release -q -p mayflower-mcheck --bin mcheck -- \
+      --scenario "$sc" --strategy random-walk \
+      --seed "${MCHECK_SEED:-1}" --budget "${MCHECK_BUDGET}"
+  done
+fi
+
 echo "==> recovery chaos experiment (release)"
 cargo test --release -q -p mayflower-sim --test recovery_chaos
 

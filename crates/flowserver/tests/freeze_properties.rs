@@ -1,0 +1,171 @@
+//! Property tests for the update-freeze window (Pseudocode 2).
+//!
+//! A real [`FlowTracker`] (the fast path: structured mutators keeping
+//! the link index exact) is driven through random sequences of
+//! `SETBW`s, stats polls and expiry sweeps — random poll offsets,
+//! random freeze durations, including polls landing *exactly* on the
+//! freeze boundary — and compared after every event against a naive,
+//! independent re-implementation of Pseudocode 2. Two invariants are
+//! also asserted directly:
+//!
+//! 1. a frozen estimate is **never** clobbered by a poll at or before
+//!    its expiry (`now <= freeze_until`), and
+//! 2. once the window has passed, the next poll **always** re-installs
+//!    the measured estimate.
+
+use mayflower_flowserver::{FlowTracker, TrackedFlow};
+use mayflower_net::{HostId, LinkId, Path};
+use mayflower_sdn::FlowCookie;
+use mayflower_simcore::SimTime;
+use proptest::prelude::*;
+
+const COOKIE: FlowCookie = FlowCookie(7);
+
+/// Independent Pseudocode 2 oracle. It shares the simulator's time
+/// type (so boundary comparisons agree to the tick) but none of the
+/// tracker's code.
+#[derive(Debug, Clone, Copy)]
+struct Naive {
+    size: f64,
+    remaining: f64,
+    bw: f64,
+    updated_at: SimTime,
+    frozen: bool,
+    freeze_until: SimTime,
+}
+
+impl Naive {
+    fn admit(bw: f64, size: f64) -> Naive {
+        Naive {
+            size,
+            remaining: size,
+            bw,
+            updated_at: SimTime::ZERO,
+            frozen: false,
+            freeze_until: SimTime::ZERO,
+        }
+    }
+
+    fn progressed(&self, now: SimTime) -> f64 {
+        (self.remaining - self.bw * now.secs_since(self.updated_at)).max(0.0)
+    }
+
+    fn set_bw(&mut self, bw: f64, now: SimTime) {
+        self.remaining = self.progressed(now);
+        self.updated_at = now;
+        self.bw = bw;
+        self.freeze_until = now + SimTime::from_secs(self.remaining / bw);
+        self.frozen = true;
+    }
+
+    fn poll(&mut self, measured_bw: f64, total: f64, now: SimTime) {
+        if self.frozen && now <= self.freeze_until {
+            return;
+        }
+        self.bw = measured_bw;
+        self.remaining = (self.size - total).max(0.0);
+        self.updated_at = now;
+        self.frozen = false;
+    }
+
+    fn sweep(&mut self, now: SimTime) {
+        if self.frozen && now > self.freeze_until {
+            self.frozen = false;
+        }
+    }
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The tracker's freeze behavior matches the naive oracle on every
+    /// prefix of a random event sequence.
+    #[test]
+    fn tracker_matches_the_naive_freeze_oracle(
+        size_raw in 1u32..10,
+        init_bw_raw in 1u32..40,
+        events in proptest::collection::vec(
+            (0u8..3, 1u32..3000, 1u32..40, 0u32..1200, any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let size = f64::from(size_raw) * 1e9;
+        let init_bw = f64::from(init_bw_raw) * 1e8;
+
+        let mut tracker = FlowTracker::new();
+        tracker.insert(TrackedFlow {
+            cookie: COOKIE,
+            path: Path::new(HostId(0), HostId(1), vec![LinkId(0)]),
+            size_bits: size,
+            remaining_bits: size,
+            bw: init_bw,
+            updated_at: SimTime::ZERO,
+            frozen: false,
+            freeze_until: SimTime::ZERO,
+        });
+        let mut naive = Naive::admit(init_bw, size);
+
+        let mut now = SimTime::ZERO;
+        for (kind, dt_raw, bw_raw, total_raw, at_boundary) in events {
+            let frozen_until = tracker.get(COOKIE).expect("tracked").freeze_until;
+            now = if at_boundary && frozen_until > now {
+                // Land exactly on the freeze boundary: the race the
+                // strict `>` expiry exists to win.
+                frozen_until
+            } else {
+                now + SimTime::from_secs(f64::from(dt_raw) / 1000.0)
+            };
+            let bw = f64::from(bw_raw) * 1e8;
+            let total = size * f64::from(total_raw) / 1000.0;
+
+            match kind {
+                0 => {
+                    tracker.set_flow_bw(COOKIE, bw, now);
+                    naive.set_bw(bw, now);
+                }
+                1 => {
+                    let f = tracker.get(COOKIE).expect("tracked").clone();
+                    let in_window = f.frozen && now <= f.freeze_until;
+                    tracker.apply_stats(COOKIE, bw, total, now, false);
+                    let after = tracker.get(COOKIE).expect("tracked");
+                    if in_window {
+                        // Invariant 1: frozen estimates survive polls
+                        // up to and including the boundary.
+                        prop_assert_eq!(after.bw.to_bits(), f.bw.to_bits());
+                        prop_assert!(after.frozen);
+                    } else {
+                        // Invariant 2: past the window, the measured
+                        // estimate always lands.
+                        prop_assert_eq!(after.bw.to_bits(), bw.to_bits());
+                        prop_assert!(!after.frozen);
+                    }
+                    naive.poll(bw, total, now);
+                }
+                _ => {
+                    tracker.expire_frozen(now);
+                    naive.sweep(now);
+                }
+            }
+
+            let f = tracker.get(COOKIE).expect("tracked");
+            prop_assert!(
+                close(f.bw, naive.bw),
+                "bw diverged at t={}: tracker={} naive={}",
+                now.secs_since(SimTime::ZERO), f.bw, naive.bw
+            );
+            prop_assert_eq!(f.frozen, naive.frozen, "frozen flag diverged");
+            if f.frozen {
+                prop_assert_eq!(f.freeze_until, naive.freeze_until);
+            }
+            prop_assert!(
+                close(f.remaining_at(now), naive.progressed(now)),
+                "remaining diverged at t={}: tracker={} naive={}",
+                now.secs_since(SimTime::ZERO), f.remaining_at(now), naive.progressed(now)
+            );
+        }
+    }
+}

@@ -68,7 +68,7 @@ pub use client::Client;
 pub use cluster::{Cluster, ClusterConfig};
 pub use dataserver::{Dataserver, RepairSource};
 pub use error::FsError;
-pub use nameserver::Nameserver;
+pub use nameserver::{Nameserver, NameserverConfig};
 pub use selector::{
     FallbackSelector, NearestSelector, PrimarySelector, ReadAssignment, ReplicaSelector,
 };

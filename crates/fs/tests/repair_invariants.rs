@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use mayflower_fs::{Cluster, ClusterConfig};
 use mayflower_net::{HostId, Topology, TreeParams};
+use mayflower_simcore::testutil::SeedGuard;
 use mayflower_simcore::SimRng;
 use proptest::prelude::*;
 
@@ -60,6 +61,7 @@ proptest! {
         n_files in 1usize..4,
         case_tag in any::<u64>(),
     ) {
+        let _seed_guard = SeedGuard::new("repair_invariants::kills_then_repairs", seed);
         let dir = TempDir::new(&format!("prop-{case_tag}"));
         let c = cluster_in(&dir, &TreeParams::paper_testbed());
         let mut originals = Vec::new();

@@ -1,0 +1,191 @@
+//! Invoke/response histories.
+//!
+//! Every explored schedule taps the operations it drives — nameserver
+//! metadata calls, dataserver appends and reads — into a [`History`]:
+//! a totally ordered log of *invocation* and *response* events. The
+//! oracles consume histories: the Wing–Gong checker searches for a
+//! linearization of a metadata history, and the append/read oracle
+//! checks prefix and freshness properties against the primary's final
+//! order. The rendered trace is also the counterexample's body, so
+//! rendering must be byte-deterministic — `Display` implementations
+//! only, no pointers, no wall-clock time.
+
+/// Identifies one operation instance within a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallId(pub u32);
+
+/// One history event: an operation's invocation or its response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<O, R> {
+    /// Operation `op` by `client` began.
+    Invoke {
+        /// The operation instance.
+        call: CallId,
+        /// Logical client index.
+        client: u32,
+        /// The operation.
+        op: O,
+    },
+    /// The operation opened by the matching [`Event::Invoke`] returned.
+    Response {
+        /// The operation instance.
+        call: CallId,
+        /// The value returned.
+        ret: R,
+    },
+}
+
+/// A completed call as `(call, client, op, ret)`.
+pub type Completed<O, R> = (CallId, u32, O, R);
+
+/// A pending (invoked, never responded) call as `(call, client, op)`.
+pub type PendingCall<O> = (CallId, u32, O);
+
+/// A totally ordered invoke/response log.
+#[derive(Debug, Clone, Default)]
+pub struct History<O, R> {
+    events: Vec<Event<O, R>>,
+    next_call: u32,
+}
+
+impl<O: Clone, R: Clone> History<O, R> {
+    /// An empty history.
+    #[must_use]
+    pub fn new() -> History<O, R> {
+        History {
+            events: Vec::new(),
+            next_call: 0,
+        }
+    }
+
+    /// Records an invocation, returning its call id.
+    pub fn invoke(&mut self, client: u32, op: O) -> CallId {
+        let call = CallId(self.next_call);
+        self.next_call += 1;
+        self.events.push(Event::Invoke { call, client, op });
+        call
+    }
+
+    /// Records the response of `call`.
+    pub fn respond(&mut self, call: CallId, ret: R) {
+        self.events.push(Event::Response { call, ret });
+    }
+
+    /// The events in order.
+    #[must_use]
+    pub fn events(&self) -> &[Event<O, R>] {
+        &self.events
+    }
+
+    /// The completed operations as `(call, client, op, ret)`, in
+    /// response order, plus the pending ones (invoked, never
+    /// responded) as `(call, client, op)`.
+    #[must_use]
+    pub fn split(&self) -> (Vec<Completed<O, R>>, Vec<PendingCall<O>>) {
+        let mut open: Vec<PendingCall<O>> = Vec::new();
+        let mut done: Vec<Completed<O, R>> = Vec::new();
+        for e in &self.events {
+            match e {
+                Event::Invoke { call, client, op } => open.push((*call, *client, op.clone())),
+                Event::Response { call, ret } => {
+                    if let Some(pos) = open.iter().position(|(c, _, _)| c == call) {
+                        let (c, client, op) = open.remove(pos);
+                        done.push((c, client, op, ret.clone()));
+                    }
+                }
+            }
+        }
+        (done, open)
+    }
+
+    /// Index of each call's invocation and (if any) response in the
+    /// event order: `(invoke_idx, Option<response_idx>)`.
+    #[must_use]
+    pub fn spans(&self) -> std::collections::BTreeMap<CallId, (usize, Option<usize>)> {
+        let mut spans = std::collections::BTreeMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Invoke { call, .. } => {
+                    spans.insert(*call, (i, None));
+                }
+                Event::Response { call, .. } => {
+                    if let Some((_, r)) = spans.get_mut(call) {
+                        *r = Some(i);
+                    }
+                }
+            }
+        }
+        spans
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<O: std::fmt::Display, R: std::fmt::Display> History<O, R> {
+    /// Renders the history as the stable multi-line trace printed in
+    /// counterexamples: one event per line, `#<idx> c<client>
+    /// invoke <op>` / `#<idx> ret[<call>] -> <ret>`.
+    #[must_use]
+    pub fn trace(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Invoke { call, client, op } => {
+                    out.push_str(&format!("#{i:03} c{client} invoke[{}] {op}\n", call.0));
+                }
+                Event::Response { call, ret } => {
+                    out.push_str(&format!("#{i:03} return[{}] -> {ret}\n", call.0));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_separates_completed_and_pending() {
+        let mut h: History<&str, &str> = History::new();
+        let a = h.invoke(0, "create");
+        let b = h.invoke(1, "delete");
+        h.respond(a, "ok");
+        let (done, open) = h.split();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, a);
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].0, b);
+    }
+
+    #[test]
+    fn spans_track_event_indices() {
+        let mut h: History<&str, &str> = History::new();
+        let a = h.invoke(0, "x");
+        let b = h.invoke(1, "y");
+        h.respond(b, "ok");
+        h.respond(a, "ok");
+        let spans = h.spans();
+        assert_eq!(spans[&a], (0, Some(3)));
+        assert_eq!(spans[&b], (1, Some(2)));
+    }
+
+    #[test]
+    fn trace_is_stable() {
+        let mut h: History<&str, &str> = History::new();
+        let a = h.invoke(2, "op");
+        h.respond(a, "ok");
+        assert_eq!(h.trace(), "#000 c2 invoke[0] op\n#001 return[0] -> ok\n");
+    }
+}

@@ -1,0 +1,54 @@
+//! Schedule-exploration model checker for Mayflower's
+//! consistency-critical protocols.
+//!
+//! The repo's simulation runs are deterministic but explore exactly
+//! one interleaving — FIFO order among same-timestamp events. The
+//! ordering-sensitive protocols (nameserver metadata over the WAL'd KV
+//! store, §3.3.2 primary-ordered appends, §3.4 strong-consistency
+//! reads, Pseudocode 2's update freeze) can hide bugs that only
+//! surface under *other* orders. This crate turns the simulator's
+//! controlled scheduler hook ([`mayflower_simcore::EventQueue::
+//! pop_with`]) into a model checker:
+//!
+//! * [`strategy`] — schedule strategies (seeded random walks, bounded
+//!   round-robin perturbation, bounded-exhaustive enumeration) and the
+//!   recording/replaying [`strategy::Chooser`]: one decision list
+//!   names one interleaving, replayable byte-for-byte.
+//! * [`history`] — invoke/response histories with concurrency-faithful
+//!   traces.
+//! * [`lin`] — a Wing–Gong linearizability checker for nameserver
+//!   metadata histories.
+//! * [`oracle`] — the append/read consistency oracle (prefix property,
+//!   plus §3.4 real-time freshness in strong mode).
+//! * [`scenario`] — the checkable protocols themselves, driving
+//!   **real** components (nameserver + KV WAL on disk, dataservers
+//!   with real chunk files, the real flow tracker) step-by-step, with
+//!   deliberately broken mutants for checker validation.
+//! * [`shrink`] — greedy delta-debugging of failing schedules down to
+//!   a minimal decision list.
+//! * [`explore`] — the budgeted driver tying it together, reporting
+//!   `mcheck.schedules_explored_total` / `mcheck.violations_total`
+//!   through the telemetry registry.
+//!
+//! Entry point: build a [`scenario::Scenario`], hand it to
+//! [`explore::Explorer::check`] with a strategy, seed and budget; a
+//! violation comes back as a minimized [`explore::Counterexample`]
+//! whose `render()` output (seed + decision list + trace) reproduces
+//! identically on replay.
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod history;
+pub mod lin;
+pub mod oracle;
+pub mod scenario;
+pub mod shrink;
+pub mod strategy;
+
+pub use explore::{Budget, CheckReport, Counterexample, Explorer, StrategyKind};
+pub use history::{CallId, History};
+pub use scenario::{
+    DataScenario, FreezeScenario, Mutant, NsMetaScenario, Scenario, ScheduleOutcome,
+};
+pub use strategy::{Chooser, Decision, DecisionList};

@@ -1,0 +1,408 @@
+//! Wing–Gong linearizability checker for nameserver metadata
+//! histories.
+//!
+//! The nameserver's namespace operations (`create`, `delete`,
+//! `rename`, `record_size`, `lookup`) claim to be linearizable: every
+//! completed operation appears to take effect atomically at some
+//! instant between its invocation and its response. The checker
+//! searches for such a witness order with the classic Wing–Gong
+//! algorithm: repeatedly pick a *minimal* operation (one not
+//! real-time-preceded by any other unlinearized operation), apply it
+//! to a sequential model of the namespace, and require the model's
+//! answer to match the recorded response. Operations still pending at
+//! the end of the history may have taken effect or not — both branches
+//! are explored. The search is memoized on (linearized-set, model
+//! state), which keeps the worst case well inside the model checker's
+//! budget for the history sizes the scenarios produce.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::history::{Event, History};
+
+/// A nameserver metadata operation, as driven by the model-checking
+/// scenarios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaOp {
+    /// `Nameserver::create(name)`.
+    Create(String),
+    /// `Nameserver::delete(name)`.
+    Delete(String),
+    /// `Nameserver::rename(from, to, overwrite = true)`.
+    Rename {
+        /// Source name.
+        from: String,
+        /// Destination name (overwritten if present).
+        to: String,
+    },
+    /// `Nameserver::record_size(name, size)`.
+    RecordSize {
+        /// File name.
+        name: String,
+        /// New size to record.
+        size: u64,
+    },
+    /// `Nameserver::lookup(name)`.
+    Lookup(String),
+    /// A nameserver crash + reopen (WAL replay). Not a client
+    /// operation: it must behave as a no-op on committed state, which
+    /// is exactly what modelling it as an identity operation asserts —
+    /// any state lost (or resurrected) across the crash shows up as
+    /// some *other* operation with no valid linearization point.
+    Crash,
+}
+
+impl std::fmt::Display for MetaOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaOp::Create(n) => write!(f, "create({n})"),
+            MetaOp::Delete(n) => write!(f, "delete({n})"),
+            MetaOp::Rename { from, to } => write!(f, "rename({from}->{to})"),
+            MetaOp::RecordSize { name, size } => write!(f, "record_size({name},{size})"),
+            MetaOp::Lookup(n) => write!(f, "lookup({n})"),
+            MetaOp::Crash => write!(f, "crash-recover"),
+        }
+    }
+}
+
+/// The response of a [`MetaOp`], reduced to what the sequential model
+/// can predict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaRet {
+    /// Create succeeded.
+    Created,
+    /// Delete succeeded.
+    Deleted,
+    /// Rename succeeded.
+    Renamed,
+    /// Record-size succeeded.
+    Recorded,
+    /// Lookup found the file with this recorded size.
+    Found(u64),
+    /// The named file does not exist.
+    ErrNotFound,
+    /// A file with that name already exists.
+    ErrAlreadyExists,
+    /// The nameserver reopened after a crash.
+    Recovered,
+}
+
+impl std::fmt::Display for MetaRet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaRet::Created => write!(f, "created"),
+            MetaRet::Deleted => write!(f, "deleted"),
+            MetaRet::Renamed => write!(f, "renamed"),
+            MetaRet::Recorded => write!(f, "recorded"),
+            MetaRet::Found(s) => write!(f, "found(size={s})"),
+            MetaRet::ErrNotFound => write!(f, "err(not-found)"),
+            MetaRet::ErrAlreadyExists => write!(f, "err(already-exists)"),
+            MetaRet::Recovered => write!(f, "recovered"),
+        }
+    }
+}
+
+/// The sequential specification: name → recorded size.
+type Model = BTreeMap<String, u64>;
+
+/// Applies `op` to the sequential model, returning the specified
+/// response.
+fn apply(op: &MetaOp, state: &mut Model) -> MetaRet {
+    match op {
+        MetaOp::Create(n) => {
+            if state.contains_key(n) {
+                MetaRet::ErrAlreadyExists
+            } else {
+                state.insert(n.clone(), 0);
+                MetaRet::Created
+            }
+        }
+        MetaOp::Delete(n) => {
+            if state.remove(n).is_some() {
+                MetaRet::Deleted
+            } else {
+                MetaRet::ErrNotFound
+            }
+        }
+        MetaOp::Rename { from, to } => match state.remove(from) {
+            None => MetaRet::ErrNotFound,
+            Some(size) => {
+                state.insert(to.clone(), size);
+                MetaRet::Renamed
+            }
+        },
+        MetaOp::RecordSize { name, size } => match state.get_mut(name) {
+            None => MetaRet::ErrNotFound,
+            Some(s) => {
+                *s = *size;
+                MetaRet::Recorded
+            }
+        },
+        MetaOp::Lookup(n) => match state.get(n) {
+            Some(s) => MetaRet::Found(*s),
+            None => MetaRet::ErrNotFound,
+        },
+        MetaOp::Crash => MetaRet::Recovered,
+    }
+}
+
+/// One call flattened for the search.
+struct CallRec {
+    op: MetaOp,
+    /// `None` for pending calls.
+    ret: Option<MetaRet>,
+    invoke: usize,
+    /// `usize::MAX` for pending calls (they real-time-precede
+    /// nothing).
+    resp: usize,
+}
+
+/// Checks a metadata history for linearizability against the
+/// sequential namespace model.
+///
+/// # Errors
+///
+/// Returns a violation message when no linearization exists.
+///
+/// # Panics
+///
+/// Panics on histories of more than 64 calls (the scenarios stay far
+/// below).
+pub fn check_linearizable(history: &History<MetaOp, MetaRet>) -> Result<(), String> {
+    let mut recs: Vec<CallRec> = Vec::new();
+    for (i, e) in history.events().iter().enumerate() {
+        match e {
+            Event::Invoke { call, op, .. } => {
+                assert_eq!(call.0 as usize, recs.len(), "calls are numbered in order");
+                recs.push(CallRec {
+                    op: op.clone(),
+                    ret: None,
+                    invoke: i,
+                    resp: usize::MAX,
+                });
+            }
+            Event::Response { call, ret } => {
+                let rec = &mut recs[call.0 as usize];
+                rec.ret = Some(*ret);
+                rec.resp = i;
+            }
+        }
+    }
+    assert!(recs.len() <= 64, "history too large for the bitmask search");
+    let completed: u64 = recs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.ret.is_some())
+        .map(|(i, _)| 1u64 << i)
+        .sum();
+
+    let mut memo: HashSet<(u64, String)> = HashSet::new();
+    let mut state = Model::new();
+    if search(&recs, completed, 0, &mut state, &mut memo) {
+        Ok(())
+    } else {
+        let done = completed.count_ones();
+        let pending = recs.len() as u32 - done;
+        Err(format!(
+            "not linearizable: no witness order exists for {done} completed \
+             metadata ops ({pending} pending) under the sequential namespace model"
+        ))
+    }
+}
+
+fn encode(state: &Model) -> String {
+    let mut s = String::new();
+    for (k, v) in state {
+        s.push_str(k);
+        s.push('=');
+        s.push_str(&v.to_string());
+        s.push(';');
+    }
+    s
+}
+
+fn search(
+    recs: &[CallRec],
+    completed: u64,
+    mask: u64,
+    state: &mut Model,
+    memo: &mut HashSet<(u64, String)>,
+) -> bool {
+    if mask & completed == completed {
+        return true;
+    }
+    if !memo.insert((mask, encode(state))) {
+        return false;
+    }
+    for i in 0..recs.len() {
+        let bit = 1u64 << i;
+        if mask & bit != 0 {
+            continue;
+        }
+        // Minimality: no other unlinearized call returned before this
+        // one was invoked.
+        let blocked = recs.iter().enumerate().any(|(j, r)| {
+            j != i && mask & (1u64 << j) == 0 && r.resp != usize::MAX && r.resp < recs[i].invoke
+        });
+        if blocked {
+            continue;
+        }
+        let mut next = state.clone();
+        let got = apply(&recs[i].op, &mut next);
+        match recs[i].ret {
+            // Completed call: the model must reproduce its response.
+            Some(expect) if got != expect => continue,
+            // Pending call: it *may* have taken effect (this branch);
+            // the "never took effect" branch is implicit, since the
+            // success condition only requires completed calls.
+            Some(_) | None => {}
+        }
+        if search(recs, completed, mask | bit, &mut next, memo) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(ops: &[(u32, MetaOp, MetaRet)]) -> History<MetaOp, MetaRet> {
+        let mut h = History::new();
+        for (client, op, ret) in ops {
+            let c = h.invoke(*client, op.clone());
+            h.respond(c, *ret);
+        }
+        h
+    }
+
+    #[test]
+    fn sequential_valid_history_passes() {
+        let h = seq(&[
+            (0, MetaOp::Create("a".into()), MetaRet::Created),
+            (
+                0,
+                MetaOp::RecordSize {
+                    name: "a".into(),
+                    size: 7,
+                },
+                MetaRet::Recorded,
+            ),
+            (1, MetaOp::Lookup("a".into()), MetaRet::Found(7)),
+            (1, MetaOp::Delete("a".into()), MetaRet::Deleted),
+            (0, MetaOp::Lookup("a".into()), MetaRet::ErrNotFound),
+        ]);
+        assert!(check_linearizable(&h).is_ok());
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // lookup(a) -> not-found overlaps create(a) -> created: the
+        // lookup may linearize first.
+        let mut h = History::new();
+        let c = h.invoke(0, MetaOp::Create("a".into()));
+        let l = h.invoke(1, MetaOp::Lookup("a".into()));
+        h.respond(c, MetaRet::Created);
+        h.respond(l, MetaRet::ErrNotFound);
+        assert!(check_linearizable(&h).is_ok());
+    }
+
+    #[test]
+    fn stale_read_after_response_is_a_violation() {
+        // create(a) completed strictly before lookup(a) began, so
+        // not-found has no linearization point.
+        let h = seq(&[
+            (0, MetaOp::Create("a".into()), MetaRet::Created),
+            (1, MetaOp::Lookup("a".into()), MetaRet::ErrNotFound),
+        ]);
+        let err = check_linearizable(&h).unwrap_err();
+        assert!(err.contains("not linearizable"), "{err}");
+    }
+
+    #[test]
+    fn double_create_is_a_violation() {
+        let h = seq(&[
+            (0, MetaOp::Create("a".into()), MetaRet::Created),
+            (1, MetaOp::Create("a".into()), MetaRet::Created),
+        ]);
+        assert!(check_linearizable(&h).is_err());
+    }
+
+    #[test]
+    fn pending_op_may_explain_an_observation() {
+        // A delete that never returned may still have taken effect,
+        // which is the only way the final not-found is legal.
+        let mut h = History::new();
+        let d = h.invoke(2, MetaOp::Delete("a".into()));
+        let c = h.invoke(0, MetaOp::Create("a".into()));
+        h.respond(c, MetaRet::Created);
+        let l = h.invoke(1, MetaOp::Lookup("a".into()));
+        h.respond(l, MetaRet::ErrNotFound);
+        let _ = d; // never responds
+        assert!(check_linearizable(&h).is_ok());
+    }
+
+    #[test]
+    fn crash_is_an_identity_operation() {
+        let h = seq(&[
+            (0, MetaOp::Create("a".into()), MetaRet::Created),
+            (3, MetaOp::Crash, MetaRet::Recovered),
+            (1, MetaOp::Lookup("a".into()), MetaRet::Found(0)),
+        ]);
+        assert!(check_linearizable(&h).is_ok());
+        // Losing the create across the crash is a violation.
+        let lost = seq(&[
+            (0, MetaOp::Create("a".into()), MetaRet::Created),
+            (3, MetaOp::Crash, MetaRet::Recovered),
+            (1, MetaOp::Lookup("a".into()), MetaRet::ErrNotFound),
+        ]);
+        assert!(check_linearizable(&lost).is_err());
+    }
+
+    #[test]
+    fn rename_moves_size() {
+        let h = seq(&[
+            (0, MetaOp::Create("a".into()), MetaRet::Created),
+            (
+                0,
+                MetaOp::RecordSize {
+                    name: "a".into(),
+                    size: 9,
+                },
+                MetaRet::Recorded,
+            ),
+            (
+                0,
+                MetaOp::Rename {
+                    from: "a".into(),
+                    to: "b".into(),
+                },
+                MetaRet::Renamed,
+            ),
+            (1, MetaOp::Lookup("b".into()), MetaRet::Found(9)),
+            (1, MetaOp::Lookup("a".into()), MetaRet::ErrNotFound),
+        ]);
+        assert!(check_linearizable(&h).is_ok());
+    }
+
+    #[test]
+    fn half_applied_rename_is_a_violation() {
+        // Both the old and the new name visible after a completed
+        // rename — the torn-tail WAL mutant's signature.
+        let h = seq(&[
+            (0, MetaOp::Create("a".into()), MetaRet::Created),
+            (
+                0,
+                MetaOp::Rename {
+                    from: "a".into(),
+                    to: "b".into(),
+                },
+                MetaRet::Renamed,
+            ),
+            (3, MetaOp::Crash, MetaRet::Recovered),
+            (1, MetaOp::Lookup("b".into()), MetaRet::Found(0)),
+            (1, MetaOp::Lookup("a".into()), MetaRet::Found(0)),
+        ]);
+        assert!(check_linearizable(&h).is_err());
+    }
+}

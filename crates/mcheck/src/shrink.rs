@@ -1,0 +1,180 @@
+//! Greedy delta-debugging of failing schedules.
+//!
+//! A counterexample found by a random walk is typically noisy: dozens
+//! of scheduling decisions, most of them irrelevant. The shrinker
+//! minimizes a failing [`DecisionList`] by alternating two greedy
+//! passes until a fixpoint:
+//!
+//! 1. **Truncation** — replay ever-shorter prefixes of the list (the
+//!    scheduler falls back to FIFO past the end), shortest first.
+//! 2. **Lowering** — left to right, try replacing each decision with a
+//!    smaller index (0 is the FIFO choice).
+//!
+//! A candidate is accepted only if its re-run still *fails* and its
+//! canonical decision log is strictly lighter (fewer non-FIFO
+//! decisions, then smaller indices, then shorter), which also proves
+//! termination. The accepted list is always the canonical log of an
+//! actual failing run, so replaying the final result reproduces the
+//! violation byte-for-byte.
+
+use crate::strategy::{Decision, DecisionList};
+
+/// The outcome of replaying one shrink candidate.
+#[derive(Debug, Clone)]
+pub struct ShrinkRun {
+    /// Whether the run still violated the oracle.
+    pub failed: bool,
+    /// The canonical decision log the run actually took (clamping and
+    /// FIFO fallback applied).
+    pub decisions: DecisionList,
+}
+
+/// Hard cap on candidate executions, against pathological scenarios.
+const MAX_RUNS: usize = 2000;
+
+fn weight(d: &[Decision]) -> (usize, usize, usize) {
+    (
+        d.iter().filter(|x| x.chosen != 0).count(),
+        d.iter().map(|x| x.chosen as usize).sum(),
+        d.len(),
+    )
+}
+
+/// Minimizes `initial` (the canonical log of a failing run) under
+/// `run`, which replays a candidate decision list and reports whether
+/// the violation persists.
+pub fn shrink(
+    initial: DecisionList,
+    mut run: impl FnMut(&[Decision]) -> ShrinkRun,
+) -> DecisionList {
+    let mut cur = initial;
+    let mut runs = 0usize;
+    loop {
+        let mut improved = false;
+
+        // Truncation pass: shortest prefix first.
+        for k in 0..cur.len() {
+            if runs >= MAX_RUNS {
+                return cur;
+            }
+            runs += 1;
+            let r = run(&cur[..k]);
+            if r.failed && weight(&r.decisions) < weight(&cur) {
+                cur = r.decisions;
+                improved = true;
+                break;
+            }
+        }
+
+        // Lowering pass: left to right, smallest replacement first.
+        'outer: for i in 0..cur.len() {
+            for v in 0..cur[i].chosen {
+                if runs >= MAX_RUNS {
+                    return cur;
+                }
+                runs += 1;
+                let mut cand = cur.clone();
+                cand[i].chosen = v;
+                let r = run(&cand);
+                if r.failed && weight(&r.decisions) < weight(&cur) {
+                    cur = r.decisions;
+                    improved = true;
+                    break 'outer;
+                }
+            }
+        }
+
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic scenario with 4 decision points over ready sets of
+    /// size 2; it fails iff decision 2 is non-FIFO.
+    fn toy_run(cand: &[Decision]) -> ShrinkRun {
+        let mut full: Vec<Decision> = Vec::new();
+        for i in 0..4 {
+            let chosen = cand.get(i).map_or(0, |d| d.chosen.min(1));
+            full.push(Decision { ready: 2, chosen });
+        }
+        ShrinkRun {
+            failed: full[2].chosen == 1,
+            decisions: full,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_decision() {
+        let initial = toy_run(&[
+            Decision {
+                ready: 2,
+                chosen: 1,
+            },
+            Decision {
+                ready: 2,
+                chosen: 1,
+            },
+            Decision {
+                ready: 2,
+                chosen: 1,
+            },
+            Decision {
+                ready: 2,
+                chosen: 1,
+            },
+        ])
+        .decisions;
+        let min = shrink(initial, toy_run);
+        let chosen: Vec<u32> = min.iter().map(|d| d.chosen).collect();
+        assert_eq!(chosen, vec![0, 0, 1, 0]);
+        assert!(toy_run(&min).failed, "minimized list still fails");
+    }
+
+    #[test]
+    fn already_minimal_is_stable() {
+        let minimal = vec![
+            Decision {
+                ready: 2,
+                chosen: 0,
+            },
+            Decision {
+                ready: 2,
+                chosen: 0,
+            },
+            Decision {
+                ready: 2,
+                chosen: 1,
+            },
+            Decision {
+                ready: 2,
+                chosen: 0,
+            },
+        ];
+        assert_eq!(shrink(minimal.clone(), toy_run), minimal);
+    }
+
+    #[test]
+    fn respects_the_run_cap() {
+        let mut calls = 0usize;
+        let initial = vec![
+            Decision {
+                ready: 9,
+                chosen: 8
+            };
+            8
+        ];
+        let _ = shrink(initial, |cand| {
+            calls += 1;
+            ShrinkRun {
+                failed: true,
+                decisions: cand.to_vec(),
+            }
+        });
+        assert!(calls <= MAX_RUNS);
+    }
+}

@@ -1,0 +1,294 @@
+//! Schedule strategies and the recording/replaying chooser.
+//!
+//! Three families of [`ScheduleStrategy`] explore the same-timestamp
+//! schedule space opened by `simcore`'s controlled-scheduling hook:
+//!
+//! * [`RandomWalk`] — seeded uniform choices; one seed is one exact
+//!   interleaving, replayable byte-for-byte.
+//! * [`RoundRobinPerturb`] — a bounded deterministic perturbation that
+//!   rotates which ready-set position fires first, sweeping the "one
+//!   event systematically delayed" neighbourhood of the FIFO schedule.
+//! * bounded-exhaustive enumeration — driven by [`crate::explore::
+//!   Explorer::enumerate`], which replays a decision prefix via
+//!   [`Chooser::replay`] and backtracks depth-first.
+//!
+//! Every decision a strategy makes is recorded by the [`Chooser`]
+//! wrapper as a `(ready, chosen)` pair; the resulting [`DecisionList`]
+//! is the *name* of the schedule — replaying it reproduces the run
+//! exactly, and the shrinker minimizes failing runs by editing it.
+
+use mayflower_simcore::{ScheduleStrategy, SimRng};
+
+/// One recorded scheduling decision: out of `ready` same-timestamp
+/// events, the `chosen`-th (FIFO index) fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Size of the ready set shown to the strategy (always ≥ 2).
+    pub ready: u32,
+    /// The FIFO index chosen (`< ready`).
+    pub chosen: u32,
+}
+
+impl std::fmt::Display for Decision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.chosen, self.ready)
+    }
+}
+
+/// A full schedule name: the ordered decisions of one run.
+pub type DecisionList = Vec<Decision>;
+
+/// Renders a decision list as the stable, greppable form printed in
+/// counterexamples: `[1/3 0/2 2/4]`.
+#[must_use]
+pub fn render_decisions(decisions: &[Decision]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in decisions.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&d.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// Seeded uniform random walk over ready sets.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    rng: SimRng,
+}
+
+impl RandomWalk {
+    /// A walk drawing from `seed`; the same seed always walks the same
+    /// schedule.
+    #[must_use]
+    pub fn new(seed: u64) -> RandomWalk {
+        RandomWalk {
+            rng: SimRng::seed_from(seed),
+        }
+    }
+}
+
+impl ScheduleStrategy for RandomWalk {
+    fn choose(&mut self, ready: usize) -> usize {
+        self.rng.index(ready)
+    }
+}
+
+/// Bounded round-robin perturbation: decision `i` picks index
+/// `(i + shift) mod ready`. `shift = 0` delays the FIFO-oldest event
+/// at every other step, `shift = 1` rotates one further, and so on —
+/// a cheap deterministic sweep of near-FIFO schedules that needs no
+/// randomness at all.
+#[derive(Debug, Clone)]
+pub struct RoundRobinPerturb {
+    shift: usize,
+    step: usize,
+}
+
+impl RoundRobinPerturb {
+    /// A perturbation with the given rotation offset.
+    #[must_use]
+    pub fn new(shift: usize) -> RoundRobinPerturb {
+        RoundRobinPerturb { shift, step: 0 }
+    }
+}
+
+impl ScheduleStrategy for RoundRobinPerturb {
+    fn choose(&mut self, ready: usize) -> usize {
+        let k = (self.step + self.shift) % ready;
+        self.step += 1;
+        k
+    }
+}
+
+enum Mode {
+    /// Delegate to an inner strategy.
+    Drive(Box<dyn ScheduleStrategy>),
+    /// Replay a fixed decision list; past its end, fall back to FIFO.
+    Replay { decisions: Vec<u32>, cursor: usize },
+}
+
+/// The recorder every exploration runs through: delegates (or
+/// replays), clamps, and logs each decision so the run is replayable.
+pub struct Chooser {
+    mode: Mode,
+    log: DecisionList,
+    /// Whether a replay diverged: a replayed decision met a ready set
+    /// of a different size than when it was recorded, or the run asked
+    /// for more decisions than the list holds. Shrinking treats
+    /// diverged replays as candidates like any other — the verdict of
+    /// the re-run is what matters — but the flag is kept for
+    /// diagnostics.
+    diverged: bool,
+}
+
+impl Chooser {
+    /// Records the decisions of `strategy`.
+    #[must_use]
+    pub fn recording(strategy: Box<dyn ScheduleStrategy>) -> Chooser {
+        Chooser {
+            mode: Mode::Drive(strategy),
+            log: Vec::new(),
+            diverged: false,
+        }
+    }
+
+    /// Replays `decisions`, FIFO past the end.
+    #[must_use]
+    pub fn replay(decisions: &[Decision]) -> Chooser {
+        Chooser {
+            mode: Mode::Replay {
+                decisions: decisions.iter().map(|d| d.chosen).collect(),
+                cursor: 0,
+            },
+            log: Vec::new(),
+            diverged: false,
+        }
+    }
+
+    /// Replays raw choice indices (the enumeration prefix form).
+    #[must_use]
+    pub fn replay_indices(indices: &[u32]) -> Chooser {
+        Chooser {
+            mode: Mode::Replay {
+                decisions: indices.to_vec(),
+                cursor: 0,
+            },
+            log: Vec::new(),
+            diverged: false,
+        }
+    }
+
+    /// The decisions taken so far (recorded or replayed, after
+    /// clamping) — the schedule's replayable name.
+    #[must_use]
+    pub fn decisions(&self) -> &[Decision] {
+        &self.log
+    }
+
+    /// Consumes the chooser, returning its decision log.
+    #[must_use]
+    pub fn into_decisions(self) -> DecisionList {
+        self.log
+    }
+
+    /// Whether a replay ran off its list or met a differently-sized
+    /// ready set.
+    #[must_use]
+    pub fn diverged(&self) -> bool {
+        self.diverged
+    }
+}
+
+impl ScheduleStrategy for Chooser {
+    fn choose(&mut self, ready: usize) -> usize {
+        let raw = match &mut self.mode {
+            Mode::Drive(s) => s.choose(ready),
+            Mode::Replay { decisions, cursor } => {
+                let k = decisions.get(*cursor).copied();
+                *cursor += 1;
+                match k {
+                    Some(k) => k as usize,
+                    None => {
+                        self.diverged = true;
+                        0
+                    }
+                }
+            }
+        };
+        let chosen = raw.min(ready - 1);
+        if chosen != raw {
+            self.diverged = true;
+        }
+        self.log.push(Decision {
+            ready: ready as u32,
+            chosen: chosen as u32,
+        });
+        chosen
+    }
+}
+
+impl std::fmt::Debug for Chooser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chooser")
+            .field("decisions", &self.log.len())
+            .field("diverged", &self.diverged)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_walk_is_seed_deterministic() {
+        let mut a = RandomWalk::new(9);
+        let mut b = RandomWalk::new(9);
+        for ready in [2usize, 3, 5, 7, 4, 2] {
+            assert_eq!(a.choose(ready), b.choose(ready));
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = RoundRobinPerturb::new(1);
+        assert_eq!(s.choose(3), 1);
+        assert_eq!(s.choose(3), 2);
+        assert_eq!(s.choose(3), 0);
+        assert_eq!(s.choose(2), 0);
+    }
+
+    #[test]
+    fn chooser_records_and_replays_identically() {
+        let mut rec = Chooser::recording(Box::new(RandomWalk::new(4)));
+        let readies = [3usize, 2, 4, 2, 5];
+        let first: Vec<usize> = readies.iter().map(|r| rec.choose(*r)).collect();
+        let decisions = rec.into_decisions();
+
+        let mut rep = Chooser::replay(&decisions);
+        let second: Vec<usize> = readies.iter().map(|r| rep.choose(*r)).collect();
+        assert_eq!(first, second);
+        assert!(!rep.diverged());
+        assert_eq!(rep.decisions(), decisions.as_slice());
+    }
+
+    #[test]
+    fn replay_past_end_is_fifo_and_flags_divergence() {
+        let mut rep = Chooser::replay(&[Decision {
+            ready: 2,
+            chosen: 1,
+        }]);
+        assert_eq!(rep.choose(2), 1);
+        assert_eq!(rep.choose(3), 0, "past the list, FIFO");
+        assert!(rep.diverged());
+    }
+
+    #[test]
+    fn out_of_range_choice_clamps() {
+        let mut rep = Chooser::replay(&[Decision {
+            ready: 5,
+            chosen: 4,
+        }]);
+        assert_eq!(rep.choose(2), 1, "4 clamps to ready-1");
+        assert!(rep.diverged());
+    }
+
+    #[test]
+    fn decisions_render_stably() {
+        let d = vec![
+            Decision {
+                ready: 3,
+                chosen: 1,
+            },
+            Decision {
+                ready: 2,
+                chosen: 0,
+            },
+        ];
+        assert_eq!(render_decisions(&d), "[1/3 0/2]");
+        assert_eq!(render_decisions(&[]), "[]");
+    }
+}

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use mayflower_net::{Topology, TreeParams};
 use mayflower_sim::replay;
 use mayflower_sim::Strategy as Scheme;
+use mayflower_simcore::testutil::SeedGuard;
 use mayflower_simcore::SimRng;
 use mayflower_workload::{FileSizeDist, LocalityDist, TrafficMatrix, WorkloadParams};
 use proptest::prelude::*;
@@ -61,6 +62,7 @@ proptest! {
             Just(Scheme::SinbadRHedera),
         ],
     ) {
+        let _seed_guard = SeedGuard::new("engine_chaos::every_workload_drains", seed);
         let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
         let mut rng = SimRng::seed_from(seed);
         let matrix = TrafficMatrix::generate(&topo, &params, &mut rng);

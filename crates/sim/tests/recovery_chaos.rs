@@ -6,6 +6,7 @@
 use std::path::PathBuf;
 
 use mayflower_sim::{run_recovery_chaos, RecoveryExperimentConfig};
+use mayflower_simcore::testutil::SeedGuard;
 
 struct TempDir(PathBuf);
 impl TempDir {
@@ -30,6 +31,7 @@ fn recovery_restores_full_replication_where_disabled_runs_stay_degraded() {
     let on_dir = TempDir::new("arm-on");
     let off_dir = TempDir::new("arm-off");
     let cfg = RecoveryExperimentConfig::default();
+    let _seed_guard = SeedGuard::new("recovery_chaos::on_vs_off", cfg.seed);
     let on = run_recovery_chaos(&cfg, &on_dir.0).unwrap();
     let off = run_recovery_chaos(
         &RecoveryExperimentConfig {
@@ -94,6 +96,7 @@ fn same_seed_chaos_runs_render_byte_identical_results() {
     let a_dir = TempDir::new("det-a");
     let b_dir = TempDir::new("det-b");
     let cfg = RecoveryExperimentConfig::default();
+    let _seed_guard = SeedGuard::new("recovery_chaos::byte_identical", cfg.seed);
     let a = run_recovery_chaos(&cfg, &a_dir.0).unwrap();
     let b = run_recovery_chaos(&cfg, &b_dir.0).unwrap();
     assert_eq!(a.to_json(), b.to_json(), "chaos run is not deterministic");

@@ -10,6 +10,10 @@
 //!   events (FIFO among equal timestamps).
 //! * [`SimRng`] — a seedable deterministic random number generator with
 //!   the handful of distributions the workload generator needs.
+//! * [`ScheduleStrategy`] — the controlled-scheduling hook: a pluggable
+//!   chooser over same-timestamp ready sets, used by the `mcheck`
+//!   model checker to explore (and byte-exactly replay) alternative
+//!   interleavings. [`FifoSchedule`] is the identity strategy.
 //!
 //! The design goal is exact repeatability: running the same experiment
 //! with the same seed produces bit-identical results, which is how the
@@ -32,9 +36,12 @@
 pub mod faults;
 pub mod queue;
 pub mod rng;
+pub mod schedule;
+pub mod testutil;
 pub mod time;
 
 pub use faults::{FaultEvent, FaultSchedule, FaultScheduleParams};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use schedule::{FifoSchedule, ScheduleStrategy};
 pub use time::SimTime;

@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::schedule::ScheduleStrategy;
 use crate::time::SimTime;
 
 /// An entry in the queue. Ordered by time, then by insertion sequence so
@@ -90,6 +91,64 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Number of events tied at the earliest pending timestamp — the
+    /// *ready set* a [`ScheduleStrategy`] chooses from. Zero when the
+    /// queue is empty.
+    ///
+    /// This walks the heap (O(n)); it is meant for the model-checking
+    /// path, not the high-rate simulation loop, which never needs it.
+    #[must_use]
+    pub fn ready_len(&self) -> usize {
+        let Some(t) = self.peek_time() else { return 0 };
+        self.heap.iter().filter(|e| e.time == t).count()
+    }
+
+    /// Removes and returns the `k`-th event (in FIFO order, `0` being
+    /// the oldest) among those tied at the earliest timestamp, or
+    /// `None` if the queue is empty. `k` past the ready set is clamped
+    /// to its last element.
+    ///
+    /// The relative FIFO order of the events left behind is preserved,
+    /// so a sequence of `pop_ready` calls is fully described by its
+    /// choice indices — the replayable decision list the `mcheck`
+    /// shrinker operates on.
+    pub fn pop_ready(&mut self, k: usize) -> Option<(SimTime, E)> {
+        let t = self.peek_time()?;
+        // Drain the tied prefix; the heap yields it in seq (FIFO)
+        // order because equal-time entries order by sequence number.
+        let mut ready: Vec<Entry<E>> = Vec::new();
+        while self.heap.peek().is_some_and(|e| e.time == t) {
+            ready.push(self.heap.pop().expect("peeked entry exists"));
+        }
+        let k = k.min(ready.len() - 1);
+        let chosen = ready.swap_remove(k);
+        // Reinsert the rest with their original sequence numbers, so
+        // later pops still see the original FIFO order.
+        for e in ready {
+            self.heap.push(e);
+        }
+        Some((chosen.time, chosen.event))
+    }
+
+    /// Removes and returns the next event, letting `strategy` choose
+    /// among same-timestamp ties. With [`crate::FifoSchedule`] this is
+    /// exactly [`EventQueue::pop`]; the strategy is consulted only
+    /// when the ready set holds two or more events, and out-of-range
+    /// choices are clamped.
+    pub fn pop_with<S: ScheduleStrategy + ?Sized>(
+        &mut self,
+        strategy: &mut S,
+    ) -> Option<(SimTime, E)> {
+        match self.ready_len() {
+            0 => None,
+            1 => self.pop(),
+            n => {
+                let k = strategy.choose(n).min(n - 1);
+                self.pop_ready(k)
+            }
+        }
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -161,6 +220,87 @@ mod tests {
         q.schedule(SimTime::ZERO, ());
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ready_len_counts_earliest_ties_only() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.ready_len(), 0);
+        q.schedule(SimTime::from_secs(1.0), 'a');
+        q.schedule(SimTime::from_secs(1.0), 'b');
+        q.schedule(SimTime::from_secs(2.0), 'c');
+        assert_eq!(q.ready_len(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.ready_len(), 1);
+    }
+
+    #[test]
+    fn pop_ready_picks_kth_and_preserves_fifo_of_rest() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for c in ['a', 'b', 'c', 'd'] {
+            q.schedule(t, c);
+        }
+        assert_eq!(q.pop_ready(2).unwrap().1, 'c');
+        // The remaining ties still pop in their original FIFO order.
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        assert_eq!(q.pop().unwrap().1, 'd');
+    }
+
+    #[test]
+    fn pop_ready_clamps_out_of_range() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 'a');
+        q.schedule(SimTime::ZERO, 'b');
+        assert_eq!(q.pop_ready(99).unwrap().1, 'b');
+        assert_eq!(q.pop_ready(0).unwrap().1, 'a');
+        assert!(q.pop_ready(0).is_none());
+    }
+
+    #[test]
+    fn pop_ready_never_crosses_timestamps() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1.0), 'x');
+        q.schedule(SimTime::from_secs(2.0), 'y');
+        // Only 'x' is ready; index 5 clamps to it, never to 'y'.
+        assert_eq!(q.pop_ready(5).unwrap().1, 'x');
+        assert_eq!(q.pop().unwrap().1, 'y');
+    }
+
+    #[test]
+    fn pop_with_fifo_matches_plain_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (i, t) in [3.0, 1.0, 1.0, 2.0, 1.0].iter().enumerate() {
+            a.schedule(SimTime::from_secs(*t), i);
+            b.schedule(SimTime::from_secs(*t), i);
+        }
+        let mut fifo = crate::FifoSchedule;
+        while let Some((ta, ea)) = a.pop_with(&mut fifo) {
+            let (tb, eb) = b.pop().unwrap();
+            assert_eq!((ta, ea), (tb, eb));
+        }
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn pop_with_reverse_strategy_reverses_ties() {
+        struct Last;
+        impl crate::ScheduleStrategy for Last {
+            fn choose(&mut self, ready: usize) -> usize {
+                ready - 1
+            }
+        }
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for c in ['a', 'b', 'c'] {
+            q.schedule(t, c);
+        }
+        let mut s = Last;
+        let order: Vec<char> = std::iter::from_fn(|| q.pop_with(&mut s).map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['c', 'b', 'a']);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Controlled scheduling of same-timestamp events.
+//!
+//! The default [`crate::EventQueue`] tie-break is FIFO: events
+//! scheduled for the same instant pop in insertion order. That yields
+//! exactly **one** interleaving per seed — fine for benchmarking, but
+//! a correctness test that only ever sees the FIFO schedule exercises
+//! a single point of an exponentially large schedule space.
+//!
+//! A [`ScheduleStrategy`] is the hook that opens the rest of the space
+//! up: whenever the queue holds more than one event tied at the
+//! earliest timestamp (the *ready set*), a strategy chooses which one
+//! fires next. The `mcheck` crate builds seeded random walks, bounded
+//! round-robin perturbation, bounded-exhaustive enumeration and
+//! byte-exact replay on top of this trait; everything else in the
+//! workspace keeps using the plain FIFO pop and never pays for the
+//! hook.
+//!
+//! Determinism contract: a strategy must be a pure function of its own
+//! state and the `ready` counts it is shown. Replaying the same
+//! decision sequence against the same initial state reproduces the
+//! identical run byte-for-byte.
+
+/// Chooses which of the `ready` same-timestamp events fires next.
+///
+/// `choose` is only consulted when the ready set holds **two or more**
+/// events (a singleton has nothing to decide), and must return an
+/// index in `0..ready`; index 0 is the FIFO-oldest event. Returning an
+/// out-of-range index is a strategy bug; [`crate::EventQueue::
+/// pop_with`] clamps it to the valid range rather than panicking so a
+/// replayed decision list that drifted from its schedule degrades
+/// gracefully.
+pub trait ScheduleStrategy {
+    /// Picks the index (in FIFO order) of the event to pop from a
+    /// ready set of `ready ≥ 2` events.
+    fn choose(&mut self, ready: usize) -> usize;
+}
+
+/// The identity strategy: always pops the FIFO-oldest event,
+/// reproducing the exact schedule an uncontrolled [`crate::
+/// EventQueue::pop`] loop would produce.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoSchedule;
+
+impl ScheduleStrategy for FifoSchedule {
+    fn choose(&mut self, _ready: usize) -> usize {
+        0
+    }
+}
+
+impl<S: ScheduleStrategy + ?Sized> ScheduleStrategy for &mut S {
+    fn choose(&mut self, ready: usize) -> usize {
+        (**self).choose(ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_always_picks_zero() {
+        let mut s = FifoSchedule;
+        for n in 2..10 {
+            assert_eq!(s.choose(n), 0);
+        }
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        struct Last;
+        impl ScheduleStrategy for Last {
+            fn choose(&mut self, ready: usize) -> usize {
+                ready - 1
+            }
+        }
+        let mut inner = Last;
+        let r: &mut dyn ScheduleStrategy = &mut inner;
+        assert_eq!(r.choose(4), 3);
+    }
+}

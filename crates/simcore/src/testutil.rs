@@ -1,0 +1,82 @@
+//! Shared test support: seed reporting for reproducible failures.
+//!
+//! Every stochastic suite in the workspace draws from [`crate::
+//! SimRng`] seeds, but a failing `#[test]` or proptest case that never
+//! *prints* its seed is unreproducible — the one piece of state needed
+//! to replay the failure dies with the process output. The guard here
+//! closes that gap: hold one for the duration of a seeded test body
+//! and the seed is printed if — and only if — the body panics.
+//!
+//! ```should_panic
+//! use mayflower_simcore::testutil::SeedGuard;
+//!
+//! let seed = 42u64;
+//! let _guard = SeedGuard::new("my_suite::my_case", seed);
+//! // ... seeded test body; on panic the seed is printed to stderr:
+//! // [seed] my_suite::my_case failed with seed=42 — rerun with this
+//! // seed to reproduce
+//! panic!("boom");
+//! ```
+
+/// Prints a test's seed to stderr when dropped during a panic, so
+/// every stochastic failure states how to reproduce itself.
+///
+/// The guard is silent on the success path; it costs one branch at
+/// drop time.
+#[derive(Debug)]
+pub struct SeedGuard {
+    label: String,
+    seed: u64,
+}
+
+impl SeedGuard {
+    /// Arms a guard for the test named `label` running with `seed`.
+    #[must_use]
+    pub fn new(label: &str, seed: u64) -> SeedGuard {
+        SeedGuard {
+            label: label.to_string(),
+            seed,
+        }
+    }
+
+    /// The seed under guard.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Drop for SeedGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "[seed] {} failed with seed={} — rerun with this seed to reproduce",
+                self.label, self.seed
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_on_success() {
+        let g = SeedGuard::new("ok", 7);
+        assert_eq!(g.seed(), 7);
+        drop(g); // must not print (nothing to assert; no panic is the test)
+    }
+
+    #[test]
+    fn reports_on_panic() {
+        // The panic propagates out of the closure after the guard has
+        // fired; we only verify the guard does not itself panic or
+        // abort while the thread is unwinding.
+        let result = std::panic::catch_unwind(|| {
+            let _g = SeedGuard::new("boom", 99);
+            panic!("expected");
+        });
+        assert!(result.is_err());
+    }
+}

@@ -31,6 +31,7 @@
 //! | [`workload`] | Poisson/Zipf/staggered-locality workload synthesis |
 //! | [`sim`] | experiment harness regenerating every paper figure |
 //! | [`simcore`] | deterministic discrete-event kernel |
+//! | [`mcheck`] | schedule-exploration model checker with linearizability oracle |
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@ pub use mayflower_consensus as consensus;
 pub use mayflower_flowserver as flowserver;
 pub use mayflower_fs as fs;
 pub use mayflower_kvstore as kvstore;
+pub use mayflower_mcheck as mcheck;
 pub use mayflower_net as net;
 pub use mayflower_recovery as recovery;
 pub use mayflower_rpc as rpc;

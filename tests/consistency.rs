@@ -176,6 +176,102 @@ fn deleted_files_stay_deleted_across_restart() {
 }
 
 #[test]
+fn strong_last_chunk_reads_route_to_the_primary() {
+    // §3.4: the last chunk of an append-mode file is mutable, so under
+    // strong consistency every read of it must be served by the
+    // primary. Prove the routing by corrupting the last-chunk file of
+    // BOTH secondaries on disk: if any last-chunk read ever touched a
+    // secondary, the garbage would surface.
+    let dir = TempDir::new("strong-route");
+    let c = cluster(&dir, Consistency::Strong, 16);
+    let mut writer = c.client(HostId(1));
+    let meta = writer.create("strong/routed").unwrap();
+    let mut expected = Vec::new();
+    for i in 0..5u8 {
+        writer.append("strong/routed", &[i; 8]).unwrap();
+        expected.extend_from_slice(&[i; 8]);
+    }
+
+    // 40 bytes at chunk 16 → chunks 1, 2 full, chunk 3 (bytes 32..40)
+    // is the mutable last chunk.
+    let fresh = writer.meta("strong/routed").unwrap();
+    let last_chunk = fresh.last_chunk().expect("file is non-empty");
+    assert_eq!(last_chunk, 2, "layout the test assumes");
+    for r in &fresh.replicas[1..] {
+        let chunk_file = c
+            .dataserver(*r)
+            .root()
+            .join(meta.id.as_hex())
+            .join(format!("{}", last_chunk + 1));
+        assert!(chunk_file.exists(), "secondary {r} holds the last chunk");
+        std::fs::write(&chunk_file, [0xEE; 8]).unwrap();
+    }
+
+    let mut reader = c.client(HostId(50));
+    for _ in 0..3 {
+        let seen = reader.read("strong/routed").unwrap();
+        assert_eq!(
+            seen, expected,
+            "a strong last-chunk read was served by a corrupted secondary"
+        );
+    }
+}
+
+#[test]
+fn strong_reads_observe_a_prefix_of_the_primary_order_under_a_concurrent_appender() {
+    // §3.4: with an appender racing the reader, every strong read must
+    // return a record-aligned prefix of the order the primary imposed,
+    // and successive reads by one client can only move forward.
+    const REC: usize = 7;
+    const RECORDS: u8 = 60;
+    let dir = TempDir::new("strong-race");
+    let c = Arc::new(cluster(&dir, Consistency::Strong, 32));
+    let mut setup = c.client(HostId(3));
+    let meta = setup.create("strong/raced").unwrap();
+
+    let appender = {
+        let c = Arc::clone(&c);
+        std::thread::spawn(move || {
+            let mut w = c.client(HostId(4));
+            for i in 0..RECORDS {
+                w.append("strong/raced", &[i; REC]).unwrap();
+            }
+        })
+    };
+    let mut reader = c.client(HostId(40));
+    let mut reads = Vec::new();
+    while !appender.is_finished() {
+        reads.push(reader.read("strong/raced").unwrap());
+    }
+    appender.join().unwrap();
+    reads.push(reader.read("strong/raced").unwrap());
+
+    let total = u64::from(RECORDS) * REC as u64;
+    let (primary_order, size) = c
+        .dataserver(meta.replicas[0])
+        .read_local(meta.id, 0, total)
+        .unwrap();
+    assert_eq!(size, total, "all appends reached the primary");
+
+    let mut prev_len = 0usize;
+    for (i, read) in reads.iter().enumerate() {
+        assert_eq!(read.len() % REC, 0, "read {i} tore a record");
+        assert!(read.len() >= prev_len, "read {i} went backwards");
+        prev_len = read.len();
+        assert_eq!(
+            read[..],
+            primary_order[..read.len()],
+            "read {i} is not a prefix of the primary's append order"
+        );
+    }
+    assert_eq!(
+        reads.last().unwrap().len() as u64,
+        total,
+        "the final read observes every acknowledged append"
+    );
+}
+
+#[test]
 fn append_only_cache_semantics_survive_other_writers() {
     // A client's cached chunk map can only be behind, never wrong: an
     // old cache plus size discovery equals fresh metadata (§3.3).

@@ -3,6 +3,7 @@
 //! EXPERIMENTS.md regenerable.
 
 use mayflower::sim::{ExperimentConfig, FaultSchedule, FaultScheduleParams, Strategy};
+use mayflower::simcore::testutil::SeedGuard;
 use mayflower::simcore::SimRng;
 use mayflower::workload::WorkloadParams;
 use proptest::prelude::*;
@@ -76,6 +77,9 @@ proptest! {
             Just(Strategy::NearestEcmp),
         ],
     ) {
+        let _sched_guard =
+            SeedGuard::new("determinism::faulted_runs_replay (sched_seed)", sched_seed);
+        let _run_guard = SeedGuard::new("determinism::faulted_runs_replay (seed)", seed);
         let params = FaultScheduleParams {
             horizon_secs: 20.0,
             mean_downtime_secs: 4.0,

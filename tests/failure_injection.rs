@@ -13,6 +13,7 @@ use mayflower::fs::{
 };
 use mayflower::net::{HostId, NodeKind, Topology, TreeParams};
 use mayflower::sim::{replay_with_faults, FaultEvent, FaultSchedule, ReplayOptions, Strategy};
+use mayflower::simcore::testutil::SeedGuard;
 use mayflower::simcore::{SimRng, SimTime};
 use mayflower::workload::{TrafficMatrix, WorkloadParams};
 
@@ -59,6 +60,7 @@ fn lose_repair_read_cycle_preserves_data() {
     let _meta = client.create("cycled").unwrap();
     client.append("cycled", &payload).unwrap();
 
+    let _seed_guard = SeedGuard::new("failure_injection::lose_repair_cycle", 77);
     let mut rng = SimRng::seed_from(77);
     // Lose and repair each non-primary replica in turn, reading after
     // every step; the replica set churns but the data never does.
@@ -158,6 +160,7 @@ fn flowserver_steered_reads_survive_replica_loss_and_migration() {
     assert_eq!(reader.read("steered").unwrap(), payload);
 
     // After repair, steered reads use the *new* replica set.
+    let _seed_guard = SeedGuard::new("failure_injection::steered_reads_after_repair", 3);
     let mut rng = SimRng::seed_from(3);
     c.repair("steered", &mut rng).unwrap();
     let mut reader = c.client_with_selector(
@@ -238,6 +241,7 @@ fn agg_switch_failure_mid_read_reroutes_and_every_job_completes() {
     faults.push(SimTime::from_secs(2.0), FaultEvent::SwitchDown(agg_raw));
     faults.push(SimTime::from_secs(6.0), FaultEvent::SwitchUp(agg_raw));
 
+    let _seed_guard = SeedGuard::new("failure_injection::switch_outage_replay", 9);
     let mut rng = SimRng::seed_from(9);
     let params = WorkloadParams {
         job_count: 60,
