@@ -34,11 +34,18 @@ fi
 echo "==> recovery chaos experiment (release)"
 cargo test --release -q -p mayflower-sim --test recovery_chaos
 
+echo "==> erasure-coding tier: codec proptests + replication-vs-EC experiment (release)"
+cargo test --release -q -p mayflower-ec
+cargo test --release -q -p mayflower-sim --test erasure_tier
+
 echo "==> cargo bench --no-run --workspace (benches must compile)"
 cargo bench --no-run --workspace
 
 echo "==> selection fast-path perf smoke (writes BENCH_selection.json)"
 cargo run --release -q -p mayflower-bench --bin selection_smoke
+
+echo "==> erasure codec perf smoke (writes BENCH_ec.json)"
+cargo run --release -q -p mayflower-ec --bin ec_smoke
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,63 @@
+//! Criterion benches for the Reed-Solomon codec: encode and
+//! any-k-of-n decode throughput at the k+m points the storage tier
+//! actually uses (4+2, 6+3, 10+4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mayflower_ec::Codec;
+
+const PAYLOAD: usize = 4 << 20; // 4 MiB stripe, a realistic seal unit
+
+fn payload(len: usize) -> Vec<u8> {
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ec_encode");
+    group.throughput(Throughput::Bytes(PAYLOAD as u64));
+    for (k, m) in [(4usize, 2usize), (6, 3), (10, 4)] {
+        let codec = Codec::new(k, m);
+        let data = payload(PAYLOAD);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k}+{m}")),
+            &data,
+            |b, data| b.iter(|| codec.encode_payload(data)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ec_decode_m_lost");
+    group.throughput(Throughput::Bytes(PAYLOAD as u64));
+    for (k, m) in [(4usize, 2usize), (6, 3), (10, 4)] {
+        let codec = Codec::new(k, m);
+        let data = payload(PAYLOAD);
+        let shards = codec.encode_payload(&data);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{k}+{m}")),
+            &shards,
+            |b, shards| {
+                b.iter(|| {
+                    // Worst case: the first m data shards are lost.
+                    let mut opts: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+                    for slot in opts.iter_mut().take(m) {
+                        *slot = None;
+                    }
+                    codec.decode_payload(&mut opts, PAYLOAD).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Release-mode codec throughput smoke: measures systematic encode and
+//! worst-case (m data shards lost) decode at k+m ∈ {4+2, 6+3, 10+4}
+//! and writes `BENCH_ec.json` to the repo root.
+//!
+//! Companion to the Criterion benches in `benches/codec.rs`: criterion
+//! is a dev-dependency, so this binary hand-rolls its timing with
+//! `std::time::Instant` and emits a small JSON baseline the CI driver
+//! can diff across PRs.
+
+use std::time::Instant;
+
+use mayflower_ec::Codec;
+
+const PAYLOAD: usize = 4 << 20; // 4 MiB stripe per measured call
+
+fn payload(len: usize) -> Vec<u8> {
+    let mut x = 0x243f_6a88_85a3_08d3u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}
+
+/// Median of `iters` timed runs of `f`, in nanoseconds per call.
+fn median_ns<F: FnMut() -> u64>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    let mut sink = 0u64;
+    for _ in 0..iters {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    std::hint::black_box(sink);
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn mb_per_s(ns_per_call: f64) -> f64 {
+    (PAYLOAD as f64 / 1e6) / (ns_per_call / 1e9)
+}
+
+fn main() {
+    let iters = 20;
+    let data = payload(PAYLOAD);
+    let mut entries = Vec::new();
+
+    for (k, m) in [(4usize, 2usize), (6, 3), (10, 4)] {
+        let codec = Codec::new(k, m);
+        let encode_ns = median_ns(iters, || {
+            let shards = codec.encode_payload(&data);
+            shards.len() as u64
+        });
+        let shards = codec.encode_payload(&data);
+        let decode_ns = median_ns(iters, || {
+            // Worst case: the first m data shards are lost.
+            let mut opts: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
+            for slot in opts.iter_mut().take(m) {
+                *slot = None;
+            }
+            let back = codec.decode_payload(&mut opts, PAYLOAD).expect("decode");
+            back.len() as u64
+        });
+        let enc_mb = mb_per_s(encode_ns);
+        let dec_mb = mb_per_s(decode_ns);
+        println!("k+m={k:>2}+{m}  encode={enc_mb:>8.1} MB/s  decode(m lost)={dec_mb:>8.1} MB/s");
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"k\": {},\n",
+                "      \"m\": {},\n",
+                "      \"encode_mb_s\": {:.1},\n",
+                "      \"decode_degraded_mb_s\": {:.1}\n",
+                "    }}"
+            ),
+            k, m, enc_mb, dec_mb
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"ec_codec\",\n  \"payload_bytes\": {PAYLOAD},\n  \"iters_per_point\": {iters},\n  \"unit\": \"mb_per_s_median\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ec.json");
+    std::fs::write(out, &json).expect("write BENCH_ec.json");
+    println!("wrote {out}");
+}

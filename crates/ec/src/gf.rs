@@ -1,0 +1,206 @@
+//! GF(2^8) arithmetic with compile-time tables.
+//!
+//! The field is GF(256) with the AES-adjacent primitive polynomial
+//! x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the conventional choice for
+//! Reed-Solomon storage codes. All tables are built by `const fn` at
+//! compile time, so every operation is a pure array lookup: no lazy
+//! initialisation, no locks, identical results on every platform.
+
+/// The primitive polynomial (x^8 + x^4 + x^3 + x^2 + 1), reduced.
+const POLY: u16 = 0x11d;
+
+const fn build_exp_log() -> ([u8; 512], [u8; 256]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        // Doubled table: exp[i + 255] == exp[i] lets mul() skip the
+        // `mod 255` reduction on the summed logs.
+        exp[i + 255] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    (exp, log)
+}
+
+const TABLES: ([u8; 512], [u8; 256]) = build_exp_log();
+
+/// `EXP[i]` = generator^i; doubled so `EXP[log a + log b]` needs no
+/// modular reduction.
+pub const EXP: [u8; 512] = TABLES.0;
+
+/// `LOG[x]` = discrete log of `x` (undefined at 0, stored as 0).
+pub const LOG: [u8; 256] = TABLES.1;
+
+const fn build_mul() -> [[u8; 256]; 256] {
+    let mut t = [[0u8; 256]; 256];
+    let mut a = 1;
+    while a < 256 {
+        let mut b = 1;
+        while b < 256 {
+            t[a][b] = EXP[LOG[a] as usize + LOG[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    t
+}
+
+const fn build_inv() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    let mut a = 1;
+    while a < 256 {
+        t[a] = EXP[255 - LOG[a] as usize];
+        a += 1;
+    }
+    t
+}
+
+/// Full 256×256 product table; `MUL[a][b] == a · b` in GF(256). 64 KiB
+/// keeps the hot encode/decode kernels down to one load per byte.
+pub static MUL: [[u8; 256]; 256] = build_mul();
+
+/// `INV[a]` = multiplicative inverse of `a`; `INV[0] == 0` (unused).
+pub static INV: [u8; 256] = build_inv();
+
+/// Field addition (== subtraction): bytewise XOR.
+#[inline]
+#[must_use]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via the product table.
+#[inline]
+#[must_use]
+pub fn mul(a: u8, b: u8) -> u8 {
+    MUL[a as usize][b as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+/// Panics in debug builds when `a == 0` (zero has no inverse).
+#[inline]
+#[must_use]
+pub fn inv(a: u8) -> u8 {
+    debug_assert!(a != 0, "gf::inv(0) is undefined");
+    INV[a as usize]
+}
+
+/// Exponentiation `base^exp` by log/exp tables.
+#[must_use]
+pub fn pow(base: u8, exp: usize) -> u8 {
+    if exp == 0 {
+        return 1;
+    }
+    if base == 0 {
+        return 0;
+    }
+    let l = (LOG[base as usize] as usize * exp) % 255;
+    EXP[l]
+}
+
+/// `dst[i] = c · src[i]` — allocation-free scale kernel.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+    let row = &MUL[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = row[*s as usize];
+    }
+}
+
+/// `dst[i] ^= c · src[i]` — the multiply-accumulate kernel that both
+/// encode and decode reduce to. One table row stays hot in cache for
+/// the whole slice.
+///
+/// # Panics
+/// Panics when the slices differ in length.
+#[inline]
+pub fn mul_acc_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_acc_slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    let row = &MUL[c as usize];
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= row[*s as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_agree_with_direct_multiplication() {
+        // Russian-peasant reference multiplication.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= (POLY & 0xff) as u8;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "mul({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for base in 0..=255u8 {
+            let mut acc = 1u8;
+            for e in 0..10 {
+                assert_eq!(pow(base, e), acc, "base={base} e={e}");
+                acc = mul(acc, base);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_scalar_ops() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x53, 0xff] {
+            let mut dst = vec![0u8; 256];
+            mul_slice(c, &src, &mut dst);
+            for (i, &s) in src.iter().enumerate() {
+                assert_eq!(dst[i], mul(c, s));
+            }
+            let mut acc = src.clone();
+            mul_acc_slice(c, &src, &mut acc);
+            for (i, &s) in src.iter().enumerate() {
+                assert_eq!(acc[i], s ^ mul(c, s));
+            }
+        }
+    }
+}

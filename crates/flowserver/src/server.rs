@@ -38,6 +38,8 @@ struct FlowserverMetrics {
     frozen_flows: Arc<Gauge>,
     /// Background-priority repair-flow selections served.
     repair_selections: Arc<Counter>,
+    /// Joint k-source selections served for degraded coded reads.
+    coded_selections: Arc<Counter>,
     /// Shortest-path cache lookups served from / filled into the memo.
     path_cache_hits: Arc<Counter>,
     path_cache_misses: Arc<Counter>,
@@ -68,6 +70,7 @@ impl FlowserverMetrics {
             tracked_flows: scope.gauge("tracked_flows"),
             frozen_flows: scope.gauge("frozen_flows"),
             repair_selections: scope.counter("repair_selections_total"),
+            coded_selections: scope.counter("coded_selections_total"),
             path_cache_hits: scope.counter("path_cache_hits_total"),
             path_cache_misses: scope.counter("path_cache_misses_total"),
             path_cache_invalidations: scope.counter("path_cache_invalidations_total"),
@@ -461,6 +464,89 @@ impl Flowserver {
                 Selection::Single(self.commit(source, path, pc, size_bits, now))
             }
             None => Selection::Unavailable,
+        };
+        self.note_selection(&sel);
+        sel
+    }
+
+    /// Joint `k`-source + path selection for a **degraded coded read**
+    /// (DESIGN.md §14): a client reconstructing a sealed chunk needs
+    /// any `k` of its surviving fragments, so the Flowserver greedily
+    /// commits the cheapest source×path pair `k` times — each pick
+    /// seeing the load the previous subflows added, the same
+    /// tentative-admission machinery as §4.3 split reads — with every
+    /// subflow carrying one fragment's share (`size_bits / k`).
+    ///
+    /// A fragment co-located with the client is served locally and
+    /// reduces the remote picks needed; [`Selection::Local`] is
+    /// returned when that already satisfies `k`. If fewer than `k`
+    /// sources are reachable the partial schedule is rolled back
+    /// (flows removed, model restored) and [`Selection::Unavailable`]
+    /// is returned: the read must not start if it cannot finish.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero, `sources` has fewer than `k` hosts, or
+    /// `size_bits` is not positive.
+    pub fn select_coded_read(
+        &mut self,
+        client: HostId,
+        sources: &[HostId],
+        k: usize,
+        size_bits: f64,
+        now: SimTime,
+    ) -> Selection {
+        assert!(k >= 1, "need at least one fragment");
+        assert!(sources.len() >= k, "need at least k candidate sources");
+        assert!(size_bits > 0.0, "request size must be positive");
+        self.metrics.coded_selections.inc();
+        let local = usize::from(sources.contains(&client));
+        let needed = k - local.min(k);
+        if needed == 0 {
+            self.metrics.selections_local.inc();
+            return Selection::Local;
+        }
+        let shard_bits = size_bits / k as f64;
+
+        let rollback = self.tracker.snapshot();
+        let mut assignments: Vec<Assignment> = Vec::with_capacity(needed);
+        for _ in 0..needed {
+            let remaining: Vec<HostId> = sources
+                .iter()
+                .copied()
+                .filter(|s| *s != client && assignments.iter().all(|a| a.replica != *s))
+                .collect();
+            let picked = if remaining.is_empty() {
+                None
+            } else {
+                self.best_path(
+                    client,
+                    &remaining,
+                    shard_bits,
+                    now,
+                    FlowPriority::Foreground,
+                )
+            };
+            match picked {
+                Some((source, path, pc)) => {
+                    assignments.push(self.commit(source, path, pc, shard_bits, now));
+                }
+                None => {
+                    // Fewer than k reachable: undo the partial schedule.
+                    for a in &assignments {
+                        self.fabric.remove_flow(a.cookie);
+                    }
+                    self.tracker.restore(rollback);
+                    let sel = Selection::Unavailable;
+                    self.note_selection(&sel);
+                    return sel;
+                }
+            }
+        }
+        let sel = if assignments.len() == 1 {
+            Selection::Single(assignments.pop().expect("one assignment"))
+        } else {
+            Selection::Split(assignments)
         };
         self.note_selection(&sel);
         sel
@@ -970,6 +1056,97 @@ mod tests {
             panic!("expected single repair assignment")
         };
         assert_eq!(a.replica, HostId(20), "repair must avoid the hot rack");
+    }
+
+    #[test]
+    fn coded_read_schedules_k_distinct_sources() {
+        let mut fs = server();
+        let sources = [HostId(1), HostId(5), HostId(9), HostId(20), HostId(25)];
+        let sel = fs.select_coded_read(HostId(0), &sources, 3, MB256, SimTime::ZERO);
+        let Selection::Split(assignments) = sel else {
+            panic!("expected a 3-way split, got {sel:?}")
+        };
+        assert_eq!(assignments.len(), 3);
+        let mut picked: Vec<HostId> = assignments.iter().map(|a| a.replica).collect();
+        picked.sort_unstable();
+        picked.dedup();
+        assert_eq!(picked.len(), 3, "sources must be distinct");
+        for a in &assignments {
+            assert!(sources.contains(&a.replica));
+            assert!((a.size_bits - MB256 / 3.0).abs() < 1.0, "one shard each");
+            assert!(a.est_bw > 0.0);
+        }
+        assert_eq!(fs.tracked_flows(), 3);
+        for a in &assignments {
+            fs.flow_completed(a.cookie);
+        }
+        assert_eq!(fs.tracked_flows(), 0);
+    }
+
+    #[test]
+    fn coded_read_counts_a_local_fragment_toward_k() {
+        let mut fs = server();
+        // k = 1 and the client holds a fragment: nothing crosses the
+        // network.
+        let sel = fs.select_coded_read(HostId(3), &[HostId(3), HostId(9)], 1, MB256, SimTime::ZERO);
+        assert!(matches!(sel, Selection::Local));
+        assert_eq!(fs.tracked_flows(), 0);
+        // k = 2 with one local fragment: exactly one remote subflow.
+        let sel = fs.select_coded_read(
+            HostId(3),
+            &[HostId(3), HostId(9), HostId(20)],
+            2,
+            MB256,
+            SimTime::ZERO,
+        );
+        let Selection::Single(a) = sel else {
+            panic!("expected one remote subflow, got {sel:?}")
+        };
+        assert_ne!(a.replica, HostId(3));
+        assert_eq!(fs.tracked_flows(), 1);
+    }
+
+    #[test]
+    fn coded_read_rolls_back_when_fewer_than_k_reachable() {
+        let mut fs = server();
+        // Sever two of three sources: only host 20 stays reachable, so
+        // a k = 2 schedule cannot complete and must leave no residue.
+        fs.set_link_state(fs.topology().host_uplink(HostId(1)), false);
+        fs.set_link_state(fs.topology().host_uplink(HostId(5)), false);
+        let sel = fs.select_coded_read(
+            HostId(0),
+            &[HostId(1), HostId(5), HostId(20)],
+            2,
+            MB256,
+            SimTime::ZERO,
+        );
+        assert!(matches!(sel, Selection::Unavailable), "got {sel:?}");
+        assert_eq!(fs.tracked_flows(), 0, "partial schedule rolled back");
+        assert_eq!(fs.fabric().flow_count(), 0);
+    }
+
+    #[test]
+    fn coded_read_spreads_away_from_loaded_links() {
+        let mut fs = server();
+        // Saturate host 1's rack.
+        for dst in [2u32, 3, 5, 6, 7, 9] {
+            fs.select_path_for_replica(HostId(dst), HostId(1), 10.0 * MB256, SimTime::ZERO);
+        }
+        // Two fragments needed, three candidates: the hot same-rack
+        // source must lose to the two idle cross-pod ones.
+        let sel = fs.select_coded_read(
+            HostId(0),
+            &[HostId(1), HostId(20), HostId(25)],
+            2,
+            MB256,
+            SimTime::ZERO,
+        );
+        let Selection::Split(assignments) = sel else {
+            panic!("expected split, got {sel:?}")
+        };
+        for a in &assignments {
+            assert_ne!(a.replica, HostId(1), "hot source must be avoided");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! mayfs init <dir> [--pods N] [--racks N] [--hosts N] [--chunk BYTES] [--replication N]
-//! mayfs create <dir> <name> [--client H]
+//! mayfs create <dir> <name> [--client H] [--redundancy N|K+M]
 //! mayfs append <dir> <name> (--data STR | --file PATH) [--client H]
 //! mayfs read   <dir> <name> [--offset N] [--len N] [--client H]
 //! mayfs stat   <dir> <name>
@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use mayflower_fs::nameserver::NameserverConfig;
 use mayflower_fs::remote::NameserverService;
-use mayflower_fs::{Cluster, ClusterConfig};
+use mayflower_fs::{Cluster, ClusterConfig, Redundancy};
 use mayflower_net::{HostId, Topology, TreeParams};
 use mayflower_rpc::TcpServer;
 
@@ -150,10 +150,32 @@ struct UnderReplicatedStatus {
     missing_hosts: Vec<u32>,
 }
 
+/// File count under one redundancy policy (`"3"`, `"4+2"`, ...).
+#[derive(serde::Serialize)]
+struct PolicyStatus {
+    policy: String,
+    files: usize,
+}
+
+/// Fragment health of one coded file with sealed chunks. A fragment
+/// index is healthy when its host answers for the fragment file of
+/// every sealed chunk.
+#[derive(serde::Serialize)]
+struct FragmentStatus {
+    name: String,
+    policy: String,
+    sealed_chunks: u64,
+    fragments_healthy: usize,
+    fragments_total: usize,
+    lost_fragments: Vec<usize>,
+}
+
 #[derive(serde::Serialize)]
 struct StatusReport {
     hosts: Vec<HostStatus>,
     under_replicated: Vec<UnderReplicatedStatus>,
+    policies: Vec<PolicyStatus>,
+    coded_files: Vec<FragmentStatus>,
 }
 
 /// Offline health probe. A fresh process has no heartbeat stream, so
@@ -219,9 +241,52 @@ fn cmd_status(dir: &Path, args: &Args) -> Result<(), String> {
         .collect();
     under.sort_by(|a, b| (a.live, &a.name).cmp(&(b.live, &b.name)));
 
+    let mut policy_counts: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
+    for meta in &files {
+        *policy_counts
+            .entry(meta.redundancy.to_string())
+            .or_insert(0) += 1;
+    }
+    let policies: Vec<PolicyStatus> = policy_counts
+        .into_iter()
+        .map(|(policy, count)| PolicyStatus {
+            policy,
+            files: count,
+        })
+        .collect();
+
+    let mut coded_files = Vec::new();
+    for meta in &files {
+        if !meta.is_coded() {
+            continue;
+        }
+        let lost: Vec<usize> = meta
+            .fragments
+            .iter()
+            .enumerate()
+            .filter(|(j, h)| {
+                let ds = cluster.dataserver(**h);
+                (0..meta.sealed_chunks).any(|c| !ds.has_fragment(meta.id, c, *j))
+            })
+            .map(|(j, _)| j)
+            .collect();
+        coded_files.push(FragmentStatus {
+            name: meta.name.clone(),
+            policy: meta.redundancy.to_string(),
+            sealed_chunks: meta.sealed_chunks,
+            fragments_healthy: meta.fragments.len() - lost.len(),
+            fragments_total: meta.fragments.len(),
+            lost_fragments: lost,
+        });
+    }
+    coded_files.sort_by(|a, b| (a.fragments_healthy, &a.name).cmp(&(b.fragments_healthy, &b.name)));
+
     let report = StatusReport {
         hosts,
         under_replicated: under,
+        policies,
+        coded_files,
     };
     if args.flags.contains_key("json") {
         println!(
@@ -260,6 +325,37 @@ fn cmd_status(dir: &Path, args: &Args) -> Result<(), String> {
                 .join(", ")
         );
     }
+    println!(
+        "files by redundancy: {}",
+        report
+            .policies
+            .iter()
+            .map(|p| format!("{} × {}", p.files, p.policy))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for c in &report.coded_files {
+        println!(
+            "  {}  {}  {}/{} fragments healthy ({} sealed chunks){}",
+            c.name,
+            c.policy,
+            c.fragments_healthy,
+            c.fragments_total,
+            c.sealed_chunks,
+            if c.lost_fragments.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "  lost: {}",
+                    c.lost_fragments
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        );
+    }
     Ok(())
 }
 
@@ -273,7 +369,7 @@ fn run() -> Result<(), String> {
         println!(
             "mayfs — Mayflower distributed filesystem CLI\n\n\
              init <dir> [--pods N] [--racks N] [--hosts N] [--chunk BYTES] [--replication N]\n\
-             create <dir> <name> [--client H]\n\
+             create <dir> <name> [--client H] [--redundancy N|K+M]\n\
              append <dir> <name> (--data STR | --file PATH) [--client H]\n\
              read   <dir> <name> [--offset N] [--len N] [--client H]\n\
              stat   <dir> <name>\n\
@@ -281,7 +377,7 @@ fn run() -> Result<(), String> {
              rm     <dir> <name> [--client H]\n\
              serve  <dir> --listen ADDR\n\
              metrics <dir> [--json] [--client H]   # probe files, dump telemetry\n\
-             status <dir> [--json]                 # dataserver health + under-replicated files"
+             status <dir> [--json]                 # host health, under-replicated files, fragment health"
         );
         return Ok(());
     }
@@ -296,13 +392,28 @@ fn run() -> Result<(), String> {
             let name = args.positional.get(1).cloned().ok_or("missing <name>")?;
             let cluster = load_cluster(&dir)?;
             let mut client = cluster.client(HostId(args.flag("client", 0u32)));
-            let meta = client.create(&name).map_err(|e| e.to_string())?;
-            println!("created {name} (uuid {})", meta.id);
+            let meta = match args.flags.get("redundancy") {
+                Some(spec) => {
+                    let policy = Redundancy::parse(spec)
+                        .ok_or_else(|| format!("bad --redundancy {spec:?}: want N or K+M"))?;
+                    client
+                        .create_with(&name, policy)
+                        .map_err(|e| e.to_string())?
+                }
+                None => client.create(&name).map_err(|e| e.to_string())?,
+            };
+            println!(
+                "created {name} (uuid {}, redundancy {})",
+                meta.id, meta.redundancy
+            );
             for (i, r) in meta.replicas.iter().enumerate() {
                 println!(
                     "  replica {i}: host {r}{}",
                     if i == 0 { " (primary)" } else { "" }
                 );
+            }
+            for (i, h) in meta.fragments.iter().enumerate() {
+                println!("  fragment {i}: host {h}");
             }
             Ok(())
         }
@@ -370,6 +481,22 @@ fn run() -> Result<(), String> {
                     .collect::<Vec<_>>()
                     .join(", ")
             );
+            println!("redundancy: {}", meta.redundancy);
+            if meta.is_coded() {
+                println!(
+                    "sealed:     {}/{} chunks",
+                    meta.sealed_chunks,
+                    meta.chunk_count()
+                );
+                println!(
+                    "fragments:  {}",
+                    meta.fragments
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
             Ok(())
         }
         "ls" => {

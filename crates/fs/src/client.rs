@@ -8,11 +8,12 @@ use mayflower_net::HostId;
 use mayflower_telemetry::{Counter, Histogram, Scope, Span};
 
 use crate::cluster::AppendCoordinator;
+use crate::coding::{self, EcMetrics};
 use crate::dataserver::Dataserver;
 use crate::error::FsError;
 use crate::nameserver::Nameserver;
 use crate::selector::{ReadAssignment, ReplicaSelector};
-use crate::types::{Consistency, FileMeta};
+use crate::types::{Consistency, FileMeta, Redundancy};
 
 /// Client-side telemetry. Handles come from the cluster registry, so
 /// every client of a cluster aggregates into the same series.
@@ -69,6 +70,9 @@ pub struct Client {
     /// grow without bound.
     cache_capacity: usize,
     metrics: ClientMetrics,
+    /// Coded-tier telemetry, shared with the cluster's seal and repair
+    /// paths.
+    ec: Arc<EcMetrics>,
     /// How many times a retryable ([`FsError::Unavailable`]) operation
     /// is attempted before the error propagates.
     retry_attempts: u32,
@@ -88,6 +92,7 @@ impl Client {
     /// Assembles a client. Use [`crate::Cluster::client`] in normal
     /// deployments.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         host: HostId,
         nameserver: Arc<Nameserver>,
@@ -96,6 +101,7 @@ impl Client {
         consistency: Consistency,
         selector: Box<dyn ReplicaSelector>,
         metrics: ClientMetrics,
+        ec: Arc<EcMetrics>,
     ) -> Client {
         Client {
             host,
@@ -108,6 +114,7 @@ impl Client {
             cache_ttl: std::time::Duration::from_secs(300),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             metrics,
+            ec,
             retry_attempts: 3,
             retry_backoff: std::time::Duration::from_millis(1),
         }
@@ -197,7 +204,19 @@ impl Client {
     ///
     /// Returns [`FsError::AlreadyExists`] for duplicate names.
     pub fn create(&mut self, name: &str) -> Result<FileMeta, FsError> {
-        let meta = self.nameserver.create(name)?;
+        self.create_with(name, Redundancy::default())
+    }
+
+    /// Creates a file under an explicit [`Redundancy`] policy. A
+    /// `Coded{k, m}` file appends exactly like a replicated one; its
+    /// complete chunks are then sealed into `k + m` fragments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] for duplicate names and
+    /// [`FsError::InvalidArgument`] for an unsatisfiable policy.
+    pub fn create_with(&mut self, name: &str, redundancy: Redundancy) -> Result<FileMeta, FsError> {
+        let meta = self.nameserver.create_with(name, redundancy)?;
         for r in &meta.replicas {
             self.dataserver(*r)?.create_file(&meta)?;
         }
@@ -230,6 +249,18 @@ impl Client {
             }
         }
         self.nameserver.record_size(name, new_size)?;
+        if meta.is_coded() && new_size / meta.chunk_size > meta.sealed_chunks {
+            // Still under the file lock: stripe newly complete chunks
+            // to the fragment hosts. Best-effort — a down fragment
+            // host defers the seal to the next append (the chunk stays
+            // replicated meanwhile, so durability never regresses).
+            let _ = coding::seal_complete_chunks(
+                &self.nameserver,
+                &self.dataservers,
+                name,
+                Some(&self.ec),
+            );
+        }
         if let Some((cached, _)) = self.cache.get_mut(name) {
             cached.size = new_size;
         }
@@ -294,6 +325,65 @@ impl Client {
             return Ok(Vec::new());
         }
 
+        // The seal watermark moves outside the append-only invariant
+        // that makes cached chunk maps safe (a sealed chunk *leaves*
+        // the replicas), so coded reads work from fresh metadata.
+        let fresh;
+        let meta = if meta.is_coded() {
+            fresh = self.nameserver.lookup(&meta.name)?;
+            self.cache_insert(&meta.name, fresh.clone());
+            &fresh
+        } else {
+            meta
+        };
+
+        let mut out = Vec::with_capacity(len as usize);
+        let mut offset = offset;
+        let mut len = len;
+        let sealed_end = meta.sealed_bytes();
+        if meta.is_coded() && offset < sealed_end {
+            let span_end = (offset + len).min(sealed_end);
+            let (k, _) = meta.redundancy.coded_params().expect("coded file");
+            let mut pos = offset;
+            while pos < span_end {
+                let chunk = pos / meta.chunk_size;
+                let chunk_start = chunk * meta.chunk_size;
+                let take_end = span_end.min(chunk_start + meta.chunk_size);
+                // Live candidates in fragment order; the selector picks
+                // which k to fetch, the rest stay as failover.
+                let available: Vec<(usize, HostId)> = meta
+                    .fragments
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, h)| {
+                        self.dataservers
+                            .get(h)
+                            .is_some_and(|d| d.has_fragment(meta.id, chunk, *i))
+                    })
+                    .map(|(i, h)| (i, *h))
+                    .collect();
+                let preferred = self.selector.select_fragments(self.host, &available, k);
+                let payload = self.with_retry(|| {
+                    coding::read_sealed_chunk(
+                        &self.dataservers,
+                        meta,
+                        chunk,
+                        &preferred,
+                        Some(&self.ec),
+                    )
+                })?;
+                out.extend_from_slice(
+                    &payload[(pos - chunk_start) as usize..(take_end - chunk_start) as usize],
+                );
+                pos = take_end;
+            }
+            len -= span_end - offset;
+            offset = span_end;
+            if len == 0 {
+                return Ok(out);
+            }
+        }
+
         // Under strong consistency, bytes in the last chunk must come
         // from the primary; everything else is immutable and free to
         // route (§3.4).
@@ -334,7 +424,6 @@ impl Client {
             pieces = selected;
         }
 
-        let mut out = Vec::with_capacity(len as usize);
         for (host, piece_offset, piece_len) in pieces {
             out.extend_from_slice(&self.read_piece_with_failover(
                 meta,
@@ -414,17 +503,17 @@ impl Client {
     pub fn rename(&mut self, old: &str, new: &str) -> Result<(), FsError> {
         let displaced = self.nameserver.rename(old, new, true)?;
         if let Some(dead) = displaced {
-            for r in &dead.replicas {
+            for r in dead.replicas.iter().chain(&dead.fragments) {
                 match self.dataserver(*r)?.delete_file(dead.id) {
                     Ok(()) | Err(FsError::NotFound(_)) => {}
                     Err(e) => return Err(e),
                 }
             }
         }
-        // Refresh replica-local metadata so a crash rebuild sees the
-        // new name.
+        // Refresh replica- and fragment-local metadata so a crash
+        // rebuild sees the new name.
         let meta = self.nameserver.lookup(new)?;
-        for r in &meta.replicas {
+        for r in meta.replicas.iter().chain(&meta.fragments) {
             match self.dataserver(*r)?.update_meta(&meta) {
                 Ok(()) | Err(FsError::NotFound(_)) => {}
                 Err(e) => return Err(e),
@@ -443,9 +532,9 @@ impl Client {
     /// Returns [`FsError::NotFound`] for unknown files.
     pub fn delete(&mut self, name: &str) -> Result<(), FsError> {
         let meta = self.nameserver.delete(name)?;
-        for r in &meta.replicas {
-            // A replica may already be gone; deletion is idempotent at
-            // the filesystem level.
+        for r in meta.replicas.iter().chain(&meta.fragments) {
+            // A replica (or fragment host) may already be gone;
+            // deletion is idempotent at the filesystem level.
             match self.dataserver(*r)?.delete_file(meta.id) {
                 Ok(()) | Err(FsError::NotFound(_)) => {}
                 Err(e) => return Err(e),

@@ -9,6 +9,7 @@ use mayflower_net::{HostId, Topology};
 use parking_lot::Mutex;
 
 use crate::client::{Client, ClientMetrics};
+use crate::coding::{self, EcMetrics};
 use crate::dataserver::Dataserver;
 use crate::error::FsError;
 use crate::nameserver::{Nameserver, NameserverConfig};
@@ -51,6 +52,7 @@ pub struct Cluster {
     coordinator: Arc<AppendCoordinator>,
     consistency: Consistency,
     registry: mayflower_telemetry::Registry,
+    ec: Arc<EcMetrics>,
 }
 
 impl Cluster {
@@ -78,6 +80,7 @@ impl Cluster {
             ds.attach_metrics(&ds_scope);
             dataservers.insert(host, Arc::new(ds));
         }
+        let ec = Arc::new(EcMetrics::new(&registry.scope("ec")));
         Ok(Cluster {
             topo,
             nameserver,
@@ -85,6 +88,7 @@ impl Cluster {
             coordinator: Arc::new(AppendCoordinator::default()),
             consistency: config.consistency,
             registry,
+            ec,
         })
     }
 
@@ -145,6 +149,7 @@ impl Cluster {
             self.consistency,
             selector,
             ClientMetrics::new(&self.registry.scope("fs").scope("client")),
+            self.ec.clone(),
         )
     }
 
@@ -356,7 +361,100 @@ impl Cluster {
             }
         }
         self.nameserver.record_size(&meta.name, new_size)?;
+        if meta.is_coded() && new_size / meta.chunk_size > meta.sealed_chunks {
+            // Best-effort seal of newly complete chunks, still under
+            // the file lock (same policy as the client append path).
+            let _ = coding::seal_complete_chunks(
+                &self.nameserver,
+                &self.dataservers,
+                &meta.name,
+                Some(&self.ec),
+            );
+        }
         Ok(new_size)
+    }
+
+    /// Seals every complete-but-unsealed chunk of a coded file now,
+    /// instead of waiting for the next append to trigger it: reads each
+    /// chunk from a live replica, stripes it into `k + m` checksummed
+    /// fragments on the fragment hosts, advances the nameserver's seal
+    /// watermark, and reclaims the replicated chunk copies. Returns the
+    /// new watermark (in chunks).
+    ///
+    /// Safe to call at any time and idempotent; a fragment host that is
+    /// down stops the seal early (those chunks stay replicated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown files and
+    /// [`FsError::CorruptMetadata`] for inconsistent fragment maps.
+    pub fn seal(&self, name: &str) -> Result<u64, FsError> {
+        let meta = self.nameserver.lookup(name)?;
+        let lock = self.coordinator.file_lock(meta.id);
+        let _guard = lock.lock();
+        coding::seal_complete_chunks(&self.nameserver, &self.dataservers, name, Some(&self.ec))
+    }
+
+    /// One targeted **coded repair** step, the erasure-tier counterpart
+    /// of [`Cluster::repair_to`]: reconstructs fragment `index` of
+    /// every sealed chunk from `k` surviving fragments, stores it on
+    /// `dest`, and splices `dest` into the fragment map. The repair
+    /// planner picks `dest` and schedules the `k` source transfers with
+    /// the Flowserver at background priority.
+    ///
+    /// Idempotent under the per-file lock: if the fragment is live and
+    /// complete on its current host, nothing is rebuilt and `Ok(0)` is
+    /// returned. Returns the fragment bytes written otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::InvalidArgument`] for replicated files, an
+    /// out-of-range index, or a `dest` already holding another
+    /// fragment; [`FsError::Unavailable`] when fewer than `k` fragments
+    /// of any sealed chunk survive.
+    pub fn repair_fragment(&self, name: &str, index: usize, dest: HostId) -> Result<u64, FsError> {
+        let meta = self.nameserver.lookup(name)?;
+        let lock = self.coordinator.file_lock(meta.id);
+        let _guard = lock.lock();
+        // Re-read under the lock (a concurrent repair may have won).
+        let meta = self.nameserver.lookup(name)?;
+        if !meta.is_coded() {
+            return Err(FsError::InvalidArgument(format!(
+                "{name} is not a coded file"
+            )));
+        }
+        if index >= meta.fragments.len() {
+            return Err(FsError::InvalidArgument(format!(
+                "fragment index {index} out of range for {name}"
+            )));
+        }
+        if meta
+            .fragments
+            .iter()
+            .enumerate()
+            .any(|(i, h)| i != index && *h == dest)
+        {
+            return Err(FsError::InvalidArgument(format!(
+                "host {dest} already holds another fragment of {name}"
+            )));
+        }
+        if meta.sealed_chunks == 0 {
+            return Ok(0);
+        }
+        let current = meta.fragments[index];
+        let intact = (0..meta.sealed_chunks)
+            .all(|c| self.dataserver(current).has_fragment(meta.id, c, index));
+        if intact {
+            return Ok(0);
+        }
+        let written =
+            coding::rebuild_fragment(&self.dataservers, &meta, index, dest, Some(&self.ec))?;
+        self.nameserver.set_fragment(name, index, dest)?;
+        let meta = self.nameserver.lookup(name)?;
+        for host in meta.replicas.iter().chain(&meta.fragments) {
+            let _ = self.dataserver(*host).update_meta(&meta);
+        }
+        Ok(written)
     }
 }
 

@@ -1,0 +1,314 @@
+//! The erasure-coded storage tier (DESIGN.md §14): seal-and-encode of
+//! complete chunks, degraded reads from any `k` fragments, and
+//! reconstruction of a lost fragment for coded repair.
+//!
+//! Coded files keep the paper's §3.2 append path untouched: the tail
+//! chunk is written `n`-way replicated through the primary, and only
+//! **complete** chunks — immutable under append-only semantics — are
+//! striped into `k` data + `m` parity fragments and dropped from the
+//! replicas. Every fragment carries its own checksum frame at the
+//! dataserver layer, so silent corruption is detected *before* the
+//! codec (Reed-Solomon alone cannot tell a corrupt shard from a good
+//! one) and demoted to an erasure the decode can heal.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mayflower_ec::Codec;
+use mayflower_net::HostId;
+use mayflower_telemetry::{Counter, Scope};
+
+use crate::dataserver::Dataserver;
+use crate::error::FsError;
+use crate::nameserver::Nameserver;
+use crate::types::FileMeta;
+
+/// Telemetry for the coded tier, registered under the cluster's `ec`
+/// scope so every client and repair task aggregates into one series.
+#[derive(Debug)]
+pub(crate) struct EcMetrics {
+    /// Payload bytes pushed through the encoder (seals + rebuilds).
+    pub(crate) encode_bytes: Arc<Counter>,
+    /// Payload bytes recovered through the decoder (degraded reads and
+    /// fragment reconstruction).
+    pub(crate) decode_bytes: Arc<Counter>,
+    /// Chunks sealed (striped to fragments and dropped from replicas).
+    pub(crate) chunks_sealed: Arc<Counter>,
+    /// Sealed-chunk reads that needed a decode because a data fragment
+    /// was missing or corrupt.
+    pub(crate) degraded_reads: Arc<Counter>,
+    /// Lost fragments rebuilt from `k` surviving sources.
+    pub(crate) fragment_repairs: Arc<Counter>,
+}
+
+impl EcMetrics {
+    pub(crate) fn new(scope: &Scope) -> EcMetrics {
+        EcMetrics {
+            encode_bytes: scope.counter("encode_bytes_total"),
+            decode_bytes: scope.counter("decode_bytes_total"),
+            chunks_sealed: scope.counter("chunks_sealed_total"),
+            degraded_reads: scope.counter("degraded_reads_total"),
+            fragment_repairs: scope.counter("fragment_repairs_total"),
+        }
+    }
+}
+
+/// Looks up a dataserver by host.
+fn ds(
+    dataservers: &BTreeMap<HostId, Arc<Dataserver>>,
+    host: HostId,
+) -> Result<&Arc<Dataserver>, FsError> {
+    dataservers
+        .get(&host)
+        .ok_or_else(|| FsError::InvalidArgument(format!("no dataserver on host {host}")))
+}
+
+/// Reads the full payload of chunk `chunk` from any live replica
+/// (primary last wins ties on staleness: it is never behind).
+fn read_chunk_from_replicas(
+    dataservers: &BTreeMap<HostId, Arc<Dataserver>>,
+    meta: &FileMeta,
+    chunk: u64,
+) -> Result<Vec<u8>, FsError> {
+    let offset = chunk * meta.chunk_size;
+    let want = meta.chunk_payload_len(chunk);
+    let mut last = None;
+    for host in &meta.replicas {
+        match ds(dataservers, *host)?.read_local(meta.id, offset, want) {
+            Ok((data, _)) if data.len() as u64 == want => return Ok(data),
+            Ok(_) => last = Some(FsError::Unavailable(format!("replica {host} short"))),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| FsError::NotFound(meta.name.clone())))
+}
+
+/// Seals every complete-but-unsealed chunk of a coded file: reads the
+/// chunk from a live replica, encodes it into `k + m` fragments, stores
+/// one fragment per fragment host, advances the nameserver's seal
+/// watermark, refreshes replica-local metadata, and reclaims the
+/// replicated chunk copies.
+///
+/// **Best-effort and resumable**: a fragment host that is down stops
+/// the seal at the current watermark (the chunk stays replicated; a
+/// later append or an explicit [`crate::Cluster::seal`] retries), and a
+/// crash between fragment writes and the watermark update leaves only
+/// orphaned fragment files that the retry overwrites. Callers must
+/// hold the file's append lock. Returns the new watermark.
+///
+/// # Errors
+///
+/// Propagates nameserver metadata failures; storage-side unavailability
+/// merely stops early.
+pub(crate) fn seal_complete_chunks(
+    nameserver: &Nameserver,
+    dataservers: &BTreeMap<HostId, Arc<Dataserver>>,
+    name: &str,
+    metrics: Option<&EcMetrics>,
+) -> Result<u64, FsError> {
+    let mut meta = nameserver.lookup(name)?;
+    let Some((k, m)) = meta.redundancy.coded_params() else {
+        return Ok(0);
+    };
+    if meta.fragments.len() != k + m {
+        return Err(FsError::CorruptMetadata(format!(
+            "{name}: {} fragment hosts for a {k}+{m} file",
+            meta.fragments.len()
+        )));
+    }
+    let codec = Codec::new(k, m);
+    while meta.sealed_chunks < meta.complete_chunks() {
+        let chunk = meta.sealed_chunks;
+        let Ok(payload) = read_chunk_from_replicas(dataservers, &meta, chunk) else {
+            break; // no live replica holds the chunk — retry later
+        };
+        let shards = codec.encode_payload(&payload);
+        let mut stored_all = true;
+        for (index, shard) in shards.iter().enumerate() {
+            let host = meta.fragments[index];
+            if ds(dataservers, host)?
+                .put_fragment(meta.id, chunk, index, payload.len() as u64, shard)
+                .is_err()
+            {
+                stored_all = false;
+                break;
+            }
+        }
+        if !stored_all {
+            break; // chunk stays replicated until every fragment lands
+        }
+        nameserver.record_seal(name, chunk + 1)?;
+        meta = nameserver.lookup(name)?;
+        if let Some(mx) = metrics {
+            mx.encode_bytes.add(payload.len() as u64);
+            mx.chunks_sealed.inc();
+        }
+        // Refresh replica- and fragment-local metadata, then reclaim
+        // the replicated copies. All best-effort: a down host misses
+        // the update but the nameserver watermark is authoritative.
+        for host in meta.replicas.iter().chain(&meta.fragments) {
+            let _ = ds(dataservers, *host)?.update_meta(&meta);
+        }
+        for host in &meta.replicas {
+            let _ = ds(dataservers, *host)?.drop_chunk(meta.id, chunk);
+        }
+    }
+    Ok(meta.sealed_chunks)
+}
+
+/// Reads the full payload of sealed chunk `chunk` from its fragments.
+///
+/// Fast path: every data fragment the `selector_order` asks for first
+/// is live → concatenate, no decode. Degraded path: any data fragment
+/// missing or failing its checksum → fetch any `k` live fragments and
+/// decode. Fragment fetch failures (host down, frame corrupt) demote
+/// that fragment to an erasure and the sweep continues, so up to `m`
+/// arbitrary losses are survivable.
+///
+/// `preferred` gives the fragment indices to try first (a selector's
+/// choice); the remaining live fragments serve as failover.
+///
+/// # Errors
+///
+/// Returns [`FsError::Unavailable`] when fewer than `k` fragments can
+/// be read.
+pub(crate) fn read_sealed_chunk(
+    dataservers: &BTreeMap<HostId, Arc<Dataserver>>,
+    meta: &FileMeta,
+    chunk: u64,
+    preferred: &[usize],
+    metrics: Option<&EcMetrics>,
+) -> Result<Vec<u8>, FsError> {
+    let (k, m) = meta
+        .redundancy
+        .coded_params()
+        .ok_or_else(|| FsError::InvalidArgument(format!("{} is not coded", meta.name)))?;
+    let n = k + m;
+    let payload_len = meta.chunk_payload_len(chunk);
+
+    // Fetch order: the selector's preference, then every other
+    // fragment in index order as failover.
+    let mut order: Vec<usize> = preferred.iter().copied().filter(|i| *i < n).collect();
+    order.dedup();
+    for i in 0..n {
+        if !order.contains(&i) {
+            order.push(i);
+        }
+    }
+
+    let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+    let mut have = 0;
+    for index in order {
+        if have >= k {
+            break;
+        }
+        let host = meta.fragments[index];
+        let Ok(server) = ds(dataservers, host) else {
+            continue;
+        };
+        match server.read_fragment(meta.id, chunk, index) {
+            Ok((shard, len)) if len == payload_len => {
+                shards[index] = Some(shard);
+                have += 1;
+            }
+            // Wrong payload length, corrupt frame, host down, fragment
+            // not yet written: all erasures.
+            Ok(_) | Err(_) => {}
+        }
+    }
+    if have < k {
+        return Err(FsError::Unavailable(format!(
+            "{}: chunk {chunk} has {have} of {k} required fragments",
+            meta.name
+        )));
+    }
+
+    let all_data_present = shards.iter().take(k).all(Option::is_some);
+    if all_data_present {
+        let mut payload = Vec::with_capacity(payload_len as usize);
+        for shard in shards.iter().take(k) {
+            payload.extend_from_slice(shard.as_deref().expect("present"));
+        }
+        payload.truncate(payload_len as usize);
+        return Ok(payload);
+    }
+
+    let codec = Codec::new(k, m);
+    let payload = codec
+        .decode_payload(&mut shards, payload_len as usize)
+        .map_err(|e| FsError::Unavailable(format!("{}: chunk {chunk}: {e}", meta.name)))?;
+    if let Some(mx) = metrics {
+        mx.degraded_reads.inc();
+        mx.decode_bytes.add(payload.len() as u64);
+    }
+    Ok(payload)
+}
+
+/// Rebuilds fragment `index` of every sealed chunk from `k` surviving
+/// fragments and stores it on `dest`. Returns the fragment bytes
+/// written. The caller splices `dest` into the fragment map and holds
+/// the file's append lock.
+///
+/// # Errors
+///
+/// Returns [`FsError::Unavailable`] when any sealed chunk has fewer
+/// than `k` live fragments, or when `dest` refuses the write.
+pub(crate) fn rebuild_fragment(
+    dataservers: &BTreeMap<HostId, Arc<Dataserver>>,
+    meta: &FileMeta,
+    index: usize,
+    dest: HostId,
+    metrics: Option<&EcMetrics>,
+) -> Result<u64, FsError> {
+    let (k, m) = meta
+        .redundancy
+        .coded_params()
+        .ok_or_else(|| FsError::InvalidArgument(format!("{} is not coded", meta.name)))?;
+    let n = k + m;
+    if index >= n {
+        return Err(FsError::InvalidArgument(format!(
+            "fragment index {index} out of range for {k}+{m}"
+        )));
+    }
+    let codec = Codec::new(k, m);
+    let mut written = 0u64;
+    for chunk in 0..meta.sealed_chunks {
+        let payload_len = meta.chunk_payload_len(chunk);
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+        let mut have = 0;
+        for (i, host) in meta.fragments.iter().enumerate() {
+            if i == index || have >= k {
+                continue;
+            }
+            let Ok(server) = ds(dataservers, *host) else {
+                continue;
+            };
+            match server.read_fragment(meta.id, chunk, i) {
+                Ok((shard, len)) if len == payload_len => {
+                    shards[i] = Some(shard);
+                    have += 1;
+                }
+                Ok(_) | Err(_) => {}
+            }
+        }
+        if have < k {
+            return Err(FsError::Unavailable(format!(
+                "{}: chunk {chunk} has {have} of {k} fragments needed for rebuild",
+                meta.name
+            )));
+        }
+        codec
+            .reconstruct(&mut shards)
+            .map_err(|e| FsError::Unavailable(format!("{}: chunk {chunk}: {e}", meta.name)))?;
+        let shard = shards[index].as_deref().expect("reconstructed");
+        ds(dataservers, dest)?.put_fragment(meta.id, chunk, index, payload_len, shard)?;
+        written += shard.len() as u64;
+        if let Some(mx) = metrics {
+            mx.decode_bytes.add(payload_len);
+        }
+    }
+    if let Some(mx) = metrics {
+        mx.fragment_repairs.inc();
+    }
+    Ok(written)
+}

@@ -36,6 +36,11 @@ struct DsMetrics {
     refused: Arc<Counter>,
 }
 
+/// Fragment frame (DESIGN.md §14): 4-byte magic, 8-byte LE payload
+/// length, 4-byte LE CRC32 of the shard bytes.
+const FRAGMENT_MAGIC: &[u8; 4] = b"MFEC";
+const FRAGMENT_HEADER: usize = 16;
+
 /// A single storage server: owns one directory tree of file-UUID
 /// directories, services appends (one at a time per file) and
 /// concurrent reads.
@@ -139,6 +144,14 @@ impl Dataserver {
         self.file_dir(id).join(format!("{}", chunk + 1))
     }
 
+    /// On-disk location of a sealed chunk's fragment (`f<chunk>.<j>`,
+    /// chunk 1-based like chunk files). Public so tests and tooling can
+    /// inject fragment corruption.
+    #[must_use]
+    pub fn fragment_path(&self, id: FileId, chunk: u64, index: usize) -> PathBuf {
+        self.file_dir(id).join(format!("f{}.{index}", chunk + 1))
+    }
+
     /// Creates the local directory and metadata for a new file replica.
     ///
     /// # Errors
@@ -214,15 +227,15 @@ impl Dataserver {
     /// Returns [`FsError::NotFound`] if the replica is absent.
     pub fn local_size(&self, id: FileId) -> Result<u64, FsError> {
         let meta = self.read_meta(id)?;
+        // Sum every chunk file the replica holds. Sealed chunks of a
+        // coded file are dropped locally, leaving holes below the seal
+        // watermark, so absence must not terminate the walk early.
         let mut size = 0u64;
-        let mut chunk = 0u64;
-        loop {
-            let p = self.chunk_path(id, chunk);
-            let Ok(md) = std::fs::metadata(&p) else { break };
-            size += md.len();
-            chunk += 1;
+        for chunk in 0..meta.chunk_count().max(meta.sealed_chunks) {
+            if let Ok(md) = std::fs::metadata(self.chunk_path(id, chunk)) {
+                size += md.len();
+            }
         }
-        let _ = meta;
         Ok(size)
     }
 
@@ -304,6 +317,112 @@ impl Dataserver {
         Ok((out, size))
     }
 
+    /// Stores fragment `index` of sealed chunk `chunk` (DESIGN.md §14).
+    /// The fragment is framed with a magic, the chunk's original
+    /// payload length, and a CRC32 of the shard so silent corruption is
+    /// detected at read time — Reed-Solomon itself cannot tell a
+    /// corrupt shard from a valid one. Idempotent (write-then-rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Unavailable`] if this dataserver is down.
+    pub fn put_fragment(
+        &self,
+        id: FileId,
+        chunk: u64,
+        index: usize,
+        payload_len: u64,
+        shard: &[u8],
+    ) -> Result<(), FsError> {
+        self.ensure_up()?;
+        let dir = self.file_dir(id);
+        std::fs::create_dir_all(&dir)?;
+        let mut body = Vec::with_capacity(FRAGMENT_HEADER + shard.len());
+        body.extend_from_slice(FRAGMENT_MAGIC);
+        body.extend_from_slice(&payload_len.to_le_bytes());
+        body.extend_from_slice(&mayflower_kvstore::crc::crc32(shard).to_le_bytes());
+        body.extend_from_slice(shard);
+        let tmp = dir.join(format!(
+            "f{}.{index}.tmp.{:?}",
+            chunk + 1,
+            std::thread::current().id()
+        ));
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, self.fragment_path(id, chunk, index))?;
+        if let Some(m) = self.metrics.get() {
+            m.appends.inc();
+            m.append_bytes.record(shard.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Reads fragment `index` of sealed chunk `chunk`, verifying the
+    /// checksum. Returns the shard bytes and the chunk's original
+    /// payload length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Unavailable`] if down, [`FsError::NotFound`]
+    /// if the fragment is absent, or [`FsError::CorruptMetadata`] when
+    /// the frame or checksum fails — callers treat a corrupt fragment
+    /// exactly like a lost one and fetch a different source.
+    pub fn read_fragment(
+        &self,
+        id: FileId,
+        chunk: u64,
+        index: usize,
+    ) -> Result<(Vec<u8>, u64), FsError> {
+        self.ensure_up()?;
+        let path = self.fragment_path(id, chunk, index);
+        if !path.exists() {
+            return Err(FsError::NotFound(format!(
+                "fragment {index} of chunk {chunk} of {id}"
+            )));
+        }
+        let body = std::fs::read(&path)?;
+        if body.len() < FRAGMENT_HEADER || &body[..4] != FRAGMENT_MAGIC {
+            return Err(FsError::CorruptMetadata(format!(
+                "fragment {index} of chunk {chunk} of {id}: bad frame"
+            )));
+        }
+        let payload_len = u64::from_le_bytes(body[4..12].try_into().expect("8 bytes"));
+        let want_crc = u32::from_le_bytes(body[12..16].try_into().expect("4 bytes"));
+        let shard = &body[FRAGMENT_HEADER..];
+        if mayflower_kvstore::crc::crc32(shard) != want_crc {
+            return Err(FsError::CorruptMetadata(format!(
+                "fragment {index} of chunk {chunk} of {id}: checksum mismatch"
+            )));
+        }
+        if let Some(m) = self.metrics.get() {
+            m.reads.inc();
+            m.read_bytes.record(shard.len() as u64);
+        }
+        Ok((shard.to_vec(), payload_len))
+    }
+
+    /// Whether this dataserver holds the given fragment. A downed
+    /// dataserver answers no, like [`Dataserver::has_file`].
+    #[must_use]
+    pub fn has_fragment(&self, id: FileId, chunk: u64, index: usize) -> bool {
+        self.is_up() && self.fragment_path(id, chunk, index).exists()
+    }
+
+    /// Removes the replicated copy of a sealed chunk (the storage
+    /// reclaim half of seal-and-encode). Missing chunk files are fine —
+    /// the seal may be retried after a partial failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::Unavailable`] if this dataserver is down.
+    pub fn drop_chunk(&self, id: FileId, chunk: u64) -> Result<(), FsError> {
+        self.ensure_up()?;
+        match std::fs::remove_file(self.chunk_path(id, chunk)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Deletes the local replica.
     ///
     /// # Errors
@@ -368,18 +487,23 @@ impl Dataserver {
         if self.has_file(meta.id) {
             return Ok(0);
         }
+        // A coded file's replicas hold only the chunks above the seal
+        // watermark (the sealed region lives in fragments), so the copy
+        // starts there. `sealed_bytes` is chunk-aligned, which keeps
+        // `append_local`'s chunk numbering consistent with the source.
+        let start = meta.sealed_bytes().min(meta.size);
         let mut shell = meta.clone();
-        shell.size = 0;
+        shell.size = start;
         self.create_file(&shell)?;
         let copy = || -> Result<u64, FsError> {
             let mut copied = 0u64;
             loop {
-                let (data, total) = source.repair_read(meta.id, copied, meta.chunk_size)?;
+                let (data, total) = source.repair_read(meta.id, start + copied, meta.chunk_size)?;
                 if !data.is_empty() {
                     copied += data.len() as u64;
                     self.append_local(meta.id, &data)?;
                 }
-                if copied >= total || data.is_empty() {
+                if start + copied >= total || data.is_empty() {
                     return Ok(copied);
                 }
             }
@@ -389,7 +513,7 @@ impl Dataserver {
                 // Stamp the replica with the copied size so a
                 // nameserver rebuild sees a consistent mapping.
                 let mut stamped = meta.clone();
-                stamped.size = copied;
+                stamped.size = start + copied;
                 self.update_meta(&stamped)?;
                 Ok(copied)
             }
@@ -453,6 +577,9 @@ mod tests {
             chunk_size,
             size: 0,
             replicas: vec![HostId(0)],
+            redundancy: crate::types::Redundancy::default(),
+            fragments: Vec::new(),
+            sealed_chunks: 0,
         }
     }
 

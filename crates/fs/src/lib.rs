@@ -56,6 +56,7 @@
 pub mod chunk;
 pub mod client;
 pub mod cluster;
+mod coding;
 pub mod dataserver;
 pub mod error;
 pub mod nameserver;
@@ -72,4 +73,4 @@ pub use nameserver::{Nameserver, NameserverConfig};
 pub use selector::{
     FallbackSelector, NearestSelector, PrimarySelector, ReadAssignment, ReplicaSelector,
 };
-pub use types::{Consistency, FileId, FileMeta};
+pub use types::{Consistency, FileId, FileMeta, Redundancy};

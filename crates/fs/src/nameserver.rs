@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 
 use crate::dataserver::Dataserver;
 use crate::error::FsError;
-use crate::types::{FileId, FileMeta, DEFAULT_CHUNK_SIZE};
+use crate::types::{FileId, FileMeta, Redundancy, DEFAULT_CHUNK_SIZE};
 
 /// Nameserver configuration.
 #[derive(Debug, Clone)]
@@ -160,6 +160,26 @@ impl Nameserver {
     /// Returns [`FsError::AlreadyExists`] for duplicate names or
     /// [`FsError::InvalidArgument`] for an empty name.
     pub fn create(&self, name: &str) -> Result<FileMeta, FsError> {
+        self.create_with(
+            name,
+            Redundancy::Replicated {
+                n: self.config.replication,
+            },
+        )
+    }
+
+    /// Creates a file under an explicit [`Redundancy`] policy. For
+    /// `Replicated{n}` this places `n` replicas; for `Coded{k, m}` it
+    /// places the configured number of tail replicas (the unsealed
+    /// append chunk stays replicated, §3.2) **plus** `k + m` fragment
+    /// hosts under the same fault-domain policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] for duplicate names or
+    /// [`FsError::InvalidArgument`] for an empty name or a policy the
+    /// topology cannot host (`k + m` exceeding the host count).
+    pub fn create_with(&self, name: &str, redundancy: Redundancy) -> Result<FileMeta, FsError> {
         if name.is_empty() {
             return Err(FsError::InvalidArgument("file name is empty".into()));
         }
@@ -170,10 +190,69 @@ impl Nameserver {
         }
         let mut rng = self.rng.lock();
         let id = FileId((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64()));
-        let replicas = self
-            .config
-            .placement
-            .place(&self.topo, self.config.replication, &mut rng);
+        let (replicas, fragments) = match redundancy {
+            Redundancy::Replicated { n } => {
+                if n == 0 {
+                    return Err(FsError::InvalidArgument("replication factor 0".into()));
+                }
+                (
+                    self.config.placement.place(&self.topo, n, &mut rng),
+                    Vec::new(),
+                )
+            }
+            Redundancy::Coded { k, m } => {
+                if k == 0 || m == 0 || k + m > 255 {
+                    return Err(FsError::InvalidArgument(format!(
+                        "invalid coded redundancy {k}+{m}"
+                    )));
+                }
+                if k + m > self.topo.hosts().len() {
+                    return Err(FsError::InvalidArgument(format!(
+                        "coded redundancy {k}+{m} exceeds {} hosts",
+                        self.topo.hosts().len()
+                    )));
+                }
+                let replicas =
+                    self.config
+                        .placement
+                        .place(&self.topo, self.config.replication, &mut rng);
+                // Fragment hosts must be pairwise distinct or a single
+                // host failure costs several fragments, and `k + m`
+                // routinely exceeds the rack count (which the replica
+                // placement policy refuses), so fragments are dealt
+                // across racks round-robin: a rack failure costs at
+                // most `ceil((k + m) / racks)` fragments.
+                let mut by_rack: std::collections::BTreeMap<_, Vec<mayflower_net::HostId>> =
+                    std::collections::BTreeMap::new();
+                for h in self.topo.hosts() {
+                    by_rack.entry(self.topo.rack_of(h)).or_default().push(h);
+                }
+                let mut racks: Vec<Vec<mayflower_net::HostId>> = by_rack.into_values().collect();
+                for r in &mut racks {
+                    r.sort_unstable();
+                }
+                let offset = (rng.next_u64() as usize) % racks.len();
+                let mut fragments: Vec<mayflower_net::HostId> = Vec::with_capacity(k + m);
+                let mut depth = 0;
+                while fragments.len() < k + m {
+                    let mut advanced = false;
+                    for i in 0..racks.len() {
+                        if fragments.len() == k + m {
+                            break;
+                        }
+                        if let Some(h) = racks[(offset + i) % racks.len()].get(depth) {
+                            fragments.push(*h);
+                            advanced = true;
+                        }
+                    }
+                    if !advanced {
+                        break; // host count guard above makes this unreachable
+                    }
+                    depth += 1;
+                }
+                (replicas, fragments)
+            }
+        };
         drop(rng);
         let meta = FileMeta {
             id,
@@ -181,6 +260,9 @@ impl Nameserver {
             chunk_size: self.config.chunk_size,
             size: 0,
             replicas,
+            redundancy,
+            fragments,
+            sealed_chunks: 0,
         };
         let body =
             serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
@@ -223,6 +305,9 @@ impl Nameserver {
             chunk_size: self.config.chunk_size,
             size: 0,
             replicas,
+            redundancy: Redundancy::default(),
+            fragments: Vec::new(),
+            sealed_chunks: 0,
         };
         let body =
             serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
@@ -270,6 +355,60 @@ impl Nameserver {
     pub fn record_size(&self, name: &str, size: u64) -> Result<(), FsError> {
         let mut meta = self.lookup(name)?;
         meta.size = size;
+        let body =
+            serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        self.db.lock().put(&Self::name_key(name), &body)?;
+        Ok(())
+    }
+
+    /// Records that chunks `[0, sealed_chunks)` of a coded file are now
+    /// fragment-backed (DESIGN.md §14 seal-and-encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown names or
+    /// [`FsError::InvalidArgument`] when the file is not coded or the
+    /// watermark moves backwards.
+    pub fn record_seal(&self, name: &str, sealed_chunks: u64) -> Result<(), FsError> {
+        let mut meta = self.lookup(name)?;
+        if !meta.is_coded() {
+            return Err(FsError::InvalidArgument(format!(
+                "{name} is not a coded file"
+            )));
+        }
+        if sealed_chunks < meta.sealed_chunks {
+            return Err(FsError::InvalidArgument(format!(
+                "seal watermark cannot regress ({} -> {sealed_chunks})",
+                meta.sealed_chunks
+            )));
+        }
+        meta.sealed_chunks = sealed_chunks;
+        let body =
+            serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
+        self.db.lock().put(&Self::name_key(name), &body)?;
+        Ok(())
+    }
+
+    /// Re-homes fragment `index` of a coded file onto `host` after a
+    /// coded repair rebuilt it there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] for unknown names or
+    /// [`FsError::InvalidArgument`] for an out-of-range index.
+    pub fn set_fragment(
+        &self,
+        name: &str,
+        index: usize,
+        host: mayflower_net::HostId,
+    ) -> Result<(), FsError> {
+        let mut meta = self.lookup(name)?;
+        if index >= meta.fragments.len() {
+            return Err(FsError::InvalidArgument(format!(
+                "fragment index {index} out of range for {name}"
+            )));
+        }
+        meta.fragments[index] = host;
         let body =
             serde_json::to_vec(&meta).map_err(|e| FsError::CorruptMetadata(e.to_string()))?;
         self.db.lock().put(&Self::name_key(name), &body)?;

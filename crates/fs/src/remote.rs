@@ -261,6 +261,9 @@ mod tests {
             chunk_size: 8,
             size: 0,
             replicas: vec![HostId(0)],
+            redundancy: crate::types::Redundancy::default(),
+            fragments: Vec::new(),
+            sealed_chunks: 0,
         };
         src.create_file(&meta).unwrap();
         meta.size = src.append_local(meta.id, b"pulled over the wire").unwrap();
@@ -286,6 +289,9 @@ mod tests {
             chunk_size: 4,
             size: 0,
             replicas: vec![HostId(0)],
+            redundancy: crate::types::Redundancy::default(),
+            fragments: Vec::new(),
+            sealed_chunks: 0,
         };
         src.create_file(&meta).unwrap();
         meta.size = src.append_local(meta.id, b"tcp repair body").unwrap();

@@ -22,7 +22,7 @@ use mayflower_simcore::SimRng;
 
 use crate::error::FsError;
 use crate::nameserver::{Nameserver, NameserverConfig};
-use crate::types::{FileId, FileMeta};
+use crate::types::{FileId, FileMeta, Redundancy};
 
 /// A deterministic nameserver mutation, replicated through the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,19 +187,25 @@ impl ReplicatedNameserver {
             chunk_size: self.config.chunk_size,
             size: 0,
             replicas,
+            redundancy: Redundancy::default(),
+            fragments: Vec::new(),
+            sealed_chunks: 0,
         };
         self.replicate(node, NsOp::Create(meta.clone()))?;
         Ok(meta)
     }
 
-    /// Deletes a file through `node`.
+    /// Deletes a file through `node`, returning the deleted metadata —
+    /// the same contract as the direct and remote nameservers, so
+    /// callers can release the file's chunks and fragments.
     ///
     /// # Errors
     ///
     /// Returns [`FsError::NotFound`] or [`FsError::Consistency`].
-    pub fn delete(&mut self, node: u32, name: &str) -> Result<(), FsError> {
-        self.lookup_at(node, name)?;
-        self.replicate(node, NsOp::Delete(name.to_string()))
+    pub fn delete(&mut self, node: u32, name: &str) -> Result<FileMeta, FsError> {
+        let meta = self.lookup_at(node, name)?;
+        self.replicate(node, NsOp::Delete(name.to_string()))?;
+        Ok(meta)
     }
 
     /// Records a size change through `node`.
@@ -291,9 +297,11 @@ mod tests {
         let dir = TempDir::new("multi");
         let mut rns = replicated(&dir, 3);
         rns.create(0, "f1").unwrap();
-        rns.create(1, "f2").unwrap();
+        let f2 = rns.create(1, "f2").unwrap();
         rns.record_size(2, "f1", 99).unwrap();
-        rns.delete(1, "f2").unwrap();
+        let deleted = rns.delete(1, "f2").unwrap();
+        assert_eq!(deleted.id, f2.id, "delete returns the dead metadata");
+        assert_eq!(deleted.name, "f2");
         for node in 0..3 {
             assert_eq!(rns.file_count_at(node), 1, "node {node}");
             assert_eq!(rns.lookup_at(node, "f1").unwrap().size, 99);

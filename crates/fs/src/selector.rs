@@ -33,6 +33,27 @@ pub trait ReplicaSelector: Send {
         replicas: &[HostId],
         size_bytes: u64,
     ) -> Vec<ReadAssignment>;
+
+    /// Chooses which `k` of the available fragments of a coded file to
+    /// fetch for one sealed-chunk read. `available` lists the live
+    /// candidates as `(fragment_index, host)` pairs in fragment order
+    /// (data fragments first), and the returned fragment indices must
+    /// be a `k`-subset of them — the client falls back to the first
+    /// `k` otherwise.
+    ///
+    /// The default keeps fragment order, which prefers data fragments
+    /// and so avoids a decode entirely when all of them are live. A
+    /// Flowserver-backed selector instead asks the controller for a
+    /// joint k-source + path selection.
+    fn select_fragments(
+        &mut self,
+        client: HostId,
+        available: &[(usize, HostId)],
+        k: usize,
+    ) -> Vec<usize> {
+        let _ = client;
+        available.iter().take(k).map(|(i, _)| *i).collect()
+    }
 }
 
 /// Always reads from the primary replica. Simple, and what a
@@ -87,6 +108,29 @@ impl ReplicaSelector for NearestSelector {
             replica: best,
             bytes: size_bytes,
         }]
+    }
+
+    /// Rack-aware fragment choice: live **data** fragments first (a
+    /// full data set needs no decode at all), then the topologically
+    /// closest parity sources to fill in for losses.
+    fn select_fragments(
+        &mut self,
+        client: HostId,
+        available: &[(usize, HostId)],
+        k: usize,
+    ) -> Vec<usize> {
+        let mut ranked: Vec<(bool, usize, usize)> = available
+            .iter()
+            .map(|(i, h)| {
+                (
+                    *i >= k,
+                    self.topo.distance(client, *h).unwrap_or(usize::MAX),
+                    *i,
+                )
+            })
+            .collect();
+        ranked.sort_unstable();
+        ranked.into_iter().take(k).map(|(_, _, i)| i).collect()
     }
 }
 

@@ -41,6 +41,73 @@ pub enum Consistency {
     Strong,
 }
 
+/// Per-file redundancy policy (DESIGN.md §14). Replication is the
+/// paper's §3.2 default; the coded tier trades the 3× storage cost for
+/// a `(k + m) / k` overhead once chunks are sealed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Redundancy {
+    /// `n`-way whole-chunk replication (the §3.2 scheme).
+    Replicated {
+        /// Replica count, including the primary.
+        n: usize,
+    },
+    /// Systematic Reed-Solomon `k + m`: sealed chunks are striped into
+    /// `k` data + `m` parity fragments; any `k` reconstruct. The
+    /// append-tail chunk stays replicated until sealed.
+    Coded {
+        /// Data fragments per stripe.
+        k: usize,
+        /// Parity fragments per stripe.
+        m: usize,
+    },
+}
+
+impl Default for Redundancy {
+    fn default() -> Redundancy {
+        Redundancy::Replicated { n: 3 }
+    }
+}
+
+impl Redundancy {
+    /// Parses the `mayfs` CLI spelling: `"3"` → `Replicated{n: 3}`,
+    /// `"6+3"` → `Coded{k: 6, m: 3}`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Redundancy> {
+        if let Some((k, m)) = s.split_once('+') {
+            let k: usize = k.trim().parse().ok()?;
+            let m: usize = m.trim().parse().ok()?;
+            if k == 0 || m == 0 || k + m > 255 {
+                return None;
+            }
+            Some(Redundancy::Coded { k, m })
+        } else {
+            let n: usize = s.trim().parse().ok()?;
+            if n == 0 {
+                return None;
+            }
+            Some(Redundancy::Replicated { n })
+        }
+    }
+
+    /// `(k, m)` when coded, `None` when replicated.
+    #[must_use]
+    pub fn coded_params(&self) -> Option<(usize, usize)> {
+        match *self {
+            Redundancy::Replicated { .. } => None,
+            Redundancy::Coded { k, m } => Some((k, m)),
+        }
+    }
+}
+
+impl std::fmt::Display for Redundancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Redundancy::Replicated { n } => write!(f, "{n}"),
+            Redundancy::Coded { k, m } => write!(f, "{k}+{m}"),
+        }
+    }
+}
+
 /// Per-file metadata, stored by the nameserver and mirrored to each
 /// replica's dataserver directory (the rebuild source after an unclean
 /// nameserver restart).
@@ -55,8 +122,19 @@ pub struct FileMeta {
     /// Current file size in bytes (advances with appends).
     pub size: u64,
     /// Replica hosts; `replicas[0]` is the **primary**, which orders
-    /// appends.
+    /// appends. For a coded file these hold the (replicated) unsealed
+    /// tail chunks only.
     pub replicas: Vec<HostId>,
+    /// The file's redundancy policy, fixed at creation.
+    pub redundancy: Redundancy,
+    /// Fragment hosts for a coded file: `fragments[j]` stores fragment
+    /// `j` of every sealed chunk (`j < k` data, `j >= k` parity).
+    /// Empty for replicated files.
+    pub fragments: Vec<HostId>,
+    /// Chunks `[0, sealed_chunks)` have been sealed: striped to the
+    /// fragment hosts and dropped from the replicas. Always 0 for
+    /// replicated files.
+    pub sealed_chunks: u64,
 }
 
 impl FileMeta {
@@ -86,6 +164,35 @@ impl FileMeta {
             Some((self.size - 1) / self.chunk_size)
         }
     }
+
+    /// Whether this file is on the coded tier.
+    #[must_use]
+    pub fn is_coded(&self) -> bool {
+        matches!(self.redundancy, Redundancy::Coded { .. })
+    }
+
+    /// Bytes covered by sealed (fragment-backed) chunks.
+    #[must_use]
+    pub fn sealed_bytes(&self) -> u64 {
+        self.sealed_chunks * self.chunk_size
+    }
+
+    /// Chunks that are complete (their full `chunk_size` is below
+    /// `size`) and therefore immutable: appends always start at
+    /// `size`, so a chunk whose end is `<= size` can never change.
+    /// These are the seal candidates for a coded file.
+    #[must_use]
+    pub fn complete_chunks(&self) -> u64 {
+        self.size / self.chunk_size
+    }
+
+    /// Actual payload length of sealed chunk `chunk` (always full by
+    /// the seal rule, but kept explicit for the last-chunk boundary).
+    #[must_use]
+    pub fn chunk_payload_len(&self, chunk: u64) -> u64 {
+        let start = chunk * self.chunk_size;
+        self.size.saturating_sub(start).min(self.chunk_size)
+    }
 }
 
 /// The paper's default block size: 256 MB.
@@ -111,6 +218,9 @@ mod tests {
             chunk_size: chunk,
             size,
             replicas: vec![HostId(3), HostId(9)],
+            redundancy: Redundancy::default(),
+            fragments: Vec::new(),
+            sealed_chunks: 0,
         }
     }
 
@@ -138,5 +248,47 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: FileMeta = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
+
+        let mut coded = meta(42, 7);
+        coded.redundancy = Redundancy::Coded { k: 4, m: 2 };
+        coded.fragments = (10..16).map(HostId).collect();
+        coded.sealed_chunks = 3;
+        let json = serde_json::to_string(&coded).unwrap();
+        let back: FileMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, coded);
+    }
+
+    #[test]
+    fn redundancy_parse() {
+        assert_eq!(
+            Redundancy::parse("3"),
+            Some(Redundancy::Replicated { n: 3 })
+        );
+        assert_eq!(
+            Redundancy::parse("6+3"),
+            Some(Redundancy::Coded { k: 6, m: 3 })
+        );
+        assert_eq!(Redundancy::parse("0"), None);
+        assert_eq!(Redundancy::parse("0+2"), None);
+        assert_eq!(Redundancy::parse("4+0"), None);
+        assert_eq!(Redundancy::parse("300+300"), None);
+        assert_eq!(Redundancy::parse("x"), None);
+        assert_eq!(Redundancy::Coded { k: 6, m: 3 }.to_string(), "6+3");
+        assert_eq!(Redundancy::default().to_string(), "3");
+    }
+
+    #[test]
+    fn sealed_chunk_math() {
+        let mut m = meta(25, 10);
+        m.redundancy = Redundancy::Coded { k: 2, m: 1 };
+        m.fragments = vec![HostId(1), HostId(2), HostId(4)];
+        assert!(m.is_coded());
+        assert_eq!(m.complete_chunks(), 2);
+        m.sealed_chunks = 2;
+        assert_eq!(m.sealed_bytes(), 20);
+        assert_eq!(m.chunk_payload_len(0), 10);
+        assert_eq!(m.chunk_payload_len(1), 10);
+        assert_eq!(m.chunk_payload_len(2), 5);
+        assert_eq!(m.chunk_payload_len(3), 0);
     }
 }

@@ -84,11 +84,11 @@ proptest! {
                 Op::Create(n) => {
                     let name = format!("f{n}");
                     let real = client.create(&name);
-                    if model.contains_key(&name) {
-                        prop_assert!(real.is_err(), "duplicate create must fail");
-                    } else {
+                    if let std::collections::hash_map::Entry::Vacant(slot) = model.entry(name) {
                         prop_assert!(real.is_ok(), "create failed: {real:?}");
-                        model.insert(name, Vec::new());
+                        slot.insert(Vec::new());
+                    } else {
+                        prop_assert!(real.is_err(), "duplicate create must fail");
                     }
                 }
                 Op::Append(n, data) => {

@@ -7,8 +7,9 @@
 //! [`max_bytes_per_tick`](ExecutorConfig::max_bytes_per_tick) bytes
 //! have moved — re-replication must not monopolize dataserver disks
 //! even though the Flowserver already keeps it off contended links.
-//! A `(file, destination)` pair is never queued twice, and the
-//! underlying [`Cluster::repair_to`] commit is idempotent, so
+//! A `(file, destination, fragment)` triple is never queued twice,
+//! and the underlying [`Cluster::repair_to`] /
+//! [`Cluster::repair_fragment`] commits are idempotent, so
 //! re-planning the same repair while it is queued is harmless.
 
 use std::collections::{BTreeSet, VecDeque};
@@ -84,6 +85,9 @@ pub struct CompletedRepair {
     pub bytes: u64,
     /// How the repair ended.
     pub outcome: RepairOutcome,
+    /// The fragment index for a coded rebuild, `None` for a replica
+    /// copy.
+    pub fragment: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -114,7 +118,7 @@ impl ExecutorMetrics {
 pub struct RepairExecutor {
     config: ExecutorConfig,
     queue: VecDeque<RepairTask>,
-    queued_keys: BTreeSet<(String, HostId)>,
+    queued_keys: BTreeSet<(String, HostId, Option<usize>)>,
     metrics: Option<ExecutorMetrics>,
 }
 
@@ -140,12 +144,13 @@ impl RepairExecutor {
         self.metrics = Some(m);
     }
 
-    /// Appends tasks to the queue, skipping any `(file, dest)` pair
-    /// already queued. Returns how many were accepted.
+    /// Appends tasks to the queue, skipping any `(file, dest,
+    /// fragment)` triple already queued. Returns how many were
+    /// accepted.
     pub fn enqueue(&mut self, tasks: Vec<RepairTask>) -> usize {
         let mut accepted = 0;
         for t in tasks {
-            let key = (t.name.clone(), t.dest);
+            let key = (t.name.clone(), t.dest, t.fragment);
             if self.queued_keys.insert(key) {
                 self.queue.push_back(t);
                 accepted += 1;
@@ -168,7 +173,7 @@ impl RepairExecutor {
     /// installs one background flow per replacement, not one per tick.
     #[must_use]
     pub fn has_pending(&self, name: &str) -> bool {
-        self.queued_keys.iter().any(|(n, _)| n == name)
+        self.queued_keys.iter().any(|(n, _, _)| n == name)
     }
 
     /// Executes up to the per-tick budget of queued repairs against
@@ -190,8 +195,12 @@ impl RepairExecutor {
             let Some(task) = self.queue.pop_front() else {
                 break;
             };
-            self.queued_keys.remove(&(task.name.clone(), task.dest));
-            let result = cluster.repair_to(&task.name, task.source, task.dest);
+            self.queued_keys
+                .remove(&(task.name.clone(), task.dest, task.fragment));
+            let result = match task.fragment {
+                Some(index) => cluster.repair_fragment(&task.name, index, task.dest),
+                None => cluster.repair_to(&task.name, task.source, task.dest),
+            };
             if let Some(cookie) = task.cookie {
                 flowserver.flow_completed(cookie);
             }
@@ -222,6 +231,7 @@ impl RepairExecutor {
                 dest: task.dest,
                 bytes,
                 outcome,
+                fragment: task.fragment,
             });
         }
         if let Some(m) = &self.metrics {
@@ -302,6 +312,7 @@ mod tests {
             bytes: meta.size,
             cookie,
             est_bw,
+            fragment: None,
         }
     }
 

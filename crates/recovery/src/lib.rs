@@ -20,7 +20,8 @@
 //!    nameserver's liveness registry.
 //! 2. [`ReplicationTracker`] — derives the under-replicated set from
 //!    nameserver metadata plus detector state, ordered most urgent
-//!    first (fewest live replicas, then name).
+//!    first (fewest live replicas, then name). Coded files surface
+//!    fragments stranded on dead hosts as a [`CodedLoss`].
 //! 3. [`RepairPlanner`] — picks replacement destinations through the
 //!    cluster's [`PlacementPolicy`] (preserving the HDFS-style
 //!    fault-domain invariants) and consults the Flowserver for the
@@ -47,4 +48,4 @@ pub use manager::{RecoveryConfig, RecoveryManager};
 pub use mayflower_workload::PlacementPolicy;
 pub use planner::{PlannedRepair, RepairPlanner, RepairTask};
 pub use report::RecoveryReport;
-pub use tracker::{ReplicationTracker, UnderReplicated};
+pub use tracker::{CodedLoss, ReplicationTracker, UnderReplicated};

@@ -351,6 +351,79 @@ mod tests {
     }
 
     #[test]
+    fn rebuilds_lost_fragments_of_a_coded_file() {
+        use mayflower_fs::{NameserverConfig, Redundancy};
+
+        use crate::executor::RepairOutcome;
+
+        let dir = TempDir::new("coded");
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let c = Cluster::create(
+            &dir.0,
+            Arc::clone(&topo),
+            ClusterConfig {
+                nameserver: NameserverConfig {
+                    chunk_size: 16,
+                    ..NameserverConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap();
+        let mut fsrv = Flowserver::new(topo, FlowserverConfig::default());
+        let mut client = c.client(HostId(0));
+        let meta = client
+            .create_with("files/coded", Redundancy::Coded { k: 4, m: 2 })
+            .unwrap();
+        let data: Vec<u8> = (0..48u8).collect(); // 3 sealed chunks
+        client.append("files/coded", &data).unwrap();
+        assert_eq!(
+            c.nameserver().lookup("files/coded").unwrap().sealed_chunks,
+            3
+        );
+
+        // Crash a fragment host that holds no tail replica.
+        let victim = meta
+            .fragments
+            .iter()
+            .copied()
+            .find(|h| !meta.replicas.contains(h))
+            .unwrap();
+        let index = meta.fragments.iter().position(|h| *h == victim).unwrap();
+
+        let mut mgr = RecoveryManager::new(&c, RecoveryConfig::default());
+        mgr.attach_metrics(c.registry());
+        let remaining = run(&mut mgr, &c, &mut fsrv, &[victim], 20);
+        assert_eq!(remaining, 0);
+
+        let report = mgr.report();
+        assert!(report.full_replication_at.is_some(), "coded loss healed");
+        let rebuilt = report
+            .completed
+            .iter()
+            .find(|r| r.fragment == Some(index))
+            .expect("a fragment rebuild executed");
+        assert_eq!(rebuilt.outcome, RepairOutcome::Repaired);
+        assert!(rebuilt.bytes > 0);
+
+        // The fragment map moved off the victim, and every sealed
+        // chunk's fragment exists on the new host.
+        let healed = c.nameserver().lookup("files/coded").unwrap();
+        let dest = healed.fragments[index];
+        assert_ne!(dest, victim);
+        for chunk in 0..healed.sealed_chunks {
+            assert!(c.dataserver(dest).has_fragment(healed.id, chunk, index));
+        }
+        // Reads stay byte-identical with the victim still down.
+        let mut reader = c.client(HostId(1));
+        assert_eq!(reader.read("files/coded").unwrap(), data);
+        assert_eq!(
+            c.registry().snapshot().counter("ec_fragment_repairs_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
     fn same_seed_runs_produce_byte_identical_reports() {
         let one = TempDir::new("det-a");
         let two = TempDir::new("det-b");

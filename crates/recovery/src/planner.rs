@@ -21,6 +21,16 @@
 //! emits a task with the first live replica as source and no flow
 //! cookie — restoring durability beats respecting a stale network
 //! view.
+//!
+//! Coded files (DESIGN.md §14) add a third decision: for every
+//! fragment stranded on a dead host the planner picks a rebuild
+//! destination — a usable host holding nothing of the file, in the
+//! rack with the fewest surviving fragments, preserving the
+//! creation-time round-robin spread — and schedules the rebuild
+//! ingest (`k` shards converging on the destination) as one
+//! background flow sized at `sealed_bytes`.
+
+use std::collections::BTreeMap;
 
 use mayflower_flowserver::{Flowserver, Selection};
 use mayflower_fs::FileId;
@@ -53,6 +63,12 @@ pub struct RepairTask {
     /// The Flowserver's bandwidth estimate for the repair flow, in
     /// bits/sec (0.0 for unscheduled fallbacks).
     pub est_bw: f64,
+    /// `Some(j)` for a coded repair: rebuild fragment `j` of every
+    /// sealed chunk onto `dest` (via [`Cluster::repair_fragment`]);
+    /// `None` for a whole-replica copy.
+    ///
+    /// [`Cluster::repair_fragment`]: mayflower_fs::Cluster::repair_fragment
+    pub fragment: Option<usize>,
 }
 
 impl RepairTask {
@@ -66,6 +82,7 @@ impl RepairTask {
             dest: self.dest,
             bytes: self.bytes,
             flow_scheduled: self.cookie.is_some(),
+            fragment: self.fragment,
         }
     }
 }
@@ -87,6 +104,9 @@ pub struct PlannedRepair {
     /// Whether the Flowserver installed a background flow for the
     /// copy (false = unscheduled fallback).
     pub flow_scheduled: bool,
+    /// The fragment index for a coded rebuild, `None` for a replica
+    /// copy.
+    pub fragment: Option<usize>,
 }
 
 /// Turns the under-replicated backlog into an ordered list of
@@ -113,7 +133,8 @@ impl RepairPlanner {
     /// [`select_repair_flow`](Flowserver::select_repair_flow) call so
     /// concurrent repairs see each other's background flows. Files
     /// with no live replica at all are skipped — nothing can restore
-    /// them (the caller counts them as lost).
+    /// the tail (the caller counts them as lost) — though their
+    /// sealed fragments are still rebuilt while `k` sources survive.
     pub fn plan(
         &self,
         topo: &Topology,
@@ -125,38 +146,100 @@ impl RepairPlanner {
     ) -> Vec<RepairTask> {
         let mut tasks = Vec::new();
         for file in under {
-            if file.live.is_empty() {
+            // Destinations already claimed for this file (replica and
+            // fragment repairs must not pile onto one host).
+            let mut taken: Vec<HostId> = Vec::new();
+            if file.missing() > 0 && !file.live.is_empty() {
+                let eligible: Vec<HostId> = usable
+                    .iter()
+                    .copied()
+                    .filter(|h| !file.replicas.contains(h))
+                    .collect();
+                let dests =
+                    self.policy
+                        .replacements(topo, &file.live, &eligible, file.missing(), rng);
+                // Each replica holds the full file — or, for a coded
+                // file, just the unsealed tail — so that is what a
+                // repair copies; the flow model needs a positive size
+                // even for empty files (metadata shells still move).
+                let bytes = file
+                    .coded
+                    .as_ref()
+                    .map_or(file.size, |c| file.size - c.sealed_bytes);
+                let size_bits = (bytes as f64 * 8.0).max(1.0);
+                for dest in dests {
+                    taken.push(dest);
+                    let (source, cookie, est_bw) =
+                        match flowserver.select_repair_flow(dest, &file.live, size_bits, now) {
+                            Selection::Single(a) => (a.replica, Some(a.cookie), a.est_bw),
+                            // Local is impossible (dest is never a current
+                            // replica) and Split is never produced for
+                            // repairs; both fall back like Unavailable.
+                            _ => (file.live[0], None, 0.0),
+                        };
+                    tasks.push(RepairTask {
+                        name: file.name.clone(),
+                        id: file.id,
+                        source,
+                        dest,
+                        bytes,
+                        cookie,
+                        est_bw,
+                        fragment: None,
+                    });
+                }
+            }
+            let Some(loss) = &file.coded else { continue };
+            let sources: Vec<HostId> = loss
+                .fragments
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !loss.lost.contains(i))
+                .map(|(_, h)| *h)
+                .collect();
+            if sources.len() < loss.k {
+                // Below the decode threshold: the sealed region is
+                // unrecoverable until a host returns. Nothing to plan.
                 continue;
             }
-            let eligible: Vec<HostId> = usable
-                .iter()
-                .copied()
-                .filter(|h| !file.replicas.contains(h))
-                .collect();
-            let dests = self
-                .policy
-                .replacements(topo, &file.live, &eligible, file.missing(), rng);
-            // Each replica holds the full file, so a repair copies
-            // `size` bytes; the flow model needs a positive size even
-            // for empty files (metadata-only shells still move).
-            let size_bits = (file.size as f64 * 8.0).max(1.0);
-            for dest in dests {
+            // Racks with fewer surviving fragments first, preserving
+            // the creation-time round-robin spread.
+            let mut rack_load: BTreeMap<_, usize> = BTreeMap::new();
+            for s in &sources {
+                *rack_load.entry(topo.rack_of(*s)).or_insert(0) += 1;
+            }
+            let size_bits = (loss.sealed_bytes as f64 * 8.0).max(1.0);
+            for &index in &loss.lost {
+                let Some(dest) = usable
+                    .iter()
+                    .copied()
+                    .filter(|h| {
+                        !loss.fragments.contains(h)
+                            && !file.replicas.contains(h)
+                            && !taken.contains(h)
+                    })
+                    .min_by_key(|h| (rack_load.get(&topo.rack_of(*h)).copied().unwrap_or(0), *h))
+                else {
+                    continue; // no free host: leave this fragment lost
+                };
+                taken.push(dest);
+                *rack_load.entry(topo.rack_of(dest)).or_insert(0) += 1;
+                // One background flow models the rebuild ingest: `k`
+                // shards of `sealed_bytes / k` each converge on `dest`.
                 let (source, cookie, est_bw) =
-                    match flowserver.select_repair_flow(dest, &file.live, size_bits, now) {
+                    match flowserver.select_repair_flow(dest, &sources, size_bits, now) {
                         Selection::Single(a) => (a.replica, Some(a.cookie), a.est_bw),
-                        // Local is impossible (dest is never a current
-                        // replica) and Split is never produced for
-                        // repairs; both fall back like Unavailable.
-                        _ => (file.live[0], None, 0.0),
+                        _ => (sources[0], None, 0.0),
                     };
                 tasks.push(RepairTask {
                     name: file.name.clone(),
                     id: file.id,
                     source,
                     dest,
-                    bytes: file.size,
+                    bytes: loss.sealed_bytes.div_ceil(loss.k as u64),
                     cookie,
                     est_bw,
+                    fragment: Some(index),
                 });
             }
         }
@@ -191,6 +274,34 @@ mod tests {
             target: replicas.len(),
             live,
             replicas,
+            coded: None,
+        }
+    }
+
+    /// A healthy-tailed coded file that lost fragments `lost` of a
+    /// `k + m` map laid out on hosts `fragments`.
+    fn coded_under(
+        name: &str,
+        sealed_bytes: u64,
+        k: usize,
+        fragments: &[u32],
+        lost: &[usize],
+    ) -> UnderReplicated {
+        let fragments: Vec<HostId> = fragments.iter().copied().map(HostId).collect();
+        let replicas = vec![HostId(1), HostId(6), HostId(11)];
+        UnderReplicated {
+            name: name.to_string(),
+            id: FileId(9),
+            size: sealed_bytes + 5,
+            target: replicas.len(),
+            live: replicas.clone(),
+            replicas,
+            coded: Some(crate::tracker::CodedLoss {
+                fragments,
+                lost: lost.to_vec(),
+                k,
+                sealed_bytes,
+            }),
         }
     }
 
@@ -296,5 +407,90 @@ mod tests {
         let rec = tasks[0].record(SimTime::from_secs(2.0));
         assert!(rec.flow_scheduled);
         assert_eq!(rec.file, "files/empty");
+        assert_eq!(rec.fragment, None);
+    }
+
+    #[test]
+    fn plans_fragment_rebuilds_on_fresh_hosts() {
+        let topo = topo();
+        let mut fsrv = Flowserver::new(Arc::clone(&topo), FlowserverConfig::default());
+        let planner = RepairPlanner::new(PlacementPolicy::HdfsRackAware);
+        let mut rng = SimRng::seed_from(3);
+        let dead = [0u32, 10];
+        let file = coded_under("files/coded", 4096, 4, &[0, 5, 10, 15, 20, 25], &[0, 2]);
+        let tasks = planner.plan(
+            &topo,
+            &[file.clone()],
+            &usable(&topo, &dead),
+            &mut fsrv,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(tasks.len(), 2, "one rebuild per lost fragment");
+        let loss = file.coded.as_ref().unwrap();
+        let mut dests = Vec::new();
+        for (t, lost) in tasks.iter().zip(&loss.lost) {
+            assert_eq!(t.fragment, Some(*lost));
+            assert_eq!(t.bytes, 1024, "per-fragment share of sealed bytes");
+            assert!(t.cookie.is_some(), "idle fabric must schedule the flow");
+            // Sources are surviving fragment hosts only.
+            assert!(loss.fragments.contains(&t.source));
+            assert!(!dead.contains(&t.source.0));
+            // Destinations hold nothing of the file, and don't collide.
+            assert!(!loss.fragments.contains(&t.dest));
+            assert!(!file.replicas.contains(&t.dest));
+            assert!(!dests.contains(&t.dest));
+            dests.push(t.dest);
+            assert!(t.record(SimTime::ZERO).fragment.is_some());
+        }
+        assert_eq!(fsrv.tracked_flows(), 2);
+    }
+
+    #[test]
+    fn below_k_survivors_plans_nothing() {
+        let topo = topo();
+        let mut fsrv = Flowserver::new(Arc::clone(&topo), FlowserverConfig::default());
+        let planner = RepairPlanner::new(PlacementPolicy::HdfsRackAware);
+        let mut rng = SimRng::seed_from(3);
+        let dead = [0u32, 5, 10];
+        // k = 4 but only 3 of 6 fragments survive: unrecoverable.
+        let file = coded_under("files/toast", 4096, 4, &[0, 5, 10, 15, 20, 25], &[0, 1, 2]);
+        let tasks = planner.plan(
+            &topo,
+            &[file],
+            &usable(&topo, &dead),
+            &mut fsrv,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert!(tasks.is_empty());
+        assert_eq!(fsrv.tracked_flows(), 0);
+    }
+
+    #[test]
+    fn coded_tail_repair_copies_only_the_tail() {
+        let topo = topo();
+        let mut fsrv = Flowserver::new(Arc::clone(&topo), FlowserverConfig::default());
+        let planner = RepairPlanner::new(PlacementPolicy::HdfsRackAware);
+        let mut rng = SimRng::seed_from(4);
+        // A coded file that lost one tail replica *and* one fragment.
+        let mut file = coded_under("files/both", 4096, 4, &[0, 5, 10, 15, 20, 25], &[1]);
+        let dead_replica = file.replicas[2];
+        file.live.retain(|h| *h != dead_replica);
+        let dead = [dead_replica.0, 5];
+        let tasks = planner.plan(
+            &topo,
+            &[file.clone()],
+            &usable(&topo, &dead),
+            &mut fsrv,
+            SimTime::ZERO,
+            &mut rng,
+        );
+        assert_eq!(tasks.len(), 2);
+        let replica_task = tasks.iter().find(|t| t.fragment.is_none()).unwrap();
+        assert_eq!(replica_task.bytes, 5, "only the unsealed tail moves");
+        let frag_task = tasks.iter().find(|t| t.fragment.is_some()).unwrap();
+        assert_eq!(frag_task.fragment, Some(1));
+        assert_ne!(replica_task.dest, frag_task.dest, "destinations spread");
     }
 }

@@ -72,6 +72,7 @@ mod tests {
                 dest: HostId(9),
                 bytes: 4096,
                 flow_scheduled: true,
+                fragment: None,
             }],
             completed: vec![CompletedRepair {
                 at: SimTime::from_secs(6.0),
@@ -80,6 +81,7 @@ mod tests {
                 dest: HostId(9),
                 bytes: 4096,
                 outcome: RepairOutcome::Repaired,
+                fragment: Some(2),
             }],
             full_replication_at: Some(SimTime::from_secs(6.0)),
         }

@@ -1,13 +1,14 @@
 //! Under-replication tracking: nameserver metadata × detector state.
 //!
 //! The tracker derives, on demand, the set of files whose replica
-//! list contains hosts the [`FailureDetector`] has confirmed dead.
-//! Only **confirmed** deaths count as lost replicas — a suspect host
-//! still holds its data as far as anyone knows, and repairing on
-//! suspicion would turn every transient stall into a re-replication
-//! storm. The result is ordered most urgent first: fewest live
-//! replicas, then file name, so the planner drains the files closest
-//! to data loss before merely degraded ones.
+//! list — or, for coded files, fragment map — contains hosts the
+//! [`FailureDetector`] has confirmed dead. Only **confirmed** deaths
+//! count as lost copies — a suspect host still holds its data as far
+//! as anyone knows, and repairing on suspicion would turn every
+//! transient stall into a re-replication storm. The result is ordered
+//! most urgent first: fewest live replicas, then file name, so the
+//! planner drains the files closest to data loss before merely
+//! degraded ones.
 
 use std::sync::Arc;
 
@@ -17,14 +18,33 @@ use mayflower_telemetry::{Gauge, Scope};
 
 use crate::detector::FailureDetector;
 
-/// One file with fewer live replicas than its metadata demands.
+/// Fragment losses of one coded file (DESIGN.md §14): which indices of
+/// the `k + m` fragment map sit on confirmed-dead hosts, plus what the
+/// planner needs to rebuild them from the survivors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodedLoss {
+    /// The full fragment map, dead hosts included (`fragments[j]`
+    /// stores fragment `j` of every sealed chunk).
+    pub fragments: Vec<HostId>,
+    /// Indices of fragments on confirmed-dead hosts, ascending.
+    pub lost: Vec<usize>,
+    /// Data fragments per stripe — a rebuild needs `k` live sources.
+    pub k: usize,
+    /// Bytes under the seal watermark: the traffic a rebuild pulls
+    /// (`k` shards of `sealed_bytes / k` each converge on the dest).
+    pub sealed_bytes: u64,
+}
+
+/// One file with fewer live replicas than its metadata demands, or —
+/// on the coded tier — fragments stranded on confirmed-dead hosts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UnderReplicated {
     /// The user-visible file name.
     pub name: String,
     /// The file's UUID (used by the repair pull RPC).
     pub id: FileId,
-    /// Current size in bytes — the amount a repair must copy.
+    /// Current size in bytes — the amount a replica repair must copy
+    /// (a coded file's replica repair copies only the unsealed tail).
     pub size: u64,
     /// The full replica set from the nameserver, dead hosts included.
     pub replicas: Vec<HostId>,
@@ -32,6 +52,9 @@ pub struct UnderReplicated {
     pub live: Vec<HostId>,
     /// The replication target (the metadata replica count).
     pub target: usize,
+    /// Fragment losses, for coded files with sealed chunks; `None`
+    /// when the fragment map is intact (or the file is replicated).
+    pub coded: Option<CodedLoss>,
 }
 
 impl UnderReplicated {
@@ -63,8 +86,10 @@ impl ReplicationTracker {
     }
 
     /// Computes the under-replicated set: every file whose live
-    /// replica count (per `detector`) is below its metadata target,
-    /// ordered by `(live count, name)` — most urgent first.
+    /// replica count (per `detector`) is below its metadata target or
+    /// whose sealed fragments sit on confirmed-dead hosts, ordered by
+    /// `(live replica count, name)` — files losing tail durability
+    /// sort ahead of coded files that merely lost parity margin.
     pub fn scan(
         &self,
         nameserver: &Nameserver,
@@ -80,7 +105,30 @@ impl ReplicationTracker {
                     .copied()
                     .filter(|h| detector.is_live(*h))
                     .collect();
-                if live.len() >= meta.replicas.len() {
+                // Fragments only exist below the seal watermark, so an
+                // unsealed coded file has nothing to rebuild yet.
+                let coded = meta.redundancy.coded_params().and_then(|(k, _)| {
+                    if meta.sealed_chunks == 0 {
+                        return None;
+                    }
+                    let lost: Vec<usize> = meta
+                        .fragments
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, h)| !detector.is_live(**h))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if lost.is_empty() {
+                        return None;
+                    }
+                    Some(CodedLoss {
+                        fragments: meta.fragments.clone(),
+                        lost,
+                        k,
+                        sealed_bytes: meta.sealed_bytes().min(meta.size),
+                    })
+                });
+                if live.len() >= meta.replicas.len() && coded.is_none() {
                     return None;
                 }
                 Some(UnderReplicated {
@@ -90,6 +138,7 @@ impl ReplicationTracker {
                     target: meta.replicas.len(),
                     live,
                     replicas: meta.replicas,
+                    coded,
                 })
             })
             .collect();
@@ -182,6 +231,55 @@ mod tests {
             crate::detector::HealthState::Suspect
         );
         assert!(ReplicationTracker::new().scan(&ns, &det).is_empty());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn coded_files_surface_lost_fragments() {
+        let dir = temp_dir("coded");
+        let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+        let ns = Nameserver::open(Arc::clone(&topo), &dir, Default::default()).unwrap();
+        let meta = ns
+            .create_with("files/c", mayflower_fs::Redundancy::Coded { k: 4, m: 2 })
+            .unwrap();
+        ns.record_size("files/c", 4096).unwrap();
+
+        let victim = meta
+            .fragments
+            .iter()
+            .copied()
+            .find(|h| !meta.replicas.contains(h))
+            .unwrap();
+        let silence = |det: &mut FailureDetector| {
+            let now = SimTime::from_secs(10.0);
+            for h in topo.hosts() {
+                if h != victim {
+                    det.heartbeat(h, now);
+                }
+            }
+            det.tick(now);
+        };
+        let tracker = ReplicationTracker::new();
+
+        // Unsealed: the dead fragment host strands nothing yet.
+        let mut det = FailureDetector::new(topo.hosts(), DetectorConfig::default());
+        silence(&mut det);
+        assert!(tracker.scan(&ns, &det).is_empty());
+
+        // Sealed: the loss surfaces with the rebuild parameters.
+        ns.record_seal("files/c", 2).unwrap();
+        let under = tracker.scan(&ns, &det);
+        assert_eq!(under.len(), 1);
+        let u = &under[0];
+        assert_eq!(u.missing(), 0, "tail replicas are all live");
+        let loss = u.coded.as_ref().unwrap();
+        let idx = meta.fragments.iter().position(|h| *h == victim).unwrap();
+        assert_eq!(loss.lost, vec![idx]);
+        assert_eq!(loss.k, 4);
+        assert_eq!(loss.fragments, meta.fragments);
+        let chunk = ns.config().chunk_size;
+        assert_eq!(loss.sealed_bytes, (2 * chunk).min(4096));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -32,6 +32,7 @@
 pub mod ablation;
 pub mod consistency;
 pub mod engine;
+pub mod erasure;
 pub mod experiment;
 pub mod faults;
 pub mod figures;
@@ -48,6 +49,9 @@ pub mod writes;
 
 pub use engine::{
     replay, replay_with_faults, replay_with_telemetry, replay_with_usage, JobRecord, ReplayOptions,
+};
+pub use erasure::{
+    run_erasure, ErasureExperimentConfig, ErasureRunResult, RepairSample, StorageFootprint,
 };
 pub use experiment::{ExperimentConfig, RunResult};
 pub use faults::{FaultAction, FaultEvent, FaultReport, FaultSchedule, FaultScheduleParams};
