@@ -24,7 +24,7 @@ cargo test --release -q -p mayflower-mcheck --test mutants
 # that many random-walk schedules of every scenario on top of the gate.
 if [[ -n "${MCHECK_BUDGET:-}" ]]; then
   echo "==> mcheck long fuzz (budget ${MCHECK_BUDGET}, seed ${MCHECK_SEED:-1})"
-  for sc in ns data data-strong data-repair freeze; do
+  for sc in ns data data-strong data-repair freeze shard; do
     cargo run --release -q -p mayflower-mcheck --bin mcheck -- \
       --scenario "$sc" --strategy random-walk \
       --seed "${MCHECK_SEED:-1}" --budget "${MCHECK_BUDGET}"
@@ -38,6 +38,10 @@ echo "==> erasure-coding tier: codec proptests + replication-vs-EC experiment (r
 cargo test --release -q -p mayflower-ec
 cargo test --release -q -p mayflower-sim --test erasure_tier
 
+echo "==> sharded metadata plane: ring proptests + scaling experiment (release)"
+cargo test --release -q -p mayflower-shard
+cargo test --release -q -p mayflower-sim --test metadata_scaling
+
 echo "==> cargo bench --no-run --workspace (benches must compile)"
 cargo bench --no-run --workspace
 
@@ -46,6 +50,9 @@ cargo run --release -q -p mayflower-bench --bin selection_smoke
 
 echo "==> erasure codec perf smoke (writes BENCH_ec.json)"
 cargo run --release -q -p mayflower-ec --bin ec_smoke
+
+echo "==> metadata plane perf smoke (writes BENCH_meta.json)"
+cargo run --release -q -p mayflower-bench --bin meta_smoke
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,144 @@
+//! Release-mode metadata-plane perf smoke: measures the sharded
+//! plane's hot paths — ring routing, lease-cached router lookups,
+//! fenced shard lookups — and one live 4→5-shard migration, then
+//! writes `BENCH_meta.json` to the repo root.
+//!
+//! This is the CI perf gate companion to the shard crate's tests:
+//! correctness lives there, this binary hand-rolls `std::time::
+//! Instant` timings and emits a small JSON baseline the driver can
+//! diff across PRs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mayflower_fs::{MetadataService, Redundancy};
+use mayflower_net::{Topology, TreeParams};
+use mayflower_shard::{migrate, ShardMap, ShardPlaneConfig, ShardRouter, ShardedNameserver};
+use mayflower_telemetry::Registry;
+
+const FILES: usize = 256;
+const VNODES: u32 = 128;
+const SHARDS: u32 = 4;
+
+fn name(i: usize) -> String {
+    format!("bench/meta-f{i:04}")
+}
+
+/// Median of `iters` timed runs of `f`, in nanoseconds per call.
+fn median_ns<F: FnMut() -> u64>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    let mut sink = 0u64;
+    for _ in 0..iters {
+        let start = Instant::now();
+        sink = sink.wrapping_add(f());
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    std::hint::black_box(sink);
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("mayflower-meta-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
+    let registry = Registry::new();
+    let plane = Arc::new(
+        ShardedNameserver::open(
+            &dir,
+            Arc::clone(&topo),
+            ShardPlaneConfig {
+                shards: SHARDS,
+                vnodes: VNODES,
+                ..ShardPlaneConfig::default()
+            },
+            &registry,
+        )
+        .expect("open sharded plane"),
+    );
+    let router = ShardRouter::new(Arc::clone(&plane), &registry.scope("shard_router"));
+    let names: Vec<String> = (0..FILES).map(name).collect();
+    for n in &names {
+        router
+            .create_with(n, Redundancy::default())
+            .expect("create bench file");
+    }
+
+    // Ring routing: the pure owner() arithmetic every request pays.
+    let ring = plane.shard_map().ring();
+    let iters = 400;
+    let ring_ns = median_ns(iters, || {
+        let mut acc = 0u64;
+        for n in &names {
+            acc = acc.wrapping_add(u64::from(ring.owner(n).0));
+        }
+        acc
+    }) / FILES as f64;
+
+    // Routed lookups: ring + epoch fence + real shard read, through
+    // the lease-cached router (no map refresh on the hot path).
+    let lookup_ns = median_ns(iters, || {
+        let mut acc = 0u64;
+        for n in &names {
+            acc = acc.wrapping_add(router.lookup(n).expect("bench lookup").size);
+        }
+        acc
+    }) / FILES as f64;
+
+    // One live migration, timed end to end (bulk copy + flip + gc,
+    // no network scheduling — pure metadata-plane cost).
+    let grown = {
+        let map = plane.shard_map();
+        map.with_shard_added(map.next_shard_id())
+    };
+    let start = Instant::now();
+    let report = migrate(&plane, grown, 32, None).expect("migrate");
+    let secs = start.elapsed().as_secs_f64();
+    let keys_per_sec = report.keys_copied as f64 / secs.max(1e-9);
+
+    // A post-migration sanity read so a silently broken plane cannot
+    // publish a baseline.
+    assert_eq!(plane.file_count(), FILES, "migration must lose nothing");
+    let verify = ShardMap::initial(SHARDS, VNODES);
+    assert_eq!(verify.epoch + 1, plane.epoch(), "flip must bump the epoch");
+
+    println!(
+        "ring_owner={ring_ns:.0} ns  routed_lookup={lookup_ns:.0} ns  \
+         migration={:.0} keys/s ({} keys, {} batches)",
+        keys_per_sec, report.keys_copied, report.batches
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sharded_metadata_plane\",\n",
+            "  \"topology\": \"paper_testbed_64_hosts\",\n",
+            "  \"files\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"vnodes\": {},\n",
+            "  \"iters_per_point\": {},\n",
+            "  \"unit\": \"ns_median\",\n",
+            "  \"ring_owner_ns\": {:.0},\n",
+            "  \"routed_lookup_ns\": {:.0},\n",
+            "  \"migration_keys_copied\": {},\n",
+            "  \"migration_batches\": {},\n",
+            "  \"migration_keys_per_sec\": {:.0}\n",
+            "}}\n"
+        ),
+        FILES,
+        SHARDS,
+        VNODES,
+        iters,
+        ring_ns,
+        lookup_ns,
+        report.keys_copied,
+        report.batches,
+        keys_per_sec
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_meta.json");
+    std::fs::write(out, &json).expect("write BENCH_meta.json");
+    println!("wrote {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -38,6 +38,8 @@ struct FlowserverMetrics {
     frozen_flows: Arc<Gauge>,
     /// Background-priority repair-flow selections served.
     repair_selections: Arc<Counter>,
+    /// Background-priority shard-migration selections served.
+    migration_selections: Arc<Counter>,
     /// Joint k-source selections served for degraded coded reads.
     coded_selections: Arc<Counter>,
     /// Shortest-path cache lookups served from / filled into the memo.
@@ -70,6 +72,7 @@ impl FlowserverMetrics {
             tracked_flows: scope.gauge("tracked_flows"),
             frozen_flows: scope.gauge("frozen_flows"),
             repair_selections: scope.counter("repair_selections_total"),
+            migration_selections: scope.counter("migration_selections_total"),
             coded_selections: scope.counter("coded_selections_total"),
             path_cache_hits: scope.counter("path_cache_hits_total"),
             path_cache_misses: scope.counter("path_cache_misses_total"),
@@ -455,6 +458,43 @@ impl Flowserver {
         assert!(!sources.is_empty(), "need at least one repair source");
         assert!(size_bits > 0.0, "repair size must be positive");
         self.metrics.repair_selections.inc();
+        if sources.contains(&dest) {
+            self.metrics.selections_local.inc();
+            return Selection::Local;
+        }
+        let sel = match self.best_path(dest, sources, size_bits, now, FlowPriority::Background) {
+            Some((source, path, pc)) => {
+                Selection::Single(self.commit(source, path, pc, size_bits, now))
+            }
+            None => Selection::Unavailable,
+        };
+        self.note_selection(&sel);
+        sel
+    }
+
+    /// Joint source + path selection for a **shard-migration flow**:
+    /// the bulk metadata batches the rebalancer streams from an old
+    /// shard owner to a new one (DESIGN.md §15). Identical machinery
+    /// to [`Flowserver::select_repair_flow`] — the transfer rides
+    /// [`FlowPriority::Background`], so Eq. 2 ranks candidates by the
+    /// slowdown inflicted on existing foreground flows first and
+    /// rebalancing never competes with client reads — but accounted
+    /// separately so operators can tell repair traffic from
+    /// rebalancing traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or `size_bits` is not positive.
+    pub fn select_migration_flow(
+        &mut self,
+        dest: HostId,
+        sources: &[HostId],
+        size_bits: f64,
+        now: SimTime,
+    ) -> Selection {
+        assert!(!sources.is_empty(), "need at least one migration source");
+        assert!(size_bits > 0.0, "migration size must be positive");
+        self.metrics.migration_selections.inc();
         if sources.contains(&dest) {
             self.metrics.selections_local.inc();
             return Selection::Local;

@@ -11,8 +11,8 @@ use crate::cluster::AppendCoordinator;
 use crate::coding::{self, EcMetrics};
 use crate::dataserver::Dataserver;
 use crate::error::FsError;
-use crate::nameserver::Nameserver;
 use crate::selector::{ReadAssignment, ReplicaSelector};
+use crate::service::MetadataService;
 use crate::types::{Consistency, FileMeta, Redundancy};
 
 /// Client-side telemetry. Handles come from the cluster registry, so
@@ -27,6 +27,7 @@ pub(crate) struct ClientMetrics {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
+    cache_stale_invalidations: Arc<Counter>,
 }
 
 impl ClientMetrics {
@@ -40,6 +41,7 @@ impl ClientMetrics {
             cache_hits: scope.counter("cache_hits_total"),
             cache_misses: scope.counter("cache_misses_total"),
             cache_evictions: scope.counter("cache_evictions_total"),
+            cache_stale_invalidations: scope.counter("cache_stale_invalidations_total"),
         }
     }
 }
@@ -53,7 +55,7 @@ impl ClientMetrics {
 /// which the client uses to discover appended data.
 pub struct Client {
     host: HostId,
-    nameserver: Arc<Nameserver>,
+    nameserver: Arc<dyn MetadataService>,
     dataservers: BTreeMap<HostId, Arc<Dataserver>>,
     coordinator: Arc<AppendCoordinator>,
     consistency: Consistency,
@@ -95,7 +97,7 @@ impl Client {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         host: HostId,
-        nameserver: Arc<Nameserver>,
+        nameserver: Arc<dyn MetadataService>,
         dataservers: BTreeMap<HostId, Arc<Dataserver>>,
         coordinator: Arc<AppendCoordinator>,
         consistency: Consistency,
@@ -216,7 +218,18 @@ impl Client {
     /// Returns [`FsError::AlreadyExists`] for duplicate names and
     /// [`FsError::InvalidArgument`] for an unsatisfiable policy.
     pub fn create_with(&mut self, name: &str, redundancy: Redundancy) -> Result<FileMeta, FsError> {
-        let meta = self.nameserver.create_with(name, redundancy)?;
+        let meta = match self.nameserver.create_with(name, redundancy) {
+            Ok(meta) => meta,
+            Err(e @ FsError::AlreadyExists(_)) => {
+                // A create conflict proves someone else owns this name
+                // now; any cached entry (say, from a copy we created
+                // that another client has since deleted and re-created)
+                // is stale and must not serve future reads.
+                self.invalidate_stale(name);
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
         for r in &meta.replicas {
             self.dataserver(*r)?.create_file(&meta)?;
         }
@@ -232,6 +245,18 @@ impl Client {
     ///
     /// Returns [`FsError::NotFound`] for unknown files.
     pub fn append(&mut self, name: &str, data: &[u8]) -> Result<u64, FsError> {
+        match self.append_attempt(name, data) {
+            // Replica-side NotFound under a cached entry means the file
+            // was deleted (and possibly re-created under a new id)
+            // behind our cache: drop the entry and retry fresh once.
+            Err(FsError::NotFound(_)) if self.invalidate_stale(name) => {
+                self.append_attempt(name, data)
+            }
+            other => other,
+        }
+    }
+
+    fn append_attempt(&mut self, name: &str, data: &[u8]) -> Result<u64, FsError> {
         let _span = Span::start(self.metrics.append_latency_us.clone());
         self.metrics.append_bytes.add(data.len() as u64);
         let meta = self.meta(name)?;
@@ -255,7 +280,7 @@ impl Client {
             // host defers the seal to the next append (the chunk stays
             // replicated meanwhile, so durability never regresses).
             let _ = coding::seal_complete_chunks(
-                &self.nameserver,
+                self.nameserver.as_ref(),
                 &self.dataservers,
                 name,
                 Some(&self.ec),
@@ -273,6 +298,18 @@ impl Client {
     ///
     /// Returns [`FsError::NotFound`] for unknown files.
     pub fn read(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
+        match self.read_attempt(name) {
+            // Every replica denying knowledge of a cached file id means
+            // the cache is stale (deleted, or deleted-and-recreated
+            // under a new id): invalidate and retry once against fresh
+            // metadata. A genuinely deleted file still reports
+            // NotFound — from the nameserver this time.
+            Err(FsError::NotFound(_)) if self.invalidate_stale(name) => self.read_attempt(name),
+            other => other,
+        }
+    }
+
+    fn read_attempt(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
         let _span = Span::start(self.metrics.read_latency_us.clone());
         let meta = self.meta(name)?;
         // Size discovery: a zero-length read returns the current size
@@ -568,6 +605,18 @@ impl Client {
         self.cache.clear();
     }
 
+    /// Drops one cached entry that turned out to be stale. Returns
+    /// whether an entry was actually present (callers use this to
+    /// decide whether a retry against fresh metadata can help).
+    fn invalidate_stale(&mut self, name: &str) -> bool {
+        if self.cache.remove(name).is_some() {
+            self.metrics.cache_stale_invalidations.inc();
+            true
+        } else {
+            false
+        }
+    }
+
     /// Number of cached metadata entries.
     #[must_use]
     pub fn cached_entries(&self) -> usize {
@@ -835,6 +884,59 @@ mod tests {
         // still answers (the stale-read window the TTL bounds).
         c.nameserver().delete("steady").unwrap();
         assert_eq!(client.meta("steady").unwrap().id, meta.id);
+    }
+
+    #[test]
+    fn stale_cache_invalidated_when_file_deleted_and_recreated_elsewhere() {
+        // Regression: A caches metadata for a file; B deletes the file
+        // and re-creates it under the same name (new id, possibly new
+        // replicas). A's cached entry names a dead file id — reads
+        // through it must not fail or serve stale data forever.
+        let dir = TempDir::new("stalecache");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut a = c.client(HostId(0));
+        let mut b = c.client(HostId(5));
+        a.set_cache_ttl(std::time::Duration::from_secs(3600));
+        a.create("volatile").unwrap();
+        a.append("volatile", b"first incarnation").unwrap();
+        assert_eq!(a.read("volatile").unwrap(), b"first incarnation");
+
+        b.delete("volatile").unwrap();
+        b.create("volatile").unwrap();
+        b.append("volatile", b"second").unwrap();
+
+        // The stale entry is detected, invalidated, and the retry
+        // returns the new incarnation's content.
+        assert_eq!(a.read("volatile").unwrap(), b"second");
+        let snap = c.registry().snapshot();
+        assert!(
+            snap.counter("fs_client_cache_stale_invalidations_total")
+                .unwrap()
+                >= 1
+        );
+
+        // Appends through a stale entry recover the same way.
+        b.delete("volatile").unwrap();
+        b.create("volatile").unwrap();
+        a.append("volatile", b"!").unwrap();
+        assert_eq!(b.read("volatile").unwrap(), b"!");
+
+        // A create conflict also proves the cached entry stale.
+        a.read("volatile").unwrap(); // repopulate A's cache
+        b.delete("volatile").unwrap();
+        b.create("volatile").unwrap();
+        assert!(matches!(
+            a.create("volatile"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        // The conflict dropped A's entry: the next meta() is a fresh
+        // lookup that sees B's incarnation.
+        let fresh = a.meta("volatile").unwrap();
+        assert_eq!(fresh.id, c.nameserver().lookup("volatile").unwrap().id);
+
+        // A genuinely deleted file still reports NotFound.
+        b.delete("volatile").unwrap();
+        assert!(matches!(a.read("volatile"), Err(FsError::NotFound(_))));
     }
 
     #[test]

@@ -141,9 +141,33 @@ impl Cluster {
     /// by the Flowserver).
     #[must_use]
     pub fn client_with_selector(&self, host: HostId, selector: Box<dyn ReplicaSelector>) -> Client {
+        self.client_with_meta_and_selector(host, self.nameserver.clone(), selector)
+    }
+
+    /// A client on `host` whose metadata operations go through `meta`
+    /// instead of the cluster's own nameserver — the hook the sharded
+    /// metadata plane uses to hand every client a shard router while
+    /// data-path I/O keeps flowing to this cluster's dataservers.
+    #[must_use]
+    pub fn client_with_meta(&self, host: HostId, meta: Arc<dyn crate::MetadataService>) -> Client {
+        self.client_with_meta_and_selector(
+            host,
+            meta,
+            Box::new(NearestSelector::new(self.topo.clone())),
+        )
+    }
+
+    /// [`Cluster::client_with_meta`] with a custom read selector.
+    #[must_use]
+    pub fn client_with_meta_and_selector(
+        &self,
+        host: HostId,
+        meta: Arc<dyn crate::MetadataService>,
+        selector: Box<dyn ReplicaSelector>,
+    ) -> Client {
         Client::new(
             host,
-            self.nameserver.clone(),
+            meta,
             self.dataservers.clone(),
             self.coordinator.clone(),
             self.consistency,
@@ -365,7 +389,7 @@ impl Cluster {
             // Best-effort seal of newly complete chunks, still under
             // the file lock (same policy as the client append path).
             let _ = coding::seal_complete_chunks(
-                &self.nameserver,
+                self.nameserver.as_ref(),
                 &self.dataservers,
                 &meta.name,
                 Some(&self.ec),
@@ -392,7 +416,12 @@ impl Cluster {
         let meta = self.nameserver.lookup(name)?;
         let lock = self.coordinator.file_lock(meta.id);
         let _guard = lock.lock();
-        coding::seal_complete_chunks(&self.nameserver, &self.dataservers, name, Some(&self.ec))
+        coding::seal_complete_chunks(
+            self.nameserver.as_ref(),
+            &self.dataservers,
+            name,
+            Some(&self.ec),
+        )
     }
 
     /// One targeted **coded repair** step, the erasure-tier counterpart

@@ -20,7 +20,6 @@ use mayflower_telemetry::{Counter, Scope};
 
 use crate::dataserver::Dataserver;
 use crate::error::FsError;
-use crate::nameserver::Nameserver;
 use crate::types::FileMeta;
 
 /// Telemetry for the coded tier, registered under the cluster's `ec`
@@ -101,7 +100,7 @@ fn read_chunk_from_replicas(
 /// Propagates nameserver metadata failures; storage-side unavailability
 /// merely stops early.
 pub(crate) fn seal_complete_chunks(
-    nameserver: &Nameserver,
+    nameserver: &dyn crate::service::MetadataService,
     dataservers: &BTreeMap<HostId, Arc<Dataserver>>,
     name: &str,
     metrics: Option<&EcMetrics>,

@@ -63,6 +63,7 @@ pub mod nameserver;
 pub mod remote;
 pub mod replicated;
 pub mod selector;
+pub mod service;
 pub mod types;
 
 pub use client::Client;
@@ -73,4 +74,5 @@ pub use nameserver::{Nameserver, NameserverConfig};
 pub use selector::{
     FallbackSelector, NearestSelector, PrimarySelector, ReadAssignment, ReplicaSelector,
 };
+pub use service::MetadataService;
 pub use types::{Consistency, FileId, FileMeta, Redundancy};

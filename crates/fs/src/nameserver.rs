@@ -70,7 +70,19 @@ impl Nameserver {
         config: NameserverConfig,
     ) -> Result<Nameserver, FsError> {
         let db = KvStore::open(db_dir, KvOptions::default())?;
-        let rng = SimRng::seed_from(config.seed);
+        // Re-opening a populated database must not replay the id/
+        // placement stream from the top: a second process would mint
+        // the same FileId the first one did and collide on the shared
+        // dataservers. Perturb the seed by durable state; a fresh
+        // database keeps the exact configured stream so deterministic
+        // experiments are unchanged.
+        let existing = db.scan_prefix(NAME_PREFIX).len() as u64;
+        let seed = if existing == 0 {
+            config.seed
+        } else {
+            config.seed ^ existing.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        };
+        let rng = SimRng::seed_from(seed);
         Ok(Nameserver {
             topo,
             db: Mutex::new(db),

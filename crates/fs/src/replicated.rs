@@ -38,6 +38,32 @@ pub enum NsOp {
         /// New size in bytes.
         size: u64,
     },
+    /// Move a file to a new name, optionally displacing an existing
+    /// file at the destination.
+    Rename {
+        /// Current name.
+        from: String,
+        /// New name.
+        to: String,
+        /// Whether an existing destination is displaced.
+        overwrite: bool,
+    },
+    /// Advance a coded file's seal watermark.
+    RecordSeal {
+        /// File name.
+        name: String,
+        /// New watermark, in chunks.
+        sealed_chunks: u64,
+    },
+    /// Re-point one fragment slot at a new host after coded repair.
+    SetFragment {
+        /// File name.
+        name: String,
+        /// Fragment index.
+        index: usize,
+        /// The fragment's new home.
+        host: mayflower_net::HostId,
+    },
 }
 
 /// A nameserver replicated across `n` nodes via Paxos.
@@ -157,6 +183,29 @@ impl ReplicatedNameserver {
                 Ok(()) | Err(FsError::NotFound(_)) => Ok(()),
                 Err(e) => Err(e),
             },
+            NsOp::Rename {
+                from,
+                to,
+                overwrite,
+            } => match ns.rename(from, to, *overwrite) {
+                // NotFound tolerated: a replayed rename already moved
+                // the entry.
+                Ok(_) | Err(FsError::NotFound(_)) => Ok(()),
+                Err(e) => Err(e),
+            },
+            NsOp::RecordSeal {
+                name,
+                sealed_chunks,
+            } => match ns.record_seal(name, *sealed_chunks) {
+                // InvalidArgument tolerated: a replay of an
+                // already-applied watermark looks like a regression.
+                Ok(()) | Err(FsError::NotFound(_) | FsError::InvalidArgument(_)) => Ok(()),
+                Err(e) => Err(e),
+            },
+            NsOp::SetFragment { name, index, host } => match ns.set_fragment(name, *index, *host) {
+                Ok(()) | Err(FsError::NotFound(_)) => Ok(()),
+                Err(e) => Err(e),
+            },
         }
     }
 
@@ -193,6 +242,161 @@ impl ReplicatedNameserver {
         };
         self.replicate(node, NsOp::Create(meta.clone()))?;
         Ok(meta)
+    }
+
+    /// Creates a file under an explicit redundancy policy, the
+    /// replicated analogue of [`Nameserver::create_with`]. Coded
+    /// policies are rejected: seal-and-encode is driven by cluster
+    /// machinery that is not yet replicated-nameserver-aware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`], [`FsError::InvalidArgument`]
+    /// for coded policies, or [`FsError::Consistency`].
+    pub fn create_with(
+        &mut self,
+        node: u32,
+        name: &str,
+        redundancy: Redundancy,
+    ) -> Result<FileMeta, FsError> {
+        let Redundancy::Replicated { n } = redundancy else {
+            return Err(FsError::InvalidArgument(
+                "coded files are not supported on a replicated nameserver".into(),
+            ));
+        };
+        if name.is_empty() {
+            return Err(FsError::InvalidArgument("file name is empty".into()));
+        }
+        if self.lookup_at(node, name).is_ok() {
+            return Err(FsError::AlreadyExists(name.to_string()));
+        }
+        let topo = self.nameservers[node as usize].topology().clone();
+        let id = FileId((u128::from(self.rng.next_u64()) << 64) | u128::from(self.rng.next_u64()));
+        let replicas = self.config.placement.place(&topo, n, &mut self.rng);
+        let meta = FileMeta {
+            id,
+            name: name.to_string(),
+            chunk_size: self.config.chunk_size,
+            size: 0,
+            replicas,
+            redundancy,
+            fragments: Vec::new(),
+            sealed_chunks: 0,
+        };
+        self.replicate(node, NsOp::Create(meta.clone()))?;
+        Ok(meta)
+    }
+
+    /// Replicates **pre-decided** metadata verbatim — the hook shard
+    /// migration uses to move an existing file's mapping onto a
+    /// replicated shard without re-placing its replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::AlreadyExists`] or [`FsError::Consistency`].
+    pub fn create_exact(&mut self, node: u32, meta: &FileMeta) -> Result<(), FsError> {
+        if self.lookup_at(node, &meta.name).is_ok() {
+            return Err(FsError::AlreadyExists(meta.name.clone()));
+        }
+        self.replicate(node, NsOp::Create(meta.clone()))
+    }
+
+    /// Renames `old` to `new` through `node`, returning any displaced
+    /// metadata when `overwrite` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`], [`FsError::AlreadyExists`]
+    /// without `overwrite`, or [`FsError::Consistency`].
+    pub fn rename(
+        &mut self,
+        node: u32,
+        old: &str,
+        new: &str,
+        overwrite: bool,
+    ) -> Result<Option<FileMeta>, FsError> {
+        self.lookup_at(node, old)?;
+        let displaced = match self.lookup_at(node, new) {
+            Ok(meta) => {
+                if !overwrite {
+                    return Err(FsError::AlreadyExists(new.to_string()));
+                }
+                Some(meta)
+            }
+            Err(_) => None,
+        };
+        self.replicate(
+            node,
+            NsOp::Rename {
+                from: old.to_string(),
+                to: new.to_string(),
+                overwrite,
+            },
+        )?;
+        Ok(displaced)
+    }
+
+    /// Advances a coded file's seal watermark through `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`], [`FsError::InvalidArgument`] for
+    /// non-coded files or a regressing watermark, or
+    /// [`FsError::Consistency`].
+    pub fn record_seal(
+        &mut self,
+        node: u32,
+        name: &str,
+        sealed_chunks: u64,
+    ) -> Result<(), FsError> {
+        let meta = self.lookup_at(node, name)?;
+        if !meta.is_coded() {
+            return Err(FsError::InvalidArgument(format!(
+                "{name} is not a coded file"
+            )));
+        }
+        if sealed_chunks < meta.sealed_chunks {
+            return Err(FsError::InvalidArgument(format!(
+                "seal watermark cannot regress ({} -> {sealed_chunks})",
+                meta.sealed_chunks
+            )));
+        }
+        self.replicate(
+            node,
+            NsOp::RecordSeal {
+                name: name.to_string(),
+                sealed_chunks,
+            },
+        )
+    }
+
+    /// Re-homes one fragment slot through `node` after a coded repair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`], [`FsError::InvalidArgument`] for
+    /// an out-of-range index, or [`FsError::Consistency`].
+    pub fn set_fragment(
+        &mut self,
+        node: u32,
+        name: &str,
+        index: usize,
+        host: mayflower_net::HostId,
+    ) -> Result<(), FsError> {
+        let meta = self.lookup_at(node, name)?;
+        if index >= meta.fragments.len() {
+            return Err(FsError::InvalidArgument(format!(
+                "fragment index {index} out of range for {name}"
+            )));
+        }
+        self.replicate(
+            node,
+            NsOp::SetFragment {
+                name: name.to_string(),
+                index,
+                host,
+            },
+        )
     }
 
     /// Deletes a file through `node`, returning the deleted metadata —
@@ -238,6 +442,13 @@ impl ReplicatedNameserver {
     #[must_use]
     pub fn file_count_at(&self, node: u32) -> usize {
         self.nameservers[node as usize].file_count()
+    }
+
+    /// Every file in a node's applied state, in name order — the scan
+    /// shard migration uses to find the keys a ring change moves.
+    #[must_use]
+    pub fn list_at(&self, node: u32) -> Vec<FileMeta> {
+        self.nameservers[node as usize].list()
     }
 }
 

@@ -12,7 +12,8 @@
 //! crate's `mutants` integration test.
 
 use mayflower_mcheck::{
-    Budget, DataScenario, Explorer, FreezeScenario, Mutant, NsMetaScenario, Scenario, StrategyKind,
+    Budget, DataScenario, Explorer, FreezeScenario, Mutant, NsMetaScenario, Scenario,
+    ShardHandoffScenario, StrategyKind,
 };
 
 struct Args {
@@ -23,8 +24,8 @@ struct Args {
     budget: usize,
 }
 
-const USAGE: &str = "usage: mcheck [--scenario ns|data|data-strong|data-repair|freeze] \
-    [--mutant none|wal-torn-tail|stale-last-chunk-read|unlocked-append|freeze-expiry-before-poll] \
+const USAGE: &str = "usage: mcheck [--scenario ns|data|data-strong|data-repair|freeze|shard] \
+    [--mutant none|wal-torn-tail|stale-last-chunk-read|unlocked-append|freeze-expiry-before-poll|serve-stale-after-handoff] \
     [--strategy fifo|random-walk|round-robin|exhaustive] [--seed N] [--budget N]";
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
                     "stale-last-chunk-read" => Mutant::StaleLastChunkRead,
                     "unlocked-append" => Mutant::UnlockedAppend,
                     "freeze-expiry-before-poll" => Mutant::FreezeExpiryBeforePoll,
+                    "serve-stale-after-handoff" => Mutant::ServeStaleAfterHandoff,
                     other => return Err(format!("unknown mutant {other:?}")),
                 }
             }
@@ -90,6 +92,7 @@ fn build_scenario(args: &Args) -> Result<Box<dyn Scenario>, String> {
                 .with_repair_race(),
         ),
         "freeze" => Box::new(FreezeScenario::new().with_mutant(args.mutant)),
+        "shard" => Box::new(ShardHandoffScenario::new().with_mutant(args.mutant)),
         other => return Err(format!("unknown scenario {other:?}")),
     })
 }

@@ -50,5 +50,6 @@ pub use explore::{Budget, CheckReport, Counterexample, Explorer, StrategyKind};
 pub use history::{CallId, History};
 pub use scenario::{
     DataScenario, FreezeScenario, Mutant, NsMetaScenario, Scenario, ScheduleOutcome,
+    ShardHandoffScenario,
 };
 pub use strategy::{Chooser, Decision, DecisionList};

@@ -22,10 +22,12 @@
 mod data;
 mod freeze;
 mod ns;
+mod shard;
 
 pub use data::DataScenario;
 pub use freeze::FreezeScenario;
 pub use ns::NsMetaScenario;
+pub use shard::ShardHandoffScenario;
 
 use crate::strategy::Chooser;
 
@@ -51,6 +53,11 @@ pub enum Mutant {
     /// landing exactly on the boundary can clobber a frozen estimate
     /// (Pseudocode 2).
     FreezeExpiryBeforePoll,
+    /// The sharded metadata plane skips its epoch and ownership fences
+    /// after a shard handoff, so an old owner keeps answering for a
+    /// moved key — once GC reclaims the source copies, a stale router
+    /// observes a spurious not-found for a file that exists.
+    ServeStaleAfterHandoff,
 }
 
 impl Mutant {
@@ -63,6 +70,7 @@ impl Mutant {
             Mutant::StaleLastChunkRead => "stale-last-chunk-read",
             Mutant::UnlockedAppend => "unlocked-append",
             Mutant::FreezeExpiryBeforePoll => "freeze-expiry-before-poll",
+            Mutant::ServeStaleAfterHandoff => "serve-stale-after-handoff",
         }
     }
 }

@@ -5,7 +5,8 @@
 //! replayed. This is the suite `ci.sh` runs as the mcheck smoke gate.
 
 use mayflower_mcheck::{
-    Budget, DataScenario, Explorer, FreezeScenario, Mutant, NsMetaScenario, Scenario, StrategyKind,
+    Budget, DataScenario, Explorer, FreezeScenario, Mutant, NsMetaScenario, Scenario,
+    ShardHandoffScenario, StrategyKind,
 };
 
 /// One smoke-gate case: a scenario family, the budget the mutant must
@@ -47,6 +48,15 @@ fn cases() -> Vec<Case> {
             kind: StrategyKind::Exhaustive,
             seed: 0,
             budget: Budget::schedules(64),
+        },
+        Case {
+            real: Box::new(ShardHandoffScenario::new()),
+            mutated: Box::new(
+                ShardHandoffScenario::new().with_mutant(Mutant::ServeStaleAfterHandoff),
+            ),
+            kind: StrategyKind::RandomWalk,
+            seed: 1,
+            budget: Budget::schedules(80),
         },
     ]
 }

@@ -1,0 +1,104 @@
+//! The versioned **ShardMap**: the single piece of routing state the
+//! whole metadata plane agrees on.
+//!
+//! A map is `(epoch, vnodes, member shards)`. Routers cache a map (plus
+//! its materialized [`HashRing`]) under a lease and stamp every request
+//! with the cached epoch; the plane rejects requests carrying a stale
+//! epoch, which forces the router to refresh and retry. That handshake
+//! is what keeps lookups correct across rebalancing without putting a
+//! coordinator on the hot path: the *data* (which shard owns which
+//! range) travels lazily, and the *fencing* (you may not act on an old
+//! map) is enforced where the authoritative state lives.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ring::{HashRing, ShardId};
+
+/// A versioned description of the shard ring. Serializable so `mayfs
+/// shards` can persist and render it; cheap to clone and compare.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    /// Monotonic version. Bumped by exactly one on every installed ring
+    /// change; a response carrying a different epoch than the caller
+    /// sent proves the caller's cached routing state is stale.
+    pub epoch: u64,
+    /// Virtual nodes per shard.
+    pub vnodes: u32,
+    /// Member shards in id order.
+    pub shards: Vec<ShardId>,
+}
+
+impl ShardMap {
+    /// The initial map: shards `0..count` at epoch 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` or `vnodes` is zero.
+    #[must_use]
+    pub fn initial(count: u32, vnodes: u32) -> ShardMap {
+        assert!(count > 0, "a plane needs at least one shard");
+        assert!(vnodes > 0, "a shard needs at least one virtual node");
+        ShardMap {
+            epoch: 1,
+            vnodes,
+            shards: (0..count).map(ShardId).collect(),
+        }
+    }
+
+    /// Materializes the consistent-hash ring this map describes.
+    #[must_use]
+    pub fn ring(&self) -> HashRing {
+        HashRing::new(&self.shards, self.vnodes)
+    }
+
+    /// The next unused shard id (ids are never reused).
+    #[must_use]
+    pub fn next_shard_id(&self) -> ShardId {
+        ShardId(self.shards.iter().map(|s| s.0 + 1).max().unwrap_or(0))
+    }
+
+    /// The successor map with one more shard and a bumped epoch — the
+    /// rebalancer's minimal-disruption ring change.
+    #[must_use]
+    pub fn with_shard_added(&self, id: ShardId) -> ShardMap {
+        debug_assert!(!self.shards.contains(&id), "shard ids are never reused");
+        let mut shards = self.shards.clone();
+        shards.push(id);
+        shards.sort_unstable();
+        ShardMap {
+            epoch: self.epoch + 1,
+            vnodes: self.vnodes,
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_map_numbers_shards_densely() {
+        let map = ShardMap::initial(4, 64);
+        assert_eq!(map.epoch, 1);
+        assert_eq!(map.shards, (0..4).map(ShardId).collect::<Vec<_>>());
+        assert_eq!(map.next_shard_id(), ShardId(4));
+    }
+
+    #[test]
+    fn adding_a_shard_bumps_the_epoch() {
+        let map = ShardMap::initial(2, 16);
+        let grown = map.with_shard_added(map.next_shard_id());
+        assert_eq!(grown.epoch, 2);
+        assert_eq!(grown.shards.len(), 3);
+        assert_eq!(grown.ring().shards().len(), 3);
+    }
+
+    #[test]
+    fn map_serializes_round_trip() {
+        let map = ShardMap::initial(3, 32);
+        let json = serde_json::to_string(&map).unwrap();
+        let back: ShardMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+}

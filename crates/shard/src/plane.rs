@@ -1,0 +1,620 @@
+//! The sharded metadata plane: many independent nameservers, one
+//! epoch-fenced routing contract.
+//!
+//! [`ShardedNameserver`] owns a set of shards (each a plain
+//! [`Nameserver`] or a Paxos-backed [`ReplicatedNameserver`]), the
+//! authoritative [`ShardMap`], and its materialized ring. Every
+//! client-path operation arrives stamped with the shard the caller
+//! believes owns the key **and** the map epoch that belief came from;
+//! the plane rejects the call with [`ShardError::StaleMap`] or
+//! [`ShardError::NotOwner`] when either is out of date. Routers treat
+//! both rejections identically — refresh the map, retry — which is the
+//! whole correctness story for lookups racing a shard handoff: an old
+//! owner can never serve a moved key, because ownership is re-checked
+//! under the same lock that migration's atomic flip takes to install
+//! the new ring.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mayflower_fs::nameserver::NameserverConfig;
+use mayflower_fs::replicated::ReplicatedNameserver;
+use mayflower_fs::{FileMeta, FsError, Nameserver, Redundancy};
+use mayflower_net::{HostId, Topology};
+use mayflower_telemetry::{Counter, Scope};
+use parking_lot::Mutex;
+use std::sync::RwLock;
+
+use crate::map::ShardMap;
+use crate::ring::{HashRing, ShardId};
+
+/// Configuration for a sharded metadata plane.
+#[derive(Debug, Clone)]
+pub struct ShardPlaneConfig {
+    /// Initial shard count.
+    pub shards: u32,
+    /// Virtual nodes per shard (64+ for the balance bound the ring
+    /// proptests pin).
+    pub vnodes: u32,
+    /// Per-shard nameserver settings (replication, chunk size,
+    /// placement) — every shard places replicas over the same topology.
+    pub nameserver: NameserverConfig,
+    /// `Some(n)` backs every shard with an `n`-way Paxos-replicated
+    /// nameserver; `None` uses a plain single-node nameserver per
+    /// shard.
+    pub paxos_replicas: Option<usize>,
+    /// Seed for per-shard placement randomness (and Paxos schedules).
+    pub seed: u64,
+}
+
+impl Default for ShardPlaneConfig {
+    fn default() -> ShardPlaneConfig {
+        ShardPlaneConfig {
+            shards: 4,
+            vnodes: 64,
+            nameserver: NameserverConfig::default(),
+            paxos_replicas: None,
+            seed: 1,
+        }
+    }
+}
+
+/// Why the plane refused (or failed) an operation.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The caller's shard-map epoch is stale; refresh and retry.
+    StaleMap {
+        /// The epoch the plane is currently at.
+        current_epoch: u64,
+    },
+    /// The addressed shard no longer owns the key under the current
+    /// ring (a handoff moved it); refresh and retry.
+    NotOwner {
+        /// The shard that owns the key now.
+        owner: ShardId,
+    },
+    /// The owning shard executed the operation and it failed.
+    Fs(FsError),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::StaleMap { current_epoch } => {
+                write!(f, "stale shard map (plane is at epoch {current_epoch})")
+            }
+            ShardError::NotOwner { owner } => write!(f, "key now owned by {owner}"),
+            ShardError::Fs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One shard's storage: a plain nameserver or a Paxos group.
+enum ShardBackend {
+    Plain(Arc<Nameserver>),
+    /// Proposals always go through node 0 here; the group still
+    /// tolerates minority crashes of its *other* members, and the
+    /// replicated-nameserver tests cover failover separately.
+    Replicated(Box<Mutex<ReplicatedNameserver>>),
+}
+
+/// A shard: its backend, the host it is modeled to run on (the
+/// endpoint migration flows are scheduled against), and its op
+/// counter (the rebalancer's heat signal).
+pub(crate) struct Shard {
+    backend: ShardBackend,
+    host: HostId,
+    ops: Arc<Counter>,
+}
+
+impl Shard {
+    pub(crate) fn create_with(&self, name: &str, r: Redundancy) -> Result<FileMeta, FsError> {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.create_with(name, r),
+            ShardBackend::Replicated(rns) => rns.lock().create_with(0, name, r),
+        }
+    }
+
+    pub(crate) fn create_exact(&self, meta: &FileMeta) -> Result<(), FsError> {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.create_exact(meta),
+            ShardBackend::Replicated(rns) => rns.lock().create_exact(0, meta),
+        }
+    }
+
+    pub(crate) fn lookup(&self, name: &str) -> Result<FileMeta, FsError> {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.lookup(name),
+            ShardBackend::Replicated(rns) => rns.lock().lookup_at(0, name),
+        }
+    }
+
+    pub(crate) fn record_size(&self, name: &str, size: u64) -> Result<(), FsError> {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.record_size(name, size),
+            ShardBackend::Replicated(rns) => rns.lock().record_size(0, name, size),
+        }
+    }
+
+    pub(crate) fn record_seal(&self, name: &str, sealed: u64) -> Result<(), FsError> {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.record_seal(name, sealed),
+            ShardBackend::Replicated(rns) => rns.lock().record_seal(0, name, sealed),
+        }
+    }
+
+    pub(crate) fn set_fragment(
+        &self,
+        name: &str,
+        index: usize,
+        host: HostId,
+    ) -> Result<(), FsError> {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.set_fragment(name, index, host),
+            ShardBackend::Replicated(rns) => rns.lock().set_fragment(0, name, index, host),
+        }
+    }
+
+    pub(crate) fn delete(&self, name: &str) -> Result<FileMeta, FsError> {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.delete(name),
+            ShardBackend::Replicated(rns) => rns.lock().delete(0, name),
+        }
+    }
+
+    pub(crate) fn list(&self) -> Vec<FileMeta> {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.list(),
+            ShardBackend::Replicated(rns) => rns.lock().list_at(0),
+        }
+    }
+
+    pub(crate) fn file_count(&self) -> usize {
+        match &self.backend {
+            ShardBackend::Plain(ns) => ns.file_count(),
+            ShardBackend::Replicated(rns) => rns.lock().file_count_at(0),
+        }
+    }
+
+    /// The host this shard runs on.
+    pub(crate) fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Operations served so far (the rebalancer's heat signal).
+    pub(crate) fn ops_served(&self) -> u64 {
+        self.ops.get()
+    }
+}
+
+/// Plane-wide telemetry, under the registry scope `shard`.
+pub(crate) struct PlaneMetrics {
+    scope: Scope,
+    stale_epoch: Arc<Counter>,
+    not_owner: Arc<Counter>,
+    pub(crate) migrations: Arc<Counter>,
+    pub(crate) migration_keys: Arc<Counter>,
+    pub(crate) migration_bytes: Arc<Counter>,
+    pub(crate) migration_batches: Arc<Counter>,
+}
+
+impl PlaneMetrics {
+    fn new(scope: Scope) -> PlaneMetrics {
+        PlaneMetrics {
+            stale_epoch: scope.counter("stale_epoch_total"),
+            not_owner: scope.counter("not_owner_total"),
+            migrations: scope.counter("migrations_total"),
+            migration_keys: scope.counter("migration_keys_total"),
+            migration_bytes: scope.counter("migration_bytes_total"),
+            migration_batches: scope.counter("migration_batches_total"),
+            scope,
+        }
+    }
+
+    fn shard_ops(&self, shard: ShardId) -> Arc<Counter> {
+        self.scope
+            .counter_with("ops_total", &[("shard", &shard.0.to_string())])
+    }
+}
+
+pub(crate) struct PlaneState {
+    map: ShardMap,
+    ring: HashRing,
+    /// Every shard with a live backend. A superset of `map.shards`
+    /// during migration: the destination's backend exists (and is
+    /// receiving copied keys) before the flip makes it ring-visible.
+    shards: BTreeMap<ShardId, Shard>,
+}
+
+/// The sharded metadata plane (see module docs).
+pub struct ShardedNameserver {
+    topo: Arc<Topology>,
+    dir: PathBuf,
+    config: ShardPlaneConfig,
+    state: RwLock<PlaneState>,
+    metrics: PlaneMetrics,
+    /// Testing-only fault injection for the model checker's
+    /// serve-from-old-owner-after-handoff mutant: when set, the plane
+    /// skips the epoch and ownership checks and blindly serves from
+    /// whichever shard the caller addressed.
+    serve_stale_after_handoff: AtomicBool,
+}
+
+impl ShardedNameserver {
+    /// Opens (or creates) a plane rooted at `dir`: `dir/shardmap.json`
+    /// holds the map, `dir/shard-<id>` each shard's database. An
+    /// existing map on disk wins over `config.shards`/`config.vnodes`
+    /// so a re-opened plane keeps its post-migration layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if directories cannot be created or an existing
+    /// map fails to parse.
+    pub fn open(
+        dir: &Path,
+        topo: Arc<Topology>,
+        config: ShardPlaneConfig,
+        registry: &mayflower_telemetry::Registry,
+    ) -> Result<ShardedNameserver, FsError> {
+        std::fs::create_dir_all(dir).map_err(FsError::Io)?;
+        let map_path = dir.join("shardmap.json");
+        let map = if map_path.exists() {
+            let body = std::fs::read_to_string(&map_path).map_err(FsError::Io)?;
+            serde_json::from_str::<ShardMap>(&body)
+                .map_err(|e| FsError::CorruptMetadata(format!("shardmap.json: {e}")))?
+        } else {
+            ShardMap::initial(config.shards, config.vnodes)
+        };
+        let metrics = PlaneMetrics::new(registry.scope("shard"));
+        let ring = map.ring();
+        let plane = ShardedNameserver {
+            topo,
+            dir: dir.to_path_buf(),
+            state: RwLock::new(PlaneState {
+                ring,
+                shards: BTreeMap::new(),
+                map,
+            }),
+            metrics,
+            config,
+            serve_stale_after_handoff: AtomicBool::new(false),
+        };
+        {
+            let ids = plane.state.read().unwrap().map.shards.clone();
+            let mut st = plane.state.write().unwrap();
+            for id in ids {
+                let shard = plane.build_shard(id)?;
+                st.shards.insert(id, shard);
+            }
+        }
+        plane.persist_map()?;
+        Ok(plane)
+    }
+
+    /// Builds one shard's backend at `dir/shard-<id>`.
+    fn build_shard(&self, id: ShardId) -> Result<Shard, FsError> {
+        let shard_dir = self.dir.join(format!("shard-{}", id.0));
+        // Every shard must draw a distinct randomness stream: shards
+        // share the cluster's dataservers, so two nameservers seeded
+        // identically would mint colliding file ids.
+        let mut ns_config = self.config.nameserver.clone();
+        ns_config.seed ^= 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(id.0) + 1);
+        let backend = match self.config.paxos_replicas {
+            None => ShardBackend::Plain(Arc::new(Nameserver::open(
+                self.topo.clone(),
+                &shard_dir,
+                ns_config,
+            )?)),
+            Some(n) => {
+                std::fs::create_dir_all(&shard_dir).map_err(FsError::Io)?;
+                ShardBackend::Replicated(Box::new(Mutex::new(ReplicatedNameserver::open(
+                    self.topo.clone(),
+                    &shard_dir,
+                    n,
+                    ns_config,
+                    self.config.seed ^ u64::from(id.0),
+                )?)))
+            }
+        };
+        let hosts = self.topo.hosts();
+        // Stride adjacent shard ids apart so co-resident shards (and
+        // the migration traffic between them) do not share a rack
+        // up-link; odd strides stay coprime with the power-of-two
+        // host counts of the tree topologies.
+        let stride = (hosts.len() / 4).max(1) | 1;
+        Ok(Shard {
+            backend,
+            host: hosts[(id.0 as usize).wrapping_mul(stride) % hosts.len()],
+            ops: self.metrics.shard_ops(id),
+        })
+    }
+
+    /// Writes the current map to `shardmap.json` (atomic rename).
+    fn persist_map(&self) -> Result<(), FsError> {
+        let body = {
+            let st = self.state.read().unwrap();
+            serde_json::to_string_pretty(&st.map)
+                .map_err(|e| FsError::CorruptMetadata(e.to_string()))?
+        };
+        let tmp = self.dir.join("shardmap.json.tmp");
+        std::fs::write(&tmp, body).map_err(FsError::Io)?;
+        std::fs::rename(&tmp, self.dir.join("shardmap.json")).map_err(FsError::Io)?;
+        Ok(())
+    }
+
+    /// The current shard map — what routers cache under their lease.
+    #[must_use]
+    pub fn shard_map(&self) -> ShardMap {
+        self.state.read().unwrap().map.clone()
+    }
+
+    /// The current map epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.state.read().unwrap().map.epoch
+    }
+
+    /// The topology every shard places replicas over.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The host a shard is modeled to run on (`None` for unknown ids).
+    #[must_use]
+    pub fn shard_host(&self, id: ShardId) -> Option<HostId> {
+        self.state.read().unwrap().shards.get(&id).map(Shard::host)
+    }
+
+    /// Per-shard `(id, files, ops served)` in id order — the input to
+    /// the rebalancer's heat scan and to `mayfs shards`.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<(ShardId, usize, u64)> {
+        let st = self.state.read().unwrap();
+        st.map
+            .shards
+            .iter()
+            .map(|id| {
+                let s = &st.shards[id];
+                (*id, s.file_count(), s.ops_served())
+            })
+            .collect()
+    }
+
+    /// Every file across every ring-member shard, name-sorted.
+    #[must_use]
+    pub fn list(&self) -> Vec<FileMeta> {
+        let st = self.state.read().unwrap();
+        let mut all: Vec<FileMeta> = st
+            .map
+            .shards
+            .iter()
+            .flat_map(|id| st.shards[id].list())
+            .collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Total files across ring-member shards.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        let st = self.state.read().unwrap();
+        st.map
+            .shards
+            .iter()
+            .map(|id| st.shards[id].file_count())
+            .sum()
+    }
+
+    /// Testing-only fault injection (the model checker's
+    /// serve-from-old-owner-after-handoff mutant): disables the epoch
+    /// and ownership fences so a stale router keeps hitting the old
+    /// owner after a handoff. Never enable outside tests.
+    pub fn inject_serve_stale_after_handoff(&self, on: bool) {
+        self.serve_stale_after_handoff.store(on, Ordering::Relaxed);
+    }
+
+    /// Runs one fenced operation against `shard`: verifies the caller's
+    /// epoch and the shard's ownership of `name` under the read lock,
+    /// then executes.
+    fn fenced<T>(
+        &self,
+        shard: ShardId,
+        epoch: u64,
+        name: &str,
+        op: impl FnOnce(&Shard) -> Result<T, FsError>,
+    ) -> Result<T, ShardError> {
+        let st = self.state.read().unwrap();
+        if !self.serve_stale_after_handoff.load(Ordering::Relaxed) {
+            if epoch != st.map.epoch {
+                self.metrics.stale_epoch.inc();
+                return Err(ShardError::StaleMap {
+                    current_epoch: st.map.epoch,
+                });
+            }
+            let owner = st.ring.owner(name);
+            if owner != shard {
+                self.metrics.not_owner.inc();
+                return Err(ShardError::NotOwner { owner });
+            }
+        }
+        let Some(s) = st.shards.get(&shard) else {
+            return Err(ShardError::NotOwner {
+                owner: st.ring.owner(name),
+            });
+        };
+        s.ops.inc();
+        op(s).map_err(ShardError::Fs)
+    }
+
+    /// Fenced create (see [`Nameserver::create_with`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::StaleMap`] / [`ShardError::NotOwner`] demand a
+    /// refresh-and-retry; [`ShardError::Fs`] is the operation's error.
+    pub fn create_with_at(
+        &self,
+        shard: ShardId,
+        epoch: u64,
+        name: &str,
+        redundancy: Redundancy,
+    ) -> Result<FileMeta, ShardError> {
+        self.fenced(shard, epoch, name, |s| s.create_with(name, redundancy))
+    }
+
+    /// Fenced create of pre-decided metadata (renames, repair splices).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedNameserver::create_with_at`].
+    pub fn create_exact_at(
+        &self,
+        shard: ShardId,
+        epoch: u64,
+        meta: &FileMeta,
+    ) -> Result<(), ShardError> {
+        self.fenced(shard, epoch, &meta.name, |s| s.create_exact(meta))
+    }
+
+    /// Fenced lookup.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedNameserver::create_with_at`].
+    pub fn lookup_at(
+        &self,
+        shard: ShardId,
+        epoch: u64,
+        name: &str,
+    ) -> Result<FileMeta, ShardError> {
+        self.fenced(shard, epoch, name, |s| s.lookup(name))
+    }
+
+    /// Fenced size record.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedNameserver::create_with_at`].
+    pub fn record_size_at(
+        &self,
+        shard: ShardId,
+        epoch: u64,
+        name: &str,
+        size: u64,
+    ) -> Result<(), ShardError> {
+        self.fenced(shard, epoch, name, |s| s.record_size(name, size))
+    }
+
+    /// Fenced seal-watermark advance.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedNameserver::create_with_at`].
+    pub fn record_seal_at(
+        &self,
+        shard: ShardId,
+        epoch: u64,
+        name: &str,
+        sealed: u64,
+    ) -> Result<(), ShardError> {
+        self.fenced(shard, epoch, name, |s| s.record_seal(name, sealed))
+    }
+
+    /// Fenced fragment re-home.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedNameserver::create_with_at`].
+    pub fn set_fragment_at(
+        &self,
+        shard: ShardId,
+        epoch: u64,
+        name: &str,
+        index: usize,
+        host: HostId,
+    ) -> Result<(), ShardError> {
+        self.fenced(shard, epoch, name, |s| s.set_fragment(name, index, host))
+    }
+
+    /// Fenced delete.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedNameserver::create_with_at`].
+    pub fn delete_at(
+        &self,
+        shard: ShardId,
+        epoch: u64,
+        name: &str,
+    ) -> Result<FileMeta, ShardError> {
+        self.fenced(shard, epoch, name, |s| s.delete(name))
+    }
+
+    // ---- migration internals (used by crate::rebalance) ----
+
+    /// Creates the backend for a ring-joining shard so migration can
+    /// stream keys into it before the flip makes it ring-visible.
+    pub(crate) fn add_shard_backend(&self, id: ShardId) -> Result<(), FsError> {
+        let shard = self.build_shard(id)?;
+        let mut st = self.state.write().unwrap();
+        st.shards.entry(id).or_insert(shard);
+        Ok(())
+    }
+
+    /// Runs `f` with read access to a shard's storage, bypassing the
+    /// fences — migration's bulk copy reads the source while clients
+    /// keep mutating it; the flip reconciles the delta.
+    pub(crate) fn with_shard<T>(&self, id: ShardId, f: impl FnOnce(&Shard) -> T) -> Option<T> {
+        let st = self.state.read().unwrap();
+        st.shards.get(&id).map(f)
+    }
+
+    /// Atomically installs a new map (and its ring) while reconciling
+    /// the destination shards under the write lock: `reconcile` runs
+    /// with every client op excluded, sees the authoritative source
+    /// state, and returns the per-key moves it applied. The epoch bump
+    /// and the ownership change become visible to clients in the same
+    /// instant.
+    pub(crate) fn install_map<T>(
+        &self,
+        new_map: &ShardMap,
+        reconcile: impl FnOnce(&PlaneState) -> Result<T, FsError>,
+    ) -> Result<T, FsError> {
+        let mut st = self.state.write().unwrap();
+        debug_assert!(new_map.epoch > st.map.epoch, "epochs advance monotonically");
+        let out = reconcile(&st)?;
+        st.map = new_map.clone();
+        st.ring = new_map.ring();
+        drop(st);
+        self.persist_map()?;
+        Ok(out)
+    }
+
+    /// Access to the plane's migration counters.
+    pub(crate) fn metrics(&self) -> &PlaneMetrics {
+        &self.metrics
+    }
+}
+
+impl PlaneState {
+    /// A shard's storage by id (ring member or migration destination).
+    pub(crate) fn shard(&self, id: ShardId) -> Option<&Shard> {
+        self.shards.get(&id)
+    }
+}
+
+impl std::fmt::Debug for ShardedNameserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.read().unwrap();
+        f.debug_struct("ShardedNameserver")
+            .field("epoch", &st.map.epoch)
+            .field("shards", &st.map.shards.len())
+            .field("vnodes", &st.map.vnodes)
+            .finish()
+    }
+}

@@ -1,0 +1,195 @@
+//! The deterministic consistent-hash ring that partitions the
+//! namespace across metadata shards.
+//!
+//! Every shard owns many **virtual nodes** — pseudo-random points on a
+//! 64-bit ring — and a file name belongs to the shard whose next
+//! clockwise point covers the name's hash. Virtual nodes smooth the
+//! per-shard share of the keyspace (balance tightens as `1/sqrt(v)`),
+//! and consistent hashing gives the rebalancer its minimal-disruption
+//! property: adding one shard to an `n`-shard ring re-homes only
+//! ~`1/(n+1)` of the keys, because only hash ranges adjacent to the new
+//! shard's points change owner. Both properties are pinned by proptests
+//! in `tests/ring_props.rs`.
+//!
+//! Everything here is pure arithmetic over the shard ids and the vnode
+//! count: two routers that agree on a [`ShardMap`](crate::ShardMap)
+//! agree on every routing decision with no coordination.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one metadata shard. Ids are small dense integers chosen
+/// by the plane; they never get reused within a plane's lifetime.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard-{}", self.0)
+    }
+}
+
+/// FNV-1a over the name bytes, finished with a SplitMix64 avalanche:
+/// deterministic across processes and platforms (unlike `std`'s keyed
+/// `DefaultHasher`) and cheap. The finalizer matters: raw FNV-1a maps
+/// names that differ only in a trailing counter (`file-1`, `file-2`,
+/// …) to hashes within a few low-order bytes of each other — far
+/// smaller than a ring arc, so whole directories of files would pile
+/// onto one shard.
+#[must_use]
+pub fn hash_name(name: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    splitmix64(h)
+}
+
+/// SplitMix64: scrambles a shard/vnode pair into a ring point. Chosen
+/// for its full-period avalanche — consecutive vnode indices land far
+/// apart on the ring.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The ring point for one virtual node of one shard.
+fn vnode_point(shard: ShardId, vnode: u32) -> u64 {
+    splitmix64((u64::from(shard.0) << 32) | u64::from(vnode))
+}
+
+/// A materialized consistent-hash ring: the sorted virtual-node points
+/// of every member shard. Built from a [`ShardMap`](crate::ShardMap)
+/// and cached alongside it; lookups are a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// Sorted `(point, owner)` pairs. Ties (astronomically unlikely
+    /// 64-bit collisions) resolve to the lower shard id so every
+    /// builder produces the identical ring.
+    points: Vec<(u64, ShardId)>,
+    vnodes: u32,
+}
+
+impl HashRing {
+    /// Builds the ring for `shards` with `vnodes` virtual nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or `vnodes` is zero — an unroutable
+    /// ring is a construction bug, not a runtime condition.
+    #[must_use]
+    pub fn new(shards: &[ShardId], vnodes: u32) -> HashRing {
+        assert!(!shards.is_empty(), "a ring needs at least one shard");
+        assert!(vnodes > 0, "a shard needs at least one virtual node");
+        let mut points = Vec::with_capacity(shards.len() * vnodes as usize);
+        for shard in shards {
+            for v in 0..vnodes {
+                points.push((vnode_point(*shard, v), *shard));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, vnodes }
+    }
+
+    /// The shard owning `name`: the first point clockwise from the
+    /// name's hash (wrapping past the top of the ring).
+    #[must_use]
+    pub fn owner(&self, name: &str) -> ShardId {
+        self.owner_of_hash(hash_name(name))
+    }
+
+    /// The shard owning a raw hash value.
+    #[must_use]
+    pub fn owner_of_hash(&self, h: u64) -> ShardId {
+        let idx = self.points.partition_point(|(p, _)| *p < h);
+        if idx == self.points.len() {
+            self.points[0].1
+        } else {
+            self.points[idx].1
+        }
+    }
+
+    /// Member shards in id order.
+    #[must_use]
+    pub fn shards(&self) -> Vec<ShardId> {
+        let mut ids: Vec<ShardId> = self.points.iter().map(|(_, s)| *s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Virtual nodes per shard.
+    #[must_use]
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// Total ring points (shards × vnodes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_across_calls_and_builds() {
+        // Pinned value: changing the hash silently re-homes every key
+        // in every deployed shard map, so the constant is a contract.
+        assert_eq!(hash_name(""), 14_087_677_454_934_409_008);
+        assert_eq!(hash_name("a"), hash_name("a"));
+        assert_ne!(hash_name("a"), hash_name("b"));
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_total() {
+        let shards: Vec<ShardId> = (0..4).map(ShardId).collect();
+        let ring = HashRing::new(&shards, 64);
+        let other = HashRing::new(&shards, 64);
+        for i in 0..1000 {
+            let name = format!("dir/file-{i}");
+            let owner = ring.owner(&name);
+            assert!(shards.contains(&owner));
+            assert_eq!(owner, other.owner(&name), "independent builds agree");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = HashRing::new(&[ShardId(7)], 8);
+        for i in 0..100 {
+            assert_eq!(ring.owner(&format!("f{i}")), ShardId(7));
+        }
+    }
+
+    #[test]
+    fn wraparound_hash_routes_to_first_point() {
+        let ring = HashRing::new(&[ShardId(0), ShardId(1)], 4);
+        // u64::MAX is past every point with overwhelming probability:
+        // it must wrap to the ring's first point.
+        let top = ring.owner_of_hash(u64::MAX);
+        let first = ring.owner_of_hash(0);
+        assert_eq!(top, first);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_ring_is_a_bug() {
+        let _ = HashRing::new(&[], 8);
+    }
+}

@@ -1,0 +1,406 @@
+//! Integration tests for the sharded metadata plane: epoch/ownership
+//! fencing, router retry, online migration (bulk copy → flip → gc),
+//! flowserver-scheduled transfers, persistence, and the full
+//! [`ShardedCluster`] data path.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mayflower_flowserver::{Flowserver, FlowserverConfig, Selection};
+use mayflower_fs::nameserver::NameserverConfig;
+use mayflower_fs::{ClusterConfig, FsError, MetadataService};
+use mayflower_net::{Topology, TreeParams};
+use mayflower_shard::{
+    migrate, FlowserverScheduler, Handoff, RebalanceConfig, Rebalancer, ShardError,
+    ShardPlaneConfig, ShardRouter, ShardedCluster, ShardedNameserver,
+};
+use mayflower_simcore::SimTime;
+use mayflower_telemetry::Registry;
+
+struct TempDir(PathBuf);
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "mayflower-shard-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        TempDir(dir)
+    }
+}
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn small_topo() -> Arc<Topology> {
+    Arc::new(Topology::three_tier(&TreeParams {
+        pods: 2,
+        racks_per_pod: 2,
+        hosts_per_rack: 2,
+        ..TreeParams::paper_testbed()
+    }))
+}
+
+fn open_plane(dir: &TempDir, shards: u32) -> (Arc<ShardedNameserver>, Registry) {
+    let registry = Registry::new();
+    let plane = ShardedNameserver::open(
+        &dir.0,
+        small_topo(),
+        ShardPlaneConfig {
+            shards,
+            vnodes: 32,
+            ..ShardPlaneConfig::default()
+        },
+        &registry,
+    )
+    .unwrap();
+    (Arc::new(plane), registry)
+}
+
+#[test]
+fn fenced_ops_reject_stale_epoch_and_wrong_shard() {
+    let dir = TempDir::new("fence");
+    let (plane, _reg) = open_plane(&dir, 4);
+    let map = plane.shard_map();
+    let ring = map.ring();
+    let owner = ring.owner("a/file");
+    plane
+        .create_with_at(owner, map.epoch, "a/file", Default::default())
+        .unwrap();
+
+    match plane.lookup_at(owner, map.epoch + 7, "a/file") {
+        Err(ShardError::StaleMap { current_epoch }) => assert_eq!(current_epoch, map.epoch),
+        other => panic!("expected StaleMap, got {other:?}"),
+    }
+
+    let wrong = map.shards.iter().copied().find(|s| *s != owner).unwrap();
+    match plane.lookup_at(wrong, map.epoch, "a/file") {
+        Err(ShardError::NotOwner { owner: o }) => assert_eq!(o, owner),
+        other => panic!("expected NotOwner, got {other:?}"),
+    }
+
+    // Correct route still works, and shard-level errors pass through.
+    plane.lookup_at(owner, map.epoch, "a/file").unwrap();
+    let missing_owner = ring.owner("no/such");
+    match plane.lookup_at(missing_owner, map.epoch, "no/such") {
+        Err(ShardError::Fs(FsError::NotFound(_))) => {}
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+}
+
+#[test]
+fn router_rides_out_a_migration_under_a_long_lease() {
+    let dir = TempDir::new("router");
+    let (plane, reg) = open_plane(&dir, 2);
+    let router = ShardRouter::new(plane.clone(), &reg.scope("shard_router"));
+    router.set_lease(Duration::from_secs(3600));
+    for i in 0..50 {
+        router
+            .create_with(&format!("dir/file-{i}"), Default::default())
+            .unwrap();
+    }
+    let before = router.cached_epoch();
+
+    let map = plane.shard_map();
+    let grown = map.with_shard_added(map.next_shard_id());
+    migrate(&plane, grown, 16, None).unwrap();
+    assert_eq!(plane.epoch(), before + 1);
+
+    // The router's cache is now stale for every key, and its lease
+    // won't expire; the fences force exactly one refresh.
+    for i in 0..50 {
+        let meta = router.lookup(&format!("dir/file-{i}")).unwrap();
+        assert_eq!(meta.name, format!("dir/file-{i}"));
+    }
+    assert_eq!(router.cached_epoch(), before + 1);
+}
+
+#[test]
+fn migration_moves_keys_schedules_flows_and_gcs_sources() {
+    let dir = TempDir::new("migrate");
+    let (plane, _reg) = open_plane(&dir, 2);
+    let map = plane.shard_map();
+    for i in 0..200 {
+        let name = format!("data/file-{i}");
+        let shard = map.ring().owner(&name);
+        plane
+            .create_with_at(shard, map.epoch, &name, Default::default())
+            .unwrap();
+    }
+    assert_eq!(plane.file_count(), 200);
+
+    let topo = plane.topology().clone();
+    let mut fsrv = Flowserver::new(topo, FlowserverConfig::default());
+    let registry = Registry::new();
+    fsrv.attach_metrics(&registry);
+    let mut sched = FlowserverScheduler::new(&mut fsrv, SimTime::ZERO);
+
+    let grown = map.with_shard_added(map.next_shard_id());
+    let new_ring = grown.ring();
+    let report = migrate(&plane, grown.clone(), 16, Some(&mut sched)).unwrap();
+
+    assert!(report.keys_copied > 0, "a third shard must take some keys");
+    assert!(report.bytes_copied > 0);
+    assert!(!sched.selections.is_empty(), "transfers must be scheduled");
+    for (src, dst, bits, sel) in &sched.selections {
+        assert_ne!(src, dst);
+        assert!(*bits > 0.0);
+        assert!(
+            matches!(sel, Selection::Single(_) | Selection::Local),
+            "background migration paths should be available on an idle net"
+        );
+    }
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("flowserver_migration_selections_total"),
+        Some(sched.selections.len() as u64)
+    );
+
+    // No file lost, no file duplicated, every copy on its new owner.
+    assert_eq!(plane.file_count(), 200);
+    assert_eq!(plane.epoch(), grown.epoch);
+    for (id, _files, _ops) in plane.shard_stats() {
+        assert!(grown.shards.contains(&id));
+    }
+    for meta in plane.list() {
+        let owner = new_ring.owner(&meta.name);
+        let m = plane
+            .lookup_at(owner, grown.epoch, &meta.name)
+            .expect("every file is served by its new owner");
+        assert_eq!(m.name, meta.name);
+    }
+    assert_eq!(report.keys_gced, report.keys_copied);
+}
+
+#[test]
+fn flip_reconciles_writes_that_raced_the_bulk_copy() {
+    let dir = TempDir::new("delta");
+    let (plane, _reg) = open_plane(&dir, 2);
+    let map = plane.shard_map();
+    let ring = map.ring();
+    for i in 0..120 {
+        let name = format!("delta/file-{i}");
+        plane
+            .create_with_at(ring.owner(&name), map.epoch, &name, Default::default())
+            .unwrap();
+    }
+    let grown = map.with_shard_added(map.next_shard_id());
+    let new_ring = grown.ring();
+    // Pick one moving key to delete mid-copy and one to mutate.
+    let moving: Vec<String> = (0..120)
+        .map(|i| format!("delta/file-{i}"))
+        .filter(|n| new_ring.owner(n) != ring.owner(n))
+        .collect();
+    assert!(moving.len() >= 2, "need racing keys for this test");
+
+    let mut handoff = Handoff::begin(&plane, grown.clone(), 8).unwrap();
+    // Copy everything in bulk first, so the racing writes land after
+    // their keys were copied — the flip's delta pass must fix both.
+    while handoff.remaining() > 0 {
+        handoff.copy_batch().unwrap();
+    }
+    let deleted = &moving[0];
+    let resized = &moving[1];
+    plane
+        .delete_at(ring.owner(deleted), map.epoch, deleted)
+        .unwrap();
+    plane
+        .record_size_at(ring.owner(resized), map.epoch, resized, 4096)
+        .unwrap();
+
+    handoff.flip().unwrap();
+    handoff.gc().unwrap();
+
+    // The deleted key stays deleted; the resized key's new size
+    // survived the handoff.
+    match plane.lookup_at(new_ring.owner(deleted), grown.epoch, deleted) {
+        Err(ShardError::Fs(FsError::NotFound(_))) => {}
+        other => panic!("deleted key resurrected by migration: {other:?}"),
+    }
+    let meta = plane
+        .lookup_at(new_ring.owner(resized), grown.epoch, resized)
+        .unwrap();
+    assert_eq!(meta.size, 4096);
+    assert_eq!(plane.file_count(), 119);
+}
+
+#[test]
+fn plane_reopens_with_its_persisted_post_migration_map() {
+    let dir = TempDir::new("persist");
+    let grown_epoch;
+    let grown_shards;
+    {
+        let (plane, _reg) = open_plane(&dir, 2);
+        let map = plane.shard_map();
+        let ring = map.ring();
+        for i in 0..40 {
+            let name = format!("p/file-{i}");
+            plane
+                .create_with_at(ring.owner(&name), map.epoch, &name, Default::default())
+                .unwrap();
+        }
+        let grown = map.with_shard_added(map.next_shard_id());
+        migrate(&plane, grown.clone(), 16, None).unwrap();
+        grown_epoch = grown.epoch;
+        grown_shards = grown.shards.len();
+    }
+    // Reopen with a config that says 2 shards: the persisted 3-shard
+    // map must win.
+    let (plane, _reg) = open_plane(&dir, 2);
+    assert_eq!(plane.epoch(), grown_epoch);
+    assert_eq!(plane.shard_map().shards.len(), grown_shards);
+    assert_eq!(plane.file_count(), 40);
+}
+
+#[test]
+fn rebalancer_grows_the_ring_only_when_a_shard_runs_hot() {
+    let dir = TempDir::new("hot");
+    let (plane, _reg) = open_plane(&dir, 2);
+    let map = plane.shard_map();
+    let ring = map.ring();
+    let hot_name = "hot/key";
+    let hot_shard = ring.owner(hot_name);
+    plane
+        .create_with_at(hot_shard, map.epoch, hot_name, Default::default())
+        .unwrap();
+
+    let rb = Rebalancer::new(RebalanceConfig {
+        min_total_ops: 100,
+        ..RebalanceConfig::default()
+    });
+    // Below the activity floor: no plan, however skewed.
+    assert!(rb.plan(&plane).is_none());
+    for _ in 0..500 {
+        plane.lookup_at(hot_shard, map.epoch, hot_name).unwrap();
+    }
+    let planned = rb.plan(&plane).expect("hot shard must trigger a plan");
+    assert_eq!(planned.epoch, map.epoch + 1);
+    assert_eq!(planned.shards.len(), map.shards.len() + 1);
+
+    let report = rb.rebalance(&plane, None).unwrap().unwrap();
+    assert_eq!(report.to_epoch, map.epoch + 1);
+    assert_eq!(plane.epoch(), map.epoch + 1);
+}
+
+#[test]
+fn paxos_backed_shards_serve_metadata() {
+    let dir = TempDir::new("paxos");
+    let registry = Registry::new();
+    let plane = Arc::new(
+        ShardedNameserver::open(
+            &dir.0,
+            small_topo(),
+            ShardPlaneConfig {
+                shards: 2,
+                vnodes: 16,
+                paxos_replicas: Some(3),
+                ..ShardPlaneConfig::default()
+            },
+            &registry,
+        )
+        .unwrap(),
+    );
+    let router = ShardRouter::new(plane.clone(), &registry.scope("shard_router"));
+    for i in 0..10 {
+        router
+            .create_with(&format!("paxos/f{i}"), Default::default())
+            .unwrap();
+    }
+    router.record_size("paxos/f0", 123).unwrap();
+    assert_eq!(router.lookup("paxos/f0").unwrap().size, 123);
+    router.delete("paxos/f9").unwrap();
+    assert!(matches!(
+        router.lookup("paxos/f9"),
+        Err(FsError::NotFound(_))
+    ));
+    assert_eq!(plane.file_count(), 9);
+}
+
+#[test]
+fn sharded_cluster_appends_and_reads_across_shards_and_migrations() {
+    let dir = TempDir::new("cluster");
+    let topo = small_topo();
+    let hosts = topo.hosts();
+    let sc = ShardedCluster::create(
+        &dir.0,
+        topo.clone(),
+        ClusterConfig {
+            nameserver: NameserverConfig {
+                chunk_size: 16,
+                ..NameserverConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+        ShardPlaneConfig {
+            shards: 4,
+            vnodes: 32,
+            ..ShardPlaneConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut writer = sc.client(hosts[0]);
+    for i in 0..12 {
+        let name = format!("app/log-{i}");
+        writer.create(&name).unwrap();
+        writer.append(&name, b"hello sharded world").unwrap();
+    }
+
+    // A second client (own router, own cache) reads everything back.
+    let (mut reader, router) = sc.client_with_router(hosts[5]);
+    router.set_lease(Duration::from_secs(3600));
+    for i in 0..12 {
+        assert_eq!(
+            reader.read(&format!("app/log-{i}")).unwrap(),
+            b"hello sharded world"
+        );
+    }
+
+    // Grow the plane mid-flight; both clients keep working through
+    // their stale caches.
+    let map = sc.plane().shard_map();
+    migrate(
+        sc.plane(),
+        map.with_shard_added(map.next_shard_id()),
+        8,
+        None,
+    )
+    .unwrap();
+    writer.append("app/log-0", b"!").unwrap();
+    assert_eq!(reader.read("app/log-0").unwrap(), b"hello sharded world!");
+    assert_eq!(sc.plane().file_count(), 12);
+}
+
+#[test]
+fn rename_across_shards_moves_the_entry() {
+    let dir = TempDir::new("rename");
+    let (plane, reg) = open_plane(&dir, 4);
+    let router = ShardRouter::new(plane.clone(), &reg.scope("shard_router"));
+    router.create_with("old/name", Default::default()).unwrap();
+    router.record_size("old/name", 77).unwrap();
+
+    assert!(router
+        .rename("old/name", "new/name", false)
+        .unwrap()
+        .is_none());
+    assert!(matches!(
+        router.lookup("old/name"),
+        Err(FsError::NotFound(_))
+    ));
+    assert_eq!(router.lookup("new/name").unwrap().size, 77);
+
+    // Overwrite semantics: refused without the flag, displaced with it.
+    router.create_with("third", Default::default()).unwrap();
+    assert!(matches!(
+        router.rename("new/name", "third", false),
+        Err(FsError::AlreadyExists(_))
+    ));
+    let displaced = router.rename("new/name", "third", true).unwrap();
+    assert!(displaced.is_some());
+    assert_eq!(router.lookup("third").unwrap().size, 77);
+    assert_eq!(plane.file_count(), 1);
+}

@@ -1,0 +1,116 @@
+//! Property tests pinning the two guarantees the shard ring is chosen
+//! for (ISSUE: sharded metadata plane):
+//!
+//! 1. **Balance** — with ≥64 virtual nodes per shard, no shard's slice
+//!    of the hash space strays far from its fair share.
+//! 2. **Minimal disruption** — adding one shard to an `n`-shard ring
+//!    re-homes roughly `1/(n+1)` of the keyspace, and every re-homed
+//!    key moves *to the new shard*: existing shards never trade keys
+//!    with each other.
+//!
+//! Both are measured over an even grid of 2^16 probe hashes, which
+//! estimates each shard's arc share to within the quantization error of
+//! the grid rather than relying on sampled key sets.
+
+use mayflower_shard::{HashRing, ShardId};
+use proptest::prelude::*;
+
+/// Probes the ring at 2^16 evenly spaced hash values; returns each
+/// probe's owner.
+fn probe_owners(ring: &HashRing) -> Vec<ShardId> {
+    (0u64..1 << 16)
+        .map(|i| ring.owner_of_hash(i << 48))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_shard_gets_a_fair_share_at_64_plus_vnodes(
+        shards in 2u32..12,
+        vnodes in 64u32..192,
+    ) {
+        let ids: Vec<ShardId> = (0..shards).map(ShardId).collect();
+        let ring = HashRing::new(&ids, vnodes);
+        let owners = probe_owners(&ring);
+        let mean = owners.len() as f64 / f64::from(shards);
+        for id in &ids {
+            let share = owners.iter().filter(|o| *o == id).count() as f64;
+            // Arc-share deviation shrinks as 1/sqrt(vnodes): ~12.5% at
+            // 64 vnodes. 2x / 0.35x are >5 sigma on either side.
+            prop_assert!(
+                share < 2.0 * mean,
+                "{id} owns {share} of {} probes (mean {mean:.0}): overloaded",
+                owners.len()
+            );
+            prop_assert!(
+                share > 0.35 * mean,
+                "{id} owns {share} of {} probes (mean {mean:.0}): starved",
+                owners.len()
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_about_one_nth_and_only_to_the_joiner(
+        shards in 2u32..12,
+        vnodes in 64u32..192,
+    ) {
+        let old_ids: Vec<ShardId> = (0..shards).map(ShardId).collect();
+        let mut new_ids = old_ids.clone();
+        let joiner = ShardId(shards);
+        new_ids.push(joiner);
+        let old = HashRing::new(&old_ids, vnodes);
+        let new = HashRing::new(&new_ids, vnodes);
+
+        let old_owners = probe_owners(&old);
+        let new_owners = probe_owners(&new);
+        let mut moved = 0usize;
+        for (before, after) in old_owners.iter().zip(&new_owners) {
+            if before != after {
+                // The consistent-hashing contract: ownership changes
+                // only where the joiner's points landed.
+                prop_assert_eq!(
+                    *after,
+                    joiner,
+                    "a key moved between two surviving shards ({} -> {})",
+                    before,
+                    after
+                );
+                moved += 1;
+            }
+        }
+        let frac = moved as f64 / old_owners.len() as f64;
+        let fair = 1.0 / f64::from(shards + 1);
+        prop_assert!(
+            frac < 2.2 * fair,
+            "join moved {:.3} of the keyspace; fair share is {:.3}",
+            frac,
+            fair
+        );
+        prop_assert!(
+            frac > 0.3 * fair,
+            "join moved only {:.3} of the keyspace; fair share is {:.3}",
+            frac,
+            fair
+        );
+    }
+
+    #[test]
+    fn routing_is_pure_arithmetic_over_the_member_set(
+        shards in 1u32..12,
+        vnodes in 1u32..192,
+        raw_names in proptest::collection::vec(any::<u64>(), 1..40),
+    ) {
+        let ids: Vec<ShardId> = (0..shards).map(ShardId).collect();
+        let a = HashRing::new(&ids, vnodes);
+        let b = HashRing::new(&ids, vnodes);
+        let names: Vec<String> = raw_names.iter().map(|r| format!("dir/file-{r:x}")).collect();
+        for name in &names {
+            let owner = a.owner(name);
+            prop_assert!(ids.contains(&owner));
+            prop_assert_eq!(owner, b.owner(name));
+        }
+    }
+}

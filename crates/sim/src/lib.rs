@@ -37,6 +37,7 @@ pub mod experiment;
 pub mod faults;
 pub mod figures;
 pub mod hotspots;
+pub mod metadata;
 pub mod monitor;
 pub mod proto;
 pub mod recovery;
@@ -55,6 +56,10 @@ pub use erasure::{
 };
 pub use experiment::{ExperimentConfig, RunResult};
 pub use faults::{FaultAction, FaultEvent, FaultReport, FaultSchedule, FaultScheduleParams};
+pub use metadata::{
+    run_metadata_scaling, MetadataScalingConfig, MetadataScalingResult, MigrationArm,
+    ShardThroughputPoint,
+};
 pub use monitor::LinkLoadMonitor;
 pub use recovery::{run_recovery_chaos, HealthSample, RecoveryExperimentConfig, RecoveryRunResult};
 pub use stats::{fieller_ratio_ci, percentile, RatioCi, Summary};

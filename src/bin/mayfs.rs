@@ -12,6 +12,7 @@
 //! mayfs serve  <dir> --listen ADDR       # nameserver RPC over TCP
 //! mayfs metrics <dir> [--json] [--client H]
 //! mayfs status <dir> [--json]            # dataserver health + under-replicated files
+//! mayfs shards <dir> [--json] [--shards N] [--vnodes V]  # metadata-shard layout
 //! ```
 //!
 //! The cluster persists across invocations: `init` writes the topology
@@ -31,7 +32,7 @@ use mayflower_rpc::TcpServer;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mayfs <init|create|append|read|stat|ls|rm|serve|metrics|status> <dir> [args]\n\
+        "usage: mayfs <init|create|append|read|stat|ls|rm|serve|metrics|status|shards> <dir> [args]\n\
          run `mayfs help` for details"
     );
     std::process::exit(2);
@@ -359,6 +360,131 @@ fn cmd_status(dir: &Path, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// One metadata shard's slice of the namespace.
+#[derive(serde::Serialize)]
+struct ShardRow {
+    shard: u32,
+    files: usize,
+    ops_served: u64,
+    host: Option<u32>,
+}
+
+#[derive(serde::Serialize)]
+struct ShardReport {
+    /// `"live"` when read from a persisted plane under `<dir>/shards`,
+    /// `"preview"` when synthesized over the flat namespace.
+    mode: &'static str,
+    epoch: u64,
+    vnodes: u32,
+    shards: Vec<ShardRow>,
+    /// Hottest shard's file count over the mean (1.0 = perfectly flat).
+    balance: f64,
+}
+
+/// Shard layout inspection. With a sharded plane persisted under
+/// `<dir>/shards` this reports the live layout (per-shard file and op
+/// counts, map epoch); otherwise it previews how the flat namespace
+/// would partition across `--shards` shards — what a migration to a
+/// sharded plane would do.
+fn cmd_shards(dir: &Path, args: &Args) -> Result<(), String> {
+    use mayflower_shard::{ShardMap, ShardPlaneConfig, ShardedNameserver};
+
+    let shards_dir = dir.join("shards");
+    let report = if shards_dir.join("shardmap.json").exists() {
+        let cluster = load_cluster(dir)?;
+        let plane = ShardedNameserver::open(
+            &shards_dir,
+            cluster.topology().clone(),
+            ShardPlaneConfig::default(),
+            cluster.registry(),
+        )
+        .map_err(|e| e.to_string())?;
+        let map = plane.shard_map();
+        let rows: Vec<ShardRow> = plane
+            .shard_stats()
+            .into_iter()
+            .map(|(id, files, ops)| ShardRow {
+                shard: id.0,
+                files,
+                ops_served: ops,
+                host: plane.shard_host(id).map(|h| h.0),
+            })
+            .collect();
+        ShardReport {
+            mode: "live",
+            epoch: map.epoch,
+            vnodes: map.vnodes,
+            balance: balance_of(&rows),
+            shards: rows,
+        }
+    } else {
+        let cluster = load_cluster(dir)?;
+        let map = ShardMap::initial(args.flag("shards", 4u32), args.flag("vnodes", 64u32));
+        let ring = map.ring();
+        let mut counts: std::collections::BTreeMap<u32, usize> =
+            map.shards.iter().map(|s| (s.0, 0)).collect();
+        for meta in cluster.nameserver().list() {
+            *counts.entry(ring.owner(&meta.name).0).or_insert(0) += 1;
+        }
+        let rows: Vec<ShardRow> = counts
+            .into_iter()
+            .map(|(shard, files)| ShardRow {
+                shard,
+                files,
+                ops_served: 0,
+                host: None,
+            })
+            .collect();
+        ShardReport {
+            mode: "preview",
+            epoch: 0,
+            vnodes: map.vnodes,
+            balance: balance_of(&rows),
+            shards: rows,
+        }
+    };
+
+    if args.flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "{} shard layout: {} shards, {} vnodes/shard, epoch {}",
+        report.mode,
+        report.shards.len(),
+        report.vnodes,
+        report.epoch
+    );
+    for row in &report.shards {
+        println!(
+            "  shard-{:<3} {:>8} files  {:>10} ops{}",
+            row.shard,
+            row.files,
+            row.ops_served,
+            row.host.map(|h| format!("  host h{h}")).unwrap_or_default()
+        );
+    }
+    println!("balance (hottest/mean files): {:.2}", report.balance);
+    Ok(())
+}
+
+/// Hottest shard's file count over the mean.
+fn balance_of(rows: &[ShardRow]) -> f64 {
+    if rows.is_empty() {
+        return 1.0;
+    }
+    let total: usize = rows.iter().map(|r| r.files).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / rows.len() as f64;
+    let max = rows.iter().map(|r| r.files).max().unwrap_or(0);
+    max as f64 / mean
+}
+
 fn run() -> Result<(), String> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -377,7 +503,8 @@ fn run() -> Result<(), String> {
              rm     <dir> <name> [--client H]\n\
              serve  <dir> --listen ADDR\n\
              metrics <dir> [--json] [--client H]   # probe files, dump telemetry\n\
-             status <dir> [--json]                 # host health, under-replicated files, fragment health"
+             status <dir> [--json]                 # host health, under-replicated files, fragment health\n\
+             shards <dir> [--json] [--shards N] [--vnodes V]  # metadata-shard layout (live or previewed)"
         );
         return Ok(());
     }
@@ -541,6 +668,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "status" => cmd_status(&dir, &args),
+        "shards" => cmd_shards(&dir, &args),
         "serve" => {
             let listen = args
                 .flags

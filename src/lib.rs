@@ -29,6 +29,7 @@
 //! | [`rpc`] | control-message transport (Thrift substitute) |
 //! | [`baselines`] | Nearest and Sinbad-R replica selection |
 //! | [`workload`] | Poisson/Zipf/staggered-locality workload synthesis |
+//! | [`shard`] | sharded metadata plane: hash ring, routers, online migration |
 //! | [`sim`] | experiment harness regenerating every paper figure |
 //! | [`simcore`] | deterministic discrete-event kernel |
 //! | [`mcheck`] | schedule-exploration model checker with linearizability oracle |
@@ -65,6 +66,7 @@ pub use mayflower_net as net;
 pub use mayflower_recovery as recovery;
 pub use mayflower_rpc as rpc;
 pub use mayflower_sdn as sdn;
+pub use mayflower_shard as shard;
 pub use mayflower_sim as sim;
 pub use mayflower_simcore as simcore;
 pub use mayflower_simnet as simnet;
