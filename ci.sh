@@ -42,6 +42,13 @@ echo "==> sharded metadata plane: ring proptests + scaling experiment (release)"
 cargo test --release -q -p mayflower-shard
 cargo test --release -q -p mayflower-sim --test metadata_scaling
 
+echo "==> data-plane pipeline: stress tests + single-threaded fs suite (release)"
+# The fs suite runs multi-threaded under the workspace `cargo test -q`
+# above; rerunning it pinned to one test thread shakes out any hidden
+# reliance on test-level parallelism masking worker-pool races.
+cargo test --release -q -p mayflower-fs --test datapath_stress
+RUST_TEST_THREADS=1 cargo test --release -q -p mayflower-fs
+
 echo "==> cargo bench --no-run --workspace (benches must compile)"
 cargo bench --no-run --workspace
 
@@ -53,6 +60,9 @@ cargo run --release -q -p mayflower-ec --bin ec_smoke
 
 echo "==> metadata plane perf smoke (writes BENCH_meta.json)"
 cargo run --release -q -p mayflower-bench --bin meta_smoke
+
+echo "==> data-plane pipeline perf smoke (writes BENCH_datapath.json, asserts speedup floors)"
+cargo run --release -q -p mayflower-bench --bin datapath_smoke
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

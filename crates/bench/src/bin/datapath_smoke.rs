@@ -1,0 +1,239 @@
+//! Release-mode data-plane perf smoke: serial vs parallel split reads
+//! (1/2/4 pieces), append relay fan-out at 3-way replication, and
+//! coded 4+2 / 6+3 sealed-chunk reads, then writes
+//! `BENCH_datapath.json` to the repo root.
+//!
+//! The container is effectively single-core, so the pipeline's win is
+//! *latency overlap*, not CPU parallelism: each dataserver carries a
+//! simulated per-RPC round trip ([`Cluster::set_simulated_rtt`]) that
+//! stands in for the network, and the worker pool overlaps those
+//! round trips exactly the way a real client overlaps in-flight RPCs.
+//! Serial numbers run the identical code path at width 1.
+//!
+//! Two floors are asserted so a silent regression cannot publish a
+//! baseline: ≥1.5x read throughput for 4-piece split reads and ≥1.3x
+//! for 3-way appends. Byte identity between serial and parallel reads
+//! is asserted on every iteration.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mayflower_fs::{
+    Cluster, ClusterConfig, Consistency, NameserverConfig, Redundancy, SplitSelector,
+};
+use mayflower_net::{HostId, Topology, TreeParams};
+
+/// Simulated per-RPC round trip. Large against worker-pool overhead
+/// (scoped-thread spawn is tens of microseconds), small enough that
+/// the whole smoke stays under a few seconds.
+const RTT: Duration = Duration::from_millis(4);
+/// Payload per measured read.
+const FILE_BYTES: usize = 1 << 20;
+/// Payload per measured append.
+const APPEND_BYTES: usize = 64 << 10;
+const ITERS: usize = 9;
+
+/// Deterministic payload bytes.
+fn payload(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(167).wrapping_add(3))
+        .collect()
+}
+
+/// Median over `ITERS` timed runs of `f`, as MB/s for `bytes` moved
+/// per run. A couple of untimed warmups absorb allocator and
+/// thread-spawn cold start.
+fn median_mb_s(bytes: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    f();
+    let mut samples: Vec<f64> = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    bytes as f64 / samples[samples.len() / 2] / 1e6
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("mayflower-datapath-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // 18 hosts: enough distinct fault domains for 3 replicas plus the
+    // 9 fragment hosts a 6+3 coded file needs.
+    let topo = Arc::new(Topology::three_tier(&TreeParams {
+        pods: 3,
+        racks_per_pod: 3,
+        hosts_per_rack: 2,
+        ..TreeParams::paper_testbed()
+    }));
+    let cluster = Cluster::create(
+        &dir,
+        topo,
+        ClusterConfig {
+            nameserver: NameserverConfig {
+                chunk_size: 256 << 10,
+                ..NameserverConfig::default()
+            },
+            consistency: Consistency::Sequential,
+        },
+    )
+    .expect("create cluster");
+
+    // Setup at zero RTT; only the measured operations pay the delay.
+    let data = payload(FILE_BYTES);
+    {
+        let mut setup = cluster.client(HostId(0));
+        setup.create("bench/split").expect("create");
+        setup.append("bench/split", &data).expect("append");
+        setup
+            .create_with("bench/coded42", Redundancy::Coded { k: 4, m: 2 })
+            .expect("create 4+2");
+        setup.append("bench/coded42", &data).expect("append 4+2");
+        setup
+            .create_with("bench/coded63", Redundancy::Coded { k: 6, m: 3 })
+            .expect("create 6+3");
+        setup.append("bench/coded63", &data).expect("append 6+3");
+    }
+    cluster.set_simulated_rtt(RTT);
+
+    // Split reads at 1, 2 and 4 pieces, serial (width 1) vs parallel.
+    let mut read_points = Vec::new();
+    for pieces in [1u64, 2, 4] {
+        let mut client =
+            cluster.client_with_selector(HostId(0), Box::new(SplitSelector::new(pieces)));
+        client.set_parallelism(1);
+        let serial = median_mb_s(FILE_BYTES, || {
+            assert_eq!(
+                client.read("bench/split").expect("serial read"),
+                data,
+                "serial read diverged"
+            );
+        });
+        client.set_parallelism(pieces.max(1) as usize);
+        let parallel = median_mb_s(FILE_BYTES, || {
+            assert_eq!(
+                client.read("bench/split").expect("parallel read"),
+                data,
+                "parallel read diverged"
+            );
+        });
+        println!(
+            "split read {pieces}p: serial {serial:.1} MB/s  parallel {parallel:.1} MB/s  ({:.2}x)",
+            parallel / serial
+        );
+        read_points.push((pieces, serial, parallel));
+    }
+    let (_, serial_4p, parallel_4p) = read_points[2];
+    let read_speedup = parallel_4p / serial_4p;
+    assert!(
+        read_speedup >= 1.5,
+        "4-piece split read speedup {read_speedup:.2}x below the 1.5x floor \
+         (serial {serial_4p:.1} MB/s, parallel {parallel_4p:.1} MB/s)"
+    );
+
+    // Append relay fan-out at 3-way replication. Each mode appends to
+    // its own file so growth never crosses modes.
+    let chunk = payload(APPEND_BYTES);
+    let append_mb_s = |client: &mut mayflower_fs::Client, name: &str| {
+        client.create(name).expect("create append file");
+        median_mb_s(APPEND_BYTES, || {
+            client.append(name, &chunk).expect("append");
+        })
+    };
+    let mut client = cluster.client(HostId(0));
+    client.set_parallelism(1);
+    let append_serial = append_mb_s(&mut client, "bench/append-serial");
+    client.set_parallelism(4);
+    let append_parallel = append_mb_s(&mut client, "bench/append-parallel");
+    let append_speedup = append_parallel / append_serial;
+    println!(
+        "append 3-way: serial {append_serial:.1} MB/s  parallel {append_parallel:.1} MB/s  \
+         ({append_speedup:.2}x)"
+    );
+    assert!(
+        append_speedup >= 1.3,
+        "3-way append speedup {append_speedup:.2}x below the 1.3x floor \
+         (serial {append_serial:.1} MB/s, parallel {append_parallel:.1} MB/s)"
+    );
+
+    // Coded sealed-chunk reads: the k fragment fetches of each chunk
+    // overlap on the pool.
+    let mut coded_points = Vec::new();
+    for (name, k, m) in [("bench/coded42", 4usize, 2usize), ("bench/coded63", 6, 3)] {
+        let mut client = cluster.client(HostId(0));
+        client.set_parallelism(1);
+        let serial = median_mb_s(FILE_BYTES, || {
+            assert_eq!(
+                client.read(name).expect("serial coded read"),
+                data,
+                "serial coded read diverged"
+            );
+        });
+        client.set_parallelism(k);
+        let parallel = median_mb_s(FILE_BYTES, || {
+            assert_eq!(
+                client.read(name).expect("parallel coded read"),
+                data,
+                "parallel coded read diverged"
+            );
+        });
+        println!(
+            "coded {k}+{m} read: serial {serial:.1} MB/s  parallel {parallel:.1} MB/s  ({:.2}x)",
+            parallel / serial
+        );
+        coded_points.push((k, m, serial, parallel));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel_datapath\",\n",
+            "  \"topology\": \"three_tier_18_hosts\",\n",
+            "  \"simulated_rtt_ms\": {},\n",
+            "  \"file_bytes\": {},\n",
+            "  \"append_bytes\": {},\n",
+            "  \"iters_per_point\": {},\n",
+            "  \"unit\": \"MB_s_median\",\n",
+            "  \"read_1p_serial_mb_s\": {:.1},\n",
+            "  \"read_1p_parallel_mb_s\": {:.1},\n",
+            "  \"read_2p_serial_mb_s\": {:.1},\n",
+            "  \"read_2p_parallel_mb_s\": {:.1},\n",
+            "  \"read_4p_serial_mb_s\": {:.1},\n",
+            "  \"read_4p_parallel_mb_s\": {:.1},\n",
+            "  \"read_4p_speedup\": {:.2},\n",
+            "  \"append_serial_mb_s\": {:.1},\n",
+            "  \"append_parallel_mb_s\": {:.1},\n",
+            "  \"append_speedup\": {:.2},\n",
+            "  \"coded_4_2_serial_mb_s\": {:.1},\n",
+            "  \"coded_4_2_parallel_mb_s\": {:.1},\n",
+            "  \"coded_6_3_serial_mb_s\": {:.1},\n",
+            "  \"coded_6_3_parallel_mb_s\": {:.1}\n",
+            "}}\n"
+        ),
+        RTT.as_millis(),
+        FILE_BYTES,
+        APPEND_BYTES,
+        ITERS,
+        read_points[0].1,
+        read_points[0].2,
+        read_points[1].1,
+        read_points[1].2,
+        serial_4p,
+        parallel_4p,
+        read_speedup,
+        append_serial,
+        append_parallel,
+        append_speedup,
+        coded_points[0].2,
+        coded_points[0].3,
+        coded_points[1].2,
+        coded_points[1].3,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datapath.json");
+    std::fs::write(out, &json).expect("write BENCH_datapath.json");
+    println!("wrote {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

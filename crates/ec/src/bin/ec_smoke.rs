@@ -26,9 +26,16 @@ fn payload(len: usize) -> Vec<u8> {
 }
 
 /// Median of `iters` timed runs of `f`, in nanoseconds per call.
+///
+/// A few untimed warmup calls run first so the measurement reflects
+/// steady-state throughput rather than allocator/page-fault cold start
+/// (glibc's mmap threshold adapts only after the first large frees).
 fn median_ns<F: FnMut() -> u64>(iters: usize, mut f: F) -> f64 {
     let mut samples: Vec<f64> = Vec::with_capacity(iters);
     let mut sink = 0u64;
+    for _ in 0..3 {
+        sink = sink.wrapping_add(f());
+    }
     for _ in 0..iters {
         let start = Instant::now();
         sink = sink.wrapping_add(f());

@@ -144,11 +144,13 @@ impl Codec {
         assert_eq!(parity.len(), self.m, "encode expects m parity shards");
         for p in parity.iter_mut() {
             assert_eq!(p.len(), data[0].len(), "shard length mismatch");
-            p.fill(0);
         }
         for (r, p) in parity.iter_mut().enumerate() {
             let row = self.enc.row(self.k + r);
-            for (c, d) in data.iter().enumerate() {
+            // The first column *scales* into the buffer (no zero-fill
+            // pass over the parity shard), the rest accumulate.
+            gf::mul_slice(row[0], data[0], p);
+            for (c, d) in data.iter().enumerate().skip(1) {
                 gf::mul_acc_slice(row[c], d, p);
             }
         }

@@ -9,6 +9,7 @@ use mayflower_telemetry::{Counter, Histogram, Scope, Span};
 
 use crate::cluster::AppendCoordinator;
 use crate::coding::{self, EcMetrics};
+use crate::datapath::{self, DatapathMetrics, FetchCtx, RetryPolicy};
 use crate::dataserver::Dataserver;
 use crate::error::FsError;
 use crate::selector::{ReadAssignment, ReplicaSelector};
@@ -72,6 +73,9 @@ pub struct Client {
     /// grow without bound.
     cache_capacity: usize,
     metrics: ClientMetrics,
+    /// Parallel-pipeline telemetry, shared with every client of the
+    /// cluster.
+    datapath: Arc<DatapathMetrics>,
     /// Coded-tier telemetry, shared with the cluster's seal and repair
     /// paths.
     ec: Arc<EcMetrics>,
@@ -80,11 +84,35 @@ pub struct Client {
     retry_attempts: u32,
     /// Base delay between attempts; doubles each retry, capped.
     retry_backoff: std::time::Duration,
+    /// Worker-pool width for parallel piece fetches, append relays and
+    /// fragment reads; 1 runs everything serially inline.
+    parallelism: usize,
 }
 
 /// Backoff growth is capped so a long retry budget cannot make a
 /// client hang for seconds on a dead component.
-const MAX_RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(16);
+const MAX_RETRY_BACKOFF: std::time::Duration = datapath::MAX_RETRY_BACKOFF;
+
+/// What a ranged read brought back: the bytes, plus the file sizes the
+/// serving dataservers piggybacked on their responses — the fold that
+/// replaces the standalone size-probe RPC in [`Client::read`].
+#[derive(Debug, Default)]
+struct RangeOutcome {
+    data: Vec<u8>,
+    /// Size reported by a response the primary served, if any. Under
+    /// strong consistency only this is authoritative.
+    primary_size: Option<u64>,
+    /// Largest size any serving replica reported. Any replica's size
+    /// is a valid sequential-consistency answer: a replica only knows
+    /// bytes whose append the primary ordered.
+    max_size: Option<u64>,
+}
+
+/// Default data-plane pool width. Piece fetches and relays are
+/// I/O-bound — workers spend their time waiting on dataserver round
+/// trips — so the default is a fixed small fan-out rather than a
+/// function of core count.
+const DEFAULT_PARALLELISM: usize = 4;
 
 /// Default metadata-cache capacity. A cached entry is ~a FileMeta, so
 /// even at the cap the cache stays well under a megabyte.
@@ -103,6 +131,7 @@ impl Client {
         consistency: Consistency,
         selector: Box<dyn ReplicaSelector>,
         metrics: ClientMetrics,
+        datapath: Arc<DatapathMetrics>,
         ec: Arc<EcMetrics>,
     ) -> Client {
         Client {
@@ -116,9 +145,41 @@ impl Client {
             cache_ttl: std::time::Duration::from_secs(300),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             metrics,
+            datapath,
             ec,
             retry_attempts: 3,
             retry_backoff: std::time::Duration::from_millis(1),
+            parallelism: DEFAULT_PARALLELISM,
+        }
+    }
+
+    /// Sets the data-plane worker-pool width (min 1). Width 1 runs
+    /// piece fetches, append relays and fragment reads serially on the
+    /// caller's thread — the same code path, so bytes are identical at
+    /// every width; wider pools overlap the per-RPC latency of split
+    /// reads (§4.3) and replica fan-out.
+    pub fn set_parallelism(&mut self, width: usize) {
+        self.parallelism = width.max(1);
+    }
+
+    /// The data-plane worker-pool width.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            attempts: self.retry_attempts,
+            backoff: self.retry_backoff,
+        }
+    }
+
+    fn fetch_ctx(&self) -> FetchCtx<'_> {
+        FetchCtx {
+            dataservers: &self.dataservers,
+            policy: self.retry_policy(),
+            retries: &self.metrics.retries,
         }
     }
 
@@ -262,16 +323,37 @@ impl Client {
         let meta = self.meta(name)?;
         let lock = self.coordinator.file_lock(meta.id);
         let _guard = lock.lock();
-        let mut new_size = 0;
-        for (i, host) in meta.replicas.iter().enumerate() {
-            // Each replica write retries transient unavailability; if a
-            // replica stays down past the retry budget the append fails
-            // as a whole and the caller may re-elect the primary
-            // ([`crate::Cluster::reelect_primary`]) before retrying.
-            let size = self.with_retry(|| self.dataserver(*host)?.append_local(meta.id, data))?;
-            if i == 0 {
-                new_size = size;
-            }
+        // The primary orders the append (§3.3.2): it is written first,
+        // alone, and its size is the one recorded. Each replica write
+        // retries transient unavailability; if a replica stays down
+        // past the retry budget the append fails as a whole and the
+        // caller may re-elect the primary
+        // ([`crate::Cluster::reelect_primary`]) before retrying.
+        let new_size =
+            self.with_retry(|| self.dataserver(meta.primary())?.append_local(meta.id, data))?;
+        // The relay to the remaining replicas fans out on the worker
+        // pool: the order is already fixed by the primary, so the
+        // relays are independent and only the ack-all-before-return
+        // barrier matters for durability. Errors propagate lowest
+        // replica index first, like the serial relay.
+        let ctx = self.fetch_ctx();
+        let relayed = datapath::fan_out(
+            self.parallelism,
+            meta.replicas[1..]
+                .iter()
+                .map(|host| {
+                    let ctx = &ctx;
+                    move || {
+                        datapath::with_retry(ctx.policy, ctx.retries, || {
+                            ctx.dataserver(*host)?.append_local(meta.id, data)
+                        })
+                    }
+                })
+                .collect(),
+            Some(&self.datapath),
+        );
+        for size in relayed {
+            size?;
         }
         self.nameserver.record_size(name, new_size)?;
         if meta.is_coded() && new_size / meta.chunk_size > meta.sealed_chunks {
@@ -312,18 +394,64 @@ impl Client {
     fn read_attempt(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
         let _span = Span::start(self.metrics.read_latency_us.clone());
         let meta = self.meta(name)?;
-        // Size discovery: a zero-length read returns the current size
-        // (the paper's "the dataserver includes the file's size with
-        // each read result"). Under strong consistency the probe must
-        // see the primary's ordering, so only the primary may answer;
-        // sequential consistency lets the probe fail over to any
-        // replica (appends are relayed to all before acking, so every
-        // live replica knows the size).
+        // Size discovery rides on the data reads themselves: every
+        // dataserver read returns the replica's current size (the
+        // paper's "the dataserver includes the file's size with each
+        // read result"), so a read planned over the cached size hint
+        // already carries the probe. The hint is always safe to plan
+        // with — it can only lag the recorded size, and every replica
+        // acked every recorded append — and appended bytes the
+        // piggybacked size reveals are fetched in one extension round.
+        // Coded files keep the standalone probe: their read path
+        // refreshes metadata from the nameserver anyway, and sealed
+        // fragments report no file size.
+        let hint = if meta.is_coded() { 0 } else { meta.size };
+        let mut outcome = if hint > 0 {
+            self.read_range_collect(&meta, 0, hint)?
+        } else {
+            RangeOutcome::default()
+        };
+        // Under strong consistency the size must come from the primary
+        // (it alone linearizes appends): the hinted tail piece is
+        // pinned to the primary, so its piggybacked size is normally
+        // in hand; otherwise — empty hint, or every serving replica
+        // was a non-primary — fall back to the explicit primary-only
+        // probe. Sequential consistency accepts any replica's size.
+        let size = match self.consistency {
+            Consistency::Strong => match outcome.primary_size {
+                Some(size) => size,
+                None => self.probe_size(&meta)?,
+            },
+            Consistency::Sequential => match outcome.max_size {
+                Some(size) => size.max(hint),
+                None => self.probe_size(&meta)?,
+            },
+        };
+        if size > hint {
+            // The file grew past the hint: one extension round fetches
+            // the discovered tail. Planning uses the discovered size so
+            // the strong-mode primary pin covers the true last chunk.
+            let mut grown = meta.clone();
+            grown.size = size;
+            let ext = self.read_range_collect(&grown, hint, size - hint)?;
+            outcome.data.extend_from_slice(&ext.data);
+        }
+        if let Some((cached, _)) = self.cache.get_mut(name) {
+            cached.size = size;
+        }
+        self.metrics.read_bytes.add(outcome.data.len() as u64);
+        Ok(outcome.data)
+    }
+
+    /// The standalone size probe (a zero-length read): primary-only
+    /// under strong consistency, failing over across replicas under
+    /// sequential. Used when no data read piggybacked a usable size.
+    fn probe_size(&self, meta: &FileMeta) -> Result<u64, FsError> {
         let probe_order: &[HostId] = match self.consistency {
             Consistency::Strong => &meta.replicas[..1],
             Consistency::Sequential => &meta.replicas,
         };
-        let size = self.with_retry(|| {
+        self.with_retry(|| {
             let mut last = None;
             for host in probe_order {
                 match self.dataserver(*host)?.read_local(meta.id, 0, 0) {
@@ -333,13 +461,7 @@ impl Client {
                 }
             }
             Err(last.unwrap_or_else(|| FsError::NotFound(meta.name.clone())))
-        })?;
-        if let Some((cached, _)) = self.cache.get_mut(name) {
-            cached.size = size;
-        }
-        let data = self.read_range_inner(&meta, 0, size)?;
-        self.metrics.read_bytes.add(data.len() as u64);
-        Ok(data)
+        })
     }
 
     /// Reads `[offset, offset + len)`, truncated at end-of-file.
@@ -358,8 +480,17 @@ impl Client {
         offset: u64,
         len: u64,
     ) -> Result<Vec<u8>, FsError> {
+        Ok(self.read_range_collect(meta, offset, len)?.data)
+    }
+
+    fn read_range_collect(
+        &mut self,
+        meta: &FileMeta,
+        offset: u64,
+        len: u64,
+    ) -> Result<RangeOutcome, FsError> {
         if len == 0 {
-            return Ok(Vec::new());
+            return Ok(RangeOutcome::default());
         }
 
         // The seal watermark moves outside the append-only invariant
@@ -406,7 +537,9 @@ impl Client {
                         meta,
                         chunk,
                         &preferred,
+                        self.parallelism,
                         Some(&self.ec),
+                        Some(&self.datapath),
                     )
                 })?;
                 out.extend_from_slice(
@@ -417,21 +550,26 @@ impl Client {
             len -= span_end - offset;
             offset = span_end;
             if len == 0 {
-                return Ok(out);
+                return Ok(RangeOutcome {
+                    data: out,
+                    primary_size: None,
+                    max_size: None,
+                });
             }
         }
 
         // Under strong consistency, bytes in the last chunk must come
-        // from the primary; everything else is immutable and free to
-        // route (§3.4).
-        let mut pieces: Vec<(HostId, u64, u64)> = Vec::new(); // (host, offset, len)
+        // from the primary — with no failover to a secondary, whose
+        // tail could be stale; everything else is immutable and free
+        // to route (§3.4). `(host, offset, len, primary_only)`.
+        let mut pieces: Vec<(HostId, u64, u64, bool)> = Vec::new();
         let mut selectable_end = offset + len;
         if self.consistency == Consistency::Strong {
             if let Some(last_chunk) = meta.last_chunk() {
                 let last_start = last_chunk * meta.chunk_size;
                 if offset + len > last_start {
                     let tail_start = offset.max(last_start);
-                    pieces.push((meta.primary(), tail_start, offset + len - tail_start));
+                    pieces.push((meta.primary(), tail_start, offset + len - tail_start, true));
                     selectable_end = tail_start;
                 }
             }
@@ -454,78 +592,99 @@ impl Client {
                 if bytes == 0 {
                     continue;
                 }
-                selected.push((replica, pos, bytes));
+                selected.push((replica, pos, bytes, false));
                 pos += bytes;
             }
             selected.extend(pieces);
             pieces = selected;
         }
 
-        for (host, piece_offset, piece_len) in pieces {
-            out.extend_from_slice(&self.read_piece_with_failover(
-                meta,
-                host,
-                piece_offset,
-                piece_len,
-            )?);
+        let outcome = self.fetch_pieces(meta, &pieces)?;
+        if out.is_empty() {
+            return Ok(outcome);
         }
-        Ok(out)
-    }
-
-    /// Reads one contiguous piece, failing over to the remaining
-    /// replicas (primary last, as it is never stale) when the chosen
-    /// replica is down or lost its copy.
-    fn read_piece_with_failover(
-        &self,
-        meta: &FileMeta,
-        chosen: HostId,
-        offset: u64,
-        len: u64,
-    ) -> Result<Vec<u8>, FsError> {
-        // Try the chosen replica, then the others, primary last.
-        let mut order = vec![chosen];
-        for r in &meta.replicas {
-            if *r != chosen && *r != meta.primary() {
-                order.push(*r);
-            }
-        }
-        if meta.primary() != chosen {
-            order.push(meta.primary());
-        }
-        // The whole failover sweep retries under the client's policy:
-        // a crashed dataserver that restarts within the retry budget
-        // (or a racing primary re-election) turns a transient outage
-        // into a slower read instead of an error.
-        self.with_retry(|| {
-            let mut last_err = None;
-            for host in &order {
-                match self.try_read_piece(meta, *host, offset, len) {
-                    Ok(data) => return Ok(data),
-                    Err(e) => last_err = Some(e),
-                }
-            }
-            Err(last_err.unwrap_or_else(|| FsError::NotFound(meta.name.clone())))
+        out.extend_from_slice(&outcome.data);
+        Ok(RangeOutcome {
+            data: out,
+            primary_size: outcome.primary_size,
+            max_size: outcome.max_size,
         })
     }
 
-    fn try_read_piece(
+    /// Fetches the planned pieces — concurrently when the pool is
+    /// wider than one — assembling them by offset into one
+    /// preallocated buffer. Each piece keeps the serial path's
+    /// failover sweep (chosen replica, then the others, primary last;
+    /// primary only for a strong-consistency tail). Errors propagate
+    /// lowest piece index first, so width never changes the outcome.
+    fn fetch_pieces(
         &self,
         meta: &FileMeta,
-        host: HostId,
-        offset: u64,
-        len: u64,
-    ) -> Result<Vec<u8>, FsError> {
-        let (mut data, _) = self.dataserver(host)?.read_local(meta.id, offset, len)?;
-        if (data.len() as u64) < len {
-            // A lagging replica returned a short read; the primary is
-            // never behind — fetch the remainder there.
-            let got = data.len() as u64;
-            let (rest, _) =
-                self.dataserver(meta.primary())?
-                    .read_local(meta.id, offset + got, len - got)?;
-            data.extend_from_slice(&rest);
+        pieces: &[(HostId, u64, u64, bool)],
+    ) -> Result<RangeOutcome, FsError> {
+        let total: u64 = pieces.iter().map(|p| p.2).sum();
+        let mut buf = vec![0u8; total as usize];
+        let ctx = self.fetch_ctx();
+
+        // Disjoint per-piece slices of the output buffer, in order.
+        let mut slices: Vec<&mut [u8]> = Vec::with_capacity(pieces.len());
+        let mut rest: &mut [u8] = &mut buf;
+        for &(_, _, piece_len, _) in pieces {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(piece_len as usize);
+            slices.push(head);
+            rest = tail;
         }
-        Ok(data)
+
+        let results = datapath::fan_out(
+            self.parallelism,
+            pieces
+                .iter()
+                .zip(slices)
+                .map(|(&(chosen, piece_offset, _, primary_only), slice)| {
+                    // Failover order: chosen replica, the rest, primary
+                    // last (it is never stale).
+                    let mut order = vec![chosen];
+                    if !primary_only {
+                        for r in &meta.replicas {
+                            if *r != chosen && *r != meta.primary() {
+                                order.push(*r);
+                            }
+                        }
+                        if meta.primary() != chosen {
+                            order.push(meta.primary());
+                        }
+                    }
+                    let ctx = &ctx;
+                    move || ctx.read_piece_into(meta, &order, piece_offset, slice)
+                })
+                .collect(),
+            Some(&self.datapath),
+        );
+
+        // Assemble: pieces are consecutive, so a short piece (possible
+        // only at end-of-file — every replica holds every recorded
+        // byte, and short reads below the recorded size are topped up
+        // from the primary) truncates the result there.
+        let mut kept = 0usize;
+        let mut primary_size = None;
+        let mut max_size = None;
+        for (piece, result) in pieces.iter().zip(results) {
+            let done = result?;
+            if done.size_from == meta.primary() {
+                primary_size = Some(done.reported_size.max(primary_size.unwrap_or(0)));
+            }
+            max_size = Some(done.reported_size.max(max_size.unwrap_or(0)));
+            kept += done.filled;
+            if (done.filled as u64) < piece.2 {
+                break;
+            }
+        }
+        buf.truncate(kept);
+        Ok(RangeOutcome {
+            data: buf,
+            primary_size,
+            max_size,
+        })
     }
 
     /// Moves `old` to `new`, overwriting and garbage-collecting any
@@ -818,8 +977,13 @@ mod tests {
             snap.histogram("fs_dataserver_append_bytes").unwrap().sum,
             30
         );
-        // Reads: the size probe (0 bytes) plus the data read.
-        assert!(snap.counter("fs_dataserver_reads_total").unwrap() >= 2);
+        // One dataserver read serves the whole request: size discovery
+        // rides on the piece response instead of a standalone probe.
+        assert_eq!(snap.counter("fs_dataserver_reads_total"), Some(1));
+        // The pipeline observed the dispatch and drained its in-flight
+        // gauge.
+        assert!(snap.histogram("fs_datapath_fan_out_width").unwrap().count >= 1);
+        assert_eq!(snap.gauge("fs_datapath_inflight_fetches"), Some(0));
     }
 
     #[test]

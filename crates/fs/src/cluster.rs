@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 
 use crate::client::{Client, ClientMetrics};
 use crate::coding::{self, EcMetrics};
+use crate::datapath::DatapathMetrics;
 use crate::dataserver::Dataserver;
 use crate::error::FsError;
 use crate::nameserver::{Nameserver, NameserverConfig};
@@ -53,6 +54,7 @@ pub struct Cluster {
     consistency: Consistency,
     registry: mayflower_telemetry::Registry,
     ec: Arc<EcMetrics>,
+    datapath: Arc<DatapathMetrics>,
 }
 
 impl Cluster {
@@ -81,6 +83,9 @@ impl Cluster {
             dataservers.insert(host, Arc::new(ds));
         }
         let ec = Arc::new(EcMetrics::new(&registry.scope("ec")));
+        let datapath = Arc::new(DatapathMetrics::new(
+            &registry.scope("fs").scope("datapath"),
+        ));
         Ok(Cluster {
             topo,
             nameserver,
@@ -89,7 +94,17 @@ impl Cluster {
             consistency: config.consistency,
             registry,
             ec,
+            datapath,
         })
+    }
+
+    /// Applies a simulated per-request round-trip delay to every
+    /// dataserver — the knob single-machine benchmarks turn to stand
+    /// in for network latency on the data plane.
+    pub fn set_simulated_rtt(&self, rtt: std::time::Duration) {
+        for ds in self.dataservers.values() {
+            ds.set_simulated_rtt(rtt);
+        }
     }
 
     /// The cluster-wide telemetry registry: dataserver chunk IO and
@@ -173,6 +188,7 @@ impl Cluster {
             self.consistency,
             selector,
             ClientMetrics::new(&self.registry.scope("fs").scope("client")),
+            self.datapath.clone(),
             self.ec.clone(),
         )
     }

@@ -165,7 +165,11 @@ pub(crate) fn seal_complete_chunks(
 /// arbitrary losses are survivable.
 ///
 /// `preferred` gives the fragment indices to try first (a selector's
-/// choice); the remaining live fragments serve as failover.
+/// choice); the remaining live fragments serve as failover. The `k`
+/// fetches of each round race on a `width`-bounded pool (width 1 is
+/// the serial sweep); failed fetches promote the next fragments in
+/// deterministic index order, so the shard set a given failure pattern
+/// yields is independent of width and timing.
 ///
 /// # Errors
 ///
@@ -176,7 +180,9 @@ pub(crate) fn read_sealed_chunk(
     meta: &FileMeta,
     chunk: u64,
     preferred: &[usize],
+    width: usize,
     metrics: Option<&EcMetrics>,
+    datapath: Option<&crate::datapath::DatapathMetrics>,
 ) -> Result<Vec<u8>, FsError> {
     let (k, m) = meta
         .redundancy
@@ -197,22 +203,35 @@ pub(crate) fn read_sealed_chunk(
 
     let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
     let mut have = 0;
-    for index in order {
-        if have >= k {
-            break;
-        }
-        let host = meta.fragments[index];
-        let Ok(server) = ds(dataservers, host) else {
-            continue;
-        };
-        match server.read_fragment(meta.id, chunk, index) {
-            Ok((shard, len)) if len == payload_len => {
-                shards[index] = Some(shard);
-                have += 1;
-            }
-            // Wrong payload length, corrupt frame, host down, fragment
-            // not yet written: all erasures.
-            Ok(_) | Err(_) => {}
+    let mut next = 0;
+    while have < k && next < order.len() {
+        // Fetch exactly as many fragments as are still missing, in
+        // parallel; any that fail are replaced by the next candidates
+        // in order on the following round.
+        let round: Vec<usize> = order[next..].iter().copied().take(k - have).collect();
+        next += round.len();
+        let fetched = crate::datapath::fan_out(
+            width,
+            round
+                .iter()
+                .map(|&index| {
+                    let host = meta.fragments[index];
+                    move || -> Option<(usize, Vec<u8>)> {
+                        let server = dataservers.get(&host)?;
+                        match server.read_fragment(meta.id, chunk, index) {
+                            Ok((shard, len)) if len == payload_len => Some((index, shard)),
+                            // Wrong payload length, corrupt frame, host
+                            // down, fragment not yet written: erasures.
+                            Ok(_) | Err(_) => None,
+                        }
+                    }
+                })
+                .collect(),
+            datapath,
+        );
+        for (index, shard) in fetched.into_iter().flatten() {
+            shards[index] = Some(shard);
+            have += 1;
         }
     }
     if have < k {

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::fs::OpenOptions;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mayflower_net::HostId;
@@ -56,6 +56,13 @@ pub struct Dataserver {
     /// refuse connections. State on disk is untouched, so a restart
     /// recovers everything — a fail-stop crash, not data loss.
     up: AtomicBool,
+    /// Injected per-request service delay in microseconds: simulates
+    /// the network round trip of a data-plane RPC so single-machine
+    /// benchmarks can measure how much of it the parallel pipeline
+    /// overlaps. Zero (the default) adds nothing; the fluid simulator
+    /// and the model checker never set it, so modeled timing stays
+    /// deterministic.
+    rtt_us: AtomicU64,
     /// Chunk-IO telemetry, attached once by the cluster (absent in
     /// bare unit-test deployments).
     metrics: std::sync::OnceLock<DsMetrics>,
@@ -74,8 +81,26 @@ impl Dataserver {
             root: root.to_path_buf(),
             append_locks: Mutex::new(HashMap::new()),
             up: AtomicBool::new(true),
+            rtt_us: AtomicU64::new(0),
             metrics: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Sets the simulated per-request round-trip delay applied to
+    /// data-plane operations (reads, appends, fragment IO). Benchmarks
+    /// use this to stand in for network latency; zero disables it.
+    pub fn set_simulated_rtt(&self, rtt: std::time::Duration) {
+        self.rtt_us.store(
+            rtt.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn simulate_rtt(&self) {
+        let us = self.rtt_us.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
     }
 
     /// Attaches chunk-IO telemetry: `appends_total` / `reads_total`,
@@ -249,6 +274,7 @@ impl Dataserver {
     ///
     /// Returns [`FsError::NotFound`] if the replica is absent.
     pub fn append_local(&self, id: FileId, data: &[u8]) -> Result<u64, FsError> {
+        self.simulate_rtt();
         let lock = {
             let mut locks = self.append_locks.lock();
             locks.entry(id).or_default().clone()
@@ -291,30 +317,68 @@ impl Dataserver {
     ///
     /// Returns [`FsError::NotFound`] if the replica is absent.
     pub fn read_local(&self, id: FileId, offset: u64, len: u64) -> Result<(Vec<u8>, u64), FsError> {
+        self.simulate_rtt();
         let meta = self.read_meta(id)?;
+        // Size the allocation from the replica's actual extent — `len`
+        // may reach far past end-of-file.
+        let want = (offset + len).min(meta.size).saturating_sub(offset);
+        let mut out = vec![0u8; want as usize];
+        let (filled, size) = self.fill_from_chunks(&meta, offset, &mut out)?;
+        debug_assert_eq!(filled, out.len());
+        Ok((out, size))
+    }
+
+    /// Zero-copy variant of [`Dataserver::read_local`]: reads
+    /// `[offset, offset + buf.len())` directly into `buf`, returning
+    /// the byte count actually filled (shorter than the buffer at
+    /// end-of-file) and the replica's current size. The parallel read
+    /// pipeline hands each piece a disjoint slice of one preallocated
+    /// output buffer, so assembly needs no per-piece `Vec` churn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if the replica is absent.
+    pub fn read_local_into(
+        &self,
+        id: FileId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(usize, u64), FsError> {
+        self.simulate_rtt();
+        let meta = self.read_meta(id)?;
+        self.fill_from_chunks(&meta, offset, buf)
+    }
+
+    /// The shared read core: fills `buf` from the chunk files starting
+    /// at `offset`, truncating at the replica's size.
+    fn fill_from_chunks(
+        &self,
+        meta: &FileMeta,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(usize, u64), FsError> {
         let size = meta.size;
-        let end = (offset + len).min(size);
+        let end = (offset + buf.len() as u64).min(size);
         if offset >= end {
             // Size probes (zero-length reads) are requests too.
             if let Some(m) = self.metrics.get() {
                 m.reads.inc();
                 m.read_bytes.record(0);
             }
-            return Ok((Vec::new(), size));
+            return Ok((0, size));
         }
-        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut filled = 0usize;
         for slice in split_range(meta.chunk_size, offset, end - offset) {
-            let mut f = std::fs::File::open(self.chunk_path(id, slice.chunk))?;
+            let mut f = std::fs::File::open(self.chunk_path(meta.id, slice.chunk))?;
             f.seek(SeekFrom::Start(slice.offset_in_chunk))?;
-            let mut buf = vec![0u8; slice.len as usize];
-            f.read_exact(&mut buf)?;
-            out.extend_from_slice(&buf);
+            f.read_exact(&mut buf[filled..filled + slice.len as usize])?;
+            filled += slice.len as usize;
         }
         if let Some(m) = self.metrics.get() {
             m.reads.inc();
-            m.read_bytes.record(out.len() as u64);
+            m.read_bytes.record(filled as u64);
         }
-        Ok((out, size))
+        Ok((filled, size))
     }
 
     /// Stores fragment `index` of sealed chunk `chunk` (DESIGN.md §14).
@@ -334,6 +398,7 @@ impl Dataserver {
         payload_len: u64,
         shard: &[u8],
     ) -> Result<(), FsError> {
+        self.simulate_rtt();
         self.ensure_up()?;
         let dir = self.file_dir(id);
         std::fs::create_dir_all(&dir)?;
@@ -372,6 +437,7 @@ impl Dataserver {
         chunk: u64,
         index: usize,
     ) -> Result<(Vec<u8>, u64), FsError> {
+        self.simulate_rtt();
         self.ensure_up()?;
         let path = self.fragment_path(id, chunk, index);
         if !path.exists() {

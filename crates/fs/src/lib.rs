@@ -57,6 +57,7 @@ pub mod chunk;
 pub mod client;
 pub mod cluster;
 mod coding;
+mod datapath;
 pub mod dataserver;
 pub mod error;
 pub mod nameserver;
@@ -73,6 +74,7 @@ pub use error::FsError;
 pub use nameserver::{Nameserver, NameserverConfig};
 pub use selector::{
     FallbackSelector, NearestSelector, PrimarySelector, ReadAssignment, ReplicaSelector,
+    SplitSelector,
 };
 pub use service::MetadataService;
 pub use types::{Consistency, FileId, FileMeta, Redundancy};
