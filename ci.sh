@@ -49,6 +49,10 @@ echo "==> data-plane pipeline: stress tests + single-threaded fs suite (release)
 cargo test --release -q -p mayflower-fs --test datapath_stress
 RUST_TEST_THREADS=1 cargo test --release -q -p mayflower-fs
 
+echo "==> causal tracing: telemetry suite + trace determinism/well-formedness (release)"
+cargo test --release -q -p mayflower-telemetry
+cargo test --release -q --test trace_determinism
+
 echo "==> cargo bench --no-run --workspace (benches must compile)"
 cargo bench --no-run --workspace
 
@@ -63,6 +67,9 @@ cargo run --release -q -p mayflower-bench --bin meta_smoke
 
 echo "==> data-plane pipeline perf smoke (writes BENCH_datapath.json, asserts speedup floors)"
 cargo run --release -q -p mayflower-bench --bin datapath_smoke
+
+echo "==> tracing overhead perf smoke (writes BENCH_trace.json, asserts <=5% datapath overhead)"
+cargo run --release -q -p mayflower-bench --bin trace_smoke
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

@@ -1,0 +1,193 @@
+//! Release-mode tracing perf smoke: the span record path in
+//! nanoseconds (tracer enabled = bounded ring push, disabled = one
+//! atomic load) and the instrumented-vs-uninstrumented data path, then
+//! writes `BENCH_trace.json` to the repo root.
+//!
+//! "Uninstrumented" is the shipped configuration: every span site is
+//! compiled in but the tracer is disabled, so an operation pays one
+//! relaxed atomic load per would-be span. "Instrumented" enables the
+//! tracer in flight-recorder mode (per-component rings, no capture
+//! sink), the always-on production posture of DESIGN.md §17.
+//!
+//! One floor is asserted so a silent regression cannot publish a
+//! baseline: instrumented read and append throughput must stay within
+//! 5% of the disabled-tracer floors (ratio ≥ 0.95).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mayflower_fs::{Cluster, ClusterConfig, Consistency, NameserverConfig, SplitSelector};
+use mayflower_net::{HostId, Topology, TreeParams};
+use mayflower_telemetry::trace::{self, Tracer};
+
+/// Simulated per-RPC round trip, matching the datapath smoke: large
+/// against span bookkeeping, small enough to finish in seconds.
+const RTT: Duration = Duration::from_millis(4);
+/// Payload per measured read.
+const FILE_BYTES: usize = 1 << 20;
+/// Payload per measured append.
+const APPEND_BYTES: usize = 64 << 10;
+/// Spans per record-path measurement batch.
+const SPANS: usize = 100_000;
+const ITERS: usize = 9;
+
+/// Deterministic payload bytes.
+fn payload(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(167).wrapping_add(3))
+        .collect()
+}
+
+/// Median over `ITERS` timed runs of `f`, in seconds.
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    f();
+    f();
+    let mut samples: Vec<f64> = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Median ns per span of a batch of annotated root spans.
+fn record_path_ns(tracer: &Arc<Tracer>) -> f64 {
+    let handle = tracer.handle("bench");
+    median_secs(|| {
+        for i in 0..SPANS {
+            let mut span = handle.span("record");
+            if i == 0 {
+                trace::annotate(&mut span, "first", "true");
+            }
+            drop(span);
+        }
+    }) * 1e9
+        / SPANS as f64
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("mayflower-trace-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let topo = Arc::new(Topology::three_tier(&TreeParams {
+        pods: 2,
+        racks_per_pod: 2,
+        hosts_per_rack: 2,
+        ..TreeParams::paper_testbed()
+    }));
+    let cluster = Cluster::create(
+        &dir,
+        topo,
+        ClusterConfig {
+            nameserver: NameserverConfig {
+                chunk_size: 256 << 10,
+                ..NameserverConfig::default()
+            },
+            consistency: Consistency::Sequential,
+        },
+    )
+    .expect("create cluster");
+
+    // Record path: enabled (flight-recorder ring push) vs disabled
+    // (one relaxed atomic load per span site).
+    let tracer = cluster.tracer().clone();
+    tracer.set_enabled(true);
+    let record_enabled_ns = record_path_ns(&tracer);
+    tracer.set_enabled(false);
+    let record_disabled_ns = record_path_ns(&tracer);
+    println!(
+        "record path: enabled {record_enabled_ns:.0} ns/span  disabled {record_disabled_ns:.1} ns/span"
+    );
+
+    // Datapath: a 2-piece split read and a 3-way append over simulated
+    // RTT, with the tracer off (floor) then on.
+    let data = payload(FILE_BYTES);
+    {
+        let mut setup = cluster.client(HostId(0));
+        setup.create("bench/traced").expect("create");
+        setup.append("bench/traced", &data).expect("append");
+    }
+    cluster.set_simulated_rtt(RTT);
+
+    let mut client = cluster.client_with_selector(HostId(0), Box::new(SplitSelector::new(2)));
+    client.set_parallelism(2);
+    let chunk = payload(APPEND_BYTES);
+    let mut measure = |enabled: bool, append_file: &str| {
+        tracer.set_enabled(enabled);
+        let read_secs = median_secs(|| {
+            assert_eq!(
+                client.read("bench/traced").expect("read"),
+                data,
+                "read diverged"
+            );
+        });
+        client.create(append_file).expect("create append file");
+        let append_secs = median_secs(|| {
+            client.append(append_file, &chunk).expect("append");
+        });
+        (
+            FILE_BYTES as f64 / read_secs / 1e6,
+            APPEND_BYTES as f64 / append_secs / 1e6,
+        )
+    };
+    let (read_off, append_off) = measure(false, "bench/append-off");
+    let (read_on, append_on) = measure(true, "bench/append-on");
+    let read_ratio = read_on / read_off;
+    let append_ratio = append_on / append_off;
+    println!(
+        "split read 2p: uninstrumented {read_off:.1} MB/s  instrumented {read_on:.1} MB/s  ({read_ratio:.3}x)"
+    );
+    println!(
+        "append 3-way: uninstrumented {append_off:.1} MB/s  instrumented {append_on:.1} MB/s  ({append_ratio:.3}x)"
+    );
+    assert!(
+        read_ratio >= 0.95,
+        "instrumented read throughput ratio {read_ratio:.3} below the 0.95 floor \
+         (off {read_off:.1} MB/s, on {read_on:.1} MB/s)"
+    );
+    assert!(
+        append_ratio >= 0.95,
+        "instrumented append throughput ratio {append_ratio:.3} below the 0.95 floor \
+         (off {append_off:.1} MB/s, on {append_on:.1} MB/s)"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"trace_overhead\",\n",
+            "  \"topology\": \"three_tier_8_hosts\",\n",
+            "  \"simulated_rtt_ms\": {},\n",
+            "  \"file_bytes\": {},\n",
+            "  \"append_bytes\": {},\n",
+            "  \"iters_per_point\": {},\n",
+            "  \"record_span_enabled_ns\": {:.0},\n",
+            "  \"record_span_disabled_ns\": {:.1},\n",
+            "  \"read_uninstrumented_mb_s\": {:.1},\n",
+            "  \"read_instrumented_mb_s\": {:.1},\n",
+            "  \"read_instrumented_ratio\": {:.3},\n",
+            "  \"append_uninstrumented_mb_s\": {:.1},\n",
+            "  \"append_instrumented_mb_s\": {:.1},\n",
+            "  \"append_instrumented_ratio\": {:.3}\n",
+            "}}\n"
+        ),
+        RTT.as_millis(),
+        FILE_BYTES,
+        APPEND_BYTES,
+        ITERS,
+        record_enabled_ns,
+        record_disabled_ns,
+        read_off,
+        read_on,
+        read_ratio,
+        append_off,
+        append_on,
+        append_ratio,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(out, &json).expect("write BENCH_trace.json");
+    println!("wrote {out}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

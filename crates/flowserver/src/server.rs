@@ -7,6 +7,7 @@ use mayflower_net::fairshare::new_flow_share_into;
 use mayflower_net::{HostId, LinkId, Path, PathCache, PathSet, Topology};
 use mayflower_sdn::{CounterSource, Fabric, FlowCookie, StatsCollector, StatsReport};
 use mayflower_simcore::SimTime;
+use mayflower_telemetry::trace::{ActiveSpan, TraceHandle};
 use mayflower_telemetry::{Counter, Gauge, Histogram, Scope};
 use serde::{Deserialize, Serialize};
 
@@ -238,6 +239,47 @@ pub struct Flowserver {
     /// injection: switch→controller message loss).
     missed_polls: u64,
     metrics: FlowserverMetrics,
+    /// Tracing handle for decision-record spans (DESIGN.md §17);
+    /// `None` keeps selection entirely trace-free.
+    trace: Option<TraceHandle>,
+    /// Scratch for the decision record of the selection in flight:
+    /// per-candidate rows captured by [`Flowserver::best_path`] while
+    /// a decision span is open, `None` otherwise (the hot path checks
+    /// one `Option` and formats nothing).
+    decision: Option<DecisionRecord>,
+}
+
+/// Accumulates what a selection looked at before choosing: one row per
+/// candidate replica×path (capped), plus evaluated/pruned counts and
+/// the winner's Eq. 2 cost.
+#[derive(Debug, Clone, Default)]
+struct DecisionRecord {
+    rows: Vec<String>,
+    truncated: usize,
+    evaluated: u64,
+    pruned: u64,
+    chosen_cost: f64,
+}
+
+/// Candidate rows kept verbatim in a decision span before truncation
+/// to a count.
+const DECISION_ROW_CAP: usize = 16;
+
+/// Renders a chosen assignment for a decision-span annotation.
+fn render_assignment(a: &Assignment) -> String {
+    let links: Vec<String> = a
+        .path
+        .links()
+        .iter()
+        .map(|l| l.index().to_string())
+        .collect();
+    format!(
+        "replica={} links={} bw={:.3e} size_bits={:.3e}",
+        a.replica.0,
+        links.join("->"),
+        a.est_bw,
+        a.size_bits
+    )
 }
 
 impl Flowserver {
@@ -257,6 +299,8 @@ impl Flowserver {
             last_stats_at: SimTime::ZERO,
             missed_polls: 0,
             metrics: FlowserverMetrics::detached(),
+            trace: None,
+            decision: None,
         }
     }
 
@@ -265,6 +309,76 @@ impl Flowserver {
     /// accumulated on the private default registry are not migrated.
     pub fn attach_metrics(&mut self, registry: &mayflower_telemetry::Registry) {
         self.metrics = FlowserverMetrics::new(&registry.scope("flowserver"));
+    }
+
+    /// Attaches a tracing handle: every selection running under a
+    /// traced operation then leaves a decision-record span naming the
+    /// candidates it evaluated or pruned, each one's bottleneck share
+    /// and Eq. 2 cost, and the chosen path.
+    pub fn attach_tracer(&mut self, handle: TraceHandle) {
+        self.trace = Some(handle);
+    }
+
+    /// Opens a decision-record span (child of the ambient traced op)
+    /// and arms the candidate scratch. `None` — no tracer, tracing
+    /// disabled, or no ambient op — records nothing.
+    fn decision_span(&mut self, name: &str) -> Option<ActiveSpan> {
+        let span = self.trace.as_ref()?.child(name)?;
+        self.decision = Some(DecisionRecord::default());
+        Some(span)
+    }
+
+    /// Captures one candidate row while a decision span is open.
+    fn push_decision_row(&mut self, row: String, pruned: bool) {
+        let Some(rec) = self.decision.as_mut() else {
+            return;
+        };
+        if pruned {
+            rec.pruned += 1;
+        } else {
+            rec.evaluated += 1;
+        }
+        if rec.rows.len() < DECISION_ROW_CAP {
+            rec.rows.push(row);
+        } else {
+            rec.truncated += 1;
+        }
+    }
+
+    /// Drains the decision scratch into the span's annotations.
+    fn finish_decision(&mut self, span: &mut Option<ActiveSpan>, sel: &Selection) {
+        let Some(rec) = self.decision.take() else {
+            return;
+        };
+        let Some(s) = span.as_mut() else {
+            return;
+        };
+        for (i, row) in rec.rows.iter().enumerate() {
+            s.annotate(format!("cand{i}"), row.clone());
+        }
+        if rec.truncated > 0 {
+            s.annotate("cand_truncated", rec.truncated.to_string());
+        }
+        s.annotate("evaluated", rec.evaluated.to_string());
+        s.annotate("pruned", rec.pruned.to_string());
+        match sel {
+            Selection::Local => s.annotate("outcome", "local"),
+            Selection::Unavailable => {
+                s.annotate("outcome", "unavailable");
+                s.set_error();
+            }
+            Selection::Single(a) => {
+                s.annotate("outcome", "single");
+                s.annotate("chosen", render_assignment(a));
+                s.annotate("cost", format!("{:.6}", rec.chosen_cost));
+            }
+            Selection::Split(asgs) => {
+                s.annotate("outcome", "split");
+                for (i, a) in asgs.iter().enumerate() {
+                    s.annotate(format!("subflow{i}"), render_assignment(a));
+                }
+            }
+        }
     }
 
     /// Refreshes the tracked/frozen flow gauges from model state.
@@ -384,9 +498,12 @@ impl Flowserver {
     ) -> Selection {
         assert!(!replicas.is_empty(), "need at least one replica");
         assert!(size_bits > 0.0, "request size must be positive");
+        let mut span = self.decision_span("select_replica_path");
         if replicas.contains(&client) {
             self.metrics.selections_local.inc();
-            return Selection::Local;
+            let sel = Selection::Local;
+            self.finish_decision(&mut span, &sel);
+            return sel;
         }
         let sel = if self.config.multipath && replicas.len() >= 2 {
             self.select_multipath(client, replicas, size_bits, now)
@@ -400,6 +517,7 @@ impl Flowserver {
             }
         };
         self.note_selection(&sel);
+        self.finish_decision(&mut span, &sel);
         sel
     }
 
@@ -419,15 +537,19 @@ impl Flowserver {
         now: SimTime,
     ) -> Selection {
         assert!(size_bits > 0.0, "request size must be positive");
+        let mut span = self.decision_span("select_path_for_replica");
         if replica == client {
             self.metrics.selections_local.inc();
-            return Selection::Local;
+            let sel = Selection::Local;
+            self.finish_decision(&mut span, &sel);
+            return sel;
         }
         let sel = match self.select_single(client, &[replica], size_bits, now) {
             Some(a) => Selection::Single(a),
             None => Selection::Unavailable,
         };
         self.note_selection(&sel);
+        self.finish_decision(&mut span, &sel);
         sel
     }
 
@@ -458,9 +580,12 @@ impl Flowserver {
         assert!(!sources.is_empty(), "need at least one repair source");
         assert!(size_bits > 0.0, "repair size must be positive");
         self.metrics.repair_selections.inc();
+        let mut span = self.decision_span("select_repair_flow");
         if sources.contains(&dest) {
             self.metrics.selections_local.inc();
-            return Selection::Local;
+            let sel = Selection::Local;
+            self.finish_decision(&mut span, &sel);
+            return sel;
         }
         let sel = match self.best_path(dest, sources, size_bits, now, FlowPriority::Background) {
             Some((source, path, pc)) => {
@@ -469,6 +594,7 @@ impl Flowserver {
             None => Selection::Unavailable,
         };
         self.note_selection(&sel);
+        self.finish_decision(&mut span, &sel);
         sel
     }
 
@@ -495,9 +621,12 @@ impl Flowserver {
         assert!(!sources.is_empty(), "need at least one migration source");
         assert!(size_bits > 0.0, "migration size must be positive");
         self.metrics.migration_selections.inc();
+        let mut span = self.decision_span("select_migration_flow");
         if sources.contains(&dest) {
             self.metrics.selections_local.inc();
-            return Selection::Local;
+            let sel = Selection::Local;
+            self.finish_decision(&mut span, &sel);
+            return sel;
         }
         let sel = match self.best_path(dest, sources, size_bits, now, FlowPriority::Background) {
             Some((source, path, pc)) => {
@@ -506,6 +635,7 @@ impl Flowserver {
             None => Selection::Unavailable,
         };
         self.note_selection(&sel);
+        self.finish_decision(&mut span, &sel);
         sel
     }
 
@@ -540,11 +670,14 @@ impl Flowserver {
         assert!(sources.len() >= k, "need at least k candidate sources");
         assert!(size_bits > 0.0, "request size must be positive");
         self.metrics.coded_selections.inc();
+        let mut span = self.decision_span("select_coded_read");
         let local = usize::from(sources.contains(&client));
         let needed = k - local.min(k);
         if needed == 0 {
             self.metrics.selections_local.inc();
-            return Selection::Local;
+            let sel = Selection::Local;
+            self.finish_decision(&mut span, &sel);
+            return sel;
         }
         let shard_bits = size_bits / k as f64;
 
@@ -579,6 +712,7 @@ impl Flowserver {
                     self.tracker.restore(rollback);
                     let sel = Selection::Unavailable;
                     self.note_selection(&sel);
+                    self.finish_decision(&mut span, &sel);
                     return sel;
                 }
             }
@@ -589,6 +723,7 @@ impl Flowserver {
             Selection::Split(assignments)
         };
         self.note_selection(&sel);
+        self.finish_decision(&mut span, &sel);
         sel
     }
 
@@ -756,13 +891,27 @@ impl Flowserver {
                 // list, so we must evaluate it fully.
                 if best.is_some() && prune_candidate(priority, est_bw, size_bits, best_key) {
                     self.note_candidate_pruned();
+                    if self.decision.is_some() {
+                        let row = format!("replica={} path={i} bw={est_bw:.3e} pruned", replica.0);
+                        self.push_decision_row(row, true);
+                    }
                     continue;
                 }
                 self.note_candidate_evaluated();
                 let (est_bw, cost) = self.eval_candidate(path.links(), size_bits, now, est_bw);
+                if self.decision.is_some() {
+                    let row = format!(
+                        "replica={} path={i} bw={est_bw:.3e} cost={cost:.6}",
+                        replica.0
+                    );
+                    self.push_decision_row(row, false);
+                }
                 let k = selection_key(priority, size_bits, est_bw, cost);
                 if best.is_none() || k < best_key {
                     best_key = k;
+                    if let Some(rec) = self.decision.as_mut() {
+                        rec.chosen_cost = cost;
+                    }
                     let pc = PathCost {
                         est_bw,
                         cost,
@@ -1001,6 +1150,50 @@ mod tests {
     fn server() -> Flowserver {
         let topo = Arc::new(Topology::three_tier(&TreeParams::paper_testbed()));
         Flowserver::new(topo, FlowserverConfig::default())
+    }
+
+    #[test]
+    fn decision_record_names_candidates_and_chosen_path() {
+        use mayflower_telemetry::trace::{TraceTree, Tracer};
+        let mut fs = server();
+        let tracer = Tracer::new_manual();
+        fs.attach_tracer(tracer.handle("flowserver"));
+
+        // Untraced selections record nothing (no ambient op).
+        fs.select_replica_path(HostId(0), &[HostId(5)], MB256, SimTime::ZERO);
+
+        tracer.set_enabled(true);
+        tracer.begin_capture();
+        let op = tracer.handle("client").root("read").unwrap();
+        let sel = {
+            let _g = op.enter();
+            fs.select_replica_path(HostId(0), &[HostId(5), HostId(20)], MB256, SimTime::ZERO)
+        };
+        drop(op);
+        let Selection::Single(chosen) = sel else {
+            panic!("expected a single assignment, got {sel:?}")
+        };
+
+        let tree = TraceTree::build(tracer.take_capture());
+        tree.validate().expect("well-formed decision trace");
+        let decision = tree
+            .events()
+            .iter()
+            .find(|e| e.name == "select_replica_path")
+            .expect("decision span recorded");
+        assert_eq!(decision.component, "flowserver");
+        assert!(
+            decision.annotation("cand0").is_some(),
+            "candidate rows kept"
+        );
+        assert!(decision.annotation("evaluated").is_some());
+        assert!(decision.annotation("pruned").is_some());
+        assert!(decision.annotation("cost").is_some(), "Eq. 2 cost recorded");
+        let rendered = decision.annotation("chosen").expect("chosen path recorded");
+        assert!(
+            rendered.contains(&format!("replica={}", chosen.replica.0)),
+            "{rendered}"
+        );
     }
 
     fn server_multipath() -> Flowserver {

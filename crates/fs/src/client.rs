@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use mayflower_net::HostId;
+use mayflower_telemetry::trace::{self, TraceHandle};
 use mayflower_telemetry::{Counter, Histogram, Scope, Span};
 
 use crate::cluster::AppendCoordinator;
@@ -87,6 +88,12 @@ pub struct Client {
     /// Worker-pool width for parallel piece fetches, append relays and
     /// fragment reads; 1 runs everything serially inline.
     parallelism: usize,
+    /// Client-side tracing: op roots (`create`/`append`/`read`) and
+    /// their direct children open here.
+    trace: TraceHandle,
+    /// Datapath tracing: piece spans, created on the client thread in
+    /// planning order (deterministic ids) and entered by pool workers.
+    trace_datapath: TraceHandle,
 }
 
 /// Backoff growth is capped so a long retry budget cannot make a
@@ -133,7 +140,9 @@ impl Client {
         metrics: ClientMetrics,
         datapath: Arc<DatapathMetrics>,
         ec: Arc<EcMetrics>,
+        trace: TraceHandle,
     ) -> Client {
+        let trace_datapath = trace.tracer().handle("datapath");
         Client {
             host,
             nameserver,
@@ -150,6 +159,8 @@ impl Client {
             retry_attempts: 3,
             retry_backoff: std::time::Duration::from_millis(1),
             parallelism: DEFAULT_PARALLELISM,
+            trace,
+            trace_datapath,
         }
     }
 
@@ -180,6 +191,7 @@ impl Client {
             dataservers: &self.dataservers,
             policy: self.retry_policy(),
             retries: &self.metrics.retries,
+            trace: &self.trace_datapath,
         }
     }
 
@@ -279,6 +291,24 @@ impl Client {
     /// Returns [`FsError::AlreadyExists`] for duplicate names and
     /// [`FsError::InvalidArgument`] for an unsatisfiable policy.
     pub fn create_with(&mut self, name: &str, redundancy: Redundancy) -> Result<FileMeta, FsError> {
+        let mut span = self.trace.span("create");
+        trace::annotate(&mut span, "file", name);
+        trace::annotate(&mut span, "redundancy", format!("{redundancy:?}"));
+        let out = {
+            let _g = span.as_ref().map(trace::ActiveSpan::enter);
+            self.create_with_inner(name, redundancy)
+        };
+        if out.is_err() {
+            trace::mark_error(&mut span);
+        }
+        out
+    }
+
+    fn create_with_inner(
+        &mut self,
+        name: &str,
+        redundancy: Redundancy,
+    ) -> Result<FileMeta, FsError> {
         let meta = match self.nameserver.create_with(name, redundancy) {
             Ok(meta) => meta,
             Err(e @ FsError::AlreadyExists(_)) => {
@@ -306,15 +336,27 @@ impl Client {
     ///
     /// Returns [`FsError::NotFound`] for unknown files.
     pub fn append(&mut self, name: &str, data: &[u8]) -> Result<u64, FsError> {
-        match self.append_attempt(name, data) {
-            // Replica-side NotFound under a cached entry means the file
-            // was deleted (and possibly re-created under a new id)
-            // behind our cache: drop the entry and retry fresh once.
-            Err(FsError::NotFound(_)) if self.invalidate_stale(name) => {
-                self.append_attempt(name, data)
+        let mut span = self.trace.span("append");
+        trace::annotate(&mut span, "file", name);
+        trace::annotate(&mut span, "bytes", data.len().to_string());
+        let out = {
+            let _g = span.as_ref().map(trace::ActiveSpan::enter);
+            match self.append_attempt(name, data) {
+                // Replica-side NotFound under a cached entry means the
+                // file was deleted (and possibly re-created under a new
+                // id) behind our cache: drop the entry and retry fresh
+                // once.
+                Err(FsError::NotFound(_)) if self.invalidate_stale(name) => {
+                    self.append_attempt(name, data)
+                }
+                other => other,
             }
-            other => other,
+        };
+        match &out {
+            Ok(size) => trace::annotate(&mut span, "size", size.to_string()),
+            Err(_) => trace::mark_error(&mut span),
         }
+        out
     }
 
     fn append_attempt(&mut self, name: &str, data: &[u8]) -> Result<u64, FsError> {
@@ -329,24 +371,52 @@ impl Client {
         // past the retry budget the append fails as a whole and the
         // caller may re-elect the primary
         // ([`crate::Cluster::reelect_primary`]) before retrying.
-        let new_size =
-            self.with_retry(|| self.dataserver(meta.primary())?.append_local(meta.id, data))?;
+        let new_size = {
+            let mut span = self.trace.child("primary_write");
+            trace::annotate(&mut span, "host", meta.primary().0.to_string());
+            let out = {
+                let _g = span.as_ref().map(trace::ActiveSpan::enter);
+                self.with_retry(|| self.dataserver(meta.primary())?.append_local(meta.id, data))
+            };
+            if out.is_err() {
+                trace::mark_error(&mut span);
+            }
+            out
+        }?;
         // The relay to the remaining replicas fans out on the worker
         // pool: the order is already fixed by the primary, so the
         // relays are independent and only the ack-all-before-return
         // barrier matters for durability. Errors propagate lowest
-        // replica index first, like the serial relay.
+        // replica index first, like the serial relay. Relay spans are
+        // created here, in replica order, so span ids do not depend on
+        // pool width or completion order.
         let ctx = self.fetch_ctx();
+        let relay_spans: Vec<Option<trace::ActiveSpan>> = meta.replicas[1..]
+            .iter()
+            .map(|host| {
+                let mut s = self.trace.child("relay");
+                trace::annotate(&mut s, "host", host.0.to_string());
+                s
+            })
+            .collect();
         let relayed = datapath::fan_out(
             self.parallelism,
             meta.replicas[1..]
                 .iter()
-                .map(|host| {
+                .zip(relay_spans)
+                .map(|(host, mut span)| {
                     let ctx = &ctx;
                     move || {
-                        datapath::with_retry(ctx.policy, ctx.retries, || {
-                            ctx.dataserver(*host)?.append_local(meta.id, data)
-                        })
+                        let out = {
+                            let _g = span.as_ref().map(trace::ActiveSpan::enter);
+                            datapath::with_retry(ctx.policy, ctx.retries, || {
+                                ctx.dataserver(*host)?.append_local(meta.id, data)
+                            })
+                        };
+                        if out.is_err() {
+                            trace::mark_error(&mut span);
+                        }
+                        out
                     }
                 })
                 .collect(),
@@ -361,6 +431,8 @@ impl Client {
             // to the fragment hosts. Best-effort — a down fragment
             // host defers the seal to the next append (the chunk stays
             // replicated meanwhile, so durability never regresses).
+            let span = self.trace.child("seal");
+            let _g = span.as_ref().map(trace::ActiveSpan::enter);
             let _ = coding::seal_complete_chunks(
                 self.nameserver.as_ref(),
                 &self.dataservers,
@@ -380,15 +452,26 @@ impl Client {
     ///
     /// Returns [`FsError::NotFound`] for unknown files.
     pub fn read(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
-        match self.read_attempt(name) {
-            // Every replica denying knowledge of a cached file id means
-            // the cache is stale (deleted, or deleted-and-recreated
-            // under a new id): invalidate and retry once against fresh
-            // metadata. A genuinely deleted file still reports
-            // NotFound — from the nameserver this time.
-            Err(FsError::NotFound(_)) if self.invalidate_stale(name) => self.read_attempt(name),
-            other => other,
+        let mut span = self.trace.span("read");
+        trace::annotate(&mut span, "file", name);
+        let out = {
+            let _g = span.as_ref().map(trace::ActiveSpan::enter);
+            match self.read_attempt(name) {
+                // Every replica denying knowledge of a cached file id
+                // means the cache is stale (deleted, or
+                // deleted-and-recreated under a new id): invalidate and
+                // retry once against fresh metadata. A genuinely
+                // deleted file still reports NotFound — from the
+                // nameserver this time.
+                Err(FsError::NotFound(_)) if self.invalidate_stale(name) => self.read_attempt(name),
+                other => other,
+            }
+        };
+        match &out {
+            Ok(data) => trace::annotate(&mut span, "bytes", data.len().to_string()),
+            Err(_) => trace::mark_error(&mut span),
         }
+        out
     }
 
     fn read_attempt(&mut self, name: &str) -> Result<Vec<u8>, FsError> {
@@ -447,6 +530,19 @@ impl Client {
     /// under strong consistency, failing over across replicas under
     /// sequential. Used when no data read piggybacked a usable size.
     fn probe_size(&self, meta: &FileMeta) -> Result<u64, FsError> {
+        let mut span = self.trace.child("probe_size");
+        let out = {
+            let _g = span.as_ref().map(trace::ActiveSpan::enter);
+            self.probe_size_inner(meta)
+        };
+        match &out {
+            Ok(size) => trace::annotate(&mut span, "size", size.to_string()),
+            Err(_) => trace::mark_error(&mut span),
+        }
+        out
+    }
+
+    fn probe_size_inner(&self, meta: &FileMeta) -> Result<u64, FsError> {
         let probe_order: &[HostId] = match self.consistency {
             Consistency::Strong => &meta.replicas[..1],
             Consistency::Sequential => &meta.replicas,
@@ -470,8 +566,19 @@ impl Client {
     ///
     /// Returns [`FsError::NotFound`] for unknown files.
     pub fn read_range(&mut self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
-        let meta = self.meta(name)?;
-        self.read_range_inner(&meta, offset, len)
+        let mut span = self.trace.span("read_range");
+        trace::annotate(&mut span, "file", name);
+        trace::annotate(&mut span, "offset", offset.to_string());
+        trace::annotate(&mut span, "len", len.to_string());
+        let out = {
+            let _g = span.as_ref().map(trace::ActiveSpan::enter);
+            let meta = self.meta(name)?;
+            self.read_range_inner(&meta, offset, len)
+        };
+        if out.is_err() {
+            trace::mark_error(&mut span);
+        }
+        out
     }
 
     fn read_range_inner(
@@ -635,28 +742,63 @@ impl Client {
             rest = tail;
         }
 
+        // Piece spans are created here on the caller's thread, in
+        // planning order: span ids stay deterministic across pool
+        // widths, and each worker enters its span so per-host attempts
+        // parent under the right piece.
+        let piece_spans: Vec<Option<trace::ActiveSpan>> = pieces
+            .iter()
+            .enumerate()
+            .map(|(i, &(chosen, piece_offset, piece_len, primary_only))| {
+                let mut s = self.trace_datapath.child("piece");
+                trace::annotate(&mut s, "index", i.to_string());
+                trace::annotate(&mut s, "offset", piece_offset.to_string());
+                trace::annotate(&mut s, "bytes", piece_len.to_string());
+                trace::annotate(&mut s, "chosen", chosen.0.to_string());
+                if primary_only {
+                    trace::annotate(&mut s, "primary_only", "true");
+                }
+                s
+            })
+            .collect();
+
         let results = datapath::fan_out(
             self.parallelism,
             pieces
                 .iter()
                 .zip(slices)
-                .map(|(&(chosen, piece_offset, _, primary_only), slice)| {
-                    // Failover order: chosen replica, the rest, primary
-                    // last (it is never stale).
-                    let mut order = vec![chosen];
-                    if !primary_only {
-                        for r in &meta.replicas {
-                            if *r != chosen && *r != meta.primary() {
-                                order.push(*r);
+                .zip(piece_spans)
+                .map(
+                    |((&(chosen, piece_offset, _, primary_only), slice), mut span)| {
+                        // Failover order: chosen replica, the rest, primary
+                        // last (it is never stale).
+                        let mut order = vec![chosen];
+                        if !primary_only {
+                            for r in &meta.replicas {
+                                if *r != chosen && *r != meta.primary() {
+                                    order.push(*r);
+                                }
+                            }
+                            if meta.primary() != chosen {
+                                order.push(meta.primary());
                             }
                         }
-                        if meta.primary() != chosen {
-                            order.push(meta.primary());
+                        let ctx = &ctx;
+                        move || {
+                            let out = {
+                                let _g = span.as_ref().map(trace::ActiveSpan::enter);
+                                ctx.read_piece_into(meta, &order, piece_offset, slice)
+                            };
+                            match &out {
+                                Ok(done) => {
+                                    trace::annotate(&mut span, "filled", done.filled.to_string());
+                                }
+                                Err(_) => trace::mark_error(&mut span),
+                            }
+                            out
                         }
-                    }
-                    let ctx = &ctx;
-                    move || ctx.read_piece_into(meta, &order, piece_offset, slice)
-                })
+                    },
+                )
                 .collect(),
             Some(&self.datapath),
         );
@@ -1285,6 +1427,108 @@ mod tests {
         }
         let mut reader = c.client(HostId(5));
         assert!(matches!(reader.read("doomed"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn trace_records_failover_attempts_as_siblings() {
+        // Regression (DESIGN.md §17): a replica killed before the fetch
+        // reaches it must leave BOTH the failed and the successful
+        // attempt in the trace, as siblings under one piece span.
+        let dir = TempDir::new("tracefailover");
+        let c = cluster(&dir, Consistency::Sequential);
+        let mut writer = c.client(HostId(0));
+        let meta = writer.create("traced").unwrap();
+        writer.append("traced", b"observable bytes").unwrap();
+
+        let victim = meta.replicas[1];
+        c.dataserver(victim).crash();
+
+        struct Fixed(HostId);
+        impl crate::selector::ReplicaSelector for Fixed {
+            fn select_read(
+                &mut self,
+                _c: HostId,
+                _r: &[HostId],
+                bytes: u64,
+            ) -> Vec<crate::selector::ReadAssignment> {
+                vec![crate::selector::ReadAssignment {
+                    replica: self.0,
+                    bytes,
+                }]
+            }
+        }
+
+        let tracer = c.tracer().clone();
+        tracer.set_enabled(true);
+        tracer.begin_capture();
+        let mut reader = c.client_with_selector(HostId(9), Box::new(Fixed(victim)));
+        reader.set_retry_policy(1, std::time::Duration::ZERO);
+        assert_eq!(reader.read("traced").unwrap(), b"observable bytes");
+        tracer.set_enabled(false);
+
+        let tree = trace::TraceTree::build(tracer.take_capture());
+        tree.validate().expect("well-formed failover trace");
+        let attempts: Vec<&trace::SpanEvent> = tree
+            .events()
+            .iter()
+            .filter(|e| e.name == "attempt")
+            .collect();
+        let failed = attempts
+            .iter()
+            .find(|e| !e.ok)
+            .expect("failed attempt recorded");
+        assert_eq!(
+            failed.annotation("host"),
+            Some(victim.0.to_string().as_str())
+        );
+        assert!(failed.annotation("error").is_some());
+        let ok = attempts.iter().find(|e| e.ok).expect("successful attempt");
+        assert_eq!(
+            failed.parent, ok.parent,
+            "failed and successful attempts are siblings under one piece span"
+        );
+        // The root names the op; the critical path reaches the attempt.
+        let root = &tree.events()[tree.roots()[0]];
+        assert_eq!((root.component, root.name.as_str()), ("client", "read"));
+        let path = tree.render_critical_path(root.trace);
+        assert!(path.contains("datapath/attempt"), "{path}");
+    }
+
+    #[test]
+    fn trace_covers_append_fanout_and_dataserver_io() {
+        let dir = TempDir::new("traceappend");
+        let c = cluster(&dir, Consistency::Sequential);
+        let tracer = c.tracer().clone();
+        let mut client = c.client(HostId(0));
+        client.create("fanout").unwrap();
+        tracer.set_enabled(true);
+        tracer.begin_capture();
+        client.append("fanout", b"0123456789").unwrap();
+        tracer.set_enabled(false);
+        let tree = trace::TraceTree::build(tracer.take_capture());
+        tree.validate().expect("well-formed append trace");
+        let names: Vec<(&str, &str)> = tree
+            .events()
+            .iter()
+            .map(|e| (e.component, e.name.as_str()))
+            .collect();
+        assert!(names.contains(&("client", "append")));
+        assert!(names.contains(&("client", "primary_write")));
+        assert_eq!(
+            names.iter().filter(|n| **n == ("client", "relay")).count(),
+            2,
+            "one relay span per secondary replica"
+        );
+        assert_eq!(
+            names
+                .iter()
+                .filter(|n| **n == ("dataserver", "chunk_append"))
+                .count(),
+            3,
+            "every replica write traced"
+        );
+        // The flight recorder retained the same spans for post-hoc dumps.
+        assert!(!tracer.dump_flight_recorders().is_empty());
     }
 
     #[test]

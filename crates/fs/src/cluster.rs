@@ -6,6 +6,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use mayflower_net::{HostId, Topology};
+use mayflower_telemetry::trace::{self as trace, TraceHandle, Tracer};
 use parking_lot::Mutex;
 
 use crate::client::{Client, ClientMetrics};
@@ -55,6 +56,11 @@ pub struct Cluster {
     registry: mayflower_telemetry::Registry,
     ec: Arc<EcMetrics>,
     datapath: Arc<DatapathMetrics>,
+    /// Causal-tracing root (DESIGN.md §17), disabled by default; every
+    /// component handle below shares it.
+    tracer: Arc<Tracer>,
+    /// Repair/re-election flow spans.
+    trace_recovery: TraceHandle,
 }
 
 impl Cluster {
@@ -75,17 +81,20 @@ impl Cluster {
             config.nameserver,
         )?);
         let registry = mayflower_telemetry::Registry::new();
+        let tracer = Tracer::new_wall();
         let ds_scope = registry.scope("fs").scope("dataserver");
         let mut dataservers = BTreeMap::new();
         for host in topo.hosts() {
             let ds = Dataserver::open(host, &dir.join(format!("ds-{host}")))?;
             ds.attach_metrics(&ds_scope);
+            ds.attach_trace(tracer.handle("dataserver"));
             dataservers.insert(host, Arc::new(ds));
         }
         let ec = Arc::new(EcMetrics::new(&registry.scope("ec")));
         let datapath = Arc::new(DatapathMetrics::new(
             &registry.scope("fs").scope("datapath"),
         ));
+        let trace_recovery = tracer.handle("recovery");
         Ok(Cluster {
             topo,
             nameserver,
@@ -95,7 +104,17 @@ impl Cluster {
             registry,
             ec,
             datapath,
+            tracer,
+            trace_recovery,
         })
+    }
+
+    /// The cluster's causal tracer. Disabled by default; enable it
+    /// (and usually [`Tracer::begin_capture`]) to record per-operation
+    /// span trees across clients, dataservers and repair flows.
+    #[must_use]
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// Applies a simulated per-request round-trip delay to every
@@ -190,6 +209,7 @@ impl Cluster {
             ClientMetrics::new(&self.registry.scope("fs").scope("client")),
             self.datapath.clone(),
             self.ec.clone(),
+            self.tracer.handle("client"),
         )
     }
 
@@ -208,6 +228,35 @@ impl Cluster {
     /// Returns [`FsError::NotFound`] if no surviving replica holds the
     /// data, or I/O errors from the copy.
     pub fn repair(
+        &self,
+        name: &str,
+        rng: &mut mayflower_simcore::SimRng,
+    ) -> Result<Vec<HostId>, FsError> {
+        self.traced("repair", name, |c| c.repair_inner(name, rng))
+    }
+
+    /// Runs `f` under a recovery-flow span named `op` (a child when an
+    /// ambient span exists — e.g. the recovery executor's task span —
+    /// else a root), marking it failed on error.
+    fn traced<T>(
+        &self,
+        op: &str,
+        file: &str,
+        f: impl FnOnce(&Cluster) -> Result<T, FsError>,
+    ) -> Result<T, FsError> {
+        let mut span = self.trace_recovery.span(op);
+        trace::annotate(&mut span, "file", file);
+        let out = {
+            let _g = span.as_ref().map(trace::ActiveSpan::enter);
+            f(self)
+        };
+        if out.is_err() {
+            trace::mark_error(&mut span);
+        }
+        out
+    }
+
+    fn repair_inner(
         &self,
         name: &str,
         rng: &mut mayflower_simcore::SimRng,
@@ -303,6 +352,20 @@ impl Cluster {
     /// live copy or `dest` is down, and nameserver errors from
     /// persisting the new mapping.
     pub fn repair_to(&self, name: &str, source: HostId, dest: HostId) -> Result<u64, FsError> {
+        self.traced("repair_to", name, |c| {
+            let mut span = c.trace_recovery.child("copy");
+            trace::annotate(&mut span, "source", source.to_string());
+            trace::annotate(&mut span, "dest", dest.to_string());
+            let out = c.repair_to_inner(name, source, dest);
+            match &out {
+                Ok(bytes) => trace::annotate(&mut span, "bytes", bytes.to_string()),
+                Err(_) => trace::mark_error(&mut span),
+            }
+            out
+        })
+    }
+
+    fn repair_to_inner(&self, name: &str, source: HostId, dest: HostId) -> Result<u64, FsError> {
         let meta = self.nameserver.lookup(name)?;
         let lock = self.coordinator.file_lock(meta.id);
         let _guard = lock.lock();
@@ -352,6 +415,10 @@ impl Cluster {
     /// Returns [`FsError::Unavailable`] if no replica is live, or
     /// nameserver errors from persisting the new order.
     pub fn reelect_primary(&self, name: &str) -> Result<Option<HostId>, FsError> {
+        self.traced("reelect_primary", name, |c| c.reelect_primary_inner(name))
+    }
+
+    fn reelect_primary_inner(&self, name: &str) -> Result<Option<HostId>, FsError> {
         let meta = self.nameserver.lookup(name)?;
         let lock = self.coordinator.file_lock(meta.id);
         let _guard = lock.lock();
@@ -429,15 +496,12 @@ impl Cluster {
     /// Returns [`FsError::NotFound`] for unknown files and
     /// [`FsError::CorruptMetadata`] for inconsistent fragment maps.
     pub fn seal(&self, name: &str) -> Result<u64, FsError> {
-        let meta = self.nameserver.lookup(name)?;
-        let lock = self.coordinator.file_lock(meta.id);
-        let _guard = lock.lock();
-        coding::seal_complete_chunks(
-            self.nameserver.as_ref(),
-            &self.dataservers,
-            name,
-            Some(&self.ec),
-        )
+        self.traced("seal", name, |c| {
+            let meta = c.nameserver.lookup(name)?;
+            let lock = c.coordinator.file_lock(meta.id);
+            let _guard = lock.lock();
+            coding::seal_complete_chunks(c.nameserver.as_ref(), &c.dataservers, name, Some(&c.ec))
+        })
     }
 
     /// One targeted **coded repair** step, the erasure-tier counterpart
@@ -458,6 +522,25 @@ impl Cluster {
     /// fragment; [`FsError::Unavailable`] when fewer than `k` fragments
     /// of any sealed chunk survive.
     pub fn repair_fragment(&self, name: &str, index: usize, dest: HostId) -> Result<u64, FsError> {
+        self.traced("repair_fragment", name, |c| {
+            let mut span = c.trace_recovery.child("rebuild");
+            trace::annotate(&mut span, "fragment", index.to_string());
+            trace::annotate(&mut span, "dest", dest.to_string());
+            let out = c.repair_fragment_inner(name, index, dest);
+            match &out {
+                Ok(bytes) => trace::annotate(&mut span, "bytes", bytes.to_string()),
+                Err(_) => trace::mark_error(&mut span),
+            }
+            out
+        })
+    }
+
+    fn repair_fragment_inner(
+        &self,
+        name: &str,
+        index: usize,
+        dest: HostId,
+    ) -> Result<u64, FsError> {
         let meta = self.nameserver.lookup(name)?;
         let lock = self.coordinator.file_lock(meta.id);
         let _guard = lock.lock();

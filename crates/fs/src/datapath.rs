@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mayflower_net::HostId;
+use mayflower_telemetry::trace::{self, TraceHandle};
 use mayflower_telemetry::{Counter, Gauge, Histogram, Scope};
 use parking_lot::Mutex;
 
@@ -169,6 +170,10 @@ pub(crate) struct FetchCtx<'a> {
     pub(crate) dataservers: &'a BTreeMap<HostId, Arc<Dataserver>>,
     pub(crate) policy: RetryPolicy,
     pub(crate) retries: &'a Counter,
+    /// Datapath tracing handle: piece fetches open per-host `attempt`
+    /// spans under the ambient piece span, so a failover sweep leaves
+    /// sibling attempts (failed and successful) in the trace.
+    pub(crate) trace: &'a TraceHandle,
 }
 
 impl FetchCtx<'_> {
@@ -190,14 +195,32 @@ impl FetchCtx<'_> {
         offset: u64,
         buf: &mut [u8],
     ) -> Result<PieceDone, FsError> {
+        let mut round = 0u32;
         with_retry(self.policy, self.retries, || {
             let mut last_err = None;
             for host in order {
-                match self.try_read_piece_into(meta, *host, offset, &mut *buf) {
-                    Ok(done) => return Ok(done),
-                    Err(e) => last_err = Some(e),
+                let mut span = self.trace.child("attempt");
+                trace::annotate(&mut span, "host", host.0.to_string());
+                if round > 0 {
+                    trace::annotate(&mut span, "retry_round", round.to_string());
+                }
+                let out = {
+                    let _g = span.as_ref().map(trace::ActiveSpan::enter);
+                    self.try_read_piece_into(meta, *host, offset, &mut *buf)
+                };
+                match out {
+                    Ok(done) => {
+                        trace::annotate(&mut span, "filled", done.filled.to_string());
+                        return Ok(done);
+                    }
+                    Err(e) => {
+                        trace::annotate(&mut span, "error", e.to_string());
+                        trace::mark_error(&mut span);
+                        last_err = Some(e);
+                    }
                 }
             }
+            round += 1;
             Err(last_err.unwrap_or_else(|| FsError::NotFound(meta.name.clone())))
         })
     }

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mayflower_net::HostId;
+use mayflower_telemetry::trace::{self as trace, ActiveSpan, TraceHandle};
 use mayflower_telemetry::{Counter, Histogram};
 use parking_lot::Mutex;
 
@@ -66,6 +67,10 @@ pub struct Dataserver {
     /// Chunk-IO telemetry, attached once by the cluster (absent in
     /// bare unit-test deployments).
     metrics: std::sync::OnceLock<DsMetrics>,
+    /// Causal-tracing handle (DESIGN.md §17), attached once by the
+    /// cluster. Chunk-IO spans only open under an ambient parent, so a
+    /// bare dataserver call outside a traced operation records nothing.
+    trace: std::sync::OnceLock<TraceHandle>,
 }
 
 impl Dataserver {
@@ -83,6 +88,7 @@ impl Dataserver {
             up: AtomicBool::new(true),
             rtt_us: AtomicU64::new(0),
             metrics: std::sync::OnceLock::new(),
+            trace: std::sync::OnceLock::new(),
         })
     }
 
@@ -115,6 +121,22 @@ impl Dataserver {
             read_bytes: scope.histogram("read_bytes"),
             refused: scope.counter("refused_total"),
         });
+    }
+
+    /// Attaches a causal-tracing handle. Idempotent; a second attach
+    /// is ignored.
+    pub fn attach_trace(&self, handle: TraceHandle) {
+        // Idempotent: the first cluster to open this store wins.
+        let _ = self.trace.set(handle);
+    }
+
+    /// Opens a chunk-IO span under the caller's ambient span, stamped
+    /// with this host. `None` when tracing is off, unattached, or the
+    /// call is not part of a traced operation.
+    fn io_span(&self, name: &str) -> Option<ActiveSpan> {
+        let mut span = self.trace.get()?.child(name)?;
+        span.annotate("host", self.host.0.to_string());
+        Some(span)
     }
 
     /// Simulates a fail-stop crash: subsequent operations return
@@ -274,6 +296,17 @@ impl Dataserver {
     ///
     /// Returns [`FsError::NotFound`] if the replica is absent.
     pub fn append_local(&self, id: FileId, data: &[u8]) -> Result<u64, FsError> {
+        let mut span = self.io_span("chunk_append");
+        trace::annotate(&mut span, "bytes", data.len().to_string());
+        let out = self.append_local_inner(id, data);
+        match &out {
+            Ok(size) => trace::annotate(&mut span, "size", size.to_string()),
+            Err(_) => trace::mark_error(&mut span),
+        }
+        out
+    }
+
+    fn append_local_inner(&self, id: FileId, data: &[u8]) -> Result<u64, FsError> {
         self.simulate_rtt();
         let lock = {
             let mut locks = self.append_locks.lock();
@@ -344,9 +377,18 @@ impl Dataserver {
         offset: u64,
         buf: &mut [u8],
     ) -> Result<(usize, u64), FsError> {
-        self.simulate_rtt();
-        let meta = self.read_meta(id)?;
-        self.fill_from_chunks(&meta, offset, buf)
+        let mut span = self.io_span("chunk_read");
+        trace::annotate(&mut span, "offset", offset.to_string());
+        let out = (|| {
+            self.simulate_rtt();
+            let meta = self.read_meta(id)?;
+            self.fill_from_chunks(&meta, offset, buf)
+        })();
+        match &out {
+            Ok((filled, _)) => trace::annotate(&mut span, "bytes", filled.to_string()),
+            Err(_) => trace::mark_error(&mut span),
+        }
+        out
     }
 
     /// The shared read core: fills `buf` from the chunk files starting
@@ -398,6 +440,24 @@ impl Dataserver {
         payload_len: u64,
         shard: &[u8],
     ) -> Result<(), FsError> {
+        let mut span = self.io_span("fragment_put");
+        trace::annotate(&mut span, "chunk", chunk.to_string());
+        trace::annotate(&mut span, "fragment", index.to_string());
+        let out = self.put_fragment_inner(id, chunk, index, payload_len, shard);
+        if out.is_err() {
+            trace::mark_error(&mut span);
+        }
+        out
+    }
+
+    fn put_fragment_inner(
+        &self,
+        id: FileId,
+        chunk: u64,
+        index: usize,
+        payload_len: u64,
+        shard: &[u8],
+    ) -> Result<(), FsError> {
         self.simulate_rtt();
         self.ensure_up()?;
         let dir = self.file_dir(id);
@@ -432,6 +492,22 @@ impl Dataserver {
     /// the frame or checksum fails — callers treat a corrupt fragment
     /// exactly like a lost one and fetch a different source.
     pub fn read_fragment(
+        &self,
+        id: FileId,
+        chunk: u64,
+        index: usize,
+    ) -> Result<(Vec<u8>, u64), FsError> {
+        let mut span = self.io_span("fragment_read");
+        trace::annotate(&mut span, "chunk", chunk.to_string());
+        trace::annotate(&mut span, "fragment", index.to_string());
+        let out = self.read_fragment_inner(id, chunk, index);
+        if out.is_err() {
+            trace::mark_error(&mut span);
+        }
+        out
+    }
+
+    fn read_fragment_inner(
         &self,
         id: FileId,
         chunk: u64,
@@ -549,6 +625,21 @@ impl Dataserver {
     /// Returns [`FsError::Unavailable`] if either side is down, or the
     /// source's read errors.
     pub fn pull_repair(&self, source: &dyn RepairSource, meta: &FileMeta) -> Result<u64, FsError> {
+        let mut span = self.io_span("pull_repair");
+        trace::annotate(&mut span, "file", &meta.name);
+        let out = self.pull_repair_inner(source, meta);
+        match &out {
+            Ok(copied) => trace::annotate(&mut span, "bytes", copied.to_string()),
+            Err(_) => trace::mark_error(&mut span),
+        }
+        out
+    }
+
+    fn pull_repair_inner(
+        &self,
+        source: &dyn RepairSource,
+        meta: &FileMeta,
+    ) -> Result<u64, FsError> {
         self.ensure_up()?;
         if self.has_file(meta.id) {
             return Ok(0);

@@ -186,6 +186,8 @@ impl RepairExecutor {
         flowserver: &mut Flowserver,
         now: SimTime,
     ) -> Vec<CompletedRepair> {
+        use mayflower_telemetry::trace;
+        let trace_handle = cluster.tracer().handle("recovery");
         let mut done = Vec::new();
         let mut bytes_moved: u64 = 0;
         while done.len() < self.config.max_repairs_per_tick {
@@ -197,10 +199,27 @@ impl RepairExecutor {
             };
             self.queued_keys
                 .remove(&(task.name.clone(), task.dest, task.fragment));
-            let result = match task.fragment {
-                Some(index) => cluster.repair_fragment(&task.name, index, task.dest),
-                None => cluster.repair_to(&task.name, task.source, task.dest),
+            // One span per executed repair task: the cluster's own
+            // repair spans (copy / rebuild) nest underneath it.
+            let mut span = trace_handle.span("repair_task");
+            trace::annotate(&mut span, "file", &task.name);
+            trace::annotate(&mut span, "source", task.source.0.to_string());
+            trace::annotate(&mut span, "dest", task.dest.0.to_string());
+            if let Some(index) = task.fragment {
+                trace::annotate(&mut span, "fragment", index.to_string());
+            }
+            let result = {
+                let _g = span.as_ref().map(trace::ActiveSpan::enter);
+                match task.fragment {
+                    Some(index) => cluster.repair_fragment(&task.name, index, task.dest),
+                    None => cluster.repair_to(&task.name, task.source, task.dest),
+                }
             };
+            match &result {
+                Ok(bytes) => trace::annotate(&mut span, "bytes", bytes.to_string()),
+                Err(_) => trace::mark_error(&mut span),
+            }
+            drop(span);
             if let Some(cookie) = task.cookie {
                 flowserver.flow_completed(cookie);
             }

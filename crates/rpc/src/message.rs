@@ -12,6 +12,10 @@ pub struct Request {
     pub method: String,
     /// serde-encoded argument.
     pub body: Vec<u8>,
+    /// Caller's `(trace, span)` context, when the operation is traced
+    /// (DESIGN.md §17). `None` — including on envelopes from older
+    /// peers, which omit the key — leaves the server side untraced.
+    pub trace: Option<(u64, u64)>,
 }
 
 /// A response envelope.
@@ -72,8 +76,18 @@ mod tests {
             id: 42,
             method: "nameserver.lookup".into(),
             body: vec![1, 2, 3],
+            trace: Some((7, 9)),
         };
         assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn envelope_without_trace_key_still_decodes() {
+        // Envelopes from peers predating the trace field carry no
+        // "trace" key; the Option must default to None.
+        let legacy = br#"{"id":1,"method":"m","body":[]}"#;
+        let r = Request::decode(legacy).unwrap();
+        assert_eq!(r.trace, None);
     }
 
     #[test]

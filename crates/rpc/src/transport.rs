@@ -118,7 +118,9 @@ impl Transport for InProcTransport {
         // Encode/decode the envelope exactly as a socket transport
         // would, to keep the code path honest.
         let request = Request::decode(&request.encode())?;
-        let result = match self.service.call(&request.method, &request.body) {
+        let result = match mayflower_telemetry::trace::with_context(request.trace, || {
+            self.service.call(&request.method, &request.body)
+        }) {
             Ok(body) => Ok(body),
             Err(RpcError::UnknownMethod(m)) => Err(format!("unknown method: {m}")),
             Err(RpcError::Remote(msg)) => Err(msg),
@@ -213,6 +215,7 @@ impl<T: Transport> Client<T> {
             id,
             method: method.to_string(),
             body,
+            trace: mayflower_telemetry::trace::current_context(),
         };
         let response = self.transport.round_trip(request)?;
         debug_assert_eq!(response.id, id, "correlation id mismatch");
@@ -342,7 +345,9 @@ fn serve_connection(stream: TcpStream, service: &dyn Service) {
         let Ok(request) = Request::decode(&frame) else {
             return;
         };
-        let result = match service.call(&request.method, &request.body) {
+        let result = match mayflower_telemetry::trace::with_context(request.trace, || {
+            service.call(&request.method, &request.body)
+        }) {
             Ok(body) => Ok(body),
             Err(RpcError::UnknownMethod(m)) => Err(format!("unknown method: {m}")),
             Err(RpcError::Remote(msg)) => Err(msg),
@@ -511,6 +516,61 @@ mod tests {
             panic!("expected transport error");
         };
         assert_eq!(io.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    /// A service that opens a trace span per call, parented on
+    /// whatever context the envelope carried.
+    struct TracedEcho(mayflower_telemetry::TraceHandle);
+    impl Service for TracedEcho {
+        fn call(&self, _method: &str, body: &[u8]) -> Result<Vec<u8>, RpcError> {
+            let _span = self.0.child("serve");
+            Ok(body.to_vec())
+        }
+    }
+
+    #[test]
+    fn trace_context_rides_the_envelope_across_tcp() {
+        let tracer = mayflower_telemetry::Tracer::new_wall();
+        tracer.set_enabled(true);
+        tracer.begin_capture();
+        let server =
+            TcpServer::bind("127.0.0.1:0", Arc::new(TracedEcho(tracer.handle("server")))).unwrap();
+        let client = Client::new(TcpTransport::connect(server.local_addr()).unwrap());
+
+        let client_handle = tracer.handle("client");
+        let root = client_handle.root("op").unwrap();
+        let root_ctx = root.ctx();
+        {
+            let _g = root.enter();
+            let echoed: Vec<u8> = client.call("echo", &vec![1u8, 2]).unwrap();
+            assert_eq!(echoed, vec![1, 2]);
+        }
+        drop(root);
+        // The server span finishes on the connection thread before the
+        // response frame is written, so it is already in the capture.
+        let events = tracer.take_capture();
+        let serve = events
+            .iter()
+            .find(|e| e.name == "serve")
+            .expect("server-side span captured");
+        assert_eq!(serve.trace.0, root_ctx.0, "same trace across the wire");
+        assert_eq!(serve.parent.map(|p| p.0), Some(root_ctx.1));
+        assert_eq!(serve.component, "server");
+    }
+
+    #[test]
+    fn untraced_calls_carry_no_context() {
+        let tracer = mayflower_telemetry::Tracer::new_wall();
+        tracer.set_enabled(true);
+        tracer.begin_capture();
+        let client = Client::new(InProcTransport::new(Arc::new(TracedEcho(
+            tracer.handle("server"),
+        ))));
+        // No ambient span on the calling thread: the envelope carries
+        // None and the service opens no orphan span.
+        let echoed: Vec<u8> = client.call("echo", &vec![9u8]).unwrap();
+        assert_eq!(echoed, vec![9]);
+        assert!(tracer.take_capture().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mayflower_fs::{FileMeta, FsError, MetadataService, Redundancy};
+use mayflower_telemetry::trace::{self, TraceHandle};
 use mayflower_telemetry::{Counter, Scope};
 use parking_lot::Mutex;
 
@@ -47,6 +48,9 @@ pub struct ShardRouter {
     cached: Mutex<CachedMap>,
     lease: Mutex<Duration>,
     metrics: RouterMetrics,
+    /// Tracing handle for route/refresh spans (DESIGN.md §17); `None`
+    /// keeps routing trace-free.
+    trace: Mutex<Option<TraceHandle>>,
 }
 
 impl ShardRouter {
@@ -70,7 +74,20 @@ impl ShardRouter {
                 stale_retries: scope.counter("stale_retries_total"),
                 routed_ops: scope.counter("routed_ops_total"),
             },
+            trace: Mutex::new(None),
         }
+    }
+
+    /// Attaches a tracing handle: routed operations running under a
+    /// traced op then leave `route` spans (shard, epoch, stale
+    /// retries) and map refreshes leave `refresh` spans.
+    pub fn attach_trace(&self, handle: TraceHandle) {
+        *self.trace.lock() = Some(handle);
+    }
+
+    /// A child span of the ambient traced op, if tracing is on.
+    fn span(&self, name: &str) -> Option<trace::ActiveSpan> {
+        self.trace.lock().as_ref()?.child(name)
     }
 
     /// Sets the shard-map lease. A zero lease refreshes before every
@@ -88,7 +105,9 @@ impl ShardRouter {
 
     /// Re-fetches the map from the plane.
     fn refresh(&self) {
+        let mut span = self.span("refresh");
         let map = self.plane.shard_map();
+        trace::annotate(&mut span, "epoch", map.epoch.to_string());
         let mut cached = self.cached.lock();
         self.metrics.refreshes.inc();
         if map.epoch != cached.map.epoch {
@@ -121,17 +140,33 @@ impl ShardRouter {
         op: impl Fn(ShardId, u64) -> Result<T, ShardError>,
     ) -> Result<T, FsError> {
         self.metrics.routed_ops.inc();
-        for _ in 0..MAX_ROUTE_RETRIES {
+        let mut span = self.span("route");
+        trace::annotate(&mut span, "file", name);
+        let _g = span.as_ref().map(trace::ActiveSpan::enter);
+        for attempt in 0..MAX_ROUTE_RETRIES {
             let (shard, epoch) = self.route(name);
+            if attempt == 0 {
+                trace::annotate(&mut span, "shard", shard.0.to_string());
+                trace::annotate(&mut span, "epoch", epoch.to_string());
+            }
             match op(shard, epoch) {
                 Ok(v) => return Ok(v),
                 Err(ShardError::StaleMap { .. } | ShardError::NotOwner { .. }) => {
                     self.metrics.stale_retries.inc();
+                    trace::annotate(
+                        &mut span,
+                        "stale_retry",
+                        format!("attempt={attempt} shard={} epoch={epoch}", shard.0),
+                    );
                     self.refresh();
                 }
-                Err(ShardError::Fs(e)) => return Err(e),
+                Err(ShardError::Fs(e)) => {
+                    trace::mark_error(&mut span);
+                    return Err(e);
+                }
             }
         }
+        trace::mark_error(&mut span);
         Err(FsError::Unavailable(
             "shard map churned through every routing retry".into(),
         ))

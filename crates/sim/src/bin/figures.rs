@@ -1,7 +1,7 @@
 //! Regenerates the paper's evaluation figures.
 //!
 //! ```text
-//! figures [--fig 4|5|6a|6b|7|8|multipath|ablation|writes|scale|consistency|hotspots|hedera|topology|all] [--quick] [--seed N] [--json DIR]
+//! figures [--fig 4|5|6a|6b|7|8|multipath|ablation|writes|scale|consistency|hotspots|hedera|topology|timeline|all] [--quick] [--seed N] [--json DIR]
 //! ```
 //!
 //! Prints each figure's rows as a text table; with `--json DIR`, also
@@ -41,7 +41,7 @@ fn parse_args() -> Args {
             "--json" => args.json_dir = it.next(),
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--fig 4|5|6a|6b|7|8|multipath|ablation|writes|scale|consistency|hotspots|hedera|topology|all] [--quick] [--seed N] [--json DIR]"
+                    "usage: figures [--fig 4|5|6a|6b|7|8|multipath|ablation|writes|scale|consistency|hotspots|hedera|topology|timeline|all] [--quick] [--seed N] [--json DIR]"
                 );
                 std::process::exit(0);
             }
@@ -144,5 +144,10 @@ fn main() {
         let abl = figures::multipath_ablation(args.effort, args.seed);
         println!("{}", report::render_multipath(&abl));
         maybe_write_json(&args.json_dir, "multipath", &abl);
+    }
+    if want("timeline") {
+        let rep = mayflower_sim::timeline::timeline(args.seed);
+        println!("{}", report::render_timeline(&rep));
+        maybe_write_json(&args.json_dir, "timeline", &rep);
     }
 }

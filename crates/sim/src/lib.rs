@@ -45,6 +45,7 @@ pub mod report;
 pub mod scale;
 pub mod stats;
 pub mod strategy;
+pub mod timeline;
 pub mod topologies;
 pub mod writes;
 
@@ -64,3 +65,4 @@ pub use monitor::LinkLoadMonitor;
 pub use recovery::{run_recovery_chaos, HealthSample, RecoveryExperimentConfig, RecoveryRunResult};
 pub use stats::{fieller_ratio_ci, percentile, RatioCi, Summary};
 pub use strategy::Strategy;
+pub use timeline::{timeline, TimelineArm, TimelineReport};

@@ -323,6 +323,44 @@ pub fn render_fault_report(rep: &FaultReport) -> String {
     out
 }
 
+/// Renders the traced scheduled-vs-ECMP timelines (DESIGN.md §17):
+/// summary table, per-arm critical path, and the scheduled arms'
+/// Flowserver decision records.
+#[must_use]
+pub fn render_timeline(rep: &crate::timeline::TimelineReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Traced timelines — one 256 MB read and one 256 MB relay append, scheduled vs ECMP"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<10} {:>15} {:<18}",
+        "op", "scheduler", "completion (ms)", "dominant hop"
+    );
+    for arm in &rep.arms {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<10} {:>15.3} {:<18}",
+            arm.op,
+            arm.scheduler,
+            arm.completion_us as f64 / 1e3,
+            arm.dominant
+        );
+    }
+    for arm in &rep.arms {
+        let _ = writeln!(out, "\ncritical path — {} / {}:", arm.op, arm.scheduler);
+        out.push_str(&arm.critical_path);
+        if !arm.decision.is_empty() {
+            let _ = writeln!(out, "flowserver decision record:");
+            for line in &arm.decision {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +437,23 @@ mod tests {
             text,
             render_metrics(&b),
             "same seed must render identical metric bytes"
+        );
+    }
+
+    #[test]
+    fn timeline_report_names_arms_and_decisions() {
+        let rep = crate::timeline::timeline(11);
+        let text = render_timeline(&rep);
+        assert!(text.contains("read     mayflower"));
+        assert!(text.contains("read     ecmp"));
+        assert!(text.contains("append   mayflower"));
+        assert!(text.contains("append   ecmp"));
+        assert!(text.contains("flowserver decision record:"));
+        assert!(text.contains("critical path — read / mayflower"));
+        assert_eq!(
+            text,
+            render_timeline(&crate::timeline::timeline(11)),
+            "same seed must render identical timeline bytes"
         );
     }
 

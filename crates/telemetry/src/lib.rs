@@ -50,10 +50,15 @@
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{MetricId, Registry, Scope, Snapshot, SnapshotEntry, SnapshotValue};
 pub use span::Span;
+pub use trace::{
+    ActiveSpan, CriticalHop, FlightRecorder, SpanEvent, SpanId, TraceHandle, TraceId, TraceTree,
+    Tracer,
+};
 
 /// Converts a non-negative duration in seconds to whole microseconds,
 /// saturating — the canonical unit for every `*_us` metric.

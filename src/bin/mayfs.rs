@@ -13,6 +13,7 @@
 //! mayfs metrics <dir> [--json] [--client H]
 //! mayfs status <dir> [--json]            # dataserver health + under-replicated files
 //! mayfs shards <dir> [--json] [--shards N] [--vnodes V]  # metadata-shard layout
+//! mayfs trace  <dir> <read|append> <name> [--client H] [--data STR] [--json|--chrome]
 //! ```
 //!
 //! The cluster persists across invocations: `init` writes the topology
@@ -32,7 +33,7 @@ use mayflower_rpc::TcpServer;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mayfs <init|create|append|read|stat|ls|rm|serve|metrics|status|shards> <dir> [args]\n\
+        "usage: mayfs <init|create|append|read|stat|ls|rm|serve|metrics|status|shards|trace> <dir> [args]\n\
          run `mayfs help` for details"
     );
     std::process::exit(2);
@@ -471,6 +472,89 @@ fn cmd_shards(dir: &Path, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs one traced operation against the cluster and prints its causal
+/// span tree (DESIGN.md §17). On success the capture renders as a
+/// critical path (default), byte-deterministic JSON (`--json`), or a
+/// Chrome trace-event file (`--chrome`); on failure the per-component
+/// flight recorders are dumped to stderr so the last spans before the
+/// error survive.
+fn cmd_trace(dir: &Path, args: &Args) -> Result<(), String> {
+    use mayflower_telemetry::trace::TraceTree;
+
+    let op = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("missing <read|append>")?;
+    let name = args.positional.get(2).cloned().ok_or("missing <name>")?;
+    let cluster = load_cluster(dir)?;
+    let tracer = cluster.tracer().clone();
+    tracer.set_enabled(true);
+    tracer.begin_capture();
+
+    let mut client = cluster.client(HostId(args.flag("client", 0u32)));
+    let outcome: Result<String, String> = match op {
+        "read" => client
+            .read(&name)
+            .map(|data| format!("read {} bytes from {name}", data.len()))
+            .map_err(|e| e.to_string()),
+        "append" => {
+            let data = args
+                .flags
+                .get("data")
+                .cloned()
+                .unwrap_or_else(|| "mayfs trace payload".to_string())
+                .into_bytes();
+            client
+                .append(&name, &data)
+                .map(|size| format!("appended {} bytes; {name} is now {size} bytes", data.len()))
+                .map_err(|e| e.to_string())
+        }
+        other => return Err(format!("bad operation {other:?}: want read or append")),
+    };
+
+    match outcome {
+        Ok(summary) => {
+            let tree = TraceTree::build(tracer.take_capture());
+            tree.validate()
+                .map_err(|e| format!("malformed trace: {e}"))?;
+            if args.flags.contains_key("json") {
+                print!("{}", tree.render_json());
+            } else if args.flags.contains_key("chrome") {
+                print!("{}", tree.render_chrome());
+            } else {
+                eprintln!("{summary}");
+                println!("{} spans captured; critical path:", tree.events().len());
+                for &root in tree.roots() {
+                    print!("{}", tree.render_critical_path(tree.events()[root].trace));
+                }
+            }
+            Ok(())
+        }
+        Err(e) => {
+            // The op failed: the capture is abandoned and the bounded
+            // flight recorders show the spans leading up to the error.
+            let dump = tracer.dump_flight_recorders();
+            eprintln!("flight recorder ({} spans):", dump.len());
+            for ev in &dump {
+                eprintln!(
+                    "  {}/{} [{} .. {}]us{}{}",
+                    ev.component,
+                    ev.name,
+                    ev.start_us,
+                    ev.end_us,
+                    if ev.ok { "" } else { " [error]" },
+                    ev.annotations
+                        .iter()
+                        .map(|(k, v)| format!(" {k}={v}"))
+                        .collect::<String>()
+                );
+            }
+            Err(format!("traced {op} failed: {e}"))
+        }
+    }
+}
+
 /// Hottest shard's file count over the mean.
 fn balance_of(rows: &[ShardRow]) -> f64 {
     if rows.is_empty() {
@@ -504,7 +588,8 @@ fn run() -> Result<(), String> {
              serve  <dir> --listen ADDR\n\
              metrics <dir> [--json] [--client H]   # probe files, dump telemetry\n\
              status <dir> [--json]                 # host health, under-replicated files, fragment health\n\
-             shards <dir> [--json] [--shards N] [--vnodes V]  # metadata-shard layout (live or previewed)"
+             shards <dir> [--json] [--shards N] [--vnodes V]  # metadata-shard layout (live or previewed)\n\
+             trace  <dir> <read|append> <name> [--client H] [--data STR] [--json|--chrome]  # traced op, critical path"
         );
         return Ok(());
     }
@@ -669,6 +754,7 @@ fn run() -> Result<(), String> {
         }
         "status" => cmd_status(&dir, &args),
         "shards" => cmd_shards(&dir, &args),
+        "trace" => cmd_trace(&dir, &args),
         "serve" => {
             let listen = args
                 .flags

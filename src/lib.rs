@@ -32,6 +32,7 @@
 //! | [`shard`] | sharded metadata plane: hash ring, routers, online migration |
 //! | [`sim`] | experiment harness regenerating every paper figure |
 //! | [`simcore`] | deterministic discrete-event kernel |
+//! | [`telemetry`] | metrics registry, causal tracing, flight recorders |
 //! | [`mcheck`] | schedule-exploration model checker with linearizability oracle |
 //!
 //! # Quickstart
@@ -70,4 +71,5 @@ pub use mayflower_shard as shard;
 pub use mayflower_sim as sim;
 pub use mayflower_simcore as simcore;
 pub use mayflower_simnet as simnet;
+pub use mayflower_telemetry as telemetry;
 pub use mayflower_workload as workload;
